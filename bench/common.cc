@@ -1,0 +1,118 @@
+#include "common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+namespace mgardp {
+namespace bench {
+
+Scale Scale::FromEnv() {
+  Scale s;
+  const char* env = std::getenv("MGARDP_SCALE");
+  if (env != nullptr && std::string(env) == "full") {
+    s.full = true;
+    s.dims = Dims3{65, 65, 65};
+    s.timesteps = 64;
+    s.bounds_per_decade = 9;
+    s.train_epochs = 300;
+    s.learning_rate = 5e-5;
+  }
+  return s;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& claim,
+                 const Scale& scale) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("scale: %s (grid %s, %d timesteps, %d bounds/decade, "
+              "%d epochs)\n",
+              scale.full ? "full" : "quick", scale.dims.ToString().c_str(),
+              scale.timesteps, scale.bounds_per_decade, scale.train_epochs);
+  std::printf("================================================================\n");
+}
+
+FieldSeries WarpXSeries(const Scale& scale, WarpXField field,
+                        WarpXParams params) {
+  WarpXDatasetOptions opts;
+  opts.dims = scale.dims;
+  opts.num_timesteps = scale.timesteps;
+  opts.params = params;
+  return GenerateWarpX(opts, field);
+}
+
+std::vector<FieldSeries> GrayScottSeries(const Scale& scale) {
+  GrayScottDatasetOptions opts;
+  opts.dims = scale.dims;
+  opts.num_timesteps = scale.timesteps;
+  opts.steps_per_dump = 15;
+  opts.warmup_steps = 150;
+  return GenerateGrayScott(opts);
+}
+
+std::vector<RetrievalRecord> CollectOrDie(const FieldSeries& series,
+                                          const std::vector<int>& timesteps,
+                                          const Scale& scale,
+                                          RefactorOptions refactor) {
+  CollectOptions opts;
+  opts.rel_bounds = scale.Bounds();
+  opts.refactor = refactor;
+  auto records = CollectRecords(series, timesteps, opts);
+  records.status().Abort("CollectRecords");
+  return std::move(records).value();
+}
+
+DMgardModel TrainDMgardOrDie(const std::vector<RetrievalRecord>& records,
+                             const Scale& scale, bool chained,
+                             const std::string& loss) {
+  DMgardConfig config;
+  config.chained = chained;
+  config.train.epochs = scale.train_epochs;
+  config.train.learning_rate =
+      scale.full ? 5e-5 : scale.learning_rate;
+  // The paper's batch of 256 assumes tens of thousands of records; at
+  // reduced record counts it would leave almost no optimizer steps.
+  config.train.batch_size = scale.full ? 256 : 16;
+  config.train.loss = loss;
+  auto model = DMgardModel::TrainModel(records, config);
+  model.status().Abort("DMgardModel::TrainModel");
+  return std::move(model).value();
+}
+
+EMgardModel TrainEMgardOrDie(const std::vector<RetrievalRecord>& records,
+                             const Scale& scale) {
+  EMgardConfig config;
+  config.train.epochs = scale.train_epochs;
+  config.train.learning_rate = scale.full ? 1e-5 : scale.learning_rate;
+  config.train.batch_size = scale.full ? 64 : 16;
+  auto model = EMgardModel::TrainModel(records, config);
+  model.status().Abort("EMgardModel::TrainModel");
+  return std::move(model).value();
+}
+
+RefactoredField RefactorOrDie(const Array3Dd& data, RefactorOptions options) {
+  Refactorer refactorer(options);
+  auto field = refactorer.Refactor(data);
+  field.status().Abort("Refactorer::Refactor");
+  return std::move(field).value();
+}
+
+double SavPercent(std::size_t baseline_bytes, std::size_t new_bytes) {
+  if (baseline_bytes == 0) {
+    return 0.0;
+  }
+  const double base = static_cast<double>(baseline_bytes);
+  const double ours = static_cast<double>(new_bytes);
+  return 100.0 * std::fabs(base - ours) / base;
+}
+
+std::vector<int> AllTimesteps(int n) {
+  std::vector<int> steps(n);
+  std::iota(steps.begin(), steps.end(), 0);
+  return steps;
+}
+
+}  // namespace bench
+}  // namespace mgardp

@@ -1,0 +1,77 @@
+// Shared scaffolding for the paper-figure drivers.
+//
+// Every fig* binary reproduces one table/figure of the paper. Because the
+// paper's runs used 512^3 grids and 512 timesteps on Summit, each driver
+// supports two scales:
+//   * quick (default): reduced grids/timesteps/epochs so the full suite
+//     runs on a laptop core in minutes,
+//   * full (MGARDP_SCALE=full): paper-shaped sweeps (81 bounds, more
+//     timesteps, 300 epochs) for higher-fidelity reproduction.
+// The qualitative shape of every figure must hold at both scales.
+
+#ifndef MGARDP_BENCH_COMMON_H_
+#define MGARDP_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "models/dmgard.h"
+#include "models/emgard.h"
+#include "models/training_data.h"
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "sim/dataset.h"
+
+namespace mgardp {
+namespace bench {
+
+struct Scale {
+  bool full = false;
+  Dims3 dims{33, 33, 33};
+  int timesteps = 32;
+  int bounds_per_decade = 4;  // paper: 9 (81 bounds)
+  int train_epochs = 150;     // paper: 300
+  double learning_rate = 1e-3;  // paper: 5e-5 / 1e-5 at 300 epochs
+
+  // Reads MGARDP_SCALE ("quick" | "full") from the environment.
+  static Scale FromEnv();
+
+  std::vector<double> Bounds() const {
+    return full ? PaperRelativeErrorBounds()
+                : SubsampledRelativeErrorBounds(bounds_per_decade);
+  }
+};
+
+// Prints the standard banner: which figure, what the paper shows, and what
+// must hold in this reproduction.
+void PrintHeader(const std::string& experiment, const std::string& claim,
+                 const Scale& scale);
+
+// Dataset helpers (sizes from `scale`).
+FieldSeries WarpXSeries(const Scale& scale, WarpXField field,
+                        WarpXParams params = {});
+std::vector<FieldSeries> GrayScottSeries(const Scale& scale);
+
+// Fatal-on-error wrappers for driver code.
+std::vector<RetrievalRecord> CollectOrDie(const FieldSeries& series,
+                                          const std::vector<int>& timesteps,
+                                          const Scale& scale,
+                                          RefactorOptions refactor = {});
+DMgardModel TrainDMgardOrDie(const std::vector<RetrievalRecord>& records,
+                             const Scale& scale, bool chained = true,
+                             const std::string& loss = "huber");
+EMgardModel TrainEMgardOrDie(const std::vector<RetrievalRecord>& records,
+                             const Scale& scale);
+RefactoredField RefactorOrDie(const Array3Dd& data,
+                              RefactorOptions options = {});
+
+// Equation 8: |D_mgard - D_new| / D_mgard, in percent.
+double SavPercent(std::size_t baseline_bytes, std::size_t new_bytes);
+
+// All timestep indices [0, n).
+std::vector<int> AllTimesteps(int n);
+
+}  // namespace bench
+}  // namespace mgardp
+
+#endif  // MGARDP_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Ablation (Sec. III-C / Fig. 5a): chained multi-output regression vs
+// independent per-level MLPs. The chain exploits the strong correlation
+// between the levels' bit-plane counts; removing it should hurt accuracy,
+// especially on the finest (most byte-heavy) levels.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace mgardp;
+  using namespace mgardp::bench;
+  const Scale scale = Scale::FromEnv();
+  PrintHeader("Ablation: chained (CMOR) vs independent multi-output "
+              "regression",
+              "chaining b_0..b_{l-1} into level l's inputs improves "
+              "prediction accuracy",
+              scale);
+
+  FieldSeries series = WarpXSeries(scale, WarpXField::kEx);
+  std::vector<int> train_steps, test_steps;
+  SplitTimesteps(series.num_timesteps(), &train_steps, &test_steps);
+  auto train_records = CollectOrDie(series, train_steps, scale);
+  auto test_records = CollectOrDie(series, test_steps, scale);
+
+  for (bool chained : {true, false}) {
+    DMgardModel model = TrainDMgardOrDie(train_records, scale, chained);
+    auto errors = PredictionErrors(model, test_records);
+    errors.status().Abort("evaluate");
+    const int L = model.num_levels();
+    std::printf("\n%s\n", chained ? "chained (CMOR, the paper's design)"
+                                  : "independent per-level MLPs");
+    std::printf("%7s %10s %12s\n", "level", "mean|e|", "within +-1");
+    double overall = 0.0;
+    for (int l = 0; l < L; ++l) {
+      double mean_abs = 0.0;
+      int within1 = 0;
+      for (const auto& per_level : errors.value()) {
+        mean_abs += std::abs(per_level[l]);
+        if (std::abs(per_level[l]) <= 1) {
+          ++within1;
+        }
+      }
+      const double n = static_cast<double>(errors.value().size());
+      overall += mean_abs / n;
+      std::printf("%7d %10.3f %11.1f%%\n", l, mean_abs / n,
+                  100.0 * within1 / n);
+    }
+    std::printf("overall mean |error|: %.3f planes\n", overall / L);
+  }
+  return 0;
+}

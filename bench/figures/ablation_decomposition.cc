@@ -1,0 +1,47 @@
+// Ablation (DESIGN.md): the L2 projection correction in the decomposition.
+// MGARD's correction makes each coarse approximation L2-optimal; disabling
+// it leaves a plain interpolation wavelet. This bench compares the bytes
+// each variant must retrieve to reach the same actual accuracy.
+
+#include <cstdio>
+
+#include "common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace mgardp;
+  using namespace mgardp::bench;
+  const Scale scale = Scale::FromEnv();
+  PrintHeader("Ablation: L2 projection correction in the decomposition",
+              "the MGARD-style correction should not hurt, and typically "
+              "helps, the bytes-per-accuracy trade-off",
+              scale);
+
+  FieldSeries series = WarpXSeries(scale, WarpXField::kEx);
+  const Array3Dd& original = series.frames[scale.timesteps / 2];
+
+  std::printf("\n%10s | %14s %14s | %14s %14s\n", "", "with correction", "",
+              "without", "");
+  std::printf("%10s | %14s %14s | %14s %14s\n", "rel_bound", "bytes",
+              "achieved", "bytes", "achieved");
+  for (double rel : {1e-6, 1e-4, 1e-2}) {
+    std::printf("%10.0e |", rel);
+    for (bool correction : {true, false}) {
+      RefactorOptions opts;
+      opts.use_correction = correction;
+      RefactoredField field = RefactorOrDie(original, opts);
+      TheoryEstimator theory;
+      Reconstructor rec(&theory);
+      RetrievalPlan plan;
+      auto data =
+          rec.Retrieve(field, rel * field.data_summary.range(), &plan);
+      data.status().Abort("retrieve");
+      const double err =
+          MaxAbsError(original.vector(), data.value().vector());
+      std::printf(" %14zu %14.3e %s", plan.total_bytes, err,
+                  correction ? "|" : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

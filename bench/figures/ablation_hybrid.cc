@@ -1,0 +1,71 @@
+// Ablation: the D-MGARD + E-MGARD combination the paper names as future
+// work (Sec. IV-E). Compares four planners at the same requested bounds on
+// held-out timesteps: the theory baseline, D-MGARD alone, E-MGARD alone,
+// and the hybrid (D-MGARD warm start, E-MGARD verify + trim/extend).
+
+#include <cstdio>
+
+#include "common.h"
+#include "models/features.h"
+#include "models/hybrid.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace mgardp;
+  using namespace mgardp::bench;
+  const Scale scale = Scale::FromEnv();
+  PrintHeader("Ablation: hybrid D+E planning (paper future work)",
+              "warm-starting the E-MGARD-verified search from D-MGARD's "
+              "prediction combines one-shot speed with verified plans",
+              scale);
+
+  FieldSeries series = WarpXSeries(scale, WarpXField::kEx);
+  std::vector<int> train_steps, test_steps;
+  SplitTimesteps(series.num_timesteps(), &train_steps, &test_steps);
+  auto records = CollectOrDie(series, train_steps, scale);
+  std::printf("training D-MGARD and E-MGARD on %zu records...\n",
+              records.size());
+  DMgardModel dmgard = TrainDMgardOrDie(records, scale);
+  EMgardModel emgard = TrainEMgardOrDie(records, scale);
+
+  TheoryEstimator theory;
+  LearnedConstantsEstimator learned(&emgard);
+  Reconstructor base(&theory), ours(&learned);
+
+  std::printf("\naccumulated bytes over %zu held-out timesteps\n",
+              test_steps.size());
+  std::printf("%10s %12s %12s %12s %12s\n", "rel_bound", "theory",
+              "d-mgard", "e-mgard", "hybrid");
+  for (double rel : {1e-5, 1e-4, 1e-3, 1e-2}) {
+    std::size_t theory_b = 0, d_b = 0, e_b = 0, h_b = 0;
+    for (int t : test_steps) {
+      RefactoredField field = RefactorOrDie(series.frames[t]);
+      const double bound = rel * field.data_summary.range();
+
+      auto tplan = base.Plan(field, bound);
+      tplan.status().Abort("theory");
+      theory_b += tplan.value().total_bytes;
+
+      auto pred = dmgard.Predict(ExtractDataFeatures(field.data_summary),
+                                 field.level_sketches, bound);
+      pred.status().Abort("predict");
+      auto dplan = base.PlanFromPrefix(field, pred.value());
+      dplan.status().Abort("d plan");
+      d_b += dplan.value().total_bytes;
+
+      auto eplan = ours.Plan(field, bound);
+      eplan.status().Abort("e plan");
+      e_b += eplan.value().total_bytes;
+
+      auto hplan = PlanHybrid(field, bound, dmgard, learned);
+      hplan.status().Abort("hybrid");
+      h_b += hplan.value().total_bytes;
+    }
+    std::printf("%10.0e %12zu %12zu %12zu %12zu\n", rel, theory_b, d_b, e_b,
+                h_b);
+  }
+  std::printf("\nhybrid plans are E-MGARD-verified yet start from D-MGARD's "
+              "guess, so they avoid both D-MGARD's unverified misses and a "
+              "cold greedy search.\n");
+  return 0;
+}

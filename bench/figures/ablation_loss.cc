@@ -1,0 +1,51 @@
+// Ablation (Sec. III-C): the paper selects the Huber loss (delta = 1) over
+// MSE and MAE for D-MGARD. This bench trains the same chain under each loss
+// and compares held-out prediction-error distributions: Huber should match
+// or beat MSE on mean error and beat MAE on tail size.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace mgardp;
+  using namespace mgardp::bench;
+  const Scale scale = Scale::FromEnv();
+  PrintHeader("Ablation: D-MGARD training loss (Huber vs MSE vs MAE)",
+              "Huber (delta = 1) gives the best balance of mean prediction "
+              "error and outlier tail",
+              scale);
+
+  FieldSeries series = WarpXSeries(scale, WarpXField::kJx);
+  std::vector<int> train_steps, test_steps;
+  SplitTimesteps(series.num_timesteps(), &train_steps, &test_steps);
+  auto train_records = CollectOrDie(series, train_steps, scale);
+  auto test_records = CollectOrDie(series, test_steps, scale);
+
+  std::printf("\n%8s %12s %12s %14s\n", "loss", "mean|e|", "within +-1",
+              "tail (|e|>3)");
+  for (const char* loss : {"huber", "mse", "mae"}) {
+    DMgardModel model = TrainDMgardOrDie(train_records, scale,
+                                         /*chained=*/true, loss);
+    auto errors = PredictionErrors(model, test_records);
+    errors.status().Abort("evaluate");
+    double mean_abs = 0.0;
+    int within1 = 0, tail = 0, total = 0;
+    for (const auto& per_level : errors.value()) {
+      for (int e : per_level) {
+        mean_abs += std::abs(e);
+        ++total;
+        if (std::abs(e) <= 1) {
+          ++within1;
+        }
+        if (std::abs(e) > 3) {
+          ++tail;
+        }
+      }
+    }
+    std::printf("%8s %12.3f %11.1f%% %13.1f%%\n", loss, mean_abs / total,
+                100.0 * within1 / total, 100.0 * tail / total);
+  }
+  return 0;
+}

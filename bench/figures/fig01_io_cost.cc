@@ -1,0 +1,102 @@
+// Figure 1: I/O cost incurred by the requested tolerance vs. the cost the
+// over-pessimistic theory estimator actually incurs, for the WarpX B_x and
+// E_x fields.
+//
+// "Requested tolerance" cost is computed with an oracle: walk the greedy
+// plane order, reconstructing after every fetch, and stop as soon as the
+// *actual* error meets the bound. The theory cost comes from the stock
+// planner. The gap between the two curves is the motivation for the paper.
+
+#include <cstdio>
+
+#include "common.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace mgardp;
+using namespace mgardp::bench;
+
+// Cumulative (bytes, achieved error) along the greedy fetch order.
+struct ProgressPoint {
+  std::size_t bytes;
+  double achieved;
+};
+
+std::vector<ProgressPoint> OracleCurve(const RefactoredField& field,
+                                       const Array3Dd& original) {
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+  // Walk the planner's own greedy fetch order, measuring the *actual*
+  // error after every block fetch.
+  std::vector<ProgressPoint> curve;
+  for (const std::vector<int>& prefix : rec.Progression(field)) {
+    auto data = ReconstructFromPrefix(field, prefix);
+    data.status().Abort("reconstruct");
+    curve.push_back({sizes.TotalBytes(prefix),
+                     MaxAbsError(original.vector(), data.value().vector())});
+  }
+  return curve;
+}
+
+void RunField(WarpXField field_id, const Scale& scale) {
+  FieldSeries series = WarpXSeries(scale, field_id);
+  const int t = scale.timesteps / 2;
+  const Array3Dd& original = series.frames[t];
+  RefactoredField field = RefactorOrDie(original);
+  const double range = field.data_summary.range();
+
+  const auto curve = OracleCurve(field, original);
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+
+  std::printf("\nfield %s (timestep %d)\n", series.field.c_str(), t);
+  std::printf("%10s %16s %16s %8s\n", "rel_bound", "oracle_bytes",
+              "theory_bytes", "ratio");
+  double mean_ratio = 0.0;
+  int rows = 0;
+  for (double rel : {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
+    const double bound = rel * range;
+    // Oracle: first point on the curve achieving the bound.
+    std::size_t oracle_bytes = curve.back().bytes;
+    for (const ProgressPoint& p : curve) {
+      if (p.achieved <= bound) {
+        oracle_bytes = p.bytes;
+        break;
+      }
+    }
+    auto plan = rec.Plan(field, bound);
+    plan.status().Abort("plan");
+    const double ratio =
+        oracle_bytes == 0
+            ? 0.0
+            : static_cast<double>(plan.value().total_bytes) /
+                  static_cast<double>(oracle_bytes);
+    std::printf("%10.0e %16zu %16zu %7.2fx\n", rel, oracle_bytes,
+                plan.value().total_bytes, ratio);
+    if (oracle_bytes > 0) {
+      mean_ratio += ratio;
+      ++rows;
+    }
+  }
+  if (rows > 0) {
+    std::printf("mean over-read factor: %.2fx %s\n", mean_ratio / rows,
+                mean_ratio / rows > 1.05 ? "(theory reads more -- matches "
+                                           "the paper)"
+                                         : "(UNEXPECTED)");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::FromEnv();
+  PrintHeader("Figure 1: I/O cost, requested tolerance vs theory estimator",
+              "the theory-based estimator reads significantly more data than "
+              "the requested tolerance requires, at every error bound",
+              scale);
+  RunField(WarpXField::kBx, scale);
+  RunField(WarpXField::kEx, scale);
+  return 0;
+}

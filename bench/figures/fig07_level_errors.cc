@@ -1,0 +1,56 @@
+// Figure 7: the absolute error of each coefficient level as a function of
+// the number of bit-planes retrieved, for the three WarpX fields at the
+// paper's t = 32 (the mid timestep at our scale). Expected shape: error
+// decays roughly 2x per plane, and the error magnitudes differ strongly
+// across levels -- which is why one shared mapping constant C is wasteful.
+
+#include <cstdio>
+
+#include "common.h"
+#include "models/features.h"
+
+int main() {
+  using namespace mgardp;
+  using namespace mgardp::bench;
+  const Scale scale = Scale::FromEnv();
+  PrintHeader("Figure 7: per-level absolute error vs #bit-planes retrieved",
+              "error magnitudes differ by orders of magnitude across "
+              "coefficient levels at the same plane count",
+              scale);
+
+  const int t = scale.timesteps / 2;
+  for (WarpXField f :
+       {WarpXField::kBx, WarpXField::kEx, WarpXField::kJx}) {
+    FieldSeries series = WarpXSeries(scale, f);
+    RefactoredField field = RefactorOrDie(series.frames[t]);
+    const int L = field.num_levels();
+    std::printf("\nfield %s (timestep %d): Err[l][b], log10 scale\n",
+                series.field.c_str(), t);
+    std::printf("%8s", "planes");
+    for (int l = 0; l < L; ++l) {
+      std::printf("   lvl_%d", l);
+    }
+    std::printf("\n");
+    for (int b = 0; b <= field.num_planes; b += 4) {
+      std::printf("%8d", b);
+      for (int l = 0; l < L; ++l) {
+        std::printf(" %7.2f", Log10Safe(field.level_errors[l].max_abs[b]));
+      }
+      std::printf("\n");
+    }
+    // Spread of level errors at a fixed mid depth.
+    double lo = 1e300, hi = 0.0;
+    for (int l = 0; l < L; ++l) {
+      const double e = field.level_errors[l].max_abs[12];
+      if (e > 0.0) {
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+      }
+    }
+    if (hi > 0.0 && lo < 1e300) {
+      std::printf("spread across levels at 12 planes: %.1f decades\n",
+                  Log10Safe(hi) - Log10Safe(lo));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 9: D-MGARD prediction-error distribution on WarpX. The model is
+// trained on the first half of the J_x timesteps and evaluated on the
+// second half of J_x plus all timesteps of B_x and E_x. Expected shape:
+// the majority of predictions are exact or within one bit-plane, with
+// accuracy improving toward the finest level.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+using namespace mgardp;
+using namespace mgardp::bench;
+
+void PrintDistribution(const char* label,
+                       const std::vector<std::vector<int>>& errors) {
+  if (errors.empty()) {
+    return;
+  }
+  const int L = static_cast<int>(errors.front().size());
+  std::printf("\n%s (%zu predictions per level)\n", label, errors.size());
+  std::printf("%7s %8s %8s %8s %8s %8s\n", "level", "<= -2", "-1", "0", "+1",
+              ">= +2");
+  for (int l = 0; l < L; ++l) {
+    int buckets[5] = {0, 0, 0, 0, 0};
+    for (const auto& per_level : errors) {
+      const int e = per_level[l];
+      if (e <= -2) {
+        ++buckets[0];
+      } else if (e >= 2) {
+        ++buckets[4];
+      } else {
+        ++buckets[e + 2];
+      }
+    }
+    const double n = static_cast<double>(errors.size());
+    std::printf("%7d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", l,
+                100 * buckets[0] / n, 100 * buckets[1] / n,
+                100 * buckets[2] / n, 100 * buckets[3] / n,
+                100 * buckets[4] / n);
+  }
+  // Summary: fraction within one plane across all levels.
+  int total = 0, within1 = 0;
+  for (const auto& per_level : errors) {
+    for (int e : per_level) {
+      ++total;
+      if (std::abs(e) <= 1) {
+        ++within1;
+      }
+    }
+  }
+  std::printf("within +-1 bit-plane overall: %.1f%%\n",
+              100.0 * within1 / total);
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::FromEnv();
+  PrintHeader("Figure 9: D-MGARD prediction error on WarpX",
+              "trained on J_x first half; majority of predictions exact or "
+              "within one plane on J_x 2nd half, B_x, E_x",
+              scale);
+
+  FieldSeries jx = WarpXSeries(scale, WarpXField::kJx);
+  std::vector<int> train_steps, test_steps;
+  SplitTimesteps(jx.num_timesteps(), &train_steps, &test_steps);
+
+  auto train_records = CollectOrDie(jx, train_steps, scale);
+  std::printf("training on %zu records from %s...\n", train_records.size(),
+              jx.field.c_str());
+  DMgardModel model = TrainDMgardOrDie(train_records, scale);
+
+  auto jx_test = CollectOrDie(jx, test_steps, scale);
+  auto jx_errors = PredictionErrors(model, jx_test);
+  jx_errors.status().Abort("evaluate J_x");
+  PrintDistribution("J_x, held-out timesteps", jx_errors.value());
+
+  for (WarpXField f : {WarpXField::kBx, WarpXField::kEx}) {
+    FieldSeries other = WarpXSeries(scale, f);
+    auto records =
+        CollectOrDie(other, AllTimesteps(other.num_timesteps()), scale);
+    auto errors = PredictionErrors(model, records);
+    errors.status().Abort("evaluate");
+    PrintDistribution((other.field + ", all timesteps").c_str(),
+                      errors.value());
+  }
+  return 0;
+}

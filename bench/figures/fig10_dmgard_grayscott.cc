@@ -1,0 +1,82 @@
+// Figure 10: D-MGARD prediction-error distribution on Gray-Scott. Trained
+// on the first half of the D_u timesteps, evaluated on the second half of
+// D_u and all timesteps of D_v. Same expected shape as Fig. 9.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+using namespace mgardp;
+using namespace mgardp::bench;
+
+void PrintDistribution(const char* label,
+                       const std::vector<std::vector<int>>& errors) {
+  if (errors.empty()) {
+    return;
+  }
+  const int L = static_cast<int>(errors.front().size());
+  std::printf("\n%s (%zu predictions per level)\n", label, errors.size());
+  std::printf("%7s %8s %8s %8s %8s %8s\n", "level", "<= -2", "-1", "0", "+1",
+              ">= +2");
+  int total = 0, within1 = 0;
+  for (int l = 0; l < L; ++l) {
+    int buckets[5] = {0, 0, 0, 0, 0};
+    for (const auto& per_level : errors) {
+      const int e = per_level[l];
+      ++total;
+      if (std::abs(e) <= 1) {
+        ++within1;
+      }
+      if (e <= -2) {
+        ++buckets[0];
+      } else if (e >= 2) {
+        ++buckets[4];
+      } else {
+        ++buckets[e + 2];
+      }
+    }
+    const double n = static_cast<double>(errors.size());
+    std::printf("%7d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", l,
+                100 * buckets[0] / n, 100 * buckets[1] / n,
+                100 * buckets[2] / n, 100 * buckets[3] / n,
+                100 * buckets[4] / n);
+  }
+  std::printf("within +-1 bit-plane overall: %.1f%%\n",
+              100.0 * within1 / total);
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::FromEnv();
+  PrintHeader("Figure 10: D-MGARD prediction error on Gray-Scott",
+              "trained on D_u first half; majority of predictions exact or "
+              "within one plane on D_u 2nd half and D_v",
+              scale);
+
+  auto fields = GrayScottSeries(scale);
+  const FieldSeries& du = fields[0];
+  const FieldSeries& dv = fields[1];
+
+  std::vector<int> train_steps, test_steps;
+  SplitTimesteps(du.num_timesteps(), &train_steps, &test_steps);
+
+  auto train_records = CollectOrDie(du, train_steps, scale);
+  std::printf("training on %zu records from %s...\n", train_records.size(),
+              du.field.c_str());
+  DMgardModel model = TrainDMgardOrDie(train_records, scale);
+
+  auto du_test = CollectOrDie(du, test_steps, scale);
+  auto du_errors = PredictionErrors(model, du_test);
+  du_errors.status().Abort("evaluate D_u");
+  PrintDistribution("D_u, held-out timesteps", du_errors.value());
+
+  auto dv_records = CollectOrDie(dv, AllTimesteps(dv.num_timesteps()), scale);
+  auto dv_errors = PredictionErrors(model, dv_records);
+  dv_errors.status().Abort("evaluate D_v");
+  PrintDistribution("D_v, all timesteps", dv_errors.value());
+  return 0;
+}

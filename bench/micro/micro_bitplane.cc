@@ -1,0 +1,61 @@
+// Microbenchmark: bit-plane encode/decode throughput and error-matrix
+// collection cost.
+
+#include <benchmark/benchmark.h>
+
+#include "encode/bitplane.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mgardp;
+
+std::vector<double> RandomCoefs(std::size_t n) {
+  Rng rng(2);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng.NextGaussian();
+  }
+  return v;
+}
+
+void BM_BitplaneEncode(benchmark::State& state) {
+  const auto coefs = RandomCoefs(static_cast<std::size_t>(state.range(0)));
+  BitplaneEncoder enc(32);
+  for (auto _ : state) {
+    auto set = enc.Encode(coefs, nullptr);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coefs.size()));
+}
+BENCHMARK(BM_BitplaneEncode)->Arg(4096)->Arg(32768)->Arg(262144);
+
+void BM_BitplaneEncodeWithErrorMatrix(benchmark::State& state) {
+  const auto coefs = RandomCoefs(static_cast<std::size_t>(state.range(0)));
+  BitplaneEncoder enc(32);
+  for (auto _ : state) {
+    LevelErrorStats stats;
+    auto set = enc.Encode(coefs, &stats);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coefs.size()));
+}
+BENCHMARK(BM_BitplaneEncodeWithErrorMatrix)->Arg(4096)->Arg(32768);
+
+void BM_BitplaneDecode(benchmark::State& state) {
+  const auto coefs = RandomCoefs(32768);
+  BitplaneEncoder enc(32);
+  auto set = enc.Encode(coefs, nullptr);
+  set.status().Abort("encode");
+  const int planes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto decoded = enc.Decode(set.value(), planes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * 32768);
+}
+BENCHMARK(BM_BitplaneDecode)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace

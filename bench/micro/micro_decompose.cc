@@ -1,0 +1,71 @@
+// Microbenchmark: multilevel decomposition / recomposition throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "decompose/decomposer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mgardp;
+
+Array3Dd RandomField(Dims3 dims) {
+  Rng rng(1);
+  Array3Dd a(dims);
+  for (double& v : a.vector()) {
+    v = rng.NextGaussian();
+  }
+  return a;
+}
+
+void BM_Decompose3D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dims3 dims{n, n, n};
+  auto h = GridHierarchy::Create(dims);
+  h.status().Abort("hierarchy");
+  Decomposer dec(h.value());
+  Array3Dd data = RandomField(dims);
+  for (auto _ : state) {
+    Array3Dd copy = data;
+    benchmark::DoNotOptimize(dec.Decompose(&copy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dims.size()));
+}
+BENCHMARK(BM_Decompose3D)->Arg(17)->Arg(33)->Arg(65);
+
+void BM_Recompose3D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dims3 dims{n, n, n};
+  auto h = GridHierarchy::Create(dims);
+  h.status().Abort("hierarchy");
+  Decomposer dec(h.value());
+  Array3Dd data = RandomField(dims);
+  dec.Decompose(&data).Abort("decompose");
+  for (auto _ : state) {
+    Array3Dd copy = data;
+    benchmark::DoNotOptimize(dec.Recompose(&copy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dims.size()));
+}
+BENCHMARK(BM_Recompose3D)->Arg(17)->Arg(33)->Arg(65);
+
+void BM_DecomposeNoCorrection(benchmark::State& state) {
+  const Dims3 dims{33, 33, 33};
+  auto h = GridHierarchy::Create(dims);
+  h.status().Abort("hierarchy");
+  DecomposeOptions opts;
+  opts.use_correction = false;
+  Decomposer dec(h.value(), opts);
+  Array3Dd data = RandomField(dims);
+  for (auto _ : state) {
+    Array3Dd copy = data;
+    benchmark::DoNotOptimize(dec.Decompose(&copy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dims.size()));
+}
+BENCHMARK(BM_DecomposeNoCorrection);
+
+}  // namespace

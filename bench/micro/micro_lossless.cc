@@ -1,0 +1,58 @@
+// Microbenchmark: lossless codec throughput on bit-plane-like payloads.
+
+#include <benchmark/benchmark.h>
+
+#include "lossless/codec.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mgardp;
+
+// Sparse payload resembling a high-significance bit-plane.
+std::string SparsePayload(std::size_t n, double density) {
+  Rng rng(3);
+  std::string s(n, '\0');
+  for (char& c : s) {
+    if (rng.NextDouble() < density) {
+      c = static_cast<char>(rng.NextBounded(256));
+    }
+  }
+  return s;
+}
+
+void BM_CompressSparse(benchmark::State& state) {
+  const std::string payload =
+      SparsePayload(static_cast<std::size_t>(state.range(0)), 0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lossless::Compress(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_CompressSparse)->Arg(4096)->Arg(65536)->Arg(1048576);
+
+void BM_CompressDense(benchmark::State& state) {
+  const std::string payload =
+      SparsePayload(static_cast<std::size_t>(state.range(0)), 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lossless::Compress(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_CompressDense)->Arg(65536);
+
+void BM_Decompress(benchmark::State& state) {
+  const std::string payload = SparsePayload(65536, 0.02);
+  const std::string compressed = lossless::Compress(payload);
+  for (auto _ : state) {
+    auto out = lossless::Decompress(compressed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Decompress);
+
+}  // namespace

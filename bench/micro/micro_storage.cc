@@ -1,0 +1,70 @@
+// Microbenchmark: segment store round-trips and planning cost over the
+// metadata (no bulk decode).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "sim/warpx.h"
+#include "storage/segment_store.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mgardp;
+
+void BM_SegmentStorePut(benchmark::State& state) {
+  Rng rng(1);
+  std::string payload(4096, '\0');
+  for (char& c : payload) {
+    c = static_cast<char>(rng.NextBounded(256));
+  }
+  for (auto _ : state) {
+    SegmentStore store;
+    for (int l = 0; l < 5; ++l) {
+      for (int p = 0; p < 32; ++p) {
+        store.Put(l, p, payload);
+      }
+    }
+    benchmark::DoNotOptimize(store.TotalBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 160);
+}
+BENCHMARK(BM_SegmentStorePut);
+
+void BM_SegmentStoreDiskRoundTrip(benchmark::State& state) {
+  WarpXSimulator sim(Dims3{17, 17, 17});
+  auto field = Refactorer().Refactor(sim.Field(WarpXField::kEx, 4));
+  field.status().Abort("refactor");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mgardp_micro_store")
+          .string();
+  for (auto _ : state) {
+    field.value().segments.WriteToDirectory(dir).Abort("write");
+    auto loaded = SegmentStore::LoadFromDirectory(dir);
+    loaded.status().Abort("load");
+    benchmark::DoNotOptimize(loaded.value().size());
+  }
+  std::filesystem::remove_all(dir);
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(field.value().segments.TotalBytes()));
+}
+BENCHMARK(BM_SegmentStoreDiskRoundTrip);
+
+void BM_MetadataRoundTrip(benchmark::State& state) {
+  WarpXSimulator sim(Dims3{33, 33, 33});
+  auto field = Refactorer().Refactor(sim.Field(WarpXField::kEx, 4));
+  field.status().Abort("refactor");
+  for (auto _ : state) {
+    const std::string blob = field.value().SerializeMetadata();
+    auto restored = RefactoredField::DeserializeMetadata(blob);
+    restored.status().Abort("deserialize");
+    benchmark::DoNotOptimize(restored.value().num_planes);
+  }
+}
+BENCHMARK(BM_MetadataRoundTrip);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Campaign repository: manage a whole simulation campaign's refactored
+// dumps on disk, then answer two kinds of client requests against it:
+// accuracy-driven ("give me J_x at t=6 within 1e-4") and bandwidth-driven
+// ("give me the best E_x at t=3 that fits in 20 KB").
+//
+//   $ ./campaign_repository
+//
+// Demonstrates FieldRepository, Reconstructor::PlanWithinBudget, and how
+// the artifact store amortizes one refactor across many retrievals.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "progressive/repository.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace mgardp;
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "mgardp_campaign").string();
+  std::filesystem::remove_all(root);
+  auto repo = FieldRepository::Open(root);
+  repo.status().Abort("open repository");
+
+  // Ingest a small campaign: two WarpX fields over 8 timesteps each.
+  std::printf("ingesting campaign into %s ...\n", root.c_str());
+  WarpXDatasetOptions opts;
+  opts.dims = Dims3{33, 33, 33};
+  opts.num_timesteps = 8;
+  Refactorer refactorer;
+  for (WarpXField f : {WarpXField::kEx, WarpXField::kJx}) {
+    FieldSeries series = GenerateWarpX(opts, f);
+    repo.value().StoreSeries(series, refactorer).Abort("store series");
+  }
+  std::printf("  %zu artifacts, %zu bytes total\n",
+              repo.value().entries().size(), repo.value().TotalBytes());
+  std::printf("  J_x timesteps:");
+  for (int t : repo.value().Timesteps("warpx", "J_x")) {
+    std::printf(" %d", t);
+  }
+  std::printf("\n\n");
+
+  TheoryEstimator estimator;
+  Reconstructor rec(&estimator);
+
+  // Request 1: accuracy-driven.
+  {
+    auto field = repo.value().Load("warpx", "J_x", 6);
+    field.status().Abort("load");
+    const double bound = 1e-4 * field.value().data_summary.range();
+    RetrievalPlan plan;
+    auto data = rec.Retrieve(field.value(), bound, &plan);
+    data.status().Abort("retrieve");
+    std::printf("accuracy request: J_x t=6 within %.3g\n", bound);
+    std::printf("  read %zu of %zu bytes, estimate %.3g\n", plan.total_bytes,
+                MakeSizeInterpreter(field.value()).FullBytes(),
+                plan.estimated_error);
+  }
+
+  // Request 2: bandwidth-driven.
+  {
+    auto field = repo.value().Load("warpx", "E_x", 3);
+    field.status().Abort("load");
+    const std::size_t budget = 20 * 1024;
+    auto plan = rec.PlanWithinBudget(field.value(), budget);
+    plan.status().Abort("budget plan");
+    auto data = rec.Reconstruct(field.value(), plan.value());
+    data.status().Abort("reconstruct");
+    std::printf("\nbudget request: E_x t=3 within %zu bytes\n", budget);
+    std::printf("  read %zu bytes, estimated error %.3g\n",
+                plan.value().total_bytes, plan.value().estimated_error);
+    std::printf("  planes per level:");
+    for (int b : plan.value().prefix) {
+      std::printf(" %d", b);
+    }
+    std::printf("\n");
+  }
+
+  // Reopen (as a new analysis process would) and show the manifest is the
+  // source of truth.
+  auto reopened = FieldRepository::Open(root);
+  reopened.status().Abort("reopen");
+  std::printf("\nreopened repository sees %zu artifacts across %zu bytes\n",
+              reopened.value().entries().size(),
+              reopened.value().TotalBytes());
+  std::filesystem::remove_all(root);
+  return 0;
+}

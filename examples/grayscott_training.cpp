@@ -1,0 +1,123 @@
+// Gray-Scott training scenario: the full offline/online workflow of the
+// paper on reaction-diffusion data -- run the simulation, collect
+// compression-experiment records on early timesteps, train D-MGARD, save it
+// to disk, reload, and use it to plan retrievals for future timesteps.
+// Prints the per-level prediction-error distribution (the paper's Fig. 10
+// summary) and the retrieval savings.
+//
+//   $ ./grayscott_training
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "models/dmgard.h"
+#include "models/features.h"
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "util/io.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace mgardp;
+
+  std::printf("running Gray-Scott simulation...\n");
+  GrayScottDatasetOptions opts;
+  opts.dims = Dims3{33, 33, 33};
+  opts.num_timesteps = 12;
+  opts.steps_per_dump = 15;
+  opts.warmup_steps = 150;
+  auto fields = GenerateGrayScott(opts);
+  const FieldSeries& du = fields[0];  // train and test on D_u
+
+  std::vector<int> train_steps, test_steps;
+  SplitTimesteps(du.num_timesteps(), &train_steps, &test_steps);
+
+  std::printf("collecting records on the first %zu timesteps...\n",
+              train_steps.size());
+  CollectOptions copts;
+  copts.rel_bounds = SubsampledRelativeErrorBounds(3);
+  auto records = CollectRecords(du, train_steps, copts);
+  records.status().Abort("collect");
+  std::printf("  %zu records\n", records.value().size());
+
+  std::printf("training D-MGARD (chained multi-output regression)...\n");
+  DMgardConfig config;
+  config.train.epochs = 100;
+  config.train.learning_rate = 1e-3;
+  std::vector<dnn::TrainReport> reports;
+  auto model = DMgardModel::TrainModel(records.value(), config, &reports);
+  model.status().Abort("train");
+  for (std::size_t l = 0; l < reports.size(); ++l) {
+    std::printf("  level %zu: loss %.4f -> %.4f\n", l,
+                reports[l].epoch_loss.front(), reports[l].final_loss);
+  }
+
+  // Persist and reload, as a production deployment would.
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() / "dmgard_grayscott.bin")
+          .string();
+  WriteFile(model_path, model.value().Serialize()).Abort("save");
+  auto loaded_blob = ReadFileToString(model_path);
+  loaded_blob.status().Abort("load");
+  auto loaded = DMgardModel::Deserialize(loaded_blob.value());
+  loaded.status().Abort("deserialize");
+  std::printf("model saved to %s and reloaded\n\n", model_path.c_str());
+
+  // Evaluate on held-out timesteps.
+  CollectOptions test_opts = copts;
+  auto test_records = CollectRecords(du, test_steps, test_opts);
+  test_records.status().Abort("collect test");
+  auto errors = PredictionErrors(loaded.value(), test_records.value());
+  errors.status().Abort("evaluate");
+
+  const int L = loaded.value().num_levels();
+  std::printf("prediction error distribution on held-out timesteps\n");
+  std::printf("(columns: fraction of predictions with |error| = 0, <=1, "
+              ">1 bit-planes)\n");
+  for (int l = 0; l < L; ++l) {
+    int exact = 0, close = 0, far = 0;
+    for (const auto& per_level : errors.value()) {
+      const int e = std::abs(per_level[l]);
+      if (e == 0) {
+        ++exact;
+      } else if (e <= 1) {
+        ++close;
+      } else {
+        ++far;
+      }
+    }
+    const double n = static_cast<double>(errors.value().size());
+    std::printf("  level %d: %5.1f%% exact, %5.1f%% within 1, %5.1f%% off\n",
+                l, 100 * exact / n, 100 * close / n, 100 * far / n);
+  }
+
+  // Retrieval savings vs the theory baseline (Equation 8).
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+  std::size_t base_bytes = 0, ours_bytes = 0;
+  for (int t : test_steps) {
+    auto fr = Refactorer().Refactor(du.frames[t]);
+    fr.status().Abort("refactor");
+    const double bound = 1e-4 * fr.value().data_summary.range();
+    auto bplan = rec.Plan(fr.value(), bound);
+    bplan.status().Abort("plan");
+    base_bytes += bplan.value().total_bytes;
+    auto pred = loaded.value().Predict(
+        ExtractDataFeatures(fr.value().data_summary),
+        fr.value().level_sketches, bound);
+    pred.status().Abort("predict");
+    auto dplan = rec.PlanFromPrefix(fr.value(), pred.value());
+    dplan.status().Abort("plan");
+    ours_bytes += dplan.value().total_bytes;
+  }
+  std::printf("\nretrieval at rel bound 1e-4 over %zu held-out timesteps:\n",
+              test_steps.size());
+  std::printf("  theory baseline: %zu bytes\n", base_bytes);
+  std::printf("  D-MGARD:         %zu bytes (Sav = %.1f%%)\n", ours_bytes,
+              100.0 * std::fabs(static_cast<double>(base_bytes) -
+                                static_cast<double>(ours_bytes)) /
+                  static_cast<double>(base_bytes));
+  return 0;
+}

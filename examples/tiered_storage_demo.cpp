@@ -1,0 +1,85 @@
+// Tiered storage demo: persist a refactored field across a simulated
+// storage hierarchy, then show how much of each tier different accuracy
+// requests touch and what the I/O costs. Demonstrates the placement the
+// paper describes in Sec. II-A (hot coarse levels on fast tiers, cold fine
+// levels on slow ones) and the file-backed SegmentStore.
+//
+//   $ ./tiered_storage_demo
+
+#include <cstdio>
+#include <filesystem>
+
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "storage/tiers.h"
+#include "util/stats.h"
+#include "sim/dataset.h"
+
+int main() {
+  using namespace mgardp;
+
+  WarpXDatasetOptions opts;
+  opts.dims = Dims3{33, 33, 33};
+  opts.num_timesteps = 8;
+  FieldSeries series = GenerateWarpX(opts, WarpXField::kJx);
+  const Array3Dd& original = series.frames[6];
+
+  auto fr = Refactorer().Refactor(original);
+  fr.status().Abort("refactor");
+  const RefactoredField& field = fr.value();
+
+  // Persist to disk (one file per level + index), then reload.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mgardp_tiered_demo")
+          .string();
+  std::filesystem::remove_all(dir);
+  field.WriteToDirectory(dir).Abort("write");
+  auto loaded = RefactoredField::LoadFromDirectory(dir);
+  loaded.status().Abort("load");
+  std::printf("refactored field persisted to %s\n", dir.c_str());
+
+  StorageModel storage = StorageModel::SummitLike();
+  LevelPlacement placement =
+      LevelPlacement::Spread(field.num_levels(), storage.num_tiers());
+  std::printf("\nlevel -> tier placement:\n");
+  for (int l = 0; l < field.num_levels(); ++l) {
+    const std::size_t tier = placement.TierForLevel(l);
+    std::size_t level_bytes = 0;
+    for (std::size_t s : field.plane_sizes[l]) {
+      level_bytes += s;
+    }
+    std::printf("  level %d (%7zu coefs, %8zu bytes) -> %s\n", l,
+                field.hierarchy.LevelSize(l), level_bytes,
+                storage.tier(tier).name.c_str());
+  }
+
+  TheoryEstimator estimator;
+  Reconstructor rec(&estimator);
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+  std::printf("\n%10s %10s", "rel_bound", "bytes");
+  for (std::size_t t = 0; t < storage.num_tiers(); ++t) {
+    std::printf(" %9s", storage.tier(t).name.c_str());
+  }
+  std::printf(" %12s\n", "io_serial");
+  for (double rel : {1e-1, 1e-3, 1e-5, 1e-7}) {
+    const double bound = rel * field.data_summary.range();
+    auto plan = rec.Plan(loaded.value(), bound);
+    plan.status().Abort("plan");
+    std::vector<std::size_t> tier_bytes(storage.num_tiers(), 0);
+    for (int l = 0; l < field.num_levels(); ++l) {
+      tier_bytes[placement.TierForLevel(l)] +=
+          sizes.LevelBytes(l, plan.value().prefix[l]);
+    }
+    std::printf("%10.0e %10zu", rel, plan.value().total_bytes);
+    for (std::size_t t = 0; t < storage.num_tiers(); ++t) {
+      std::printf(" %9zu", tier_bytes[t]);
+    }
+    const double ser =
+        sizes.IoSeconds(plan.value().prefix, storage, placement, false);
+    std::printf(" %10.2fms\n", 1e3 * ser);
+  }
+  std::printf("\ntighter bounds shift the traffic toward the slow tiers "
+              "holding the fine levels.\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

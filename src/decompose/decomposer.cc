@@ -1,0 +1,178 @@
+#include "decompose/decomposer.h"
+
+#include <cstddef>
+
+namespace mgardp {
+namespace internal {
+
+void SolveCoarseMass(double* b, std::size_t mc, std::vector<double>* scratch) {
+  // Mass matrix of linear hats on a uniform coarse grid with spacing H = 2:
+  //   interior rows: [H/6, 4H/6, H/6], boundary rows: [2H/6, H/6].
+  MGARDP_DCHECK(mc >= 2);
+  constexpr double kH = 2.0;
+  const double off = kH / 6.0;
+  const double diag_int = 4.0 * kH / 6.0;
+  const double diag_bnd = 2.0 * kH / 6.0;
+
+  // Thomas algorithm. scratch holds the modified upper-diagonal factors.
+  scratch->resize(mc);
+  std::vector<double>& c = *scratch;
+  double diag0 = diag_bnd;
+  c[0] = off / diag0;
+  b[0] /= diag0;
+  for (std::size_t i = 1; i < mc; ++i) {
+    const double diag = (i + 1 == mc) ? diag_bnd : diag_int;
+    const double denom = diag - off * c[i - 1];
+    c[i] = off / denom;
+    b[i] = (b[i] - off * b[i - 1]) / denom;
+  }
+  for (std::size_t i = mc - 1; i-- > 0;) {
+    b[i] -= c[i] * b[i + 1];
+  }
+}
+
+namespace {
+
+// Computes the coarse-grid load vector of the detail function: each detail
+// hat at odd position 2I +- 1 overlaps coarse hat I with integral h/2
+// (h = 1, the fine spacing).
+void DetailLoadVector(const double* u, std::size_t m, double* b) {
+  const std::size_t mc = (m + 1) / 2;
+  for (std::size_t i = 0; i < mc; ++i) {
+    double load = 0.0;
+    if (i > 0) {
+      load += u[2 * i - 1];
+    }
+    if (2 * i + 1 < m) {
+      load += u[2 * i + 1];
+    }
+    b[i] = 0.5 * load;
+  }
+}
+
+}  // namespace
+
+void ForwardLine(double* u, std::size_t m, bool correct,
+                 std::vector<double>* scratch) {
+  MGARDP_DCHECK(m >= 3 && m % 2 == 1);
+  // Predict: odd entries become interpolation residuals.
+  for (std::size_t p = 1; p < m; p += 2) {
+    u[p] -= 0.5 * (u[p - 1] + u[p + 1]);
+  }
+  if (!correct) {
+    return;
+  }
+  // Update: L2 projection correction on the even (coarse) entries.
+  const std::size_t mc = (m + 1) / 2;
+  scratch->resize(2 * mc);
+  double* b = scratch->data();
+  std::vector<double> thomas;
+  DetailLoadVector(u, m, b);
+  SolveCoarseMass(b, mc, &thomas);
+  for (std::size_t i = 0; i < mc; ++i) {
+    u[2 * i] += b[i];
+  }
+}
+
+void InverseLine(double* u, std::size_t m, bool correct,
+                 std::vector<double>* scratch) {
+  MGARDP_DCHECK(m >= 3 && m % 2 == 1);
+  if (correct) {
+    const std::size_t mc = (m + 1) / 2;
+    scratch->resize(2 * mc);
+    double* b = scratch->data();
+    std::vector<double> thomas;
+    DetailLoadVector(u, m, b);
+    SolveCoarseMass(b, mc, &thomas);
+    for (std::size_t i = 0; i < mc; ++i) {
+      u[2 * i] -= b[i];
+    }
+  }
+  for (std::size_t p = 1; p < m; p += 2) {
+    u[p] += 0.5 * (u[p - 1] + u[p + 1]);
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+// Applies `forward ? ForwardLine : InverseLine` along `axis` (0 = x, 1 = y,
+// 2 = z) over every line of the active lattice at `stride`.
+void TransformAxis(Array3Dd* data, std::size_t stride, int axis, bool forward,
+                   bool correct) {
+  const Dims3& dims = data->dims();
+  const std::size_t ext[3] = {dims.nx, dims.ny, dims.nz};
+  // Active lattice extents.
+  auto lat = [&](int a) -> std::size_t {
+    return ext[a] == 1 ? 1 : (ext[a] - 1) / stride + 1;
+  };
+  const std::size_t m = lat(axis);
+  if (m < 3) {
+    return;  // axis inactive or already at its coarsest
+  }
+  const int o1 = (axis == 0) ? 1 : 0;
+  const int o2 = (axis == 2) ? 1 : 2;
+  const std::size_t n1 = lat(o1);
+  const std::size_t n2 = lat(o2);
+
+  std::vector<double> line(m);
+  std::vector<double> scratch;
+  std::size_t idx[3];
+  for (std::size_t a = 0; a < n1; ++a) {
+    for (std::size_t b = 0; b < n2; ++b) {
+      idx[o1] = a * stride * (ext[o1] == 1 ? 0 : 1);
+      idx[o2] = b * stride * (ext[o2] == 1 ? 0 : 1);
+      // Gather the strided line into contiguous scratch.
+      for (std::size_t p = 0; p < m; ++p) {
+        idx[axis] = p * stride;
+        line[p] = (*data)(idx[0], idx[1], idx[2]);
+      }
+      if (forward) {
+        internal::ForwardLine(line.data(), m, correct, &scratch);
+      } else {
+        internal::InverseLine(line.data(), m, correct, &scratch);
+      }
+      for (std::size_t p = 0; p < m; ++p) {
+        idx[axis] = p * stride;
+        (*data)(idx[0], idx[1], idx[2]) = line[p];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status Decomposer::Decompose(Array3Dd* data) const {
+  if (!(data->dims() == hierarchy_.dims())) {
+    return Status::Invalid("data dims " + data->dims().ToString() +
+                           " do not match hierarchy dims " +
+                           hierarchy_.dims().ToString());
+  }
+  for (int step = 0; step < hierarchy_.num_steps(); ++step) {
+    const std::size_t stride = hierarchy_.StrideForStep(step);
+    for (int axis = 0; axis < 3; ++axis) {
+      TransformAxis(data, stride, axis, /*forward=*/true,
+                    options_.use_correction);
+    }
+  }
+  return Status::OK();
+}
+
+Status Decomposer::Recompose(Array3Dd* data) const {
+  if (!(data->dims() == hierarchy_.dims())) {
+    return Status::Invalid("data dims " + data->dims().ToString() +
+                           " do not match hierarchy dims " +
+                           hierarchy_.dims().ToString());
+  }
+  for (int step = hierarchy_.num_steps() - 1; step >= 0; --step) {
+    const std::size_t stride = hierarchy_.StrideForStep(step);
+    for (int axis = 2; axis >= 0; --axis) {
+      TransformAxis(data, stride, axis, /*forward=*/false,
+                    options_.use_correction);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mgardp

@@ -1,0 +1,106 @@
+#include "decompose/hierarchy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mgardp {
+
+bool IsValidExtent(std::size_t n) {
+  if (n == 1) {
+    return true;
+  }
+  if (n < 3) {
+    return false;
+  }
+  const std::size_t m = n - 1;
+  return (m & (m - 1)) == 0;  // power of two
+}
+
+int MaxStepsForExtent(std::size_t n) {
+  if (n == 1) {
+    return 1 << 30;  // inactive axis never limits the step count
+  }
+  int k = 0;
+  std::size_t m = n - 1;
+  while (m > 1) {
+    m >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+Result<GridHierarchy> GridHierarchy::Create(Dims3 dims,
+                                            HierarchyOptions options) {
+  if (dims.size() == 0) {
+    return Status::Invalid("empty grid");
+  }
+  for (std::size_t n : {dims.nx, dims.ny, dims.nz}) {
+    if (!IsValidExtent(n)) {
+      std::ostringstream os;
+      os << "grid extent " << n
+         << " is not of the form 2^k+1 (k >= 1) or 1; got dims "
+         << dims.ToString();
+      return Status::Invalid(os.str());
+    }
+  }
+  if (dims.dimensionality() == 0) {
+    return Status::Invalid("grid must have at least one axis of extent > 1");
+  }
+  int max_steps = std::min({MaxStepsForExtent(dims.nx),
+                            MaxStepsForExtent(dims.ny),
+                            MaxStepsForExtent(dims.nz)});
+  int steps;
+  if (options.target_steps < 0) {
+    steps = std::min(max_steps, HierarchyOptions::kDefaultMaxSteps);
+  } else {
+    if (options.target_steps == 0) {
+      return Status::Invalid("target_steps must be >= 1");
+    }
+    if (options.target_steps > max_steps) {
+      std::ostringstream os;
+      os << "target_steps " << options.target_steps << " exceeds the " <<
+          max_steps << " steps supported by dims " << dims.ToString();
+      return Status::Invalid(os.str());
+    }
+    steps = options.target_steps;
+  }
+  return GridHierarchy(dims, steps);
+}
+
+GridHierarchy::GridHierarchy(Dims3 dims, int num_steps)
+    : dims_(dims), num_steps_(num_steps) {
+  // Lattice node count at stride 2^t along one axis of extent n.
+  auto lattice_extent = [](std::size_t n, int t) -> std::size_t {
+    if (n == 1) {
+      return 1;
+    }
+    return ((n - 1) >> t) + 1;
+  };
+  auto lattice_size = [&](int t) -> std::size_t {
+    return lattice_extent(dims_.nx, t) * lattice_extent(dims_.ny, t) *
+           lattice_extent(dims_.nz, t);
+  };
+  level_sizes_.resize(num_steps_ + 1);
+  level_sizes_[0] = lattice_size(num_steps_);
+  for (int level = 1; level <= num_steps_; ++level) {
+    // Level l coefficients: nodes present at stride 2^(K-l) but not at
+    // stride 2^(K-l+1).
+    level_sizes_[level] =
+        lattice_size(num_steps_ - level) - lattice_size(num_steps_ - level + 1);
+  }
+}
+
+std::size_t GridHierarchy::StrideForStep(int step) const {
+  MGARDP_CHECK(step >= 0 && step < num_steps_);
+  return std::size_t{1} << step;
+}
+
+Dims3 GridHierarchy::LatticeDims(int step) const {
+  MGARDP_CHECK(step >= 0 && step <= num_steps_);
+  auto ext = [&](std::size_t n) -> std::size_t {
+    return n == 1 ? 1 : ((n - 1) >> step) + 1;
+  };
+  return Dims3{ext(dims_.nx), ext(dims_.ny), ext(dims_.nz)};
+}
+
+}  // namespace mgardp

@@ -1,0 +1,86 @@
+// Multilevel grid hierarchy for MGARD-style decomposition.
+//
+// The decomposer operates on grids whose extents are 2^k + 1 along every
+// active axis (axes of extent 1 are inactive and simply carried along, so 1D
+// and 2D data are the degenerate cases of the 3D machinery). A hierarchy of
+// K decomposition steps partitions the nodes into K + 1 coefficient levels:
+//
+//   level 0      -- the coarsest approximation nodes (stride 2^K lattice,
+//                   "highest level with the lowest resolution" in the paper),
+//   level l >= 1 -- the detail coefficients introduced when refining from
+//                   stride 2^(K-l+1) to stride 2^(K-l).
+//
+// Level K therefore holds the most coefficients (all nodes with an odd index
+// on the finest lattice), matching Fig. 5 of the paper where the finest
+// level dominates the retrieved bytes.
+
+#ifndef MGARDP_DECOMPOSE_HIERARCHY_H_
+#define MGARDP_DECOMPOSE_HIERARCHY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/array3d.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+// Returns true if n == 2^k + 1 for some k >= 1, or n == 1 (inactive axis).
+bool IsValidExtent(std::size_t n);
+
+// Number of decomposition steps supported by extent n (k for n = 2^k + 1,
+// and effectively unlimited for n == 1 since the axis is skipped).
+int MaxStepsForExtent(std::size_t n);
+
+struct HierarchyOptions {
+  // Number of decomposition steps K. -1 means "as many as the grid allows,
+  // capped at kDefaultMaxSteps" (the paper's experiments use a 5-level
+  // hierarchy, i.e. 4 steps).
+  int target_steps = -1;
+
+  static constexpr int kDefaultMaxSteps = 4;
+};
+
+// Immutable description of a grid's multilevel structure.
+class GridHierarchy {
+ public:
+  // Constructs an empty placeholder (0 steps, empty grid); only useful as a
+  // deserialization target. All real hierarchies come from Create().
+  GridHierarchy() : dims_{0, 0, 0} {}
+
+  // Validates `dims` (every axis 2^k+1 or 1, at least one active axis) and
+  // the requested step count.
+  static Result<GridHierarchy> Create(Dims3 dims,
+                                      HierarchyOptions options = {});
+
+  const Dims3& dims() const { return dims_; }
+  // Number of decomposition steps K.
+  int num_steps() const { return num_steps_; }
+  // Number of coefficient levels L = K + 1.
+  int num_levels() const { return num_steps_ + 1; }
+
+  // Node stride on the finest grid for decomposition step t (0-based,
+  // t = 0 acts on the finest lattice).
+  std::size_t StrideForStep(int step) const;
+
+  // Extents of the active lattice before decomposition step t (i.e. the
+  // lattice the step refines *to* when recomposing).
+  Dims3 LatticeDims(int step) const;
+
+  // Number of coefficients on coefficient level `level` (0 = coarsest).
+  std::size_t LevelSize(int level) const { return level_sizes_[level]; }
+
+  // Total number of nodes.
+  std::size_t TotalSize() const { return dims_.size(); }
+
+ private:
+  GridHierarchy(Dims3 dims, int num_steps);
+
+  Dims3 dims_;
+  int num_steps_ = 0;
+  std::vector<std::size_t> level_sizes_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_DECOMPOSE_HIERARCHY_H_

@@ -1,0 +1,83 @@
+#include "decompose/interleaver.h"
+
+#include <sstream>
+
+namespace mgardp {
+
+template <typename Fn>
+void Interleaver::ForEachNode(Fn&& fn) const {
+  const Dims3& dims = hierarchy_.dims();
+  const int num_steps = hierarchy_.num_steps();
+
+  // Level 0: nodes on the coarsest lattice (stride 2^K along active axes).
+  const std::size_t s0 = std::size_t{1} << num_steps;
+  auto top = [&](std::size_t n) { return n == 1 ? std::size_t{1} : s0; };
+  for (std::size_t i = 0; i < dims.nx; i += top(dims.nx)) {
+    for (std::size_t j = 0; j < dims.ny; j += top(dims.ny)) {
+      for (std::size_t k = 0; k < dims.nz; k += top(dims.nz)) {
+        fn(0, i, j, k);
+      }
+    }
+  }
+
+  // Level l >= 1: nodes on the stride-2^(K-l) lattice with at least one odd
+  // lattice index.
+  for (int level = 1; level <= num_steps; ++level) {
+    const std::size_t s = std::size_t{1} << (num_steps - level);
+    auto st = [&](std::size_t n) { return n == 1 ? std::size_t{1} : s; };
+    const std::size_t sx = st(dims.nx), sy = st(dims.ny), sz = st(dims.nz);
+    for (std::size_t i = 0; i < dims.nx; i += sx) {
+      const bool oi = dims.nx > 1 && ((i / s) & 1) != 0;
+      for (std::size_t j = 0; j < dims.ny; j += sy) {
+        const bool oj = dims.ny > 1 && ((j / s) & 1) != 0;
+        for (std::size_t k = 0; k < dims.nz; k += sz) {
+          const bool ok = dims.nz > 1 && ((k / s) & 1) != 0;
+          if (oi || oj || ok) {
+            fn(level, i, j, k);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::vector<double>> Interleaver::Extract(
+    const Array3Dd& data) const {
+  MGARDP_CHECK(data.dims() == hierarchy_.dims());
+  std::vector<std::vector<double>> levels(hierarchy_.num_levels());
+  for (int l = 0; l < hierarchy_.num_levels(); ++l) {
+    levels[l].reserve(hierarchy_.LevelSize(l));
+  }
+  ForEachNode([&](int level, std::size_t i, std::size_t j, std::size_t k) {
+    levels[level].push_back(data(i, j, k));
+  });
+  return levels;
+}
+
+Status Interleaver::Deposit(const std::vector<std::vector<double>>& levels,
+                            Array3Dd* data) const {
+  if (!(data->dims() == hierarchy_.dims())) {
+    return Status::Invalid("data dims do not match hierarchy");
+  }
+  if (static_cast<int>(levels.size()) != hierarchy_.num_levels()) {
+    std::ostringstream os;
+    os << "expected " << hierarchy_.num_levels() << " levels, got "
+       << levels.size();
+    return Status::Invalid(os.str());
+  }
+  for (int l = 0; l < hierarchy_.num_levels(); ++l) {
+    if (levels[l].size() != hierarchy_.LevelSize(l)) {
+      std::ostringstream os;
+      os << "level " << l << " has " << levels[l].size()
+         << " coefficients, expected " << hierarchy_.LevelSize(l);
+      return Status::Invalid(os.str());
+    }
+  }
+  std::vector<std::size_t> cursor(levels.size(), 0);
+  ForEachNode([&](int level, std::size_t i, std::size_t j, std::size_t k) {
+    (*data)(i, j, k) = levels[level][cursor[level]++];
+  });
+  return Status::OK();
+}
+
+}  // namespace mgardp

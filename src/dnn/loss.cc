@@ -1,0 +1,102 @@
+#include "dnn/loss.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mgardp {
+namespace dnn {
+
+namespace {
+void CheckShapes(const Matrix& pred, const Matrix& target) {
+  MGARDP_CHECK_EQ(pred.rows(), target.rows());
+  MGARDP_CHECK_EQ(pred.cols(), target.cols());
+  MGARDP_CHECK_GT(pred.size(), 0u);
+}
+}  // namespace
+
+double MseLoss::Value(const Matrix& pred, const Matrix& target) const {
+  CheckShapes(pred, target);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.vector()[i] - target.vector()[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+Matrix MseLoss::Grad(const Matrix& pred, const Matrix& target) const {
+  CheckShapes(pred, target);
+  Matrix g(pred.rows(), pred.cols());
+  const double scale = 2.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    g.vector()[i] = scale * (pred.vector()[i] - target.vector()[i]);
+  }
+  return g;
+}
+
+double MaeLoss::Value(const Matrix& pred, const Matrix& target) const {
+  CheckShapes(pred, target);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    sum += std::fabs(pred.vector()[i] - target.vector()[i]);
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+Matrix MaeLoss::Grad(const Matrix& pred, const Matrix& target) const {
+  CheckShapes(pred, target);
+  Matrix g(pred.rows(), pred.cols());
+  const double scale = 1.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.vector()[i] - target.vector()[i];
+    g.vector()[i] = d > 0.0 ? scale : (d < 0.0 ? -scale : 0.0);
+  }
+  return g;
+}
+
+double HuberLoss::Value(const Matrix& pred, const Matrix& target) const {
+  CheckShapes(pred, target);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = std::fabs(pred.vector()[i] - target.vector()[i]);
+    if (d < delta_) {
+      sum += 0.5 * d * d;
+    } else {
+      sum += delta_ * (d - 0.5 * delta_);
+    }
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+Matrix HuberLoss::Grad(const Matrix& pred, const Matrix& target) const {
+  CheckShapes(pred, target);
+  Matrix g(pred.rows(), pred.cols());
+  const double scale = 1.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.vector()[i] - target.vector()[i];
+    if (std::fabs(d) < delta_) {
+      g.vector()[i] = scale * d;
+    } else {
+      g.vector()[i] = scale * (d > 0.0 ? delta_ : -delta_);
+    }
+  }
+  return g;
+}
+
+std::unique_ptr<Loss> MakeLoss(const std::string& name) {
+  if (name == "mse") {
+    return std::make_unique<MseLoss>();
+  }
+  if (name == "mae") {
+    return std::make_unique<MaeLoss>();
+  }
+  if (name == "huber") {
+    return std::make_unique<HuberLoss>(1.0);
+  }
+  MGARDP_CHECK(false) << "unknown loss: " << name;
+  return nullptr;
+}
+
+}  // namespace dnn
+}  // namespace mgardp

@@ -1,0 +1,77 @@
+#include "dnn/matrix.h"
+
+namespace mgardp {
+namespace dnn {
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  MGARDP_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both inputs.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a_row = data_.data() + i * cols_;
+    double* o_row = out.data() + i * other.cols_;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) {
+        continue;
+      }
+      const double* b_row = other.data() + k * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        o_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  MGARDP_CHECK_EQ(rows_, other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* a_row = data_.data() + k * cols_;
+    const double* b_row = other.data() + k * other.cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = a_row[i];
+      if (a == 0.0) {
+        continue;
+      }
+      double* o_row = out.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        o_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  MGARDP_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a_row = data_.data() + i * cols_;
+    double* o_row = out.data() + i * other.rows_;
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.data() + j * other.cols_;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) {
+        acc += a_row[k] * b_row[k];
+      }
+      o_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    MGARDP_CHECK_LT(indices[r], rows_);
+    const double* src = data_.data() + indices[r] * cols_;
+    double* dst = out.data() + r * cols_;
+    std::copy(src, src + cols_, dst);
+  }
+  return out;
+}
+
+}  // namespace dnn
+}  // namespace mgardp

@@ -1,0 +1,65 @@
+// Dense row-major matrix of doubles -- the only tensor type the DNN stack
+// needs. Batches are rows, features are columns.
+
+#ifndef MGARDP_DNN_MATRIX_H_
+#define MGARDP_DNN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mgardp {
+namespace dnn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    MGARDP_CHECK_EQ(rows_ * cols_, data_.size());
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    MGARDP_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    MGARDP_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& vector() { return data_; }
+  const std::vector<double>& vector() const { return data_; }
+
+  // this (m x k) times other (k x n) -> (m x n).
+  Matrix MatMul(const Matrix& other) const;
+  // this^T (k x m -> m x k view) times other (k x n) -> (m x n).
+  Matrix TransposedMatMul(const Matrix& other) const;
+  // this (m x k) times other^T (n x k -> k x n view) -> (m x n).
+  Matrix MatMulTransposed(const Matrix& other) const;
+
+  // Returns the subset of rows given by `indices`.
+  Matrix GatherRows(const std::vector<std::size_t>& indices) const;
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dnn
+}  // namespace mgardp
+
+#endif  // MGARDP_DNN_MATRIX_H_

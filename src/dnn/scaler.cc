@@ -1,0 +1,93 @@
+#include "dnn/scaler.h"
+
+#include <cmath>
+
+namespace mgardp {
+namespace dnn {
+
+void StandardScaler::Fit(const Matrix& data) {
+  MGARDP_CHECK_GT(data.rows(), 0u);
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      mean_[c] += data(r, c);
+    }
+  }
+  for (double& m : mean_) {
+    m /= static_cast<double>(n);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dv = data(r, c) - mean_[c];
+      std_[c] += dv * dv;
+    }
+  }
+  frozen_.assign(d, false);
+  for (std::size_t c = 0; c < d; ++c) {
+    std_[c] = std::sqrt(std_[c] / static_cast<double>(n));
+    // Freeze on a *relative* threshold: a column that is constant up to
+    // floating-point summation noise would otherwise get a ~1e-16 scale,
+    // and any inference-time shift in it would be amplified into garbage.
+    if (std_[c] <= 1e-9 * (std::fabs(mean_[c]) + 1.0)) {
+      std_[c] = 1.0;
+      frozen_[c] = true;
+    }
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& data) const {
+  MGARDP_CHECK_EQ(data.cols(), mean_.size());
+  Matrix out = data;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = frozen_[c] ? 0.0 : (out(r, c) - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::InverseTransform(const Matrix& data) const {
+  MGARDP_CHECK_EQ(data.cols(), mean_.size());
+  Matrix out = data;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = out(r, c) * std_[c] + mean_[c];
+    }
+  }
+  return out;
+}
+
+double StandardScaler::TransformValue(std::size_t col, double v) const {
+  MGARDP_CHECK_LT(col, mean_.size());
+  return frozen_[col] ? 0.0 : (v - mean_[col]) / std_[col];
+}
+
+double StandardScaler::InverseTransformValue(std::size_t col, double v) const {
+  MGARDP_CHECK_LT(col, mean_.size());
+  return v * std_[col] + mean_[col];
+}
+
+void StandardScaler::Serialize(BinaryWriter* w) const {
+  w->PutVector(mean_);
+  w->PutVector(std_);
+  std::vector<std::uint8_t> frozen(frozen_.begin(), frozen_.end());
+  w->PutVector(frozen);
+}
+
+Status StandardScaler::Deserialize(BinaryReader* r) {
+  MGARDP_RETURN_NOT_OK(r->GetVector(&mean_));
+  MGARDP_RETURN_NOT_OK(r->GetVector(&std_));
+  std::vector<std::uint8_t> frozen;
+  MGARDP_RETURN_NOT_OK(r->GetVector(&frozen));
+  frozen_.assign(frozen.begin(), frozen.end());
+  if (mean_.size() != std_.size() || mean_.size() != frozen_.size()) {
+    return Status::Invalid("scaler: field size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace dnn
+}  // namespace mgardp

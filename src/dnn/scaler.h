@@ -1,0 +1,52 @@
+// Per-column standardization of features/targets (zero mean, unit
+// variance). Models trained on standardized inputs are serialized together
+// with their scalers so inference applies the identical transform.
+
+#ifndef MGARDP_DNN_SCALER_H_
+#define MGARDP_DNN_SCALER_H_
+
+#include <vector>
+
+#include "dnn/matrix.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace mgardp {
+namespace dnn {
+
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  // Learns per-column mean and standard deviation from `data`. Columns
+  // with zero variance carried no information during training, so
+  // Transform maps them to zero for ANY input -- otherwise a shift in such
+  // a column at inference time (e.g. a different grid resolution) would
+  // push the network into a region it never saw.
+  void Fit(const Matrix& data);
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t num_features() const { return mean_.size(); }
+
+  // (x - mean) / std, column-wise.
+  Matrix Transform(const Matrix& data) const;
+  // x * std + mean.
+  Matrix InverseTransform(const Matrix& data) const;
+
+  // Single-column helpers for target scaling.
+  double TransformValue(std::size_t col, double v) const;
+  double InverseTransformValue(std::size_t col, double v) const;
+
+  void Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+  std::vector<bool> frozen_;  // columns with zero training variance
+};
+
+}  // namespace dnn
+}  // namespace mgardp
+
+#endif  // MGARDP_DNN_SCALER_H_

@@ -1,0 +1,173 @@
+#include "encode/bitplane.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "encode/negabinary.h"
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace mgardp {
+
+BitplaneEncoder::BitplaneEncoder(int num_planes) : num_planes_(num_planes) {
+  MGARDP_CHECK(num_planes >= 2 && num_planes <= 60)
+      << "num_planes out of range";
+}
+
+namespace {
+
+// Exponent e with max_abs <= 2^e (e = 0 when the level is all zeros).
+int LevelExponent(const std::vector<double>& coefs) {
+  double max_abs = 0.0;
+  for (double c : coefs) {
+    max_abs = std::max(max_abs, std::fabs(c));
+  }
+  if (max_abs == 0.0) {
+    return 0;
+  }
+  int e = static_cast<int>(std::ceil(std::log2(max_abs)));
+  // Guard against log2 rounding putting max_abs just above 2^e.
+  while (max_abs > std::ldexp(1.0, e)) {
+    ++e;
+  }
+  return e;
+}
+
+}  // namespace
+
+Result<BitplaneSet> BitplaneEncoder::Encode(const std::vector<double>& coefs,
+                                            LevelErrorStats* stats) const {
+  BitplaneSet set;
+  set.num_planes = num_planes_;
+  set.count = coefs.size();
+  set.exponent = LevelExponent(coefs);
+  const std::size_t plane_bytes = set.PlaneBytes();
+  set.planes.assign(num_planes_, std::string(plane_bytes, '\0'));
+
+  // Fixed-point scale: |q| <= 2^(B-2), which B nega-binary digits can
+  // always represent (max positive value of B digits is (2^B - 1) / 3ish,
+  // and 2^(B-2) is safely inside for both signs).
+  const double scale = std::ldexp(1.0, num_planes_ - 2 - set.exponent);
+  const double inv_scale = 1.0 / scale;
+
+  std::vector<std::uint64_t> nb(coefs.size());
+  for (std::size_t i = 0; i < coefs.size(); ++i) {
+    const std::int64_t q = std::llround(coefs[i] * scale);
+    nb[i] = ToNegabinary(q);
+    if (NegabinaryDigits(nb[i]) > num_planes_) {
+      std::ostringstream os;
+      os << "coefficient " << coefs[i] << " overflows " << num_planes_
+         << " nega-binary planes (exponent " << set.exponent << ")";
+      return Status::Internal(os.str());
+    }
+  }
+
+  // Slice digits into planes, MSB plane first.
+  for (int p = 0; p < num_planes_; ++p) {
+    const int digit = num_planes_ - 1 - p;
+    std::string& plane = set.planes[p];
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if ((nb[i] >> digit) & 1u) {
+        plane[i >> 3] |= static_cast<char>(1u << (i & 7));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->max_abs.assign(num_planes_ + 1, 0.0);
+    stats->mse.assign(num_planes_ + 1, 0.0);
+    // Incrementally reconstruct per-coefficient prefixes: after adding plane
+    // p the kept digits are the top (p + 1).
+    std::vector<std::uint64_t> partial(nb.size(), 0);
+    const double inv_n =
+        coefs.empty() ? 0.0 : 1.0 / static_cast<double>(coefs.size());
+    for (int b = 0; b <= num_planes_; ++b) {
+      if (b > 0) {
+        const int digit = num_planes_ - b;
+        const std::uint64_t bit = std::uint64_t{1} << digit;
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          partial[i] |= nb[i] & bit;
+        }
+      }
+      double max_err = 0.0;
+      double sq_err = 0.0;
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        const double rec =
+            static_cast<double>(FromNegabinary(partial[i])) * inv_scale;
+        const double d = std::fabs(coefs[i] - rec);
+        max_err = std::max(max_err, d);
+        sq_err += d * d;
+      }
+      stats->max_abs[b] = max_err;
+      stats->mse[b] = sq_err * inv_n;
+    }
+  }
+  return set;
+}
+
+Result<std::vector<double>> BitplaneEncoder::Decode(const BitplaneSet& set,
+                                                    int prefix_planes) const {
+  if (prefix_planes < 0 || prefix_planes > set.num_planes) {
+    return Status::Invalid("prefix_planes out of range");
+  }
+  if (static_cast<int>(set.planes.size()) < prefix_planes) {
+    return Status::Invalid("BitplaneSet is missing planes");
+  }
+  const std::size_t plane_bytes = set.PlaneBytes();
+  for (int p = 0; p < prefix_planes; ++p) {
+    if (set.planes[p].size() != plane_bytes) {
+      return Status::Invalid("plane payload has wrong size");
+    }
+  }
+  std::vector<std::uint64_t> nb(set.count, 0);
+  for (int p = 0; p < prefix_planes; ++p) {
+    const int digit = set.num_planes - 1 - p;
+    const std::string& plane = set.planes[p];
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if ((plane[i >> 3] >> (i & 7)) & 1) {
+        nb[i] |= std::uint64_t{1} << digit;
+      }
+    }
+  }
+  const double inv_scale =
+      std::ldexp(1.0, set.exponent - (set.num_planes - 2));
+  std::vector<double> coefs(set.count);
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    coefs[i] = static_cast<double>(FromNegabinary(nb[i])) * inv_scale;
+  }
+  return coefs;
+}
+
+void SerializeBitplaneSet(const BitplaneSet& set, std::string* out) {
+  BinaryWriter w;
+  w.Put<std::int32_t>(set.num_planes);
+  w.Put<std::int32_t>(set.exponent);
+  w.Put<std::uint64_t>(set.count);
+  w.Put<std::uint64_t>(set.planes.size());
+  for (const std::string& p : set.planes) {
+    w.PutString(p);
+  }
+  *out = w.TakeBuffer();
+}
+
+Result<BitplaneSet> DeserializeBitplaneSet(const std::string& in) {
+  BinaryReader r(in);
+  BitplaneSet set;
+  std::int32_t num_planes = 0, exponent = 0;
+  std::uint64_t count = 0, n_planes = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&num_planes));
+  MGARDP_RETURN_NOT_OK(r.Get(&exponent));
+  MGARDP_RETURN_NOT_OK(r.Get(&count));
+  MGARDP_RETURN_NOT_OK(r.Get(&n_planes));
+  set.num_planes = num_planes;
+  set.exponent = exponent;
+  set.count = count;
+  set.planes.resize(n_planes);
+  for (auto& p : set.planes) {
+    MGARDP_RETURN_NOT_OK(r.GetString(&p));
+  }
+  return set;
+}
+
+}  // namespace mgardp

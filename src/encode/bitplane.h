@@ -1,0 +1,70 @@
+// Bit-plane encoding of coefficient levels.
+//
+// Each level's coefficients are scaled by a per-level exponent into fixed
+// point, converted to nega-binary, and sliced into `num_planes` bit-planes
+// ordered most-significant first. Retrieving a prefix of planes yields a
+// coarse version of every coefficient; the error matrix records exactly how
+// coarse (max-abs and mean-squared error per prefix length), which is the
+// Err[l][b] input to the error estimators (Table I of the paper).
+
+#ifndef MGARDP_ENCODE_BITPLANE_H_
+#define MGARDP_ENCODE_BITPLANE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgardp {
+
+// The bit-planes of one coefficient level.
+struct BitplaneSet {
+  int num_planes = 0;   // B: total planes encoded
+  int exponent = 0;     // e: max |coefficient| <= 2^e
+  std::uint64_t count = 0;  // number of coefficients
+  // planes[p] is the packed bitstream of plane p (p = 0 is the most
+  // significant); each holds ceil(count / 8) bytes.
+  std::vector<std::string> planes;
+
+  // Raw (pre-lossless) size in bytes of one plane.
+  std::size_t PlaneBytes() const { return (count + 7) / 8; }
+};
+
+// Per-prefix reconstruction error of one level: entry b describes the error
+// when only the first b planes are kept (b = 0 -> nothing retrieved,
+// b = num_planes -> quantization floor).
+struct LevelErrorStats {
+  std::vector<double> max_abs;  // size num_planes + 1
+  std::vector<double> mse;      // size num_planes + 1
+};
+
+class BitplaneEncoder {
+ public:
+  // `num_planes` in [2, 60]. 32 matches the paper's per-level plane count.
+  explicit BitplaneEncoder(int num_planes = 32);
+
+  int num_planes() const { return num_planes_; }
+
+  // Encodes `coefs` into bit-planes; if `stats` is non-null also collects
+  // the error matrix row for this level.
+  Result<BitplaneSet> Encode(const std::vector<double>& coefs,
+                             LevelErrorStats* stats) const;
+
+  // Reconstructs coefficients from the first `prefix_planes` planes
+  // (0 <= prefix_planes <= set.num_planes). Missing planes read as zero
+  // digits.
+  Result<std::vector<double>> Decode(const BitplaneSet& set,
+                                     int prefix_planes) const;
+
+ private:
+  int num_planes_;
+};
+
+// Serialization of a BitplaneSet (including plane payloads).
+void SerializeBitplaneSet(const BitplaneSet& set, std::string* out);
+Result<BitplaneSet> DeserializeBitplaneSet(const std::string& in);
+
+}  // namespace mgardp
+
+#endif  // MGARDP_ENCODE_BITPLANE_H_

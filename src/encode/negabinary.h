@@ -1,0 +1,38 @@
+// Nega-binary (base -2) integer representation.
+//
+// MGARD encodes quantized coefficients in nega-binary so that truncating
+// low-order bit-planes perturbs the value by a bounded, sign-free amount and
+// no separate sign plane is needed. The classic branch-free conversion uses
+// the alternating mask 0xAAAA...: nb = (n + M) ^ M, n = (nb ^ M) - M.
+
+#ifndef MGARDP_ENCODE_NEGABINARY_H_
+#define MGARDP_ENCODE_NEGABINARY_H_
+
+#include <cstdint>
+
+namespace mgardp {
+
+inline constexpr std::uint64_t kNegabinaryMask = 0xAAAAAAAAAAAAAAAAULL;
+
+// Returns the base(-2) digit string of n packed into a uint64 (digit j in
+// bit j). Valid for any int64 whose nega-binary expansion fits 64 digits,
+// which covers all |n| < 2^62.
+inline std::uint64_t ToNegabinary(std::int64_t n) {
+  const std::uint64_t u = static_cast<std::uint64_t>(n);
+  return (u + kNegabinaryMask) ^ kNegabinaryMask;
+}
+
+// Inverse of ToNegabinary.
+inline std::int64_t FromNegabinary(std::uint64_t nb) {
+  return static_cast<std::int64_t>((nb ^ kNegabinaryMask) - kNegabinaryMask);
+}
+
+// Number of digits needed to represent nb (position of highest set digit
+// plus one); 0 for nb == 0.
+inline int NegabinaryDigits(std::uint64_t nb) {
+  return nb == 0 ? 0 : 64 - __builtin_clzll(nb);
+}
+
+}  // namespace mgardp
+
+#endif  // MGARDP_ENCODE_NEGABINARY_H_

@@ -1,0 +1,469 @@
+#include "lossless/codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace mgardp {
+namespace lossless {
+namespace internal {
+
+namespace {
+
+constexpr unsigned char kEsc = 0xFE;
+constexpr std::size_t kMinRun = 4;
+
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Status GetVarint(const std::string& in, std::size_t* pos, std::uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= in.size() || shift > 63) {
+      return Status::OutOfRange("varint: truncated or overlong");
+    }
+    const unsigned char b = static_cast<unsigned char>(in[(*pos)++]);
+    *v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      return Status::OK();
+    }
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+std::string RleEncode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const unsigned char b = static_cast<unsigned char>(in[i]);
+    std::size_t run = 1;
+    while (i + run < in.size() &&
+           static_cast<unsigned char>(in[i + run]) == b) {
+      ++run;
+    }
+    if (run >= kMinRun) {
+      out.push_back(static_cast<char>(kEsc));
+      out.push_back(0x01);
+      out.push_back(static_cast<char>(b));
+      PutVarint(&out, run);
+      i += run;
+    } else {
+      for (std::size_t r = 0; r < run; ++r) {
+        if (b == kEsc) {
+          out.push_back(static_cast<char>(kEsc));
+          out.push_back(0x00);
+        } else {
+          out.push_back(static_cast<char>(b));
+        }
+      }
+      i += run;
+    }
+  }
+  return out;
+}
+
+Result<std::string> RleDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() * 2);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const unsigned char b = static_cast<unsigned char>(in[i++]);
+    if (b != kEsc) {
+      out.push_back(static_cast<char>(b));
+      continue;
+    }
+    if (i >= in.size()) {
+      return Status::OutOfRange("RLE: dangling escape");
+    }
+    const unsigned char tag = static_cast<unsigned char>(in[i++]);
+    if (tag == 0x00) {
+      out.push_back(static_cast<char>(kEsc));
+    } else if (tag == 0x01) {
+      if (i >= in.size()) {
+        return Status::OutOfRange("RLE: truncated run");
+      }
+      const char v = in[i++];
+      std::uint64_t run = 0;
+      MGARDP_RETURN_NOT_OK(GetVarint(in, &i, &run));
+      out.append(static_cast<std::size_t>(run), v);
+    } else {
+      return Status::Invalid("RLE: bad escape tag");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::size_t kLzMinMatch = 4;
+constexpr std::size_t kLzWindow = 1 << 16;
+constexpr std::size_t kLzHashBits = 15;
+
+std::uint32_t LzHash(const unsigned char* p) {
+  // Multiplicative hash of a 4-byte prefix.
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kLzHashBits);
+}
+
+}  // namespace
+
+// Token format (repeats until input is consumed):
+//   varint(literal_count) [literals]
+//   varint(match_length)  varint(offset)     -- omitted at end of stream
+// match_length == 0 terminates after the literals.
+std::string LzEncode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() / 2 + 16);
+  const unsigned char* data =
+      reinterpret_cast<const unsigned char*>(in.data());
+  const std::size_t n = in.size();
+  std::vector<std::int64_t> head(std::size_t{1} << kLzHashBits, -1);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  auto flush_literals = [&](std::size_t upto) {
+    PutVarint(&out, upto - literal_start);
+    out.append(in, literal_start, upto - literal_start);
+  };
+  while (pos + kLzMinMatch <= n) {
+    const std::uint32_t h = LzHash(data + pos);
+    const std::int64_t cand = head[h];
+    head[h] = static_cast<std::int64_t>(pos);
+    std::size_t match_len = 0;
+    if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kLzWindow &&
+        std::memcmp(data + cand, data + pos, kLzMinMatch) == 0) {
+      const std::size_t offset = pos - static_cast<std::size_t>(cand);
+      match_len = kLzMinMatch;
+      const std::size_t max_len = n - pos;
+      while (match_len < max_len &&
+             data[cand + match_len] == data[pos + match_len]) {
+        ++match_len;
+      }
+      flush_literals(pos);
+      PutVarint(&out, match_len);
+      PutVarint(&out, offset);
+      // Insert a few positions inside the match to keep the table fresh.
+      const std::size_t stop = std::min(pos + match_len, n - kLzMinMatch);
+      for (std::size_t q = pos + 1; q < stop; q += 7) {
+        head[LzHash(data + q)] = static_cast<std::int64_t>(q);
+      }
+      pos += match_len;
+      literal_start = pos;
+      continue;
+    }
+    ++pos;
+  }
+  // Tail literals + terminator.
+  flush_literals(n);
+  PutVarint(&out, 0);
+  return out;
+}
+
+Result<std::string> LzDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() * 2);
+  std::size_t pos = 0;
+  while (pos < in.size()) {
+    std::uint64_t literal_count = 0;
+    MGARDP_RETURN_NOT_OK(GetVarint(in, &pos, &literal_count));
+    if (pos + literal_count > in.size()) {
+      return Status::OutOfRange("lz: literal run past end of input");
+    }
+    out.append(in, pos, literal_count);
+    pos += literal_count;
+    std::uint64_t match_len = 0;
+    MGARDP_RETURN_NOT_OK(GetVarint(in, &pos, &match_len));
+    if (match_len == 0) {
+      if (pos != in.size()) {
+        return Status::Invalid("lz: data after terminator");
+      }
+      break;
+    }
+    std::uint64_t offset = 0;
+    MGARDP_RETURN_NOT_OK(GetVarint(in, &pos, &offset));
+    if (offset == 0 || offset > out.size()) {
+      return Status::OutOfRange("lz: offset outside the window");
+    }
+    // Byte-by-byte copy: overlapping matches (offset < length) replicate.
+    std::size_t src = out.size() - static_cast<std::size_t>(offset);
+    for (std::uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Computes Huffman code lengths for 256 byte symbols (0 = unused symbol).
+std::array<std::uint8_t, 256> CodeLengths(const std::string& in) {
+  std::array<std::uint64_t, 256> freq{};
+  for (unsigned char c : in) {
+    ++freq[c];
+  }
+  std::array<std::uint8_t, 256> lengths{};
+  // Nodes: 0..255 are leaves; internal nodes appended after.
+  struct Node {
+    std::uint64_t weight;
+    int index;
+  };
+  auto cmp = [](const Node& a, const Node& b) {
+    // Tie-break on index for determinism.
+    return a.weight > b.weight || (a.weight == b.weight && a.index > b.index);
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  std::vector<int> parent;
+  parent.reserve(512);
+  parent.resize(256, -1);
+  int used = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] > 0) {
+      heap.push({freq[s], s});
+      ++used;
+    }
+  }
+  if (used == 0) {
+    return lengths;
+  }
+  if (used == 1) {
+    // Degenerate tree: single symbol gets a 1-bit code.
+    for (int s = 0; s < 256; ++s) {
+      if (freq[s] > 0) {
+        lengths[s] = 1;
+      }
+    }
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    Node a = heap.top();
+    heap.pop();
+    Node b = heap.top();
+    heap.pop();
+    const int idx = static_cast<int>(parent.size());
+    parent.push_back(-1);
+    parent[a.index] = idx;
+    parent[b.index] = idx;
+    heap.push({a.weight + b.weight, idx});
+  }
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] == 0) {
+      continue;
+    }
+    int depth = 0;
+    for (int n = s; parent[n] != -1; n = parent[n]) {
+      ++depth;
+    }
+    lengths[s] = static_cast<std::uint8_t>(depth);
+  }
+  return lengths;
+}
+
+// Canonical code assignment: codes sorted by (length, symbol).
+std::array<std::uint32_t, 256> CanonicalCodes(
+    const std::array<std::uint8_t, 256>& lengths) {
+  std::array<std::uint32_t, 256> codes{};
+  std::vector<int> symbols;
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[s] > 0) {
+      symbols.push_back(s);
+    }
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    return lengths[a] < lengths[b] || (lengths[a] == lengths[b] && a < b);
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (int s : symbols) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  return codes;
+}
+
+}  // namespace
+
+std::string HuffmanEncode(const std::string& in) {
+  const auto lengths = CodeLengths(in);
+  const auto codes = CanonicalCodes(lengths);
+
+  std::string out;
+  out.reserve(in.size() / 2 + 300);
+  BinaryWriter header;
+  header.Put<std::uint64_t>(in.size());
+  out = header.TakeBuffer();
+  out.append(reinterpret_cast<const char*>(lengths.data()), 256);
+
+  // MSB-first bit packing.
+  std::uint64_t acc = 0;
+  int nbits = 0;
+  for (unsigned char c : in) {
+    acc = (acc << lengths[c]) | codes[c];
+    nbits += lengths[c];
+    while (nbits >= 8) {
+      nbits -= 8;
+      out.push_back(static_cast<char>((acc >> nbits) & 0xFF));
+    }
+  }
+  if (nbits > 0) {
+    out.push_back(static_cast<char>((acc << (8 - nbits)) & 0xFF));
+  }
+  return out;
+}
+
+Result<std::string> HuffmanDecode(const std::string& in) {
+  if (in.size() < 8 + 256) {
+    return Status::OutOfRange("huffman: truncated header");
+  }
+  BinaryReader r(in);
+  std::uint64_t n = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&n));
+  std::array<std::uint8_t, 256> lengths{};
+  MGARDP_RETURN_NOT_OK(r.GetBytes(lengths.data(), 256));
+
+  std::string out;
+  out.reserve(n);
+  if (n == 0) {
+    return out;
+  }
+
+  // Canonical decoding tables per code length.
+  int max_len = 0;
+  for (int s = 0; s < 256; ++s) {
+    max_len = std::max<int>(max_len, lengths[s]);
+  }
+  if (max_len == 0) {
+    return Status::Invalid("huffman: no symbols but nonzero payload");
+  }
+  std::vector<std::uint32_t> first_code(max_len + 1, 0);
+  std::vector<std::uint32_t> count(max_len + 1, 0);
+  std::vector<std::vector<std::uint8_t>> syms(max_len + 1);
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[s] > 0) {
+      ++count[lengths[s]];
+      syms[lengths[s]].push_back(static_cast<std::uint8_t>(s));
+    }
+  }
+  std::uint32_t code = 0;
+  for (int len = 1; len <= max_len; ++len) {
+    code <<= 1;
+    first_code[len] = code;
+    code += count[len];
+  }
+
+  const std::size_t payload_off = 8 + 256;
+  std::size_t byte_pos = payload_off;
+  int bit_pos = 7;
+  auto next_bit = [&](int* bit) -> bool {
+    if (byte_pos >= in.size()) {
+      return false;
+    }
+    *bit = (static_cast<unsigned char>(in[byte_pos]) >> bit_pos) & 1;
+    if (--bit_pos < 0) {
+      bit_pos = 7;
+      ++byte_pos;
+    }
+    return true;
+  };
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t acc = 0;
+    int len = 0;
+    int sym = -1;
+    while (len < max_len) {
+      int bit = 0;
+      if (!next_bit(&bit)) {
+        return Status::OutOfRange("huffman: truncated payload");
+      }
+      acc = (acc << 1) | static_cast<std::uint32_t>(bit);
+      ++len;
+      if (count[len] > 0 && acc >= first_code[len] &&
+          acc < first_code[len] + count[len]) {
+        sym = syms[len][acc - first_code[len]];
+        break;
+      }
+    }
+    if (sym < 0) {
+      return Status::Invalid("huffman: invalid code in payload");
+    }
+    out.push_back(static_cast<char>(sym));
+  }
+  return out;
+}
+
+}  // namespace internal
+
+namespace {
+// Container flags in the leading method byte. RLE and LZ are front-stage
+// alternatives; Huffman can stack on either.
+constexpr unsigned char kFlagRle = 0x01;
+constexpr unsigned char kFlagHuffman = 0x02;
+constexpr unsigned char kFlagLz = 0x04;
+}  // namespace
+
+std::string Compress(const std::string& in) {
+  unsigned char flags = 0;
+  std::string stage = in;
+  std::string rle = internal::RleEncode(in);
+  std::string lz = internal::LzEncode(in);
+  if (lz.size() < stage.size() && lz.size() <= rle.size()) {
+    flags |= kFlagLz;
+    stage = std::move(lz);
+  } else if (rle.size() < stage.size()) {
+    flags |= kFlagRle;
+    stage = std::move(rle);
+  }
+  std::string entropy = internal::HuffmanEncode(stage);
+  if (entropy.size() < stage.size()) {
+    flags |= kFlagHuffman;
+    stage = std::move(entropy);
+  }
+  std::string out;
+  out.reserve(stage.size() + 1);
+  out.push_back(static_cast<char>(flags));
+  out.append(stage);
+  return out;
+}
+
+Result<std::string> Decompress(const std::string& in) {
+  if (in.empty()) {
+    return Status::OutOfRange("lossless: empty container");
+  }
+  const unsigned char flags = static_cast<unsigned char>(in[0]);
+  if ((flags & ~(kFlagRle | kFlagHuffman | kFlagLz)) != 0) {
+    return Status::Invalid("lossless: unknown method flags");
+  }
+  if ((flags & kFlagRle) && (flags & kFlagLz)) {
+    return Status::Invalid("lossless: RLE and LZ flags are exclusive");
+  }
+  std::string stage = in.substr(1);
+  if (flags & kFlagHuffman) {
+    MGARDP_ASSIGN_OR_RETURN(stage, internal::HuffmanDecode(stage));
+  }
+  if (flags & kFlagLz) {
+    MGARDP_ASSIGN_OR_RETURN(stage, internal::LzDecode(stage));
+  }
+  if (flags & kFlagRle) {
+    MGARDP_ASSIGN_OR_RETURN(stage, internal::RleDecode(stage));
+  }
+  return stage;
+}
+
+}  // namespace lossless
+}  // namespace mgardp

@@ -1,0 +1,45 @@
+// Lossless coding of bit-plane payloads.
+//
+// MGARD compresses encoded bit-planes with ZSTD before they hit storage; the
+// retrieval sizes the paper reports are post-lossless sizes. This module is
+// our from-scratch substitute with three composable stages:
+//   * zero-run RLE (bit-planes of nega-binary coefficients are dominated by
+//     long zero runs on the high-significance planes),
+//   * greedy hash-chain LZ77 (catches the repeated byte patterns the
+//     mid-significance planes develop; runs are matches at offset 1, so LZ
+//     and RLE are alternatives, never stacked),
+//   * canonical Huffman entropy coding.
+// Compress picks whichever front stage shrinks the input more, then applies
+// Huffman if it helps; when nothing helps it stores raw, so output never
+// exceeds input by more than the 1-byte method header.
+
+#ifndef MGARDP_LOSSLESS_CODEC_H_
+#define MGARDP_LOSSLESS_CODEC_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace mgardp {
+namespace lossless {
+
+// Compresses `in`; output always decompresses back to `in` exactly.
+std::string Compress(const std::string& in);
+
+// Inverse of Compress. Fails on corrupt or truncated input.
+Result<std::string> Decompress(const std::string& in);
+
+// Exposed for unit tests: the individual stages.
+namespace internal {
+std::string RleEncode(const std::string& in);
+Result<std::string> RleDecode(const std::string& in);
+std::string LzEncode(const std::string& in);
+Result<std::string> LzDecode(const std::string& in);
+std::string HuffmanEncode(const std::string& in);
+Result<std::string> HuffmanDecode(const std::string& in);
+}  // namespace internal
+
+}  // namespace lossless
+}  // namespace mgardp
+
+#endif  // MGARDP_LOSSLESS_CODEC_H_

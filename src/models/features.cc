@@ -1,0 +1,42 @@
+#include "models/features.h"
+
+#include <cmath>
+
+namespace mgardp {
+
+double Log10Safe(double v) { return std::log10(std::fabs(v) + 1e-30); }
+
+std::vector<double> ExtractDataFeatures(const FieldSummary& summary) {
+  std::vector<double> f;
+  f.reserve(kNumDataFeatures);
+  f.push_back(Log10Safe(summary.range()));
+  f.push_back(Log10Safe(summary.abs_max));
+  f.push_back(Log10Safe(summary.stddev));
+  f.push_back(Log10Safe(summary.abs_mean));
+  f.push_back(summary.mean == 0.0 && summary.stddev == 0.0
+                  ? 0.0
+                  : summary.mean / (summary.stddev + 1e-30));
+  f.push_back(std::tanh(summary.skewness));   // bounded shape moments
+  f.push_back(std::tanh(summary.kurtosis / 10.0));
+  f.push_back(Log10Safe(static_cast<double>(summary.count)));
+  // Degenerate fields (e.g. values near the double overflow threshold) can
+  // produce inf/NaN moments; clamp so the DNN input is always finite.
+  for (double& v : f) {
+    if (std::isnan(v)) {
+      v = 0.0;
+    } else if (!std::isfinite(v)) {
+      v = v > 0.0 ? 1e3 : -1e3;
+    }
+  }
+  return f;
+}
+
+std::vector<double> LogSketch(const std::vector<double>& sketch) {
+  std::vector<double> out(sketch.size());
+  for (std::size_t i = 0; i < sketch.size(); ++i) {
+    out[i] = Log10Safe(sketch[i]);
+  }
+  return out;
+}
+
+}  // namespace mgardp

@@ -1,0 +1,34 @@
+// Statistical data features F fed to the DNN models (Table I / Sec. III-C).
+//
+// D-MGARD conditions its bit-plane predictions on a fixed-length summary of
+// the field so one trained model generalizes across timesteps of the same
+// application. E-MGARD conditions each level's mapping-constant prediction
+// on a log-scaled quantile sketch of that level's coefficient distribution.
+
+#ifndef MGARDP_MODELS_FEATURES_H_
+#define MGARDP_MODELS_FEATURES_H_
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace mgardp {
+
+// Number of values in the data-feature vector F.
+inline constexpr int kNumDataFeatures = 8;
+
+// Field-level features: log-compressed extrema plus shape moments. All
+// entries are finite for any input (zero fields included).
+std::vector<double> ExtractDataFeatures(const FieldSummary& summary);
+
+// log10(|v| + 1e-30): compresses the many-orders-of-magnitude dynamic range
+// of errors and coefficient magnitudes into a scale MLPs can learn on.
+double Log10Safe(double v);
+
+// Level-coefficient features for E-MGARD: element-wise log10 of the
+// absolute-value quantile sketch.
+std::vector<double> LogSketch(const std::vector<double>& sketch);
+
+}  // namespace mgardp
+
+#endif  // MGARDP_MODELS_FEATURES_H_

@@ -1,0 +1,32 @@
+// Hybrid D-MGARD + E-MGARD planning (the combination the paper names as
+// future work in Sec. IV-E).
+//
+// D-MGARD predicts a full prefix in one shot but cannot verify it;
+// E-MGARD verifies any prefix cheaply but reaches its stop state through
+// many greedy steps. The hybrid uses D-MGARD's prediction as the starting
+// point and lets the E-MGARD estimator correct it:
+//   * if the learned estimate at the predicted prefix exceeds the bound,
+//     extend greedily (the usual accuracy-efficiency search),
+//   * otherwise trim planes from the end of each level while the estimate
+//     stays within the bound, recovering bytes D-MGARD over-provisioned.
+
+#ifndef MGARDP_MODELS_HYBRID_H_
+#define MGARDP_MODELS_HYBRID_H_
+
+#include "models/dmgard.h"
+#include "models/emgard.h"
+#include "progressive/reconstructor.h"
+
+namespace mgardp {
+
+// Plans a retrieval for `error_bound` using both models. `estimator` must
+// be the LearnedConstantsEstimator (or any estimator) used for
+// verification; `dmgard` supplies the warm start.
+Result<RetrievalPlan> PlanHybrid(const RefactoredField& field,
+                                 double error_bound,
+                                 const DMgardModel& dmgard,
+                                 const ErrorEstimator& estimator);
+
+}  // namespace mgardp
+
+#endif  // MGARDP_MODELS_HYBRID_H_

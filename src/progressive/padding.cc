@@ -1,0 +1,65 @@
+#include "progressive/padding.h"
+
+#include <algorithm>
+
+#include "decompose/hierarchy.h"
+
+namespace mgardp {
+
+std::size_t NextValidExtent(std::size_t n) {
+  if (n <= 1) {
+    return 1;
+  }
+  std::size_t m = 2;  // 2^1
+  while (m + 1 < n) {
+    m <<= 1;
+  }
+  return m + 1;
+}
+
+Dims3 NextValidDims(const Dims3& dims) {
+  return Dims3{NextValidExtent(dims.nx), NextValidExtent(dims.ny),
+               NextValidExtent(dims.nz)};
+}
+
+Result<Array3Dd> PadToDims(const Array3Dd& data, const Dims3& target) {
+  const Dims3& d = data.dims();
+  if (target.nx < d.nx || target.ny < d.ny || target.nz < d.nz) {
+    return Status::Invalid("pad target " + target.ToString() +
+                           " smaller than data " + d.ToString());
+  }
+  if (d.size() == 0) {
+    return Status::Invalid("cannot pad an empty array");
+  }
+  Array3Dd out(target);
+  for (std::size_t i = 0; i < target.nx; ++i) {
+    const std::size_t si = std::min(i, d.nx - 1);
+    for (std::size_t j = 0; j < target.ny; ++j) {
+      const std::size_t sj = std::min(j, d.ny - 1);
+      for (std::size_t k = 0; k < target.nz; ++k) {
+        const std::size_t sk = std::min(k, d.nz - 1);
+        out(i, j, k) = data(si, sj, sk);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Array3Dd> CropToDims(const Array3Dd& data, const Dims3& target) {
+  const Dims3& d = data.dims();
+  if (target.nx > d.nx || target.ny > d.ny || target.nz > d.nz) {
+    return Status::Invalid("crop target " + target.ToString() +
+                           " larger than data " + d.ToString());
+  }
+  Array3Dd out(target);
+  for (std::size_t i = 0; i < target.nx; ++i) {
+    for (std::size_t j = 0; j < target.ny; ++j) {
+      for (std::size_t k = 0; k < target.nz; ++k) {
+        out(i, j, k) = data(i, j, k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mgardp

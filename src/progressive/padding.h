@@ -1,0 +1,34 @@
+// Padding of arbitrary grids to decomposition-friendly extents.
+//
+// The multilevel transform requires every active axis to have 2^k + 1
+// nodes, but real dumps rarely do (the paper's own datasets are 512^3).
+// The refactorer pads each axis to the next valid extent by edge
+// replication -- which keeps the padded field as smooth as the original,
+// so padding coefficients stay small -- and records the original extents
+// in the artifact so reconstruction can crop transparently.
+
+#ifndef MGARDP_PROGRESSIVE_PADDING_H_
+#define MGARDP_PROGRESSIVE_PADDING_H_
+
+#include "util/array3d.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+// Smallest valid extent >= n (1 stays 1; otherwise the next 2^k + 1 with
+// k >= 1).
+std::size_t NextValidExtent(std::size_t n);
+
+// Per-axis NextValidExtent.
+Dims3 NextValidDims(const Dims3& dims);
+
+// Pads `data` to `target` (each target extent >= the data extent) by edge
+// replication.
+Result<Array3Dd> PadToDims(const Array3Dd& data, const Dims3& target);
+
+// Extracts the leading `target` region (inverse of PadToDims).
+Result<Array3Dd> CropToDims(const Array3Dd& data, const Dims3& target);
+
+}  // namespace mgardp
+
+#endif  // MGARDP_PROGRESSIVE_PADDING_H_

@@ -1,0 +1,298 @@
+#include "progressive/reconstructor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "decompose/decomposer.h"
+#include "decompose/interleaver.h"
+#include "encode/bitplane.h"
+#include "lossless/codec.h"
+#include "progressive/padding.h"
+
+namespace mgardp {
+
+SizeInterpreter MakeSizeInterpreter(const RefactoredField& field) {
+  return SizeInterpreter(field.plane_sizes);
+}
+
+Result<Array3Dd> ReconstructFromPrefix(const RefactoredField& field,
+                                       const std::vector<int>& prefix) {
+  const int L = field.num_levels();
+  if (static_cast<int>(prefix.size()) != L) {
+    return Status::Invalid("prefix size does not match level count");
+  }
+  BitplaneEncoder encoder(field.num_planes);
+  std::vector<std::vector<double>> levels(L);
+  for (int l = 0; l < L; ++l) {
+    const int planes = std::clamp(prefix[l], 0, field.num_planes);
+    BitplaneSet set;
+    set.num_planes = field.num_planes;
+    set.exponent = field.level_exponents[l];
+    set.count = field.hierarchy.LevelSize(l);
+    set.planes.resize(planes);
+    for (int p = 0; p < planes; ++p) {
+      MGARDP_ASSIGN_OR_RETURN(std::string compressed,
+                              field.segments.Get(l, p));
+      MGARDP_ASSIGN_OR_RETURN(set.planes[p],
+                              lossless::Decompress(compressed));
+    }
+    MGARDP_ASSIGN_OR_RETURN(levels[l], encoder.Decode(set, planes));
+  }
+  Array3Dd data(field.hierarchy.dims());
+  Interleaver interleaver(field.hierarchy);
+  MGARDP_RETURN_NOT_OK(interleaver.Deposit(levels, &data));
+  DecomposeOptions dopts;
+  dopts.use_correction = field.use_correction;
+  Decomposer decomposer(field.hierarchy, dopts);
+  MGARDP_RETURN_NOT_OK(decomposer.Recompose(&data));
+  // Crop away any refactor-time padding.
+  if (field.original_dims.size() > 0 &&
+      !(field.original_dims == field.hierarchy.dims())) {
+    return CropToDims(data, field.original_dims);
+  }
+  return data;
+}
+
+namespace {
+
+// One round of the greedy accuracy-efficiency search with block lookahead:
+// for every level, find the block of k >= 1 additional planes with the best
+// error-drop per compressed byte, and fetch the best block overall.
+//
+// The lookahead matters for two nega-binary artifacts: (a) decoding a
+// prefix is not monotone in the plane count (the first kept digit can
+// overshoot a coefficient by up to 2x), and (b) a level's max error is a
+// stair-step function of the plane count (a plane that does not touch the
+// worst coefficient reduces nothing), which makes single-plane efficiency
+// misleading on small levels. Scanning all block lengths amortizes over
+// both. Returns false when every plane is already fetched.
+bool GreedyStep(const RefactoredField& field, const SizeInterpreter& sizes,
+                const ErrorEstimator& estimator, std::vector<int>* prefix,
+                double* est) {
+  const int L = field.num_levels();
+  int best_level = -1;
+  int best_count = 0;
+  double best_eff = -std::numeric_limits<double>::infinity();
+  double best_est = *est;
+  for (int l = 0; l < L; ++l) {
+    std::vector<int> candidate = *prefix;
+    double block_bytes = 0.0;
+    for (int k = 1; (*prefix)[l] + k <= field.num_planes; ++k) {
+      candidate[l] = (*prefix)[l] + k;
+      block_bytes += static_cast<double>(
+          std::max<std::size_t>(sizes.PlaneSize(l, candidate[l] - 1), 1));
+      const double cand_est = estimator.Estimate(field, candidate);
+      const double eff = (*est - cand_est) / block_bytes;
+      if (eff > best_eff) {
+        best_eff = eff;
+        best_level = l;
+        best_count = k;
+        best_est = cand_est;
+      }
+    }
+  }
+  if (best_level < 0) {
+    return false;
+  }
+  (*prefix)[best_level] += best_count;
+  *est = best_est;
+  return true;
+}
+
+// Post-pass: drop planes the greedy over-committed. Block fetches can
+// overshoot the bound (a whole block is taken for its efficiency even when
+// its tail was not needed), so after the bound is met we repeatedly remove
+// the largest removable last-plane that keeps the estimate within the
+// bound. Guarantees per-level suffix minimality of the final plan.
+void TrimPlan(const RefactoredField& field, const SizeInterpreter& sizes,
+              const ErrorEstimator& estimator, double error_bound,
+              std::vector<int>* prefix, double* est) {
+  bool trimmed = true;
+  while (trimmed) {
+    trimmed = false;
+    int best_level = -1;
+    std::size_t best_bytes = 0;
+    double best_est = *est;
+    for (int l = 0; l < field.num_levels(); ++l) {
+      if ((*prefix)[l] <= 0) {
+        continue;
+      }
+      std::vector<int> candidate = *prefix;
+      --candidate[l];
+      const double cand_est = estimator.Estimate(field, candidate);
+      if (cand_est > error_bound) {
+        continue;
+      }
+      const std::size_t bytes = sizes.PlaneSize(l, candidate[l]);
+      if (best_level < 0 || bytes > best_bytes) {
+        best_level = l;
+        best_bytes = bytes;
+        best_est = cand_est;
+      }
+    }
+    if (best_level >= 0) {
+      --(*prefix)[best_level];
+      *est = best_est;
+      trimmed = true;
+    }
+  }
+}
+
+}  // namespace
+
+Result<RetrievalPlan> Reconstructor::Plan(const RefactoredField& field,
+                                          double error_bound) const {
+  if (!(error_bound > 0.0)) {
+    return Status::Invalid("error_bound must be positive");
+  }
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+
+  RetrievalPlan plan;
+  plan.prefix.assign(field.num_levels(), 0);
+  double est = estimator_->Estimate(field, plan.prefix);
+  while (est > error_bound &&
+         GreedyStep(field, sizes, *estimator_, &plan.prefix, &est)) {
+  }
+  if (est <= error_bound) {
+    TrimPlan(field, sizes, *estimator_, error_bound, &plan.prefix, &est);
+  }
+  plan.estimated_error = est;
+  plan.total_bytes = sizes.TotalBytes(plan.prefix);
+  return plan;
+}
+
+std::vector<std::vector<int>> Reconstructor::Progression(
+    const RefactoredField& field) const {
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+  std::vector<int> prefix(field.num_levels(), 0);
+  double est = estimator_->Estimate(field, prefix);
+  std::vector<std::vector<int>> states;
+  states.push_back(prefix);
+  while (GreedyStep(field, sizes, *estimator_, &prefix, &est)) {
+    states.push_back(prefix);
+  }
+  return states;
+}
+
+Result<RetrievalPlan> Reconstructor::PlanRefinement(
+    const RefactoredField& field, const std::vector<int>& have,
+    double error_bound) const {
+  if (!(error_bound > 0.0)) {
+    return Status::Invalid("error_bound must be positive");
+  }
+  if (static_cast<int>(have.size()) != field.num_levels()) {
+    return Status::Invalid("have-prefix size does not match level count");
+  }
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+  RetrievalPlan plan;
+  plan.prefix = have;
+  for (int& p : plan.prefix) {
+    p = std::clamp(p, 0, field.num_planes);
+  }
+  double est = estimator_->Estimate(field, plan.prefix);
+  while (est > error_bound &&
+         GreedyStep(field, sizes, *estimator_, &plan.prefix, &est)) {
+  }
+  plan.estimated_error = est;
+  plan.total_bytes = sizes.TotalBytes(plan.prefix);
+  return plan;
+}
+
+Result<RetrievalPlan> Reconstructor::PlanWithinBudget(
+    const RefactoredField& field, std::size_t byte_budget) const {
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+  RetrievalPlan plan;
+  plan.prefix.assign(field.num_levels(), 0);
+  double est = estimator_->Estimate(field, plan.prefix);
+
+  // Same block-lookahead greedy as Plan, but a candidate block is only
+  // admissible if it fits the remaining budget, and we stop when nothing
+  // fits anymore.
+  while (true) {
+    const std::size_t spent = sizes.TotalBytes(plan.prefix);
+    int best_level = -1;
+    int best_count = 0;
+    double best_eff = -std::numeric_limits<double>::infinity();
+    double best_est = est;
+    for (int l = 0; l < field.num_levels(); ++l) {
+      std::vector<int> candidate = plan.prefix;
+      double block_bytes = 0.0;
+      for (int k = 1; plan.prefix[l] + k <= field.num_planes; ++k) {
+        candidate[l] = plan.prefix[l] + k;
+        block_bytes += static_cast<double>(
+            std::max<std::size_t>(sizes.PlaneSize(l, candidate[l] - 1), 1));
+        if (spent + static_cast<std::size_t>(block_bytes) > byte_budget) {
+          break;  // this and all longer blocks exceed the budget
+        }
+        const double cand_est = estimator_->Estimate(field, candidate);
+        const double eff = (est - cand_est) / block_bytes;
+        if (eff > best_eff) {
+          best_eff = eff;
+          best_level = l;
+          best_count = k;
+          best_est = cand_est;
+        }
+      }
+    }
+    if (best_level < 0) {
+      break;
+    }
+    plan.prefix[best_level] += best_count;
+    est = best_est;
+  }
+  plan.estimated_error = est;
+  plan.total_bytes = sizes.TotalBytes(plan.prefix);
+  MGARDP_DCHECK_LE(plan.total_bytes, byte_budget);
+  return plan;
+}
+
+Result<std::size_t> DeltaBytes(const RefactoredField& field,
+                               const std::vector<int>& from,
+                               const std::vector<int>& to) {
+  if (from.size() != to.size() ||
+      static_cast<int>(to.size()) != field.num_levels()) {
+    return Status::Invalid("prefix sizes do not match level count");
+  }
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+  std::size_t delta = 0;
+  for (int l = 0; l < field.num_levels(); ++l) {
+    if (to[l] < from[l]) {
+      return Status::Invalid("refined prefix does not dominate the old one");
+    }
+    delta += sizes.LevelBytes(l, to[l]) - sizes.LevelBytes(l, from[l]);
+  }
+  return delta;
+}
+
+Result<RetrievalPlan> Reconstructor::PlanFromPrefix(
+    const RefactoredField& field, std::vector<int> prefix) const {
+  const int L = field.num_levels();
+  if (static_cast<int>(prefix.size()) != L) {
+    return Status::Invalid("prefix size does not match level count");
+  }
+  for (int& p : prefix) {
+    p = std::clamp(p, 0, field.num_planes);
+  }
+  RetrievalPlan plan;
+  plan.prefix = std::move(prefix);
+  plan.total_bytes = MakeSizeInterpreter(field).TotalBytes(plan.prefix);
+  plan.estimated_error = estimator_->Estimate(field, plan.prefix);
+  return plan;
+}
+
+Result<Array3Dd> Reconstructor::Reconstruct(const RefactoredField& field,
+                                            const RetrievalPlan& plan) const {
+  return ReconstructFromPrefix(field, plan.prefix);
+}
+
+Result<Array3Dd> Reconstructor::Retrieve(const RefactoredField& field,
+                                         double error_bound,
+                                         RetrievalPlan* plan_out) const {
+  MGARDP_ASSIGN_OR_RETURN(RetrievalPlan plan, Plan(field, error_bound));
+  if (plan_out != nullptr) {
+    *plan_out = plan;
+  }
+  return Reconstruct(field, plan);
+}
+
+}  // namespace mgardp

@@ -1,0 +1,96 @@
+// The retrieval-side pipeline (Fig. 4, right half): plan which bit-plane
+// prefixes to fetch for a requested error bound (greedy accuracy-efficiency
+// search driven by an ErrorEstimator), fetch + decode them, and recompose.
+
+#ifndef MGARDP_PROGRESSIVE_RECONSTRUCTOR_H_
+#define MGARDP_PROGRESSIVE_RECONSTRUCTOR_H_
+
+#include <vector>
+
+#include "progressive/error_estimator.h"
+#include "progressive/refactored_field.h"
+#include "storage/size_interpreter.h"
+#include "util/array3d.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+// The outcome of retrieval planning.
+struct RetrievalPlan {
+  std::vector<int> prefix;      // planes to fetch per level
+  std::size_t total_bytes = 0;  // Equation 1, post-lossless
+  double estimated_error = 0.0; // estimator's value at `prefix`
+};
+
+class Reconstructor {
+ public:
+  // `estimator` must outlive the reconstructor.
+  explicit Reconstructor(const ErrorEstimator* estimator)
+      : estimator_(estimator) {}
+
+  const ErrorEstimator& estimator() const { return *estimator_; }
+
+  // Greedy bit-plane selection (Sec. II-B): repeatedly fetch the plane with
+  // the highest accuracy efficiency -- estimated error reduction divided by
+  // compressed plane size -- until the estimate satisfies `error_bound`.
+  Result<RetrievalPlan> Plan(const RefactoredField& field,
+                             double error_bound) const;
+
+  // Builds a plan from an externally supplied prefix (the D-MGARD path,
+  // which predicts the prefix directly and bypasses the estimator).
+  Result<RetrievalPlan> PlanFromPrefix(const RefactoredField& field,
+                                       std::vector<int> prefix) const;
+
+  // Incremental refinement: plan toward a (tighter) bound starting from
+  // planes already in hand. The result's prefix dominates `have`
+  // element-wise, so a client that cached earlier segments only fetches
+  // the difference (see DeltaBytes).
+  Result<RetrievalPlan> PlanRefinement(const RefactoredField& field,
+                                       const std::vector<int>& have,
+                                       double error_bound) const;
+
+  // Budget-constrained planning: fetch greedily (best estimated error drop
+  // per byte) without ever exceeding `byte_budget`; the inverse of
+  // Plan(bound), for clients sized by bandwidth rather than accuracy.
+  // The plan's estimated_error reports where the budget landed.
+  Result<RetrievalPlan> PlanWithinBudget(const RefactoredField& field,
+                                         std::size_t byte_budget) const;
+
+  // The full greedy fetch order: every prefix state visited when planning
+  // toward an unreachable bound (i.e. until all planes are fetched),
+  // starting from the all-zero prefix. Benches use it to ask "how many
+  // bytes until the *actual* error reaches X" along the planner's own
+  // order.
+  std::vector<std::vector<int>> Progression(
+      const RefactoredField& field) const;
+
+  // Fetches the planned segments, decodes, and recomposes.
+  Result<Array3Dd> Reconstruct(const RefactoredField& field,
+                               const RetrievalPlan& plan) const;
+
+  // Plan + Reconstruct in one call.
+  Result<Array3Dd> Retrieve(const RefactoredField& field,
+                            double error_bound,
+                            RetrievalPlan* plan_out = nullptr) const;
+
+ private:
+  const ErrorEstimator* estimator_;
+};
+
+// Decode + recompose for an explicit prefix, independent of any estimator.
+// Shared by Reconstructor and OracleEstimator.
+Result<Array3Dd> ReconstructFromPrefix(const RefactoredField& field,
+                                       const std::vector<int>& prefix);
+
+// A SizeInterpreter over the field's compressed plane sizes.
+SizeInterpreter MakeSizeInterpreter(const RefactoredField& field);
+
+// Bytes a client must additionally fetch to go from prefix `from` to
+// prefix `to` (entries of `to` must dominate `from`).
+Result<std::size_t> DeltaBytes(const RefactoredField& field,
+                               const std::vector<int>& from,
+                               const std::vector<int>& to);
+
+}  // namespace mgardp
+
+#endif  // MGARDP_PROGRESSIVE_RECONSTRUCTOR_H_

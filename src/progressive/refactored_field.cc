@@ -1,0 +1,150 @@
+#include "progressive/refactored_field.h"
+
+#include <cmath>
+
+#include "util/io.h"
+
+namespace mgardp {
+
+namespace {
+constexpr std::uint32_t kMetadataMagic = 0x4D475250;  // "MGRP"
+constexpr std::uint32_t kMetadataVersion = 2;
+}  // namespace
+
+std::string RefactoredField::SerializeMetadata() const {
+  BinaryWriter w;
+  w.Put(kMetadataMagic);
+  w.Put(kMetadataVersion);
+  w.Put<std::uint64_t>(hierarchy.dims().nx);
+  w.Put<std::uint64_t>(hierarchy.dims().ny);
+  w.Put<std::uint64_t>(hierarchy.dims().nz);
+  w.Put<std::uint64_t>(original_dims.nx);
+  w.Put<std::uint64_t>(original_dims.ny);
+  w.Put<std::uint64_t>(original_dims.nz);
+  w.Put<std::int32_t>(hierarchy.num_steps());
+  w.Put<std::int32_t>(num_planes);
+  w.Put<std::uint8_t>(use_correction ? 1 : 0);
+  w.PutVector(level_exponents);
+  w.Put<std::uint64_t>(level_errors.size());
+  for (const LevelErrorStats& s : level_errors) {
+    w.PutVector(s.max_abs);
+    w.PutVector(s.mse);
+  }
+  w.Put<std::uint64_t>(plane_sizes.size());
+  for (const auto& sizes : plane_sizes) {
+    w.PutVector(sizes);
+  }
+  w.Put<std::uint64_t>(level_sketches.size());
+  for (const auto& sketch : level_sketches) {
+    w.PutVector(sketch);
+  }
+  w.Put(data_summary);
+  return w.TakeBuffer();
+}
+
+Result<RefactoredField> RefactoredField::DeserializeMetadata(
+    const std::string& in) {
+  BinaryReader r(in);
+  std::uint32_t magic = 0, version = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&magic));
+  MGARDP_RETURN_NOT_OK(r.Get(&version));
+  if (magic != kMetadataMagic) {
+    return Status::Invalid("bad metadata magic");
+  }
+  if (version != kMetadataVersion) {
+    return Status::Invalid("unsupported metadata version");
+  }
+  std::uint64_t nx = 0, ny = 0, nz = 0;
+  std::uint64_t ox = 0, oy = 0, oz = 0;
+  std::int32_t steps = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&nx));
+  MGARDP_RETURN_NOT_OK(r.Get(&ny));
+  MGARDP_RETURN_NOT_OK(r.Get(&nz));
+  MGARDP_RETURN_NOT_OK(r.Get(&ox));
+  MGARDP_RETURN_NOT_OK(r.Get(&oy));
+  MGARDP_RETURN_NOT_OK(r.Get(&oz));
+  MGARDP_RETURN_NOT_OK(r.Get(&steps));
+
+  RefactoredField field;
+  field.original_dims = Dims3{ox, oy, oz};
+  HierarchyOptions opts;
+  opts.target_steps = steps;
+  MGARDP_ASSIGN_OR_RETURN(field.hierarchy,
+                          GridHierarchy::Create(Dims3{nx, ny, nz}, opts));
+  std::int32_t num_planes = 0;
+  std::uint8_t correction = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&num_planes));
+  MGARDP_RETURN_NOT_OK(r.Get(&correction));
+  field.num_planes = num_planes;
+  field.use_correction = correction != 0;
+  MGARDP_RETURN_NOT_OK(r.GetVector(&field.level_exponents));
+
+  std::uint64_t n_err = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&n_err));
+  field.level_errors.resize(n_err);
+  for (auto& s : field.level_errors) {
+    MGARDP_RETURN_NOT_OK(r.GetVector(&s.max_abs));
+    MGARDP_RETURN_NOT_OK(r.GetVector(&s.mse));
+  }
+  std::uint64_t n_sizes = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&n_sizes));
+  field.plane_sizes.resize(n_sizes);
+  for (auto& sizes : field.plane_sizes) {
+    MGARDP_RETURN_NOT_OK(r.GetVector(&sizes));
+  }
+  std::uint64_t n_sketches = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&n_sketches));
+  field.level_sketches.resize(n_sketches);
+  for (auto& sketch : field.level_sketches) {
+    MGARDP_RETURN_NOT_OK(r.GetVector(&sketch));
+  }
+  MGARDP_RETURN_NOT_OK(r.Get(&field.data_summary));
+
+  // Cross-validate the structure so no later stage can index out of
+  // bounds on a corrupt-but-parseable artifact.
+  const std::size_t L = static_cast<std::size_t>(field.num_levels());
+  if (field.num_planes < 2 || field.num_planes > 60) {
+    return Status::Invalid("metadata: plane count out of range");
+  }
+  if (field.level_exponents.size() != L || field.level_errors.size() != L ||
+      field.plane_sizes.size() != L || field.level_sketches.size() != L) {
+    return Status::Invalid("metadata: per-level table sizes disagree");
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    const std::size_t planes = static_cast<std::size_t>(field.num_planes);
+    if (field.level_errors[l].max_abs.size() != planes + 1 ||
+        field.level_errors[l].mse.size() != planes + 1 ||
+        field.plane_sizes[l].size() != planes) {
+      return Status::Invalid("metadata: per-plane table sizes disagree");
+    }
+    for (double e : field.level_errors[l].max_abs) {
+      if (!(e >= 0.0) || !std::isfinite(e)) {
+        return Status::Invalid("metadata: non-finite error entry");
+      }
+    }
+  }
+  if (field.original_dims.size() == 0 ||
+      field.original_dims.nx > field.hierarchy.dims().nx ||
+      field.original_dims.ny > field.hierarchy.dims().ny ||
+      field.original_dims.nz > field.hierarchy.dims().nz) {
+    return Status::Invalid("metadata: original dims inconsistent");
+  }
+  return field;
+}
+
+Status RefactoredField::WriteToDirectory(const std::string& dir) const {
+  MGARDP_RETURN_NOT_OK(segments.WriteToDirectory(dir));
+  return WriteFile(dir + "/metadata.bin", SerializeMetadata());
+}
+
+Result<RefactoredField> RefactoredField::LoadFromDirectory(
+    const std::string& dir) {
+  MGARDP_ASSIGN_OR_RETURN(std::string meta,
+                          ReadFileToString(dir + "/metadata.bin"));
+  MGARDP_ASSIGN_OR_RETURN(RefactoredField field, DeserializeMetadata(meta));
+  MGARDP_ASSIGN_OR_RETURN(field.segments,
+                          SegmentStore::LoadFromDirectory(dir));
+  return field;
+}
+
+}  // namespace mgardp

@@ -1,0 +1,58 @@
+// The on-storage representation of one refactored scalar field.
+//
+// Produced once per field/timestep by the Refactorer; consumed many times by
+// the Reconstructor under different error bounds. Holds everything the
+// retrieval side needs:
+//   * grid hierarchy + encoding parameters,
+//   * per-level error matrices Err[l][b] (max-abs and MSE),
+//   * per-level exponents and compressed plane sizes S[l][k],
+//   * per-level coefficient-distribution sketches (E-MGARD encoder input),
+//   * a statistical summary of the original field (D-MGARD features),
+//   * the compressed plane segments themselves.
+// Metadata (everything except segments) serializes separately so a client
+// can plan a retrieval before touching the bulk data.
+
+#ifndef MGARDP_PROGRESSIVE_REFACTORED_FIELD_H_
+#define MGARDP_PROGRESSIVE_REFACTORED_FIELD_H_
+
+#include <string>
+#include <vector>
+
+#include "decompose/hierarchy.h"
+#include "encode/bitplane.h"
+#include "storage/segment_store.h"
+#include "storage/size_interpreter.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+struct RefactoredField {
+  GridHierarchy hierarchy;
+  // Extents of the user's field before padding; reconstruction crops back
+  // to these. Equal to hierarchy.dims() when no padding was needed.
+  Dims3 original_dims{0, 0, 0};
+  int num_planes = 0;              // B, planes per level
+  bool use_correction = true;      // decomposition variant
+  std::vector<int> level_exponents;
+  std::vector<LevelErrorStats> level_errors;   // Err matrix, one per level
+  PlaneSizes plane_sizes;                      // compressed sizes S[l][k]
+  std::vector<std::vector<double>> level_sketches;  // |coef| quantile sketch
+  FieldSummary data_summary;                   // original-field statistics
+  SegmentStore segments;
+
+  int num_levels() const { return hierarchy.num_levels(); }
+
+  // Serializes metadata only (no segments).
+  std::string SerializeMetadata() const;
+  // Restores metadata; `segments` is left empty for the caller to attach.
+  static Result<RefactoredField> DeserializeMetadata(const std::string& in);
+
+  // Persists metadata + segments under `dir`.
+  Status WriteToDirectory(const std::string& dir) const;
+  static Result<RefactoredField> LoadFromDirectory(const std::string& dir);
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_PROGRESSIVE_REFACTORED_FIELD_H_

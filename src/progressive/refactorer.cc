@@ -1,0 +1,67 @@
+#include "progressive/refactorer.h"
+
+#include "decompose/decomposer.h"
+#include "decompose/interleaver.h"
+#include "encode/bitplane.h"
+#include "lossless/codec.h"
+#include "progressive/padding.h"
+
+namespace mgardp {
+
+Result<RefactoredField> Refactorer::Refactor(Array3Dd data) const {
+  if (options_.num_planes < 2 || options_.num_planes > 60) {
+    return Status::Invalid("num_planes must be in [2, 60]");
+  }
+  if (options_.sketch_bins < 1) {
+    return Status::Invalid("sketch_bins must be >= 1");
+  }
+  // Pad arbitrary extents to the next 2^k + 1 (edge replication); the
+  // original extents travel in the metadata and reconstruction crops back.
+  const Dims3 original_dims = data.dims();
+  const Dims3 padded_dims = NextValidDims(original_dims);
+  if (!(padded_dims == original_dims)) {
+    MGARDP_ASSIGN_OR_RETURN(data, PadToDims(data, padded_dims));
+  }
+  HierarchyOptions hopts;
+  hopts.target_steps = options_.target_steps;
+  MGARDP_ASSIGN_OR_RETURN(GridHierarchy hierarchy,
+                          GridHierarchy::Create(data.dims(), hopts));
+
+  RefactoredField field;
+  field.hierarchy = hierarchy;
+  field.original_dims = original_dims;
+  field.num_planes = options_.num_planes;
+  field.use_correction = options_.use_correction;
+  field.data_summary = Summarize(data.vector());
+
+  DecomposeOptions dopts;
+  dopts.use_correction = options_.use_correction;
+  Decomposer decomposer(hierarchy, dopts);
+  MGARDP_RETURN_NOT_OK(decomposer.Decompose(&data));
+
+  Interleaver interleaver(hierarchy);
+  std::vector<std::vector<double>> levels = interleaver.Extract(data);
+
+  BitplaneEncoder encoder(options_.num_planes);
+  const int L = hierarchy.num_levels();
+  field.level_exponents.resize(L);
+  field.level_errors.resize(L);
+  field.plane_sizes.resize(L);
+  field.level_sketches.resize(L);
+  for (int l = 0; l < L; ++l) {
+    MGARDP_ASSIGN_OR_RETURN(
+        BitplaneSet set, encoder.Encode(levels[l], &field.level_errors[l]));
+    field.level_exponents[l] = set.exponent;
+    field.level_sketches[l] = AbsQuantileSketch(
+        levels[l], static_cast<std::size_t>(options_.sketch_bins));
+    field.plane_sizes[l].resize(set.planes.size());
+    for (int p = 0; p < static_cast<int>(set.planes.size()); ++p) {
+      std::string compressed = lossless::Compress(set.planes[p]);
+      field.plane_sizes[l][p] = compressed.size();
+      field.segments.Put(l, p, std::move(compressed));
+    }
+  }
+  return field;
+}
+
+}  // namespace mgardp

@@ -1,0 +1,84 @@
+// Campaign-level artifact management.
+//
+// A simulation campaign dumps many fields over many timesteps; the paper's
+// workflow refactors each dump once and retrieves under varying accuracy
+// many times. FieldRepository owns the on-disk layout for that:
+//
+//   <root>/manifest.bin
+//   <root>/<application>/<field>/t<NNNNNN>/   (one artifact per dump:
+//                                              metadata.bin + level files)
+//
+// The manifest is the authoritative index: Open() reads it, Store() appends
+// to it atomically after the artifact is fully written, so a crash between
+// the two leaves at worst an orphaned directory, never a dangling entry.
+
+#ifndef MGARDP_PROGRESSIVE_REPOSITORY_H_
+#define MGARDP_PROGRESSIVE_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "progressive/refactored_field.h"
+#include "progressive/refactorer.h"
+#include "sim/dataset.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+class FieldRepository {
+ public:
+  struct Entry {
+    std::string application;
+    std::string field;
+    int timestep = 0;
+    Dims3 dims{0, 0, 0};        // original (pre-padding) extents
+    std::size_t stored_bytes = 0;  // total compressed segment bytes
+
+    bool operator==(const Entry& other) const {
+      return application == other.application && field == other.field &&
+             timestep == other.timestep;
+    }
+  };
+
+  // Opens (creating if necessary) a repository rooted at `root`.
+  static Result<FieldRepository> Open(const std::string& root);
+
+  const std::string& root() const { return root_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  bool Contains(const std::string& application, const std::string& field,
+                int timestep) const;
+
+  // Timesteps stored for one (application, field), ascending.
+  std::vector<int> Timesteps(const std::string& application,
+                             const std::string& field) const;
+
+  // Persists `artifact` under its campaign coordinates and records it in
+  // the manifest. Overwrites an existing entry for the same coordinates.
+  Status Store(const std::string& application, const std::string& field,
+               int timestep, const RefactoredField& artifact);
+
+  // Loads a stored artifact (metadata + segments).
+  Result<RefactoredField> Load(const std::string& application,
+                               const std::string& field, int timestep) const;
+
+  // Convenience: refactors and stores every frame of a series.
+  Status StoreSeries(const FieldSeries& series, const Refactorer& refactorer);
+
+  // Sum of stored bytes across all entries.
+  std::size_t TotalBytes() const;
+
+ private:
+  explicit FieldRepository(std::string root) : root_(std::move(root)) {}
+
+  std::string ArtifactDir(const std::string& application,
+                          const std::string& field, int timestep) const;
+  Status WriteManifest() const;
+
+  std::string root_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_PROGRESSIVE_REPOSITORY_H_

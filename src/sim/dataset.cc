@@ -1,0 +1,47 @@
+#include "sim/dataset.h"
+
+namespace mgardp {
+
+std::vector<FieldSeries> GenerateGrayScott(
+    const GrayScottDatasetOptions& options) {
+  GrayScottSimulator sim(options.dims, options.params);
+  sim.Step(options.warmup_steps);
+  FieldSeries u_series{"gray-scott", "D_u", {}};
+  FieldSeries v_series{"gray-scott", "D_v", {}};
+  u_series.frames.reserve(options.num_timesteps);
+  v_series.frames.reserve(options.num_timesteps);
+  for (int t = 0; t < options.num_timesteps; ++t) {
+    if (t > 0) {
+      sim.Step(options.steps_per_dump);
+    }
+    u_series.frames.push_back(sim.u());
+    v_series.frames.push_back(sim.v());
+  }
+  std::vector<FieldSeries> out;
+  out.push_back(std::move(u_series));
+  out.push_back(std::move(v_series));
+  return out;
+}
+
+FieldSeries GenerateWarpX(const WarpXDatasetOptions& options,
+                          WarpXField field) {
+  WarpXSimulator sim(options.dims, options.params);
+  FieldSeries series{"warpx", WarpXFieldName(field), {}};
+  series.frames.reserve(options.num_timesteps);
+  for (int t = 0; t < options.num_timesteps; ++t) {
+    series.frames.push_back(sim.Field(field, t));
+  }
+  return series;
+}
+
+void SplitTimesteps(int num_timesteps, std::vector<int>* train,
+                    std::vector<int>* test) {
+  train->clear();
+  test->clear();
+  const int half = num_timesteps / 2;
+  for (int t = 0; t < num_timesteps; ++t) {
+    (t < half ? train : test)->push_back(t);
+  }
+}
+
+}  // namespace mgardp

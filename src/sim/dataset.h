@@ -1,0 +1,59 @@
+// Dataset assembly: named field series over simulation timesteps, matching
+// Table II of the paper (Gray-Scott: D_u, D_v; WarpX: B_x, E_x, J_x), plus
+// the train/test split protocol (first half of the timesteps for training,
+// second half for testing).
+
+#ifndef MGARDP_SIM_DATASET_H_
+#define MGARDP_SIM_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/gray_scott.h"
+#include "sim/warpx.h"
+#include "util/array3d.h"
+
+namespace mgardp {
+
+// One scalar field dumped at a sequence of timesteps.
+struct FieldSeries {
+  std::string application;  // "gray-scott" | "warpx"
+  std::string field;        // "D_u", "B_x", ...
+  std::vector<Array3Dd> frames;
+
+  int num_timesteps() const { return static_cast<int>(frames.size()); }
+};
+
+struct GrayScottDatasetOptions {
+  Dims3 dims{33, 33, 33};
+  int num_timesteps = 32;
+  // Euler steps between dumps; patterns need a few hundred total steps to
+  // develop, so warmup runs before the first dump.
+  int steps_per_dump = 20;
+  int warmup_steps = 100;
+  GrayScottParams params;
+};
+
+// Runs the solver once and dumps both fields ("D_u" = U, "D_v" = V).
+// Returned vector holds exactly {D_u, D_v}.
+std::vector<FieldSeries> GenerateGrayScott(
+    const GrayScottDatasetOptions& options);
+
+struct WarpXDatasetOptions {
+  Dims3 dims{33, 33, 33};
+  int num_timesteps = 32;
+  WarpXParams params;
+};
+
+// Evaluates one WarpX field over the timesteps.
+FieldSeries GenerateWarpX(const WarpXDatasetOptions& options,
+                          WarpXField field);
+
+// Splits [0, n) timestep indices into first half (train) / second half
+// (test), as in Sec. IV-A4.
+void SplitTimesteps(int num_timesteps, std::vector<int>* train,
+                    std::vector<int>* test);
+
+}  // namespace mgardp
+
+#endif  // MGARDP_SIM_DATASET_H_

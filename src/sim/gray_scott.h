@@ -1,0 +1,60 @@
+// 3D Gray-Scott reaction-diffusion solver.
+//
+// The paper's first evaluation dataset comes from the Gray-Scott
+// mini-application (Pearson, Science 1993): two species U, V on a periodic
+// cube evolving under
+//   du/dt = Du lap(u) - u v^2 + F (1 - u)
+//   dv/dt = Dv lap(v) + u v^2 - (F + k) v
+// integrated with forward Euler and a 7-point Laplacian, with a time step
+// inside the diffusion stability limit. The paper labels the dumped fields
+// D_u and D_v; they are the U and V concentrations.
+
+#ifndef MGARDP_SIM_GRAY_SCOTT_H_
+#define MGARDP_SIM_GRAY_SCOTT_H_
+
+#include <cstdint>
+
+#include "util/array3d.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+struct GrayScottParams {
+  double du = 0.2;   // diffusion rate of U
+  double dv = 0.1;   // diffusion rate of V
+  // F/k sit in the self-replicating-spot ("soliton") regime so patterns
+  // persist even on the small periodic grids the tests/benches use; the
+  // ORNL example's F = 0.01, k = 0.05 dies out below ~64^3.
+  double feed = 0.03;  // F
+  double kill = 0.065;  // k
+  double dt = 0.5;   // forward-Euler step (stability: dt < 1/(6 du))
+  double noise = 1e-6;  // initial perturbation amplitude
+  std::uint64_t seed = 7;
+};
+
+class GrayScottSimulator {
+ public:
+  // Initializes u = 1, v = 0 with a perturbed central seed block
+  // (u = 0.25, v = 0.33), the standard pattern-forming start.
+  GrayScottSimulator(Dims3 dims, GrayScottParams params = {});
+
+  const Dims3& dims() const { return u_.dims(); }
+  const GrayScottParams& params() const { return params_; }
+
+  // Advances the simulation by `steps` Euler steps.
+  void Step(int steps = 1);
+
+  int step_count() const { return step_count_; }
+  const Array3Dd& u() const { return u_; }
+  const Array3Dd& v() const { return v_; }
+
+ private:
+  GrayScottParams params_;
+  Array3Dd u_, v_;
+  Array3Dd u_next_, v_next_;
+  int step_count_ = 0;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_SIM_GRAY_SCOTT_H_

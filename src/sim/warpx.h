@@ -1,0 +1,67 @@
+// Synthetic WarpX-like laser-driven electron acceleration fields.
+//
+// The paper's second dataset comes from WarpX (a GPU particle-in-cell code
+// we cannot run here). This generator is the documented substitution: an
+// analytic laser-wakefield model producing the same three scalar fields the
+// paper uses -- B_x, E_x, J_x -- on a 3D grid, evolving over timesteps, and
+// parameterized by the same simulation inputs the paper sweeps in Fig. 3:
+// laser peak amplitude (a0), laser duration (tau), and electron density
+// (n_e). A laser pulse with carrier k0 and Gaussian envelope of length
+// c*tau travels through the domain; behind it a plasma wake oscillates at
+// the plasma wavenumber k_p ~ sqrt(n_e), and a deterministic multi-mode
+// perturbation adds the broadband structure real PIC data has. Density
+// changes the wake wavelength (data smoothness) and amplitude changes the
+// dynamic range, which is exactly the interplay the DNN must capture.
+
+#ifndef MGARDP_SIM_WARPX_H_
+#define MGARDP_SIM_WARPX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/array3d.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+enum class WarpXField { kBx, kEx, kJx };
+
+// "B_x" / "E_x" / "J_x".
+std::string WarpXFieldName(WarpXField field);
+
+struct WarpXParams {
+  double laser_amplitude = 8.0;   // a0, normalized peak amplitude
+  double laser_duration = 0.06;   // tau: pulse length = c * tau (domain = 1)
+  double electron_density = 4.0;  // n_e, normalized
+  double pulse_speed = 0.08;      // domain lengths per timestep
+  double carrier_wavenumber = 40.0 * 3.14159265358979323846;  // k0
+  double spot_size = 0.35;        // transverse waist w0 (domain units)
+  double perturbation = 0.02;     // relative multi-mode noise amplitude
+  std::uint64_t seed = 42;
+};
+
+class WarpXSimulator {
+ public:
+  WarpXSimulator(Dims3 dims, WarpXParams params = {});
+
+  const Dims3& dims() const { return dims_; }
+  const WarpXParams& params() const { return params_; }
+
+  // Evaluates `field` at `timestep` (stateless: any order, any step).
+  Array3Dd Field(WarpXField field, int timestep) const;
+
+ private:
+  double Evaluate(WarpXField field, double x, double y, double z,
+                  int timestep) const;
+
+  Dims3 dims_;
+  WarpXParams params_;
+  // Deterministic random phases/directions for the perturbation modes.
+  static constexpr int kNumModes = 6;
+  double mode_kx_[kNumModes], mode_ky_[kNumModes], mode_kz_[kNumModes];
+  double mode_phase_[kNumModes], mode_amp_[kNumModes];
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_SIM_WARPX_H_

@@ -1,0 +1,119 @@
+#include "storage/segment_store.h"
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace mgardp {
+
+void SegmentStore::Put(int level, int plane, std::string payload) {
+  segments_[{level, plane}] = std::move(payload);
+}
+
+Result<std::string> SegmentStore::Get(int level, int plane) const {
+  auto it = segments_.find({level, plane});
+  if (it == segments_.end()) {
+    std::ostringstream os;
+    os << "segment (level=" << level << ", plane=" << plane << ")";
+    return Status::NotFound(os.str());
+  }
+  return it->second;
+}
+
+bool SegmentStore::Contains(int level, int plane) const {
+  return segments_.count({level, plane}) > 0;
+}
+
+std::size_t SegmentStore::SizeOf(int level, int plane) const {
+  auto it = segments_.find({level, plane});
+  return it == segments_.end() ? 0 : it->second.size();
+}
+
+std::size_t SegmentStore::TotalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, payload] : segments_) {
+    total += payload.size();
+  }
+  return total;
+}
+
+int SegmentStore::NumLevels() const {
+  std::set<int> levels;
+  for (const auto& [key, payload] : segments_) {
+    levels.insert(key.first);
+  }
+  return static_cast<int>(levels.size());
+}
+
+int SegmentStore::NumPlanes(int level) const {
+  int count = 0;
+  for (const auto& [key, payload] : segments_) {
+    if (key.first == level) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Status SegmentStore::WriteToDirectory(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  // Group segments by level.
+  std::map<int, BinaryWriter> level_files;
+  BinaryWriter index;
+  index.Put<std::uint64_t>(segments_.size());
+  for (const auto& [key, payload] : segments_) {
+    BinaryWriter& w = level_files[key.first];
+    index.Put<std::int32_t>(key.first);
+    index.Put<std::int32_t>(key.second);
+    index.Put<std::uint64_t>(w.buffer().size());   // offset within the file
+    index.Put<std::uint64_t>(payload.size());
+    w.PutBytes(payload.data(), payload.size());
+  }
+  for (auto& [level, w] : level_files) {
+    std::ostringstream name;
+    name << dir << "/level_" << level << ".bin";
+    MGARDP_RETURN_NOT_OK(WriteFile(name.str(), w.buffer()));
+  }
+  return WriteFile(dir + "/segments.idx", index.buffer());
+}
+
+Result<SegmentStore> SegmentStore::LoadFromDirectory(const std::string& dir) {
+  MGARDP_ASSIGN_OR_RETURN(std::string index_bytes,
+                          ReadFileToString(dir + "/segments.idx"));
+  BinaryReader r(index_bytes);
+  std::uint64_t count = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&count));
+  // Cache per-level file contents.
+  std::map<int, std::string> files;
+  SegmentStore store;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int32_t level = 0, plane = 0;
+    std::uint64_t offset = 0, size = 0;
+    MGARDP_RETURN_NOT_OK(r.Get(&level));
+    MGARDP_RETURN_NOT_OK(r.Get(&plane));
+    MGARDP_RETURN_NOT_OK(r.Get(&offset));
+    MGARDP_RETURN_NOT_OK(r.Get(&size));
+    auto it = files.find(level);
+    if (it == files.end()) {
+      std::ostringstream name;
+      name << dir << "/level_" << level << ".bin";
+      MGARDP_ASSIGN_OR_RETURN(std::string data, ReadFileToString(name.str()));
+      it = files.emplace(level, std::move(data)).first;
+    }
+    if (offset + size > it->second.size()) {
+      return Status::OutOfRange("segment index points past end of level file");
+    }
+    store.Put(level, plane, it->second.substr(offset, size));
+  }
+  return store;
+}
+
+}  // namespace mgardp

@@ -1,0 +1,60 @@
+// Keyed storage of compressed bit-plane segments.
+//
+// A segment is the lossless-compressed payload of one (level, plane) pair;
+// the refactorer writes them once and the reconstructor fetches exactly the
+// prefix it needs. The store keeps segments in memory and can round-trip
+// itself through a directory (one file per level, holding that level's
+// plane segments back to back with an index), mirroring how MGARD lays
+// files across the storage hierarchy.
+
+#ifndef MGARDP_STORAGE_SEGMENT_STORE_H_
+#define MGARDP_STORAGE_SEGMENT_STORE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgardp {
+
+class SegmentStore {
+ public:
+  // Stores the payload for (level, plane). Overwrites an existing entry.
+  void Put(int level, int plane, std::string payload);
+
+  // Fetches a segment; NotFound if absent.
+  Result<std::string> Get(int level, int plane) const;
+
+  bool Contains(int level, int plane) const;
+
+  // Compressed size in bytes of a segment, 0 if absent.
+  std::size_t SizeOf(int level, int plane) const;
+
+  // Number of stored segments.
+  std::size_t size() const { return segments_.size(); }
+
+  // Total stored bytes.
+  std::size_t TotalBytes() const;
+
+  // Number of distinct levels present.
+  int NumLevels() const;
+  // Number of planes stored for `level`.
+  int NumPlanes(int level) const;
+
+  // Persists all segments under `dir` (created if needed): one file
+  // "level_<l>.bin" per level plus "segments.idx".
+  Status WriteToDirectory(const std::string& dir) const;
+
+  // Loads a store previously written by WriteToDirectory.
+  static Result<SegmentStore> LoadFromDirectory(const std::string& dir);
+
+ private:
+  std::map<std::pair<int, int>, std::string> segments_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_STORAGE_SEGMENT_STORE_H_

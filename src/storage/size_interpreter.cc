@@ -1,0 +1,70 @@
+#include "storage/size_interpreter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mgardp {
+
+std::size_t SizeInterpreter::LevelBytes(int level, int prefix_planes) const {
+  MGARDP_CHECK(level >= 0 && level < num_levels());
+  const int planes =
+      std::clamp(prefix_planes, 0, num_planes(level));
+  std::size_t bytes = 0;
+  for (int k = 0; k < planes; ++k) {
+    bytes += sizes_[level][k];
+  }
+  return bytes;
+}
+
+std::size_t SizeInterpreter::TotalBytes(const std::vector<int>& prefix) const {
+  MGARDP_CHECK_EQ(prefix.size(), sizes_.size());
+  std::size_t total = 0;
+  for (int l = 0; l < num_levels(); ++l) {
+    total += LevelBytes(l, prefix[l]);
+  }
+  return total;
+}
+
+double SizeInterpreter::IoSeconds(const std::vector<int>& prefix,
+                                  const StorageModel& model,
+                                  const LevelPlacement& placement,
+                                  bool parallel_tiers) const {
+  MGARDP_CHECK_EQ(prefix.size(), sizes_.size());
+  MGARDP_CHECK_EQ(placement.num_levels(), num_levels());
+  std::vector<std::size_t> tier_bytes(model.num_tiers(), 0);
+  std::vector<std::size_t> tier_requests(model.num_tiers(), 0);
+  for (int l = 0; l < num_levels(); ++l) {
+    const int planes = std::clamp(prefix[l], 0, num_planes(l));
+    if (planes == 0) {
+      continue;
+    }
+    const std::size_t tier = placement.TierForLevel(l);
+    tier_bytes[tier] += LevelBytes(l, planes);
+    // A plane prefix is one contiguous region of the level's file, so a
+    // level costs a single request regardless of how many planes it
+    // contributes.
+    tier_requests[tier] += 1;
+  }
+  double total = 0.0;
+  for (std::size_t t = 0; t < model.num_tiers(); ++t) {
+    if (tier_bytes[t] == 0 && tier_requests[t] == 0) {
+      continue;
+    }
+    const double sec = model.ReadSeconds(t, tier_bytes[t], tier_requests[t]);
+    total = parallel_tiers ? std::max(total, sec) : total + sec;
+  }
+  return total;
+}
+
+std::size_t SizeInterpreter::FullBytes() const {
+  std::size_t total = 0;
+  for (const auto& level : sizes_) {
+    for (std::size_t s : level) {
+      total += s;
+    }
+  }
+  return total;
+}
+
+}  // namespace mgardp

@@ -1,0 +1,59 @@
+// Retrieval-size and I/O-cost accounting.
+//
+// The size interpreter (Sec. II-B of the paper) turns a per-level bit-plane
+// prefix vector b = (b_0 .. b_{L-1}) into the byte count that must be read
+// (Equation 1: D = sum_l sum_{k<b_l} S[l][k]) and, combined with a storage
+// model + placement, into simulated I/O seconds.
+
+#ifndef MGARDP_STORAGE_SIZE_INTERPRETER_H_
+#define MGARDP_STORAGE_SIZE_INTERPRETER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/tiers.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+// Compressed segment sizes: sizes[l][k] = bytes of plane k on level l.
+using PlaneSizes = std::vector<std::vector<std::size_t>>;
+
+class SizeInterpreter {
+ public:
+  explicit SizeInterpreter(PlaneSizes sizes) : sizes_(std::move(sizes)) {}
+
+  int num_levels() const { return static_cast<int>(sizes_.size()); }
+  int num_planes(int level) const {
+    return static_cast<int>(sizes_[level].size());
+  }
+  std::size_t PlaneSize(int level, int plane) const {
+    return sizes_[level][plane];
+  }
+
+  // Bytes read when fetching the first `prefix_planes` planes of `level`.
+  std::size_t LevelBytes(int level, int prefix_planes) const;
+
+  // Total bytes for a prefix vector (Equation 1). `prefix.size()` must equal
+  // num_levels(); entries are clamped to the available plane count.
+  std::size_t TotalBytes(const std::vector<int>& prefix) const;
+
+  // Simulated seconds to fetch the plan: bytes per level are charged to the
+  // level's tier; each level with a non-empty prefix contributes one
+  // request (its planes are contiguous in the level file).
+  // Tiers are read in parallel (max over tiers), matching a striped
+  // hierarchy; set `parallel_tiers` false for a sequential hierarchy (sum).
+  double IoSeconds(const std::vector<int>& prefix, const StorageModel& model,
+                   const LevelPlacement& placement,
+                   bool parallel_tiers = true) const;
+
+  // Sum of all segment bytes (the full-accuracy read).
+  std::size_t FullBytes() const;
+
+ private:
+  PlaneSizes sizes_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_STORAGE_SIZE_INTERPRETER_H_

@@ -1,0 +1,65 @@
+#include "storage/tiers.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mgardp {
+
+StorageModel StorageModel::SummitLike() {
+  return StorageModel({
+      {"nvme", 6000.0, 0.02},
+      {"ssd", 2000.0, 0.1},
+      {"hdd-pfs", 500.0, 5.0},
+      // Disk-fronted archive tier: latency reflects the cached path, not a
+      // cold robot-arm tape mount.
+      {"archive", 100.0, 500.0},
+  });
+}
+
+double StorageModel::ReadSeconds(std::size_t i, std::size_t bytes,
+                                 std::size_t requests) const {
+  MGARDP_CHECK_LT(i, tiers_.size());
+  const TierSpec& t = tiers_[i];
+  const double transfer =
+      static_cast<double>(bytes) / (t.bandwidth_mb_per_s * 1e6);
+  const double latency =
+      static_cast<double>(requests) * t.latency_ms / 1e3;
+  return transfer + latency;
+}
+
+LevelPlacement LevelPlacement::Spread(int num_levels, std::size_t num_tiers) {
+  MGARDP_CHECK_GT(num_levels, 0);
+  MGARDP_CHECK_GT(num_tiers, 0u);
+  std::vector<std::size_t> mapping(num_levels);
+  for (int l = 0; l < num_levels; ++l) {
+    if (num_levels == 1) {
+      mapping[l] = 0;
+    } else {
+      mapping[l] = static_cast<std::size_t>(
+          (static_cast<double>(l) / (num_levels - 1)) *
+          static_cast<double>(num_tiers - 1) + 0.5);
+    }
+  }
+  return LevelPlacement(std::move(mapping));
+}
+
+Result<LevelPlacement> LevelPlacement::FromMapping(
+    std::vector<std::size_t> mapping, std::size_t num_tiers) {
+  if (mapping.empty()) {
+    return Status::Invalid("placement mapping must be non-empty");
+  }
+  for (std::size_t t : mapping) {
+    if (t >= num_tiers) {
+      return Status::Invalid("placement refers to tier beyond the model");
+    }
+  }
+  return LevelPlacement(std::move(mapping));
+}
+
+std::size_t LevelPlacement::TierForLevel(int level) const {
+  MGARDP_CHECK(level >= 0 && level < num_levels());
+  return mapping_[level];
+}
+
+}  // namespace mgardp

@@ -1,0 +1,73 @@
+// Storage hierarchy model.
+//
+// The paper places coefficient levels across an HPC storage hierarchy
+// (fast tiers hold the frequently accessed coarse levels, slow tiers the
+// rarely touched fine ones) and reports I/O cost as a function of retrieved
+// bytes. This module models tiers by bandwidth + per-request latency and
+// maps levels to tiers; the simulator converts a retrieval plan's per-level
+// byte counts into seconds.
+
+#ifndef MGARDP_STORAGE_TIERS_H_
+#define MGARDP_STORAGE_TIERS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgardp {
+
+struct TierSpec {
+  std::string name;
+  double bandwidth_mb_per_s = 0.0;  // sustained read bandwidth (MB/s)
+  double latency_ms = 0.0;          // per-request latency
+};
+
+// A fixed set of tiers, fastest first.
+class StorageModel {
+ public:
+  StorageModel() = default;
+  explicit StorageModel(std::vector<TierSpec> tiers)
+      : tiers_(std::move(tiers)) {}
+
+  // Four-tier hierarchy resembling the paper's target systems:
+  // NVMe burst buffer, SSD, parallel-FS HDD, tape archive.
+  static StorageModel SummitLike();
+
+  std::size_t num_tiers() const { return tiers_.size(); }
+  const TierSpec& tier(std::size_t i) const { return tiers_[i]; }
+
+  // Seconds to read `bytes` from tier `i` with `requests` separate requests.
+  double ReadSeconds(std::size_t i, std::size_t bytes,
+                     std::size_t requests) const;
+
+ private:
+  std::vector<TierSpec> tiers_;
+};
+
+// Assignment of coefficient levels to tiers. Coarse levels (small, hot) go
+// to fast tiers.
+class LevelPlacement {
+ public:
+  // Spreads `num_levels` levels over `num_tiers` tiers: level 0 on the
+  // fastest tier, the last level on the slowest, intermediate levels evenly.
+  static LevelPlacement Spread(int num_levels, std::size_t num_tiers);
+
+  // Explicit mapping; values must be < num_tiers of the model it is used
+  // with (validated at use sites).
+  static Result<LevelPlacement> FromMapping(std::vector<std::size_t> mapping,
+                                            std::size_t num_tiers);
+
+  std::size_t TierForLevel(int level) const;
+  int num_levels() const { return static_cast<int>(mapping_.size()); }
+
+ private:
+  explicit LevelPlacement(std::vector<std::size_t> mapping)
+      : mapping_(std::move(mapping)) {}
+  std::vector<std::size_t> mapping_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_STORAGE_TIERS_H_

@@ -1,0 +1,13 @@
+#include "util/array3d.h"
+
+#include <sstream>
+
+namespace mgardp {
+
+std::string Dims3::ToString() const {
+  std::ostringstream os;
+  os << nx << "x" << ny << "x" << nz;
+  return os.str();
+}
+
+}  // namespace mgardp

@@ -1,0 +1,78 @@
+// A dense row-major 3D array of scalars.
+//
+// The library treats every dataset as a 3D grid; 1D and 2D data use extent 1
+// in the unused dimensions. Indexing is (i, j, k) = (x, y, z) with z fastest,
+// matching how simulation dumps are laid out on disk.
+
+#ifndef MGARDP_UTIL_ARRAY3D_H_
+#define MGARDP_UTIL_ARRAY3D_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mgardp {
+
+// Grid extents along x, y, z.
+struct Dims3 {
+  std::size_t nx = 1;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+
+  std::size_t size() const { return nx * ny * nz; }
+  // Number of axes with extent > 1 (the effective dimensionality).
+  int dimensionality() const {
+    return static_cast<int>(nx > 1) + static_cast<int>(ny > 1) +
+           static_cast<int>(nz > 1);
+  }
+  bool operator==(const Dims3& o) const {
+    return nx == o.nx && ny == o.ny && nz == o.nz;
+  }
+  std::string ToString() const;
+};
+
+template <typename T>
+class Array3D {
+ public:
+  Array3D() : dims_{0, 0, 0} {}
+  explicit Array3D(Dims3 dims, T fill = T{})
+      : dims_(dims), data_(dims.size(), fill) {}
+  Array3D(Dims3 dims, std::vector<T> data)
+      : dims_(dims), data_(std::move(data)) {
+    MGARDP_CHECK_EQ(dims_.size(), data_.size());
+  }
+
+  const Dims3& dims() const { return dims_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    MGARDP_DCHECK(i < dims_.nx && j < dims_.ny && k < dims_.nz);
+    return data_[(i * dims_.ny + j) * dims_.nz + k];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    MGARDP_DCHECK(i < dims_.nx && j < dims_.ny && k < dims_.nz);
+    return data_[(i * dims_.ny + j) * dims_.nz + k];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& vector() { return data_; }
+  const std::vector<T>& vector() const { return data_; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  Dims3 dims_;
+  std::vector<T> data_;
+};
+
+using Array3Dd = Array3D<double>;
+
+}  // namespace mgardp
+
+#endif  // MGARDP_UTIL_ARRAY3D_H_

@@ -1,0 +1,84 @@
+// Minimal logging and assertion macros.
+//
+// MGARDP_CHECK* are always-on invariant checks (used for programming errors,
+// not for user-input validation -- that path returns Status). MGARDP_DCHECK*
+// compile out in release builds.
+
+#ifndef MGARDP_UTIL_LOGGING_H_
+#define MGARDP_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mgardp {
+namespace internal {
+
+// Accumulates a message and aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << " CHECK failed: ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns a streamed expression into void so it can sit in a ternary branch;
+// operator& binds more loosely than operator<<, so the whole chain streams
+// first (the standard glog trick).
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace mgardp
+
+#define MGARDP_CHECK(cond)                                         \
+  (cond) ? (void)0                                                 \
+         : ::mgardp::internal::Voidify() &                         \
+               ::mgardp::internal::FatalLogMessage(__FILE__,       \
+                                                   __LINE__)       \
+                   .stream()                                       \
+               << #cond << " "
+
+#define MGARDP_CHECK_BINOP(a, b, op)                               \
+  ((a)op(b)) ? (void)0                                             \
+             : ::mgardp::internal::Voidify() &                     \
+                   ::mgardp::internal::FatalLogMessage(__FILE__,   \
+                                                       __LINE__)   \
+                       .stream()                                   \
+                   << #a " " #op " " #b " (" << (a) << " vs "      \
+                   << (b) << ") "
+
+#define MGARDP_CHECK_EQ(a, b) MGARDP_CHECK_BINOP(a, b, ==)
+#define MGARDP_CHECK_NE(a, b) MGARDP_CHECK_BINOP(a, b, !=)
+#define MGARDP_CHECK_LT(a, b) MGARDP_CHECK_BINOP(a, b, <)
+#define MGARDP_CHECK_LE(a, b) MGARDP_CHECK_BINOP(a, b, <=)
+#define MGARDP_CHECK_GT(a, b) MGARDP_CHECK_BINOP(a, b, >)
+#define MGARDP_CHECK_GE(a, b) MGARDP_CHECK_BINOP(a, b, >=)
+
+#ifdef NDEBUG
+#define MGARDP_DCHECK(cond) \
+  while (false) MGARDP_CHECK(cond)
+#define MGARDP_DCHECK_EQ(a, b) \
+  while (false) MGARDP_CHECK_EQ(a, b)
+#define MGARDP_DCHECK_LT(a, b) \
+  while (false) MGARDP_CHECK_LT(a, b)
+#define MGARDP_DCHECK_LE(a, b) \
+  while (false) MGARDP_CHECK_LE(a, b)
+#else
+#define MGARDP_DCHECK(cond) MGARDP_CHECK(cond)
+#define MGARDP_DCHECK_EQ(a, b) MGARDP_CHECK_EQ(a, b)
+#define MGARDP_DCHECK_LT(a, b) MGARDP_CHECK_LT(a, b)
+#define MGARDP_DCHECK_LE(a, b) MGARDP_CHECK_LE(a, b)
+#endif
+
+#endif  // MGARDP_UTIL_LOGGING_H_

@@ -1,0 +1,22 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace mgardp {
+
+double Rng::NextGaussian() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller transform. u1 in (0, 1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_ = r * std::sin(theta);
+  have_cached_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace mgardp

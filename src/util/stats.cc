@@ -1,0 +1,165 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace mgardp {
+
+FieldSummary Summarize(const double* values, std::size_t n) {
+  FieldSummary s;
+  s.count = n;
+  if (n == 0) {
+    return s;
+  }
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = values[i];
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    abs_sum += std::fabs(v);
+    sq_sum += v * v;
+    s.abs_max = std::max(s.abs_max, std::fabs(v));
+  }
+  s.mean = sum / static_cast<double>(n);
+  s.abs_mean = abs_sum / static_cast<double>(n);
+  s.l2_norm = std::sqrt(sq_sum);
+
+  // Central moments in a second pass for numerical robustness.
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = values[i] - s.mean;
+    const double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+    m4 += d2 * d2;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  s.stddev = std::sqrt(m2);
+  if (m2 > 0.0) {
+    s.skewness = m3 / std::pow(m2, 1.5);
+    s.kurtosis = m4 / (m2 * m2) - 3.0;
+  }
+  return s;
+}
+
+FieldSummary Summarize(const std::vector<double>& values) {
+  return Summarize(values.data(), values.size());
+}
+
+std::string FieldSummary::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count << " min=" << min << " max=" << max << " mean=" << mean
+     << " std=" << stddev;
+  return os.str();
+}
+
+double MaxAbsError(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  MGARDP_CHECK_EQ(a.size(), b.size());
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    err = std::max(err, std::fabs(a[i] - b[i]));
+  }
+  return err;
+}
+
+double RmsError(const std::vector<double>& a, const std::vector<double>& b) {
+  MGARDP_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) {
+    return 0.0;
+  }
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(a.size()));
+}
+
+double Psnr(const std::vector<double>& original,
+            const std::vector<double>& reconstructed) {
+  const double rmse = RmsError(original, reconstructed);
+  const FieldSummary s = Summarize(original);
+  if (rmse == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (s.range() == 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return 20.0 * std::log10(s.range() / rmse);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  MGARDP_CHECK(!values.empty());
+  MGARDP_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<double> AbsQuantileSketch(const std::vector<double>& values,
+                                      std::size_t bins) {
+  MGARDP_CHECK_GT(bins, 0u);
+  std::vector<double> abs_vals(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    abs_vals[i] = std::fabs(values[i]);
+  }
+  std::sort(abs_vals.begin(), abs_vals.end());
+  std::vector<double> sketch(bins, 0.0);
+  if (abs_vals.empty()) {
+    return sketch;
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double q = (static_cast<double>(b) + 0.5) / static_cast<double>(bins);
+    const double pos = q * static_cast<double>(abs_vals.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, abs_vals.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    sketch[b] = abs_vals[lo] * (1.0 - frac) + abs_vals[hi] * frac;
+  }
+  return sketch;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  MGARDP_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace mgardp

@@ -1,0 +1,52 @@
+#include "util/status.h"
+
+namespace mgardp {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void Status::Abort(const char* context) const {
+  if (ok()) {
+    return;
+  }
+  if (context != nullptr) {
+    std::cerr << context << ": ";
+  }
+  std::cerr << ToString() << std::endl;
+  std::abort();
+}
+
+}  // namespace mgardp

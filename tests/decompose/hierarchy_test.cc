@@ -1,0 +1,108 @@
+#include "decompose/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace mgardp {
+namespace {
+
+TEST(HierarchyTest, ValidExtents) {
+  EXPECT_TRUE(IsValidExtent(1));
+  EXPECT_TRUE(IsValidExtent(3));
+  EXPECT_TRUE(IsValidExtent(5));
+  EXPECT_TRUE(IsValidExtent(9));
+  EXPECT_TRUE(IsValidExtent(17));
+  EXPECT_TRUE(IsValidExtent(33));
+  EXPECT_TRUE(IsValidExtent(65));
+  EXPECT_FALSE(IsValidExtent(2));
+  EXPECT_FALSE(IsValidExtent(4));
+  EXPECT_FALSE(IsValidExtent(6));
+  EXPECT_FALSE(IsValidExtent(8));
+  EXPECT_FALSE(IsValidExtent(32));
+  EXPECT_FALSE(IsValidExtent(0));
+}
+
+TEST(HierarchyTest, MaxSteps) {
+  EXPECT_EQ(MaxStepsForExtent(3), 1);
+  EXPECT_EQ(MaxStepsForExtent(5), 2);
+  EXPECT_EQ(MaxStepsForExtent(33), 5);
+  EXPECT_EQ(MaxStepsForExtent(65), 6);
+}
+
+TEST(HierarchyTest, RejectsBadExtents) {
+  EXPECT_FALSE(GridHierarchy::Create(Dims3{32, 32, 32}).ok());
+  EXPECT_FALSE(GridHierarchy::Create(Dims3{1, 1, 1}).ok());
+  EXPECT_FALSE(GridHierarchy::Create(Dims3{0, 5, 5}).ok());
+}
+
+TEST(HierarchyTest, DefaultStepsCappedAtFour) {
+  auto h = GridHierarchy::Create(Dims3{33, 33, 33});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().num_steps(), 4);
+  EXPECT_EQ(h.value().num_levels(), 5);
+}
+
+TEST(HierarchyTest, SmallGridLimitsSteps) {
+  auto h = GridHierarchy::Create(Dims3{5, 5, 5});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().num_steps(), 2);
+}
+
+TEST(HierarchyTest, ExplicitStepsValidated) {
+  HierarchyOptions opts;
+  opts.target_steps = 5;
+  EXPECT_TRUE(GridHierarchy::Create(Dims3{33, 33, 33}, opts).ok());
+  opts.target_steps = 6;
+  EXPECT_FALSE(GridHierarchy::Create(Dims3{33, 33, 33}, opts).ok());
+  opts.target_steps = 0;
+  EXPECT_FALSE(GridHierarchy::Create(Dims3{33, 33, 33}, opts).ok());
+}
+
+TEST(HierarchyTest, MixedExtentsUseMinimum) {
+  // 33 supports 5 steps, 9 supports 3 -> default capped at min(3, 4) = 3.
+  auto h = GridHierarchy::Create(Dims3{33, 9, 1});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().num_steps(), 3);
+}
+
+TEST(HierarchyTest, LevelSizesPartitionTheGrid1D) {
+  HierarchyOptions opts;
+  opts.target_steps = 3;
+  auto h = GridHierarchy::Create(Dims3{9, 1, 1}, opts);
+  ASSERT_TRUE(h.ok());
+  // 9 nodes: coarsest lattice (stride 8) has 2 nodes; details 1, 2, 4.
+  EXPECT_EQ(h.value().LevelSize(0), 2u);
+  EXPECT_EQ(h.value().LevelSize(1), 1u);
+  EXPECT_EQ(h.value().LevelSize(2), 2u);
+  EXPECT_EQ(h.value().LevelSize(3), 4u);
+}
+
+TEST(HierarchyTest, LevelSizesPartitionTheGrid3D) {
+  auto hr = GridHierarchy::Create(Dims3{17, 17, 17});
+  ASSERT_TRUE(hr.ok());
+  const GridHierarchy& h = hr.value();
+  std::size_t total = 0;
+  for (int l = 0; l < h.num_levels(); ++l) {
+    total += h.LevelSize(l);
+  }
+  EXPECT_EQ(total, h.TotalSize());
+  EXPECT_EQ(h.TotalSize(), 17u * 17u * 17u);
+}
+
+TEST(HierarchyTest, LatticeDims) {
+  auto hr = GridHierarchy::Create(Dims3{17, 17, 1});
+  ASSERT_TRUE(hr.ok());
+  EXPECT_TRUE(hr.value().LatticeDims(0) == (Dims3{17, 17, 1}));
+  EXPECT_TRUE(hr.value().LatticeDims(4) == (Dims3{2, 2, 1}));
+}
+
+TEST(HierarchyTest, FinestLevelIsLargest) {
+  auto hr = GridHierarchy::Create(Dims3{33, 33, 33});
+  ASSERT_TRUE(hr.ok());
+  const GridHierarchy& h = hr.value();
+  for (int l = 1; l < h.num_levels(); ++l) {
+    EXPECT_GT(h.LevelSize(l), h.LevelSize(l - 1));
+  }
+}
+
+}  // namespace
+}  // namespace mgardp

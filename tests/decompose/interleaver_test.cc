@@ -1,0 +1,101 @@
+#include "decompose/interleaver.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mgardp {
+namespace {
+
+GridHierarchy MakeHierarchy(Dims3 dims) {
+  auto h = GridHierarchy::Create(dims);
+  h.status().Abort("MakeHierarchy");
+  return h.value();
+}
+
+TEST(InterleaverTest, ExtractSizesMatchHierarchy) {
+  GridHierarchy h = MakeHierarchy(Dims3{17, 17, 17});
+  Interleaver il(h);
+  Array3Dd data(h.dims(), 1.0);
+  auto levels = il.Extract(data);
+  ASSERT_EQ(static_cast<int>(levels.size()), h.num_levels());
+  for (int l = 0; l < h.num_levels(); ++l) {
+    EXPECT_EQ(levels[l].size(), h.LevelSize(l)) << "level " << l;
+  }
+}
+
+TEST(InterleaverTest, ExtractDepositRoundTrip) {
+  for (Dims3 dims : {Dims3{33, 1, 1}, Dims3{9, 17, 1}, Dims3{9, 9, 9}}) {
+    GridHierarchy h = MakeHierarchy(dims);
+    Interleaver il(h);
+    Rng rng(5);
+    Array3Dd data(dims);
+    for (double& v : data.vector()) {
+      v = rng.Uniform(-1, 1);
+    }
+    auto levels = il.Extract(data);
+    Array3Dd restored(dims);
+    ASSERT_TRUE(il.Deposit(levels, &restored).ok());
+    EXPECT_EQ(MaxAbsError(data.vector(), restored.vector()), 0.0)
+        << dims.ToString();
+  }
+}
+
+TEST(InterleaverTest, EveryNodeExtractedExactlyOnce) {
+  GridHierarchy h = MakeHierarchy(Dims3{9, 9, 9});
+  Interleaver il(h);
+  // Give every node a unique value; the union of extracted levels must be
+  // exactly the set of all values.
+  Array3Dd data(h.dims());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.vector()[i] = static_cast<double>(i);
+  }
+  auto levels = il.Extract(data);
+  std::vector<double> all;
+  for (const auto& level : levels) {
+    all.insert(all.end(), level.begin(), level.end());
+  }
+  ASSERT_EQ(all.size(), data.size());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<double>(i));
+  }
+}
+
+TEST(InterleaverTest, Level0IsCoarsestLattice) {
+  GridHierarchy h = MakeHierarchy(Dims3{9, 1, 1});  // 3 steps by default
+  Interleaver il(h);
+  Array3Dd data(h.dims());
+  for (std::size_t i = 0; i < 9; ++i) {
+    data(i, 0, 0) = static_cast<double>(i);
+  }
+  auto levels = il.Extract(data);
+  // Default steps for extent 9 = 3, coarsest stride 8: nodes 0 and 8.
+  ASSERT_EQ(levels[0].size(), 2u);
+  EXPECT_EQ(levels[0][0], 0.0);
+  EXPECT_EQ(levels[0][1], 8.0);
+  // Finest level: odd indices 1,3,5,7.
+  ASSERT_EQ(levels[3].size(), 4u);
+  EXPECT_EQ(levels[3][0], 1.0);
+  EXPECT_EQ(levels[3][3], 7.0);
+}
+
+TEST(InterleaverTest, DepositValidatesShapes) {
+  GridHierarchy h = MakeHierarchy(Dims3{9, 9, 1});
+  Interleaver il(h);
+  Array3Dd data(h.dims());
+  std::vector<std::vector<double>> wrong_count(h.num_levels() - 1);
+  EXPECT_FALSE(il.Deposit(wrong_count, &data).ok());
+
+  auto levels = il.Extract(data);
+  levels[1].push_back(0.0);
+  EXPECT_FALSE(il.Deposit(levels, &data).ok());
+
+  Array3Dd wrong_dims(Dims3{5, 5, 1});
+  auto ok_levels = il.Extract(data);
+  EXPECT_FALSE(il.Deposit(ok_levels, &wrong_dims).ok());
+}
+
+}  // namespace
+}  // namespace mgardp

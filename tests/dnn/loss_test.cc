@@ -1,0 +1,103 @@
+#include "dnn/loss.h"
+
+#include <gtest/gtest.h>
+
+namespace mgardp {
+namespace dnn {
+namespace {
+
+Matrix Row(std::initializer_list<double> vals) {
+  return Matrix(1, vals.size(), std::vector<double>(vals));
+}
+
+TEST(MseLossTest, ValueAndGrad) {
+  MseLoss loss;
+  Matrix pred = Row({1.0, 2.0});
+  Matrix target = Row({0.0, 4.0});
+  // ((1)^2 + (-2)^2) / 2 = 2.5.
+  EXPECT_DOUBLE_EQ(loss.Value(pred, target), 2.5);
+  Matrix g = loss.Grad(pred, target);
+  EXPECT_DOUBLE_EQ(g(0, 0), 2.0 * 1.0 / 2);
+  EXPECT_DOUBLE_EQ(g(0, 1), 2.0 * -2.0 / 2);
+}
+
+TEST(MaeLossTest, ValueAndGrad) {
+  MaeLoss loss;
+  Matrix pred = Row({1.0, 2.0, 3.0});
+  Matrix target = Row({0.0, 4.0, 3.0});
+  EXPECT_DOUBLE_EQ(loss.Value(pred, target), (1.0 + 2.0 + 0.0) / 3);
+  Matrix g = loss.Grad(pred, target);
+  EXPECT_DOUBLE_EQ(g(0, 0), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(g(0, 1), -1.0 / 3);
+  EXPECT_DOUBLE_EQ(g(0, 2), 0.0);
+}
+
+TEST(HuberLossTest, QuadraticInsideDelta) {
+  HuberLoss loss(1.0);
+  Matrix pred = Row({0.5});
+  Matrix target = Row({0.0});
+  EXPECT_DOUBLE_EQ(loss.Value(pred, target), 0.5 * 0.25);
+  EXPECT_DOUBLE_EQ(loss.Grad(pred, target)(0, 0), 0.5);
+}
+
+TEST(HuberLossTest, LinearOutsideDelta) {
+  HuberLoss loss(1.0);
+  Matrix pred = Row({3.0});
+  Matrix target = Row({0.0});
+  // delta * (|d| - delta/2) = 1 * (3 - 0.5) = 2.5 (Equation 5).
+  EXPECT_DOUBLE_EQ(loss.Value(pred, target), 2.5);
+  EXPECT_DOUBLE_EQ(loss.Grad(pred, target)(0, 0), 1.0);
+  Matrix neg = Row({-3.0});
+  EXPECT_DOUBLE_EQ(loss.Grad(neg, target)(0, 0), -1.0);
+}
+
+TEST(HuberLossTest, ContinuousAtDelta) {
+  HuberLoss loss(1.0);
+  Matrix target = Row({0.0});
+  const double below = loss.Value(Row({0.999999}), target);
+  const double above = loss.Value(Row({1.000001}), target);
+  EXPECT_NEAR(below, above, 1e-5);
+}
+
+TEST(HuberLossTest, BetweenMaeAndMse) {
+  // For large errors Huber grows like MAE (slower than MSE); for small
+  // errors it matches 0.5 * MSE.
+  HuberLoss huber(1.0);
+  MseLoss mse;
+  MaeLoss mae;
+  Matrix target = Row({0.0});
+  Matrix big = Row({10.0});
+  EXPECT_LT(huber.Value(big, target), mse.Value(big, target));
+  EXPECT_GT(huber.Value(big, target), mae.Value(big, target) - 1.0);
+  Matrix small = Row({0.1});
+  EXPECT_DOUBLE_EQ(huber.Value(small, target),
+                   0.5 * mse.Value(small, target));
+}
+
+TEST(LossGradTest, NumericalCheckAllLosses) {
+  const double eps = 1e-6;
+  Matrix target = Row({0.3, -1.7, 4.0});
+  for (const char* name : {"mse", "mae", "huber"}) {
+    auto loss = MakeLoss(name);
+    Matrix pred = Row({1.0, -2.5, 3.0});
+    Matrix g = loss->Grad(pred, target);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      Matrix up = pred, down = pred;
+      up.vector()[i] += eps;
+      down.vector()[i] -= eps;
+      const double numeric =
+          (loss->Value(up, target) - loss->Value(down, target)) / (2 * eps);
+      EXPECT_NEAR(g.vector()[i], numeric, 1e-5) << name << " i=" << i;
+    }
+  }
+}
+
+TEST(LossFactoryTest, NamesResolve) {
+  EXPECT_EQ(MakeLoss("mse")->name(), "mse");
+  EXPECT_EQ(MakeLoss("mae")->name(), "mae");
+  EXPECT_EQ(MakeLoss("huber")->name(), "huber");
+}
+
+}  // namespace
+}  // namespace dnn
+}  // namespace mgardp

@@ -1,0 +1,84 @@
+#include "dnn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace mgardp {
+namespace dnn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_EQ(m.data()[1], -2.0);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c(0, 0), 58);
+  EXPECT_EQ(c(0, 1), 64);
+  EXPECT_EQ(c(1, 0), 139);
+  EXPECT_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedMatMulEqualsExplicitTranspose) {
+  // a^T b where a is (3 x 2): a^T is (2 x 3).
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {1, 0, 0, 1, 1, 1});
+  Matrix c = a.TransposedMatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  // a^T = [[1,3,5],[2,4,6]]; c = a^T b.
+  EXPECT_EQ(c(0, 0), 1 * 1 + 3 * 0 + 5 * 1);
+  EXPECT_EQ(c(0, 1), 1 * 0 + 3 * 1 + 5 * 1);
+  EXPECT_EQ(c(1, 0), 2 * 1 + 4 * 0 + 6 * 1);
+  EXPECT_EQ(c(1, 1), 2 * 0 + 4 * 1 + 6 * 1);
+}
+
+TEST(MatrixTest, MatMulTransposedEqualsExplicitTranspose) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(2, 3, {1, 1, 0, 0, 1, 1});  // b^T is (3 x 2)
+  Matrix c = a.MatMulTransposed(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c(0, 0), 1 + 2);
+  EXPECT_EQ(c(0, 1), 2 + 3);
+  EXPECT_EQ(c(1, 0), 4 + 5);
+  EXPECT_EQ(c(1, 1), 5 + 6);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix eye(2, 2, {1, 0, 0, 1});
+  Matrix c = a.MatMul(eye);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.vector()[i], a.vector()[i]);
+  }
+}
+
+TEST(MatrixTest, GatherRows) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix g = a.GatherRows({2, 0, 2});
+  ASSERT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g(0, 0), 5);
+  EXPECT_EQ(g(1, 1), 2);
+  EXPECT_EQ(g(2, 0), 5);
+}
+
+TEST(MatrixTest, Fill) {
+  Matrix m(2, 2, 1.0);
+  m.Fill(0.0);
+  for (double v : m.vector()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dnn
+}  // namespace mgardp

@@ -1,0 +1,102 @@
+#include "dnn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mgardp {
+namespace dnn {
+namespace {
+
+TEST(SgdTest, SingleStep) {
+  Matrix p(1, 2, {1.0, 2.0});
+  Matrix g(1, 2, {0.5, -1.0});
+  Sgd sgd(0.1);
+  sgd.Step({&p}, {&g});
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.95);
+  EXPECT_DOUBLE_EQ(p(0, 1), 2.1);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2 by gradient descent.
+  Matrix x(1, 1, {0.0});
+  Matrix g(1, 1);
+  Sgd sgd(0.1);
+  for (int i = 0; i < 200; ++i) {
+    g(0, 0) = 2.0 * (x(0, 0) - 3.0);
+    sgd.Step({&x}, {&g});
+  }
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-6);
+}
+
+TEST(AdamTest, FirstStepIsLrSizedSignedStep) {
+  // With bias correction, Adam's first update is ~lr * sign(grad).
+  Matrix p(1, 2, {0.0, 0.0});
+  Matrix g(1, 2, {0.3, -7.0});
+  Adam adam(0.01);
+  adam.Step({&p}, {&g});
+  EXPECT_NEAR(p(0, 0), -0.01, 1e-6);
+  EXPECT_NEAR(p(0, 1), 0.01, 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Matrix x(1, 1, {-5.0});
+  Matrix g(1, 1);
+  Adam adam(0.05);
+  for (int i = 0; i < 2000; ++i) {
+    g(0, 0) = 2.0 * (x(0, 0) - 3.0);
+    adam.Step({&x}, {&g});
+  }
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-3);
+}
+
+TEST(AdamTest, ConvergesOnIllConditionedQuadratic) {
+  // f(x, y) = x^2 + 100 y^2: Adam's per-coordinate scaling handles the
+  // conditioning that plain SGD at the same rate struggles with.
+  Matrix x(1, 2, {5.0, 5.0});
+  Matrix g(1, 2);
+  Adam adam(0.05);
+  for (int i = 0; i < 5000; ++i) {
+    g(0, 0) = 2.0 * x(0, 0);
+    g(0, 1) = 200.0 * x(0, 1);
+    adam.Step({&x}, {&g});
+  }
+  EXPECT_NEAR(x(0, 0), 0.0, 1e-2);
+  EXPECT_NEAR(x(0, 1), 0.0, 1e-2);
+}
+
+TEST(AdamTest, MultipleParameterSlots) {
+  Matrix a(1, 1, {1.0}), b(2, 2, 1.0);
+  Matrix ga(1, 1, {1.0}), gb(2, 2, 1.0);
+  Adam adam(0.01);
+  adam.Step({&a, &b}, {&ga, &gb});
+  EXPECT_LT(a(0, 0), 1.0);
+  EXPECT_LT(b(1, 1), 1.0);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  // With zero gradients, AdamW decay pulls parameters toward zero.
+  Matrix p(1, 1, {2.0});
+  Matrix g(1, 1, {0.0});
+  Adam adam(0.1, /*weight_decay=*/0.1);
+  for (int i = 0; i < 50; ++i) {
+    adam.Step({&p}, {&g});
+  }
+  EXPECT_LT(p(0, 0), 2.0);
+  EXPECT_GT(p(0, 0), 0.0);
+}
+
+TEST(AdamTest, WeightDecayStillConverges) {
+  Matrix x(1, 1, {-5.0});
+  Matrix g(1, 1);
+  Adam adam(0.05, 1e-4);
+  for (int i = 0; i < 3000; ++i) {
+    g(0, 0) = 2.0 * (x(0, 0) - 3.0);
+    adam.Step({&x}, {&g});
+  }
+  EXPECT_NEAR(x(0, 0), 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace dnn
+}  // namespace mgardp

@@ -1,0 +1,130 @@
+#include "dnn/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mgardp {
+namespace dnn {
+namespace {
+
+TEST(ScalerTest, TransformStandardizesColumns) {
+  Rng rng(4);
+  Matrix data(500, 3);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    data(r, 0) = 10.0 + 2.0 * rng.NextGaussian();
+    data(r, 1) = -5.0 + 0.1 * rng.NextGaussian();
+    data(r, 2) = rng.NextGaussian();
+  }
+  StandardScaler scaler;
+  scaler.Fit(data);
+  Matrix t = scaler.Transform(data);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      mean += t(r, c);
+    }
+    mean /= t.rows();
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      var += (t(r, c) - mean) * (t(r, c) - mean);
+    }
+    var /= t.rows();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, InverseTransformRecovers) {
+  Rng rng(5);
+  Matrix data(100, 2);
+  for (double& v : data.vector()) {
+    v = rng.Uniform(-100, 100);
+  }
+  StandardScaler scaler;
+  scaler.Fit(data);
+  Matrix recovered = scaler.InverseTransform(scaler.Transform(data));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(recovered.vector()[i], data.vector()[i], 1e-9);
+  }
+}
+
+TEST(ScalerTest, ConstantColumnHandled) {
+  Matrix data(10, 1, 7.0);
+  StandardScaler scaler;
+  scaler.Fit(data);
+  Matrix t = scaler.Transform(data);
+  for (double v : t.vector()) {
+    EXPECT_EQ(v, 0.0);
+  }
+  Matrix back = scaler.InverseTransform(t);
+  for (double v : back.vector()) {
+    EXPECT_EQ(v, 7.0);
+  }
+}
+
+TEST(ScalerTest, ValueHelpersMatchMatrixPath) {
+  Matrix data(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
+  StandardScaler scaler;
+  scaler.Fit(data);
+  Matrix t = scaler.Transform(data);
+  EXPECT_NEAR(scaler.TransformValue(0, 3.0), t(2, 0), 1e-12);
+  EXPECT_NEAR(scaler.InverseTransformValue(1, t(1, 1)), 20.0, 1e-12);
+}
+
+TEST(ScalerTest, SerializationRoundTrip) {
+  Matrix data(5, 2, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  StandardScaler scaler;
+  scaler.Fit(data);
+  BinaryWriter w;
+  scaler.Serialize(&w);
+  BinaryReader r(w.buffer());
+  StandardScaler restored;
+  ASSERT_TRUE(restored.Deserialize(&r).ok());
+  Matrix a = scaler.Transform(data);
+  Matrix b = restored.Transform(data);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.vector()[i], b.vector()[i]);
+  }
+}
+
+TEST(ScalerTest, FrozenColumnsIgnoreInferenceShifts) {
+  // A column that was constant during Fit carries no information; any
+  // value seen at inference must map to 0 instead of being divided by a
+  // floating-point-noise standard deviation.
+  Matrix data(64, 2);
+  Rng rng(11);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    data(r, 0) = 3.6913151281862433;  // constant up to summation noise
+    data(r, 1) = rng.NextGaussian();
+  }
+  StandardScaler scaler;
+  scaler.Fit(data);
+  Matrix probe(1, 2, {99.0, 0.5});
+  Matrix t = scaler.Transform(probe);
+  EXPECT_EQ(t(0, 0), 0.0);
+  EXPECT_NE(t(0, 1), 0.0);
+  EXPECT_EQ(scaler.TransformValue(0, -123.0), 0.0);
+}
+
+TEST(ScalerTest, FrozenFlagSurvivesSerialization) {
+  Matrix data(8, 2);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    data(r, 0) = 7.0;
+    data(r, 1) = static_cast<double>(r);
+  }
+  StandardScaler scaler;
+  scaler.Fit(data);
+  BinaryWriter w;
+  scaler.Serialize(&w);
+  BinaryReader r(w.buffer());
+  StandardScaler restored;
+  ASSERT_TRUE(restored.Deserialize(&r).ok());
+  Matrix probe(1, 2, {100.0, 3.0});
+  EXPECT_EQ(restored.Transform(probe)(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace dnn
+}  // namespace mgardp

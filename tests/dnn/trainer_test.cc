@@ -1,0 +1,245 @@
+#include "dnn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mgardp {
+namespace dnn {
+namespace {
+
+// y = 2 x0 - x1 + 0.5, with light noise.
+void MakeLinearDataset(std::size_t n, Matrix* x, Matrix* y,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  *y = Matrix(n, 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    (*x)(r, 0) = a;
+    (*x)(r, 1) = b;
+    (*y)(r, 0) = 2 * a - b + 0.5 + 0.01 * rng.NextGaussian();
+  }
+}
+
+TEST(TrainerTest, LossDecreasesOnLearnableProblem) {
+  Matrix x, y;
+  MakeLinearDataset(512, &x, &y, 1);
+  Rng rng(2);
+  MlpConfig c;
+  c.input_dim = 2;
+  c.hidden_dims = {16, 16};
+  c.output_dim = 1;
+  Mlp mlp(c, &rng);
+  TrainConfig tc;
+  tc.epochs = 60;
+  tc.batch_size = 64;
+  tc.learning_rate = 3e-3;
+  tc.loss = "mse";
+  auto report = Train(&mlp, x, y, tc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_LT(report.value().final_loss, report.value().epoch_loss.front() / 10);
+  EXPECT_LT(report.value().final_loss, 0.01);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  Matrix x, y;
+  MakeLinearDataset(128, &x, &y, 3);
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 32;
+  tc.learning_rate = 1e-3;
+  double finals[2];
+  for (int run = 0; run < 2; ++run) {
+    Rng rng(9);
+    MlpConfig c;
+    c.input_dim = 2;
+    c.hidden_dims = {8};
+    c.output_dim = 1;
+    Mlp mlp(c, &rng);
+    auto report = Train(&mlp, x, y, tc);
+    ASSERT_TRUE(report.ok());
+    finals[run] = report.value().final_loss;
+  }
+  EXPECT_EQ(finals[0], finals[1]);
+}
+
+TEST(TrainerTest, HuberTrainsComparablyToMse) {
+  Matrix x, y;
+  MakeLinearDataset(512, &x, &y, 4);
+  // Inject a few large outliers -- Huber should still fit the bulk.
+  for (std::size_t r = 0; r < y.rows(); r += 97) {
+    y(r, 0) += 50.0;
+  }
+  Rng rng(5);
+  MlpConfig c;
+  c.input_dim = 2;
+  c.hidden_dims = {16, 16};
+  c.output_dim = 1;
+  Mlp mlp(c, &rng);
+  TrainConfig tc;
+  tc.epochs = 80;
+  tc.batch_size = 64;
+  tc.learning_rate = 3e-3;
+  tc.loss = "huber";
+  auto report = Train(&mlp, x, y, tc);
+  ASSERT_TRUE(report.ok());
+  // Median-ish fit: most points predicted well despite outliers.
+  Matrix pred = mlp.Forward(x);
+  int good = 0;
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    const double clean = 2 * x(r, 0) - x(r, 1) + 0.5;
+    if (std::fabs(pred(r, 0) - clean) < 0.5) {
+      ++good;
+    }
+  }
+  EXPECT_GT(good, static_cast<int>(0.8 * y.rows()));
+}
+
+TEST(TrainerTest, ValidatesInputs) {
+  Rng rng(1);
+  MlpConfig c;
+  c.input_dim = 2;
+  c.hidden_dims = {4};
+  c.output_dim = 1;
+  Mlp mlp(c, &rng);
+  Matrix x(10, 2), y(9, 1);
+  TrainConfig tc;
+  EXPECT_FALSE(Train(&mlp, x, y, tc).ok());           // row mismatch
+  Matrix y2(10, 2);
+  EXPECT_FALSE(Train(&mlp, x, y2, tc).ok());          // target dim mismatch
+  Matrix x3(10, 3), y3(10, 1);
+  EXPECT_FALSE(Train(&mlp, x3, y3, tc).ok());         // feature dim mismatch
+  Matrix empty_x(0, 2), empty_y(0, 1);
+  // Zero-row matrices: rejected as empty dataset.
+  EXPECT_FALSE(Train(&mlp, empty_x, empty_y, tc).ok());
+  tc.epochs = 0;
+  Matrix ok_y(10, 1);
+  EXPECT_FALSE(Train(&mlp, x, ok_y, tc).ok());        // bad epochs
+  Mlp uninit;
+  tc.epochs = 1;
+  EXPECT_FALSE(Train(&uninit, x, ok_y, tc).ok());     // uninitialized net
+  EXPECT_FALSE(Train(nullptr, x, ok_y, tc).ok());
+}
+
+TEST(TrainerTest, SgdOptimizerAlsoWorks) {
+  Matrix x, y;
+  MakeLinearDataset(256, &x, &y, 6);
+  Rng rng(7);
+  MlpConfig c;
+  c.input_dim = 2;
+  c.hidden_dims = {8};
+  c.output_dim = 1;
+  Mlp mlp(c, &rng);
+  TrainConfig tc;
+  tc.epochs = 50;
+  tc.batch_size = 32;
+  tc.learning_rate = 0.01;
+  tc.optimizer = "sgd";
+  tc.loss = "mse";
+  auto report = Train(&mlp, x, y, tc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().final_loss, report.value().epoch_loss.front());
+}
+
+TEST(TrainerTest, UnknownOptimizerRejected) {
+  Rng rng(8);
+  MlpConfig c;
+  c.input_dim = 1;
+  c.hidden_dims = {2};
+  c.output_dim = 1;
+  Mlp mlp(c, &rng);
+  Matrix x(4, 1, 1.0), y(4, 1, 1.0);
+  TrainConfig tc;
+  tc.optimizer = "adagrad";
+  EXPECT_FALSE(Train(&mlp, x, y, tc).ok());
+}
+
+TEST(TrainerTest, EvaluateReportsLoss) {
+  Rng rng(9);
+  MlpConfig c;
+  c.input_dim = 1;
+  c.hidden_dims = {2};
+  c.output_dim = 1;
+  Mlp mlp(c, &rng);
+  Matrix x(4, 1, 0.0), y(4, 1, 0.0);
+  MseLoss mse;
+  const double loss = Evaluate(&mlp, x, y, mse);
+  // Untrained net on zero input predicts its bias path; loss is finite.
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(TrainerTest, EarlyStoppingTriggersAndRestoresBestWeights) {
+  Matrix x, y;
+  MakeLinearDataset(256, &x, &y, 10);
+  Rng rng(11);
+  MlpConfig c;
+  c.input_dim = 2;
+  c.hidden_dims = {16, 16};
+  c.output_dim = 1;
+  Mlp mlp(c, &rng);
+  TrainConfig tc;
+  tc.epochs = 500;
+  tc.batch_size = 32;
+  tc.learning_rate = 5e-3;
+  tc.loss = "mse";
+  tc.validation_fraction = 0.25;
+  tc.patience = 10;
+  auto report = Train(&mlp, x, y, tc);
+  ASSERT_TRUE(report.ok());
+  // On an easy problem with a long budget, patience should cut it short.
+  EXPECT_TRUE(report.value().early_stopped);
+  EXPECT_LT(static_cast<int>(report.value().epoch_loss.size()), 500);
+  EXPECT_FALSE(report.value().val_loss.empty());
+  EXPECT_LE(report.value().best_epoch,
+            static_cast<int>(report.value().epoch_loss.size()) - 1);
+}
+
+TEST(TrainerTest, ValidationSplitValidated) {
+  Rng rng(12);
+  MlpConfig c;
+  c.input_dim = 1;
+  c.hidden_dims = {2};
+  c.output_dim = 1;
+  Mlp mlp(c, &rng);
+  Matrix x(4, 1, 1.0), y(4, 1, 1.0);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.validation_fraction = 1.5;
+  EXPECT_FALSE(Train(&mlp, x, y, tc).ok());
+  tc.validation_fraction = 0.99;  // 3 of 4 rows held out -> 1 train row, ok
+  EXPECT_TRUE(Train(&mlp, x, y, tc).ok());
+}
+
+TEST(TrainerTest, DropoutNetworkTrainsAndInfersDeterministically) {
+  Matrix x, y;
+  MakeLinearDataset(256, &x, &y, 13);
+  Rng rng(14);
+  MlpConfig c;
+  c.input_dim = 2;
+  c.hidden_dims = {16, 16};
+  c.output_dim = 1;
+  c.dropout = 0.2;
+  Mlp mlp(c, &rng);
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.batch_size = 32;
+  tc.learning_rate = 5e-3;
+  tc.loss = "mse";
+  auto report = Train(&mlp, x, y, tc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().final_loss, report.value().epoch_loss.front());
+  // After training, inference must be deterministic (dropout off).
+  Matrix a = mlp.Forward(x);
+  Matrix b = mlp.Forward(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.vector()[i], b.vector()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dnn
+}  // namespace mgardp

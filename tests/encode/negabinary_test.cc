@@ -1,0 +1,82 @@
+#include "encode/negabinary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mgardp {
+namespace {
+
+TEST(NegabinaryTest, KnownSmallValues) {
+  // Base -2 digit expansions: 1 = 1, -1 = 11, 2 = 110, -2 = 10, 3 = 111.
+  EXPECT_EQ(ToNegabinary(0), 0u);
+  EXPECT_EQ(ToNegabinary(1), 0b1u);
+  EXPECT_EQ(ToNegabinary(-1), 0b11u);
+  EXPECT_EQ(ToNegabinary(2), 0b110u);
+  EXPECT_EQ(ToNegabinary(-2), 0b10u);
+  EXPECT_EQ(ToNegabinary(3), 0b111u);
+  EXPECT_EQ(ToNegabinary(-3), 0b1101u);
+}
+
+TEST(NegabinaryTest, DigitExpansionIsValidBaseMinus2) {
+  // Reconstruct by summing digit_j * (-2)^j and compare.
+  for (std::int64_t n = -1000; n <= 1000; ++n) {
+    const std::uint64_t nb = ToNegabinary(n);
+    std::int64_t sum = 0;
+    std::int64_t pow = 1;  // (-2)^j
+    for (int j = 0; j < 63; ++j) {
+      if ((nb >> j) & 1u) {
+        sum += pow;
+      }
+      pow *= -2;
+    }
+    EXPECT_EQ(sum, n);
+  }
+}
+
+TEST(NegabinaryTest, RoundTripExhaustiveSmall) {
+  for (std::int64_t n = -100000; n <= 100000; ++n) {
+    EXPECT_EQ(FromNegabinary(ToNegabinary(n)), n);
+  }
+}
+
+TEST(NegabinaryTest, RoundTripRandomLarge) {
+  Rng rng(21);
+  for (int i = 0; i < 100000; ++i) {
+    // |n| < 2^60 to stay within the representable range.
+    const std::int64_t n =
+        static_cast<std::int64_t>(rng.NextUint64() >> 4) -
+        (std::int64_t{1} << 59);
+    EXPECT_EQ(FromNegabinary(ToNegabinary(n)), n);
+  }
+}
+
+TEST(NegabinaryTest, DigitsCount) {
+  EXPECT_EQ(NegabinaryDigits(0), 0);
+  EXPECT_EQ(NegabinaryDigits(ToNegabinary(1)), 1);
+  EXPECT_EQ(NegabinaryDigits(ToNegabinary(-1)), 2);
+  EXPECT_EQ(NegabinaryDigits(ToNegabinary(3)), 3);
+}
+
+TEST(NegabinaryTest, TruncationErrorBounded) {
+  // Zeroing the lowest k digits changes the value by at most the sum of the
+  // dropped digit magnitudes: sum_{j<k} 2^j < 2^k. This is the property
+  // bit-plane truncation relies on.
+  Rng rng(31);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::int64_t n =
+        static_cast<std::int64_t>(rng.NextBounded(1 << 20)) - (1 << 19);
+    const std::uint64_t nb = ToNegabinary(n);
+    for (int k = 1; k <= 8; ++k) {
+      const std::uint64_t mask = ~((std::uint64_t{1} << k) - 1);
+      const std::int64_t truncated = FromNegabinary(nb & mask);
+      // Worst case |error| = 2^(k-1) + 2^(k-3) + ... < 2^k * 2/3 rounded up,
+      // but the loose bound 2^k always holds.
+      EXPECT_LT(std::llabs(n - truncated), std::int64_t{1} << k)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgardp

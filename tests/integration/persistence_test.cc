@@ -1,0 +1,99 @@
+// Round-trips through disk: the refactored field (metadata + segments)
+// persisted to a directory must support planning and reconstruction
+// identical to the in-memory artifact.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "sim/dataset.h"
+#include "util/stats.h"
+
+namespace mgardp {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "mgardp_persist_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    WarpXDatasetOptions opts;
+    opts.dims = Dims3{17, 17, 17};
+    opts.num_timesteps = 1;
+    original_ = GenerateWarpX(opts, WarpXField::kBx).frames[0];
+    auto fr = Refactorer().Refactor(original_);
+    ASSERT_TRUE(fr.ok());
+    field_ = std::move(fr).value();
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  Array3Dd original_;
+  RefactoredField field_;
+};
+
+TEST_F(PersistenceTest, MetadataRoundTrip) {
+  const std::string blob = field_.SerializeMetadata();
+  auto restored = RefactoredField::DeserializeMetadata(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const RefactoredField& r = restored.value();
+  EXPECT_TRUE(r.hierarchy.dims() == field_.hierarchy.dims());
+  EXPECT_EQ(r.hierarchy.num_steps(), field_.hierarchy.num_steps());
+  EXPECT_EQ(r.num_planes, field_.num_planes);
+  EXPECT_EQ(r.use_correction, field_.use_correction);
+  EXPECT_EQ(r.level_exponents, field_.level_exponents);
+  EXPECT_EQ(r.plane_sizes, field_.plane_sizes);
+  for (int l = 0; l < field_.num_levels(); ++l) {
+    EXPECT_EQ(r.level_errors[l].max_abs, field_.level_errors[l].max_abs);
+    EXPECT_EQ(r.level_sketches[l], field_.level_sketches[l]);
+  }
+  EXPECT_EQ(r.data_summary.count, field_.data_summary.count);
+  EXPECT_DOUBLE_EQ(r.data_summary.max, field_.data_summary.max);
+}
+
+TEST_F(PersistenceTest, MetadataRejectsCorruption) {
+  std::string blob = field_.SerializeMetadata();
+  blob[0] = 'X';  // break the magic
+  EXPECT_FALSE(RefactoredField::DeserializeMetadata(blob).ok());
+  EXPECT_FALSE(RefactoredField::DeserializeMetadata("").ok());
+}
+
+TEST_F(PersistenceTest, DirectoryRoundTripReconstructsIdentically) {
+  ASSERT_TRUE(field_.WriteToDirectory(dir_).ok());
+  auto loaded = RefactoredField::LoadFromDirectory(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+  const double bound = 1e-4 * field_.data_summary.range();
+  RetrievalPlan plan_mem, plan_disk;
+  auto mem = rec.Retrieve(field_, bound, &plan_mem);
+  auto disk = rec.Retrieve(loaded.value(), bound, &plan_disk);
+  ASSERT_TRUE(mem.ok() && disk.ok());
+  EXPECT_EQ(plan_mem.prefix, plan_disk.prefix);
+  EXPECT_EQ(plan_mem.total_bytes, plan_disk.total_bytes);
+  EXPECT_EQ(MaxAbsError(mem.value().vector(), disk.value().vector()), 0.0);
+}
+
+TEST_F(PersistenceTest, LoadFromMissingDirectoryFails) {
+  EXPECT_FALSE(RefactoredField::LoadFromDirectory("/no/such/place").ok());
+}
+
+TEST_F(PersistenceTest, SegmentsOnDiskMatchPlaneSizes) {
+  ASSERT_TRUE(field_.WriteToDirectory(dir_).ok());
+  auto loaded = RefactoredField::LoadFromDirectory(dir_);
+  ASSERT_TRUE(loaded.ok());
+  for (int l = 0; l < field_.num_levels(); ++l) {
+    for (int p = 0; p < field_.num_planes; ++p) {
+      EXPECT_EQ(loaded.value().segments.SizeOf(l, p),
+                field_.plane_sizes[l][p]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgardp

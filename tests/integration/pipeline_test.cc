@@ -1,0 +1,149 @@
+// End-to-end integration: simulate -> refactor -> collect -> train both
+// models -> retrieve with all three error-control strategies and verify the
+// paper's qualitative claims hold on fresh (held-out) timesteps.
+
+#include <gtest/gtest.h>
+
+#include "models/dmgard.h"
+#include "models/features.h"
+#include "models/emgard.h"
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "util/stats.h"
+
+namespace mgardp {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WarpXDatasetOptions opts;
+    opts.dims = Dims3{17, 17, 17};
+    opts.num_timesteps = 8;
+    series_ = new FieldSeries(GenerateWarpX(opts, WarpXField::kEx));
+
+    std::vector<int> train_steps, test_steps;
+    SplitTimesteps(series_->num_timesteps(), &train_steps, &test_steps);
+
+    CollectOptions copts;
+    copts.rel_bounds = SubsampledRelativeErrorBounds(2);
+    auto records = CollectRecords(*series_, train_steps, copts);
+    records.status().Abort("collect");
+
+    DMgardConfig dconfig;
+    dconfig.hidden_width = 16;
+    dconfig.train.epochs = 60;
+    dconfig.train.learning_rate = 1e-3;
+    auto dmodel = DMgardModel::TrainModel(records.value(), dconfig);
+    dmodel.status().Abort("train D-MGARD");
+    dmgard_ = new DMgardModel(std::move(dmodel).value());
+
+    EMgardConfig econfig;
+    econfig.train.epochs = 60;
+    econfig.train.learning_rate = 1e-3;
+    auto emodel = EMgardModel::TrainModel(records.value(), econfig);
+    emodel.status().Abort("train E-MGARD");
+    emgard_ = new EMgardModel(std::move(emodel).value());
+
+    test_steps_ = new std::vector<int>(test_steps);
+  }
+
+  static void TearDownTestSuite() {
+    delete dmgard_;
+    delete emgard_;
+    delete test_steps_;
+    delete series_;
+  }
+
+  static FieldSeries* series_;
+  static DMgardModel* dmgard_;
+  static EMgardModel* emgard_;
+  static std::vector<int>* test_steps_;
+};
+
+FieldSeries* EndToEndTest::series_ = nullptr;
+DMgardModel* EndToEndTest::dmgard_ = nullptr;
+EMgardModel* EndToEndTest::emgard_ = nullptr;
+std::vector<int>* EndToEndTest::test_steps_ = nullptr;
+
+TEST_F(EndToEndTest, BothModelsReduceRetrievalOnHeldOutTimesteps) {
+  TheoryEstimator theory;
+  LearnedConstantsEstimator learned(emgard_);
+  Reconstructor base(&theory), ours(&learned);
+
+  std::size_t base_total = 0, dmgard_total = 0, emgard_total = 0;
+  for (int t : *test_steps_) {
+    auto fr = Refactorer().Refactor(series_->frames[t]);
+    ASSERT_TRUE(fr.ok());
+    const RefactoredField& field = fr.value();
+    const double bound = 1e-4 * field.data_summary.range();
+
+    auto base_plan = base.Plan(field, bound);
+    ASSERT_TRUE(base_plan.ok());
+    base_total += base_plan.value().total_bytes;
+
+    auto pred = dmgard_->Predict(ExtractDataFeatures(field.data_summary),
+                                 field.level_sketches, bound);
+    ASSERT_TRUE(pred.ok());
+    auto dplan = base.PlanFromPrefix(field, pred.value());
+    ASSERT_TRUE(dplan.ok());
+    dmgard_total += dplan.value().total_bytes;
+
+    auto eplan = ours.Plan(field, bound);
+    ASSERT_TRUE(eplan.ok());
+    emgard_total += eplan.value().total_bytes;
+  }
+  // The paper's headline: both DNN approaches read less than the baseline.
+  EXPECT_LT(dmgard_total, base_total);
+  EXPECT_LT(emgard_total, base_total);
+}
+
+TEST_F(EndToEndTest, EMgardErrorStaysNearRequestedBound) {
+  LearnedConstantsEstimator learned(emgard_);
+  Reconstructor ours(&learned);
+  const int t = test_steps_->front();
+  auto fr = Refactorer().Refactor(series_->frames[t]);
+  ASSERT_TRUE(fr.ok());
+  const RefactoredField& field = fr.value();
+  const double bound = 1e-4 * field.data_summary.range();
+  RetrievalPlan plan;
+  auto data = ours.Retrieve(field, bound, &plan);
+  ASSERT_TRUE(data.ok());
+  const double actual =
+      MaxAbsError(series_->frames[t].vector(), data.value().vector());
+  // E-MGARD has no hard guarantee (Sec. IV-E) but must stay within an order
+  // of magnitude of the request.
+  EXPECT_LT(actual, 10.0 * bound);
+  EXPECT_GT(actual, 0.0);
+}
+
+TEST_F(EndToEndTest, DMgardReconstructionQualityTracksRequest) {
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+  const int t = test_steps_->back();
+  auto fr = Refactorer().Refactor(series_->frames[t]);
+  ASSERT_TRUE(fr.ok());
+  const RefactoredField& field = fr.value();
+  const auto features = ExtractDataFeatures(field.data_summary);
+
+  double prev_err = 0.0;
+  for (double rel : {1e-2, 1e-5}) {
+    const double bound = rel * field.data_summary.range();
+    auto pred = dmgard_->Predict(features, field.level_sketches, bound);
+    ASSERT_TRUE(pred.ok());
+    auto plan = rec.PlanFromPrefix(field, pred.value());
+    ASSERT_TRUE(plan.ok());
+    auto data = rec.Reconstruct(field, plan.value());
+    ASSERT_TRUE(data.ok());
+    const double err =
+        MaxAbsError(series_->frames[t].vector(), data.value().vector());
+    if (prev_err > 0.0) {
+      // Tighter request -> at most the looser request's error.
+      EXPECT_LE(err, prev_err * 1.5);
+    }
+    prev_err = err;
+  }
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,134 @@
+// Corruption robustness: a storage system must turn damaged artifacts into
+// Status errors (or, for bulk payload damage, into decode failures), never
+// into crashes or silent garbage propagating through Status-ok paths.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "sim/warpx.h"
+#include "util/io.h"
+#include "util/rng.h"
+
+namespace mgardp {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "mgardp_robust_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    WarpXSimulator sim(Dims3{17, 17, 1});
+    auto field = Refactorer().Refactor(sim.Field(WarpXField::kEx, 3));
+    ASSERT_TRUE(field.ok());
+    ASSERT_TRUE(field.value().WriteToDirectory(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void Corrupt(const std::string& file, std::size_t count,
+               std::uint64_t seed) {
+    const std::string path = dir_ + "/" + file;
+    auto bytes = ReadFileToString(path);
+    ASSERT_TRUE(bytes.ok());
+    std::string data = bytes.value();
+    ASSERT_FALSE(data.empty());
+    Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+      data[rng.NextBounded(data.size())] ^=
+          static_cast<char>(1 + rng.NextBounded(255));
+    }
+    ASSERT_TRUE(WriteFile(path, data).ok());
+  }
+
+  void Truncate(const std::string& file, std::size_t keep) {
+    const std::string path = dir_ + "/" + file;
+    auto bytes = ReadFileToString(path);
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_TRUE(WriteFile(path, bytes.value().substr(0, keep)).ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RobustnessTest, CorruptMetadataIsRejected) {
+  Corrupt("metadata.bin", 16, 1);
+  auto loaded = RefactoredField::LoadFromDirectory(dir_);
+  if (loaded.ok()) {
+    // Flipping bits deep in the error matrices may pass structural checks;
+    // retrieval must then still run without crashing.
+    TheoryEstimator est;
+    Reconstructor rec(&est);
+    auto plan = rec.Plan(loaded.value(), 1e-3);
+    (void)plan;  // any Status outcome is acceptable; crashing is not
+  }
+  SUCCEED();
+}
+
+TEST_F(RobustnessTest, TruncatedMetadataIsRejected) {
+  Truncate("metadata.bin", 10);
+  EXPECT_FALSE(RefactoredField::LoadFromDirectory(dir_).ok());
+}
+
+TEST_F(RobustnessTest, TruncatedIndexIsRejected) {
+  Truncate("segments.idx", 6);
+  EXPECT_FALSE(RefactoredField::LoadFromDirectory(dir_).ok());
+}
+
+TEST_F(RobustnessTest, MissingLevelFileIsRejected) {
+  std::filesystem::remove(dir_ + "/level_2.bin");
+  EXPECT_FALSE(RefactoredField::LoadFromDirectory(dir_).ok());
+}
+
+TEST_F(RobustnessTest, TruncatedLevelFileIsRejected) {
+  Truncate("level_4.bin", 3);
+  EXPECT_FALSE(RefactoredField::LoadFromDirectory(dir_).ok());
+}
+
+TEST_F(RobustnessTest, CorruptSegmentPayloadFailsDecodeNotCrash) {
+  // Bulk payload damage is only detectable at decompression time; the
+  // reconstruction must fail with a Status (or survive, if the damaged
+  // segment was not fetched) -- never crash.
+  Corrupt("level_4.bin", 64, 2);
+  auto loaded = RefactoredField::LoadFromDirectory(dir_);
+  if (!loaded.ok()) {
+    SUCCEED();
+    return;
+  }
+  auto data = ReconstructFromPrefix(
+      loaded.value(),
+      std::vector<int>(loaded.value().num_levels(),
+                       loaded.value().num_planes));
+  (void)data;  // Status either way; no crash, no UB.
+  SUCCEED();
+}
+
+TEST_F(RobustnessTest, RandomCorruptionSweepNeverCrashes) {
+  // Property sweep: many random corruption patterns over every file.
+  for (std::uint64_t seed = 10; seed < 30; ++seed) {
+    SetUp();
+    Rng rng(seed);
+    std::vector<std::string> files;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+      files.push_back(e.path().filename().string());
+    }
+    ASSERT_FALSE(files.empty());
+    Corrupt(files[rng.NextBounded(files.size())],
+            1 + rng.NextBounded(32), seed * 7);
+    auto loaded = RefactoredField::LoadFromDirectory(dir_);
+    if (loaded.ok()) {
+      TheoryEstimator est;
+      Reconstructor rec(&est);
+      auto result = rec.Retrieve(loaded.value(), 1e-3);
+      (void)result;
+    }
+    TearDown();
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mgardp

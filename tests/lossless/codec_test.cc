@@ -1,0 +1,217 @@
+#include "lossless/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mgardp {
+namespace lossless {
+namespace {
+
+std::string RandomBytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string s(n, '\0');
+  for (char& c : s) {
+    c = static_cast<char>(rng.NextBounded(256));
+  }
+  return s;
+}
+
+TEST(RleTest, RoundTripVariousInputs) {
+  for (const std::string& input :
+       {std::string(), std::string("abc"), std::string(1000, 'x'),
+        std::string("aaaabbbbccccd"), RandomBytes(5000, 1),
+        std::string(3, '\xFE'), std::string(100, '\xFE')}) {
+    auto decoded = internal::RleDecode(internal::RleEncode(input));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), input);
+  }
+}
+
+TEST(RleTest, CompressesZeroRuns) {
+  std::string zeros(10000, '\0');
+  EXPECT_LT(internal::RleEncode(zeros).size(), 20u);
+}
+
+TEST(RleTest, RejectsDanglingEscape) {
+  std::string bad(1, '\xFE');
+  EXPECT_FALSE(internal::RleDecode(bad).ok());
+}
+
+TEST(RleTest, RejectsBadEscapeTag) {
+  std::string bad;
+  bad.push_back('\xFE');
+  bad.push_back('\x7F');
+  EXPECT_FALSE(internal::RleDecode(bad).ok());
+}
+
+TEST(LzTest, RoundTripVariousInputs) {
+  for (const std::string& input :
+       {std::string(), std::string("abc"), std::string(1000, 'x'),
+        std::string("abcdabcdabcdabcd"), RandomBytes(5000, 31),
+        std::string("the quick brown fox ") + std::string("the quick brown fox "),
+        std::string(3, '\0')}) {
+    auto decoded = internal::LzDecode(internal::LzEncode(input));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), input);
+  }
+}
+
+TEST(LzTest, CompressesRepeatedPatterns) {
+  std::string pattern = "coefplanecoefplane--";
+  std::string input;
+  for (int i = 0; i < 500; ++i) {
+    input += pattern;
+  }
+  EXPECT_LT(internal::LzEncode(input).size(), input.size() / 10);
+}
+
+TEST(LzTest, OverlappingMatchReplicates) {
+  // Runs are matches at offset 1; the decoder must replicate byte by byte.
+  std::string input = "a" + std::string(1000, 'b');
+  auto decoded = internal::LzDecode(internal::LzEncode(input));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), input);
+}
+
+TEST(LzTest, RejectsCorruptStreams) {
+  // Offset pointing before the start of the output window.
+  std::string bad;
+  bad.push_back(0x00);  // 0 literals
+  bad.push_back(0x08);  // match length 8
+  bad.push_back(0x05);  // offset 5 into an empty window
+  EXPECT_FALSE(internal::LzDecode(bad).ok());
+  // Truncated literal run.
+  std::string bad2;
+  bad2.push_back(0x7F);
+  bad2 += "short";
+  EXPECT_FALSE(internal::LzDecode(bad2).ok());
+}
+
+TEST(LzTest, LongRandomRoundTrip) {
+  // Mixed compressible/incompressible content.
+  Rng rng(77);
+  std::string input;
+  for (int block = 0; block < 50; ++block) {
+    if (rng.NextBounded(2)) {
+      input += RandomBytes(rng.NextBounded(500) + 1, block);
+    } else {
+      input += std::string(rng.NextBounded(500) + 4,
+                           static_cast<char>(rng.NextBounded(256)));
+    }
+  }
+  auto decoded = internal::LzDecode(internal::LzEncode(input));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), input);
+}
+
+TEST(HuffmanTest, RoundTripVariousInputs) {
+  for (const std::string& input :
+       {std::string(), std::string("a"), std::string("ab"),
+        std::string(1000, 'q'), std::string("the quick brown fox"),
+        RandomBytes(10000, 2)}) {
+    auto decoded = internal::HuffmanDecode(internal::HuffmanEncode(input));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), input);
+  }
+}
+
+TEST(HuffmanTest, CompressesSkewedDistribution) {
+  // 97% 'a', 3% others: entropy well below 8 bits/byte.
+  Rng rng(3);
+  std::string s(20000, 'a');
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (rng.NextDouble() < 0.03) {
+      s[i] = static_cast<char>('b' + rng.NextBounded(4));
+    }
+  }
+  const std::string encoded = internal::HuffmanEncode(s);
+  EXPECT_LT(encoded.size(), s.size() / 3);
+}
+
+TEST(HuffmanTest, RejectsTruncatedPayload) {
+  std::string encoded = internal::HuffmanEncode(RandomBytes(1000, 4));
+  encoded.resize(encoded.size() / 2);
+  EXPECT_FALSE(internal::HuffmanDecode(encoded).ok());
+}
+
+TEST(HuffmanTest, RejectsTruncatedHeader) {
+  EXPECT_FALSE(internal::HuffmanDecode("tiny").ok());
+}
+
+TEST(CodecTest, RoundTripEverything) {
+  for (const std::string& input :
+       {std::string(), std::string("x"), std::string(100000, '\0'),
+        RandomBytes(50000, 5), std::string("mixed") + std::string(500, '\0'),
+        std::string(10, '\xFE') + RandomBytes(100, 6)}) {
+    auto decoded = Decompress(Compress(input));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), input);
+  }
+}
+
+TEST(CodecTest, SparseBitplanesCompressWell) {
+  // Simulates a high-significance bit-plane: almost all zero bits.
+  Rng rng(7);
+  std::string plane(8192, '\0');
+  for (int i = 0; i < 50; ++i) {
+    plane[rng.NextBounded(plane.size())] =
+        static_cast<char>(1 << rng.NextBounded(8));
+  }
+  const std::string compressed = Compress(plane);
+  EXPECT_LT(compressed.size(), plane.size() / 10);
+}
+
+TEST(CodecTest, IncompressibleDataExpandsByHeaderOnly) {
+  const std::string noise = RandomBytes(4096, 8);
+  const std::string compressed = Compress(noise);
+  EXPECT_LE(compressed.size(), noise.size() + 1);
+}
+
+TEST(CodecTest, EmptyContainerRejected) {
+  EXPECT_FALSE(Decompress("").ok());
+}
+
+TEST(CodecTest, UnknownFlagsRejected) {
+  std::string bad(1, '\x40');
+  EXPECT_FALSE(Decompress(bad).ok());
+  // RLE and LZ flags are mutually exclusive by construction.
+  std::string conflict(1, '\x05');
+  EXPECT_FALSE(Decompress(conflict).ok());
+}
+
+TEST(CodecTest, PatternedDataUsesLzEffectively) {
+  // Structured but not run-dominated: LZ should beat plain RLE+Huffman.
+  std::string input;
+  for (int i = 0; i < 2000; ++i) {
+    input += "plane";
+    input.push_back(static_cast<char>(i & 3));
+  }
+  const std::string compressed = Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 8);
+  auto decoded = Decompress(compressed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), input);
+}
+
+TEST(CodecTest, DeterministicOutput) {
+  const std::string input = RandomBytes(10000, 9);
+  EXPECT_EQ(Compress(input), Compress(input));
+}
+
+class CodecSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodecSizeSweep, RoundTripAtSize) {
+  const std::string input = RandomBytes(GetParam(), 10 + GetParam());
+  auto decoded = Decompress(Compress(input));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CodecSizeSweep,
+                         ::testing::Values(0, 1, 2, 7, 8, 9, 255, 256, 257,
+                                           4095, 65536));
+
+}  // namespace
+}  // namespace lossless
+}  // namespace mgardp

@@ -1,0 +1,62 @@
+#include "models/features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mgardp {
+namespace {
+
+TEST(FeaturesTest, Log10Safe) {
+  EXPECT_NEAR(Log10Safe(1000.0), 3.0, 1e-9);
+  EXPECT_NEAR(Log10Safe(-1000.0), 3.0, 1e-9);
+  EXPECT_NEAR(Log10Safe(0.0), -30.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(Log10Safe(1e300)));
+}
+
+TEST(FeaturesTest, VectorHasFixedLayout) {
+  Rng rng(1);
+  std::vector<double> data(1000);
+  for (double& v : data) {
+    v = rng.NextGaussian() * 5.0 + 2.0;
+  }
+  const auto f = ExtractDataFeatures(Summarize(data));
+  ASSERT_EQ(static_cast<int>(f.size()), kNumDataFeatures);
+  for (double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(FeaturesTest, FiniteForDegenerateFields) {
+  for (const std::vector<double>& data :
+       {std::vector<double>(10, 0.0), std::vector<double>(10, 1e300),
+        std::vector<double>{-1e-300}}) {
+    const auto f = ExtractDataFeatures(Summarize(data));
+    for (double v : f) {
+      EXPECT_TRUE(std::isfinite(v)) << "degenerate input";
+    }
+  }
+}
+
+TEST(FeaturesTest, ScaleSensitivity) {
+  // Features must distinguish fields of different magnitude (the DNN input
+  // carries the dynamic range).
+  std::vector<double> small{0.0, 1e-6, 2e-6};
+  std::vector<double> large{0.0, 1e6, 2e6};
+  const auto fs = ExtractDataFeatures(Summarize(small));
+  const auto fl = ExtractDataFeatures(Summarize(large));
+  EXPECT_GT(fl[0], fs[0] + 10.0);  // log10 range differs by 12 decades
+}
+
+TEST(FeaturesTest, LogSketch) {
+  const auto out = LogSketch({1.0, 10.0, 0.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0], 0.0, 1e-9);
+  EXPECT_NEAR(out[1], 1.0, 1e-9);
+  EXPECT_NEAR(out[2], -30.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,108 @@
+// Property tests for the block-lookahead greedy planner (with its trim
+// post-pass).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "sim/warpx.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mgardp {
+namespace {
+
+Array3Dd HarshField(Dims3 dims, std::uint64_t seed) {
+  // Fields engineered to trigger nega-binary stair-steps: components whose
+  // magnitudes sit exactly at powers of two plus noise.
+  Rng rng(seed);
+  Array3Dd a(dims);
+  const double amp = std::ldexp(1.0, static_cast<int>(rng.NextBounded(8)));
+  for (double& v : a.vector()) {
+    v = amp * (rng.NextBounded(2) ? 1.0 : -1.0) *
+        (0.5 + 0.5 * rng.NextDouble());
+  }
+  return a;
+}
+
+class PlannerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PlannerPropertyTest, NeverStallsAboveTheBoundWithPlanesLeft) {
+  Array3Dd data = HarshField(Dims3{17, 17, 1}, GetParam());
+  auto fr = Refactorer().Refactor(data);
+  ASSERT_TRUE(fr.ok());
+  const RefactoredField& field = fr.value();
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+  for (double rel : {1e-1, 1e-3, 1e-6}) {
+    const double bound = rel * field.data_summary.range();
+    if (!(bound > 0.0)) {
+      continue;
+    }
+    auto plan = rec.Plan(field, bound);
+    ASSERT_TRUE(plan.ok());
+    if (plan.value().estimated_error > bound) {
+      // Only acceptable when everything has been fetched.
+      EXPECT_EQ(plan.value().prefix,
+                std::vector<int>(field.num_levels(), field.num_planes));
+    }
+  }
+}
+
+TEST_P(PlannerPropertyTest, PlanIsMinimalPerLevelSuffix) {
+  // Removing the final plane of any level from the planner's answer must
+  // break the bound (otherwise the greedy paid for a useless plane). Only
+  // checked when the bound was met.
+  Array3Dd data = HarshField(Dims3{17, 17, 1}, GetParam() + 100);
+  auto fr = Refactorer().Refactor(data);
+  ASSERT_TRUE(fr.ok());
+  const RefactoredField& field = fr.value();
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+  const double bound = 1e-3 * field.data_summary.range();
+  if (!(bound > 0.0)) {
+    GTEST_SKIP();
+  }
+  auto plan = rec.Plan(field, bound);
+  ASSERT_TRUE(plan.ok());
+  if (plan.value().estimated_error > bound) {
+    GTEST_SKIP();  // unreachable bound
+  }
+  int removable = 0;
+  for (int l = 0; l < field.num_levels(); ++l) {
+    if (plan.value().prefix[l] == 0) {
+      continue;
+    }
+    std::vector<int> reduced = plan.value().prefix;
+    --reduced[l];
+    if (theory.Estimate(field, reduced) <= bound) {
+      ++removable;
+    }
+  }
+  // The trim post-pass guarantees no level's last plane is removable.
+  EXPECT_EQ(removable, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(PlannerDeterminismTest, SamePlanEveryTime) {
+  WarpXSimulator sim(Dims3{17, 17, 17});
+  Array3Dd data = sim.Field(WarpXField::kEx, 5);
+  auto fr = Refactorer().Refactor(data);
+  ASSERT_TRUE(fr.ok());
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+  const double bound = 1e-4 * fr.value().data_summary.range();
+  auto a = rec.Plan(fr.value(), bound);
+  auto b = rec.Plan(fr.value(), bound);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().prefix, b.value().prefix);
+  EXPECT_EQ(a.value().total_bytes, b.value().total_bytes);
+}
+
+}  // namespace
+}  // namespace mgardp

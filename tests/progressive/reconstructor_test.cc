@@ -1,0 +1,149 @@
+#include "progressive/reconstructor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "progressive/refactorer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mgardp {
+namespace {
+
+Array3Dd MakeField(Dims3 dims, std::uint64_t seed = 11) {
+  Rng rng(seed);
+  Array3Dd a(dims);
+  for (std::size_t i = 0; i < dims.nx; ++i) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t k = 0; k < dims.nz; ++k) {
+        a(i, j, k) =
+            std::sin(0.5 * i) + std::cos(0.3 * j) * std::sin(0.2 * k) +
+            0.02 * rng.NextGaussian();
+      }
+    }
+  }
+  return a;
+}
+
+class ReconstructorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    original_ = MakeField(Dims3{17, 17, 17});
+    auto result = Refactorer().Refactor(original_);
+    ASSERT_TRUE(result.ok());
+    field_ = std::move(result).value();
+  }
+
+  Array3Dd original_;
+  RefactoredField field_;
+  TheoryEstimator theory_;
+};
+
+TEST_F(ReconstructorTest, PlanSatisfiesBoundAndActualErrorBelowIt) {
+  Reconstructor rec(&theory_);
+  const double range = field_.data_summary.range();
+  for (double rel : {1e-2, 1e-4, 1e-6}) {
+    const double bound = rel * range;
+    RetrievalPlan plan;
+    auto data = rec.Retrieve(field_, bound, &plan);
+    ASSERT_TRUE(data.ok());
+    const bool full = plan.prefix ==
+                      std::vector<int>(field_.num_levels(), field_.num_planes);
+    if (plan.estimated_error > bound) {
+      // A bound below the conservative quantization floor is unreachable;
+      // the planner must then have fetched everything (MGARD's behaviour).
+      EXPECT_TRUE(full) << "rel=" << rel;
+    } else {
+      // Conservative estimator => the actual error respects the bound.
+      EXPECT_LE(MaxAbsError(original_.vector(), data.value().vector()),
+                bound);
+    }
+  }
+}
+
+TEST_F(ReconstructorTest, TighterBoundFetchesMoreBytes) {
+  Reconstructor rec(&theory_);
+  const double range = field_.data_summary.range();
+  std::size_t prev_bytes = 0;
+  for (double rel : {1e-1, 1e-3, 1e-5, 1e-7}) {
+    auto plan = rec.Plan(field_, rel * range);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_GE(plan.value().total_bytes, prev_bytes);
+    prev_bytes = plan.value().total_bytes;
+  }
+  EXPECT_GT(prev_bytes, 0u);
+}
+
+TEST_F(ReconstructorTest, ImpossibleBoundFetchesEverything) {
+  Reconstructor rec(&theory_);
+  auto plan = rec.Plan(field_, 1e-300);
+  ASSERT_TRUE(plan.ok());
+  for (int l = 0; l < field_.num_levels(); ++l) {
+    EXPECT_EQ(plan.value().prefix[l], field_.num_planes);
+  }
+}
+
+TEST_F(ReconstructorTest, RejectsNonPositiveBound) {
+  Reconstructor rec(&theory_);
+  EXPECT_FALSE(rec.Plan(field_, 0.0).ok());
+  EXPECT_FALSE(rec.Plan(field_, -1.0).ok());
+}
+
+TEST_F(ReconstructorTest, PlanFromPrefixClampsAndCosts) {
+  Reconstructor rec(&theory_);
+  auto plan = rec.PlanFromPrefix(field_, {99, -5, 4, 4, 4});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().prefix[0], field_.num_planes);
+  EXPECT_EQ(plan.value().prefix[1], 0);
+  EXPECT_GT(plan.value().total_bytes, 0u);
+  EXPECT_FALSE(rec.PlanFromPrefix(field_, {1, 2}).ok());
+}
+
+TEST_F(ReconstructorTest, FullPrefixIsNearLossless) {
+  Reconstructor rec(&theory_);
+  auto plan = rec.PlanFromPrefix(
+      field_, std::vector<int>(field_.num_levels(), field_.num_planes));
+  ASSERT_TRUE(plan.ok());
+  auto data = rec.Reconstruct(field_, plan.value());
+  ASSERT_TRUE(data.ok());
+  const double err = MaxAbsError(original_.vector(), data.value().vector());
+  // Quantization floor: ~2^-30 of per-level magnitude amplified by
+  // recomposition; far below 1e-6 of the data range here.
+  EXPECT_LT(err, 1e-6 * field_.data_summary.range());
+}
+
+TEST_F(ReconstructorTest, GreedyPrefersCoarseLevels) {
+  // At loose bounds the plan should retrieve more planes from coarse levels
+  // than fine ones (Fig. 5b).
+  Reconstructor rec(&theory_);
+  auto plan = rec.Plan(field_, 1e-2 * field_.data_summary.range());
+  ASSERT_TRUE(plan.ok());
+  const auto& prefix = plan.value().prefix;
+  EXPECT_GE(prefix[0], prefix[field_.num_levels() - 1]);
+}
+
+TEST_F(ReconstructorTest, ZeroPrefixReconstructsZeros) {
+  Reconstructor rec(&theory_);
+  auto plan = rec.PlanFromPrefix(field_,
+                                 std::vector<int>(field_.num_levels(), 0));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().total_bytes, 0u);
+  auto data = rec.Reconstruct(field_, plan.value());
+  ASSERT_TRUE(data.ok());
+  for (double v : data.value().vector()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST_F(ReconstructorTest, BytesMatchSizeInterpreter) {
+  Reconstructor rec(&theory_);
+  RetrievalPlan plan;
+  auto data = rec.Retrieve(field_, 1e-4 * field_.data_summary.range(), &plan);
+  ASSERT_TRUE(data.ok());
+  SizeInterpreter si = MakeSizeInterpreter(field_);
+  EXPECT_EQ(plan.total_bytes, si.TotalBytes(plan.prefix));
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,172 @@
+// Incremental refinement (PlanRefinement / DeltaBytes / Progression).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "sim/warpx.h"
+#include "util/stats.h"
+
+namespace mgardp {
+namespace {
+
+class RefinementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WarpXSimulator sim(Dims3{17, 17, 17});
+    original_ = sim.Field(WarpXField::kEx, 6);
+    auto field = Refactorer().Refactor(original_);
+    ASSERT_TRUE(field.ok());
+    field_ = std::move(field).value();
+  }
+
+  Array3Dd original_;
+  RefactoredField field_;
+  TheoryEstimator theory_;
+};
+
+TEST_F(RefinementTest, RefinedPrefixDominatesAndMeetsBound) {
+  Reconstructor rec(&theory_);
+  const double range = field_.data_summary.range();
+  auto coarse = rec.Plan(field_, 1e-2 * range);
+  ASSERT_TRUE(coarse.ok());
+  auto fine = rec.PlanRefinement(field_, coarse.value().prefix, 1e-5 * range);
+  ASSERT_TRUE(fine.ok());
+  for (int l = 0; l < field_.num_levels(); ++l) {
+    EXPECT_GE(fine.value().prefix[l], coarse.value().prefix[l]);
+  }
+  EXPECT_LE(fine.value().estimated_error, 1e-5 * range);
+  auto data = rec.Reconstruct(field_, fine.value());
+  ASSERT_TRUE(data.ok());
+  EXPECT_LE(MaxAbsError(original_.vector(), data.value().vector()),
+            1e-5 * range);
+}
+
+TEST_F(RefinementTest, DeltaBytesAccountsExactly) {
+  Reconstructor rec(&theory_);
+  const double range = field_.data_summary.range();
+  auto coarse = rec.Plan(field_, 1e-2 * range);
+  auto fine = rec.PlanRefinement(field_, coarse.value().prefix, 1e-4 * range);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  auto delta = DeltaBytes(field_, coarse.value().prefix,
+                          fine.value().prefix);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(coarse.value().total_bytes + delta.value(),
+            fine.value().total_bytes);
+}
+
+TEST_F(RefinementTest, AlreadySatisfiedBoundAddsNothing) {
+  Reconstructor rec(&theory_);
+  const double range = field_.data_summary.range();
+  auto plan = rec.Plan(field_, 1e-4 * range);
+  ASSERT_TRUE(plan.ok());
+  // Refining toward a LOOSER bound keeps the prefix unchanged.
+  auto refined =
+      rec.PlanRefinement(field_, plan.value().prefix, 1e-2 * range);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined.value().prefix, plan.value().prefix);
+  auto delta =
+      DeltaBytes(field_, plan.value().prefix, refined.value().prefix);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta.value(), 0u);
+}
+
+TEST_F(RefinementTest, ValidatesInputs) {
+  Reconstructor rec(&theory_);
+  EXPECT_FALSE(rec.PlanRefinement(field_, {1, 2}, 1e-3).ok());
+  EXPECT_FALSE(
+      rec.PlanRefinement(field_, std::vector<int>(5, 0), 0.0).ok());
+  EXPECT_FALSE(DeltaBytes(field_, {0, 0}, {1, 1}).ok());
+  EXPECT_FALSE(DeltaBytes(field_, std::vector<int>(5, 4),
+                          std::vector<int>(5, 2))
+                   .ok());
+}
+
+TEST_F(RefinementTest, ProgressionVisitsEveryPlaneOnce) {
+  Reconstructor rec(&theory_);
+  auto states = rec.Progression(field_);
+  ASSERT_GE(states.size(), 2u);
+  // First state is all-zero, last is all-full, and prefixes are strictly
+  // growing in total plane count.
+  EXPECT_EQ(states.front(), std::vector<int>(5, 0));
+  EXPECT_EQ(states.back(), std::vector<int>(5, field_.num_planes));
+  int prev_total = -1;
+  for (const auto& prefix : states) {
+    int total = 0;
+    for (int b : prefix) {
+      total += b;
+    }
+    EXPECT_GT(total, prev_total);
+    prev_total = total;
+  }
+  EXPECT_EQ(prev_total, 5 * field_.num_planes);
+}
+
+TEST_F(RefinementTest, RefinementChainCostsAtMostSlightlyMoreThanDirect) {
+  // Refining 1e-2 -> 1e-3 -> 1e-5 can never un-fetch data, so it may end
+  // slightly above the direct (trimmed) plan for 1e-5, but both must meet
+  // the bound and the chain's overhead must stay small.
+  Reconstructor rec(&theory_);
+  const double range = field_.data_summary.range();
+  auto direct = rec.Plan(field_, 1e-5 * range);
+  ASSERT_TRUE(direct.ok());
+  std::vector<int> have(field_.num_levels(), 0);
+  std::size_t chain_bytes = 0;
+  for (double rel : {1e-2, 1e-3, 1e-5}) {
+    auto step = rec.PlanRefinement(field_, have, rel * range);
+    ASSERT_TRUE(step.ok());
+    have = step.value().prefix;
+    chain_bytes = step.value().total_bytes;
+  }
+  EXPECT_LE(theory_.Estimate(field_, have), 1e-5 * range);
+  EXPECT_GE(chain_bytes, direct.value().total_bytes);
+  EXPECT_LE(chain_bytes,
+            direct.value().total_bytes + direct.value().total_bytes / 4);
+}
+
+TEST_F(RefinementTest, BudgetPlanNeverExceedsBudget) {
+  Reconstructor rec(&theory_);
+  const std::size_t full = MakeSizeInterpreter(field_).FullBytes();
+  for (std::size_t budget : {std::size_t{0}, full / 100, full / 10,
+                             full / 2, full, 2 * full}) {
+    auto plan = rec.PlanWithinBudget(field_, budget);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_LE(plan.value().total_bytes, budget);
+  }
+}
+
+TEST_F(RefinementTest, LargerBudgetsBuyLowerError) {
+  Reconstructor rec(&theory_);
+  const std::size_t full = MakeSizeInterpreter(field_).FullBytes();
+  double prev_est = 1e300;
+  std::size_t prev_bytes = 0;
+  for (std::size_t budget : {full / 50, full / 10, full / 2, full}) {
+    auto plan = rec.PlanWithinBudget(field_, budget);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_LE(plan.value().estimated_error, prev_est);
+    EXPECT_GE(plan.value().total_bytes, prev_bytes);
+    prev_est = plan.value().estimated_error;
+    prev_bytes = plan.value().total_bytes;
+  }
+  // The full budget buys everything.
+  auto all = rec.PlanWithinBudget(field_, full);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().total_bytes, full);
+}
+
+TEST_F(RefinementTest, BudgetPlanReconstructsAndBeatsZeroPlan) {
+  Reconstructor rec(&theory_);
+  const std::size_t full = MakeSizeInterpreter(field_).FullBytes();
+  auto plan = rec.PlanWithinBudget(field_, full / 5);
+  ASSERT_TRUE(plan.ok());
+  auto data = rec.Reconstruct(field_, plan.value());
+  ASSERT_TRUE(data.ok());
+  const double err = MaxAbsError(original_.vector(), data.value().vector());
+  EXPECT_LT(err, field_.data_summary.abs_max);
+  EXPECT_GT(plan.value().total_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "progressive/error_estimator.h"
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mgardp {
+namespace {
+
+class SNormTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(4);
+    original_ = Array3Dd(Dims3{17, 17, 17});
+    for (std::size_t i = 0; i < 17; ++i) {
+      for (std::size_t j = 0; j < 17; ++j) {
+        for (std::size_t k = 0; k < 17; ++k) {
+          original_(i, j, k) =
+              std::sin(0.4 * i) * std::cos(0.3 * j + 0.2 * k) +
+              0.05 * rng.NextGaussian();
+        }
+      }
+    }
+    auto field = Refactorer().Refactor(original_);
+    ASSERT_TRUE(field.ok());
+    field_ = std::move(field).value();
+  }
+
+  Array3Dd original_;
+  RefactoredField field_;
+};
+
+TEST_F(SNormTest, EstimateDominatesActualRms) {
+  SNormEstimator est;
+  for (int b : {4, 8, 16, 24}) {
+    const std::vector<int> prefix(field_.num_levels(), b);
+    auto rec = ReconstructFromPrefix(field_, prefix);
+    ASSERT_TRUE(rec.ok());
+    const double actual_rms =
+        RmsError(original_.vector(), rec.value().vector());
+    EXPECT_GE(est.Estimate(field_, prefix), actual_rms) << "b=" << b;
+  }
+}
+
+TEST_F(SNormTest, LessPessimisticThanMaxNorm) {
+  // The RMS metric averages, so its conservative estimate should sit well
+  // below the max-norm estimate for the same prefix.
+  SNormEstimator snorm;
+  TheoryEstimator theory;
+  const std::vector<int> prefix(field_.num_levels(), 10);
+  EXPECT_LT(snorm.Estimate(field_, prefix), theory.Estimate(field_, prefix));
+}
+
+TEST_F(SNormTest, PlansUnderPsnrTarget) {
+  SNormEstimator est;
+  Reconstructor rec(&est);
+  const double range = field_.data_summary.range();
+  for (double psnr : {60.0, 90.0, 120.0}) {
+    const double bound = PsnrToRmsBound(range, psnr);
+    RetrievalPlan plan;
+    auto data = rec.Retrieve(field_, bound, &plan);
+    ASSERT_TRUE(data.ok());
+    const double achieved = Psnr(original_.vector(), data.value().vector());
+    EXPECT_GE(achieved, psnr) << "target " << psnr;
+  }
+}
+
+TEST_F(SNormTest, HigherPsnrCostsMoreBytes) {
+  SNormEstimator est;
+  Reconstructor rec(&est);
+  const double range = field_.data_summary.range();
+  std::size_t prev = 0;
+  for (double psnr : {40.0, 80.0, 120.0}) {
+    auto plan = rec.Plan(field_, PsnrToRmsBound(range, psnr));
+    ASSERT_TRUE(plan.ok());
+    EXPECT_GE(plan.value().total_bytes, prev);
+    prev = plan.value().total_bytes;
+  }
+  EXPECT_GT(prev, 0u);
+}
+
+TEST(PsnrBoundTest, Conversion) {
+  // psnr = 20 log10(range / rms): range 10, psnr 20 dB -> rms 1.
+  EXPECT_NEAR(PsnrToRmsBound(10.0, 20.0), 1.0, 1e-12);
+  EXPECT_NEAR(PsnrToRmsBound(1.0, 60.0), 1e-3, 1e-15);
+}
+
+TEST(SNormNameTest, Name) {
+  EXPECT_EQ(SNormEstimator().name(), "snorm");
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,73 @@
+#include "sim/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace mgardp {
+namespace {
+
+TEST(DatasetTest, GrayScottProducesBothFields) {
+  GrayScottDatasetOptions opts;
+  opts.dims = Dims3{9, 9, 9};
+  opts.num_timesteps = 4;
+  opts.steps_per_dump = 5;
+  opts.warmup_steps = 10;
+  auto series = GenerateGrayScott(opts);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].field, "D_u");
+  EXPECT_EQ(series[1].field, "D_v");
+  EXPECT_EQ(series[0].application, "gray-scott");
+  for (const auto& s : series) {
+    ASSERT_EQ(s.num_timesteps(), 4);
+    for (const auto& frame : s.frames) {
+      EXPECT_TRUE(frame.dims() == opts.dims);
+    }
+  }
+}
+
+TEST(DatasetTest, GrayScottFramesEvolve) {
+  GrayScottDatasetOptions opts;
+  opts.dims = Dims3{9, 9, 9};
+  opts.num_timesteps = 3;
+  opts.steps_per_dump = 10;
+  opts.warmup_steps = 0;
+  auto series = GenerateGrayScott(opts);
+  EXPECT_GT(MaxAbsError(series[0].frames[0].vector(),
+                        series[0].frames[2].vector()),
+            1e-9);
+}
+
+TEST(DatasetTest, WarpXSeriesShape) {
+  WarpXDatasetOptions opts;
+  opts.dims = Dims3{17, 9, 9};
+  opts.num_timesteps = 6;
+  FieldSeries s = GenerateWarpX(opts, WarpXField::kJx);
+  EXPECT_EQ(s.application, "warpx");
+  EXPECT_EQ(s.field, "J_x");
+  ASSERT_EQ(s.num_timesteps(), 6);
+  EXPECT_TRUE(s.frames[0].dims() == opts.dims);
+}
+
+TEST(DatasetTest, SplitTimestepsHalves) {
+  std::vector<int> train, test;
+  SplitTimesteps(8, &train, &test);
+  EXPECT_EQ(train, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(test, (std::vector<int>{4, 5, 6, 7}));
+  SplitTimesteps(5, &train, &test);
+  EXPECT_EQ(train.size(), 2u);
+  EXPECT_EQ(test.size(), 3u);
+}
+
+TEST(DatasetTest, SplitTimestepsDegenerate) {
+  std::vector<int> train, test;
+  SplitTimesteps(1, &train, &test);
+  EXPECT_TRUE(train.empty());
+  EXPECT_EQ(test.size(), 1u);
+  SplitTimesteps(0, &train, &test);
+  EXPECT_TRUE(train.empty());
+  EXPECT_TRUE(test.empty());
+}
+
+}  // namespace
+}  // namespace mgardp

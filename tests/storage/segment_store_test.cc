@@ -1,0 +1,84 @@
+#include "storage/segment_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace mgardp {
+namespace {
+
+TEST(SegmentStoreTest, PutGetContains) {
+  SegmentStore store;
+  store.Put(0, 0, "coarse");
+  store.Put(1, 3, "plane13");
+  EXPECT_TRUE(store.Contains(0, 0));
+  EXPECT_TRUE(store.Contains(1, 3));
+  EXPECT_FALSE(store.Contains(1, 4));
+  auto got = store.Get(1, 3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "plane13");
+  EXPECT_FALSE(store.Get(9, 9).ok());
+  EXPECT_EQ(store.Get(9, 9).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SegmentStoreTest, OverwriteReplaces) {
+  SegmentStore store;
+  store.Put(0, 0, "v1");
+  store.Put(0, 0, "v2-longer");
+  EXPECT_EQ(store.Get(0, 0).value(), "v2-longer");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SegmentStoreTest, SizeAccounting) {
+  SegmentStore store;
+  store.Put(0, 0, std::string(10, 'a'));
+  store.Put(0, 1, std::string(20, 'b'));
+  store.Put(2, 0, std::string(5, 'c'));
+  EXPECT_EQ(store.SizeOf(0, 1), 20u);
+  EXPECT_EQ(store.SizeOf(5, 5), 0u);
+  EXPECT_EQ(store.TotalBytes(), 35u);
+  EXPECT_EQ(store.NumLevels(), 2);
+  EXPECT_EQ(store.NumPlanes(0), 2);
+  EXPECT_EQ(store.NumPlanes(2), 1);
+  EXPECT_EQ(store.NumPlanes(1), 0);
+}
+
+TEST(SegmentStoreTest, DirectoryRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mgardp_segstore_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  SegmentStore store;
+  store.Put(0, 0, "alpha");
+  store.Put(0, 1, std::string("with\0nul", 8));
+  store.Put(3, 7, std::string(10000, 'z'));
+  ASSERT_TRUE(store.WriteToDirectory(dir).ok());
+
+  auto loaded = SegmentStore::LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value().Get(0, 0).value(), "alpha");
+  EXPECT_EQ(loaded.value().Get(0, 1).value(), std::string("with\0nul", 8));
+  EXPECT_EQ(loaded.value().Get(3, 7).value(), std::string(10000, 'z'));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SegmentStoreTest, LoadFromMissingDirectoryFails) {
+  EXPECT_FALSE(SegmentStore::LoadFromDirectory("/no/such/dir").ok());
+}
+
+TEST(SegmentStoreTest, EmptyStoreRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mgardp_segstore_empty")
+          .string();
+  std::filesystem::remove_all(dir);
+  SegmentStore store;
+  ASSERT_TRUE(store.WriteToDirectory(dir).ok());
+  auto loaded = SegmentStore::LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,72 @@
+#include "storage/size_interpreter.h"
+
+#include <gtest/gtest.h>
+
+namespace mgardp {
+namespace {
+
+SizeInterpreter MakeInterpreter() {
+  // 3 levels, 4 planes each, sizes growing with level (finer = bigger).
+  PlaneSizes sizes{
+      {10, 10, 10, 10},
+      {100, 90, 80, 70},
+      {1000, 900, 800, 700},
+  };
+  return SizeInterpreter(std::move(sizes));
+}
+
+TEST(SizeInterpreterTest, LevelBytesPrefixSums) {
+  SizeInterpreter si = MakeInterpreter();
+  EXPECT_EQ(si.LevelBytes(0, 0), 0u);
+  EXPECT_EQ(si.LevelBytes(0, 2), 20u);
+  EXPECT_EQ(si.LevelBytes(1, 4), 340u);
+  // Clamped beyond available planes.
+  EXPECT_EQ(si.LevelBytes(1, 99), 340u);
+}
+
+TEST(SizeInterpreterTest, TotalBytesEquation1) {
+  SizeInterpreter si = MakeInterpreter();
+  EXPECT_EQ(si.TotalBytes({0, 0, 0}), 0u);
+  EXPECT_EQ(si.TotalBytes({4, 4, 4}), si.FullBytes());
+  EXPECT_EQ(si.TotalBytes({1, 2, 0}), 10u + 190u);
+}
+
+TEST(SizeInterpreterTest, FullBytes) {
+  EXPECT_EQ(MakeInterpreter().FullBytes(), 40u + 340u + 3400u);
+}
+
+TEST(SizeInterpreterTest, IoSecondsParallelVsSequential) {
+  SizeInterpreter si = MakeInterpreter();
+  StorageModel model({{"fast", 1000.0, 0.0}, {"slow", 10.0, 0.0}});
+  auto placement = LevelPlacement::FromMapping({0, 0, 1}, 2);
+  ASSERT_TRUE(placement.ok());
+  const std::vector<int> prefix{4, 4, 4};
+  const double par =
+      si.IoSeconds(prefix, model, placement.value(), /*parallel=*/true);
+  const double seq =
+      si.IoSeconds(prefix, model, placement.value(), /*parallel=*/false);
+  // Parallel = max over tiers; sequential = sum; slow tier dominates both.
+  const double slow_sec = 3400.0 / (10.0 * 1e6);
+  const double fast_sec = 380.0 / (1000.0 * 1e6);
+  EXPECT_NEAR(par, slow_sec, 1e-12);
+  EXPECT_NEAR(seq, slow_sec + fast_sec, 1e-12);
+}
+
+TEST(SizeInterpreterTest, IoSecondsCountsOneRequestPerActiveLevel) {
+  SizeInterpreter si = MakeInterpreter();
+  StorageModel model({{"t", 1e9, 100.0}});  // latency-dominated
+  auto placement = LevelPlacement::FromMapping({0, 0, 0}, 1);
+  ASSERT_TRUE(placement.ok());
+  // Two active levels (prefix contiguous per level) -> 2 requests * 0.1 s.
+  EXPECT_NEAR(si.IoSeconds({2, 1, 0}, model, placement.value()), 0.2, 1e-6);
+}
+
+TEST(SizeInterpreterTest, EmptyPrefixCostsNothing) {
+  SizeInterpreter si = MakeInterpreter();
+  StorageModel model = StorageModel::SummitLike();
+  LevelPlacement placement = LevelPlacement::Spread(3, model.num_tiers());
+  EXPECT_EQ(si.IoSeconds({0, 0, 0}, model, placement), 0.0);
+}
+
+}  // namespace
+}  // namespace mgardp

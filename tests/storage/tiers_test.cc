@@ -1,0 +1,61 @@
+#include "storage/tiers.h"
+
+#include <gtest/gtest.h>
+
+namespace mgardp {
+namespace {
+
+TEST(StorageModelTest, SummitLikeHasFourOrderedTiers) {
+  StorageModel m = StorageModel::SummitLike();
+  ASSERT_EQ(m.num_tiers(), 4u);
+  for (std::size_t i = 1; i < m.num_tiers(); ++i) {
+    EXPECT_LT(m.tier(i).bandwidth_mb_per_s, m.tier(i - 1).bandwidth_mb_per_s);
+    EXPECT_GT(m.tier(i).latency_ms, m.tier(i - 1).latency_ms);
+  }
+}
+
+TEST(StorageModelTest, ReadSecondsComposition) {
+  StorageModel m({{"t", 100.0, 10.0}});  // 100 MB/s, 10 ms/request
+  // 100 MB at 100 MB/s = 1 s, plus 2 requests * 10 ms.
+  EXPECT_NEAR(m.ReadSeconds(0, 100 * 1000 * 1000, 2), 1.02, 1e-9);
+  EXPECT_NEAR(m.ReadSeconds(0, 0, 1), 0.01, 1e-12);
+}
+
+TEST(StorageModelTest, SlowerTierTakesLonger) {
+  StorageModel m = StorageModel::SummitLike();
+  const std::size_t bytes = 10 * 1000 * 1000;
+  double prev = 0.0;
+  for (std::size_t t = 0; t < m.num_tiers(); ++t) {
+    const double sec = m.ReadSeconds(t, bytes, 1);
+    EXPECT_GT(sec, prev);
+    prev = sec;
+  }
+}
+
+TEST(LevelPlacementTest, SpreadMapsEndsToEnds) {
+  LevelPlacement p = LevelPlacement::Spread(5, 4);
+  EXPECT_EQ(p.TierForLevel(0), 0u);
+  EXPECT_EQ(p.TierForLevel(4), 3u);
+  // Monotone non-decreasing tier index.
+  for (int l = 1; l < 5; ++l) {
+    EXPECT_GE(p.TierForLevel(l), p.TierForLevel(l - 1));
+  }
+}
+
+TEST(LevelPlacementTest, SpreadSingleLevelOrTier) {
+  LevelPlacement p1 = LevelPlacement::Spread(1, 4);
+  EXPECT_EQ(p1.TierForLevel(0), 0u);
+  LevelPlacement p2 = LevelPlacement::Spread(3, 1);
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_EQ(p2.TierForLevel(l), 0u);
+  }
+}
+
+TEST(LevelPlacementTest, FromMappingValidates) {
+  EXPECT_TRUE(LevelPlacement::FromMapping({0, 1, 2}, 3).ok());
+  EXPECT_FALSE(LevelPlacement::FromMapping({0, 3}, 3).ok());
+  EXPECT_FALSE(LevelPlacement::FromMapping({}, 3).ok());
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,50 @@
+#include "util/array3d.h"
+
+#include <gtest/gtest.h>
+
+namespace mgardp {
+namespace {
+
+TEST(Dims3Test, SizeAndDimensionality) {
+  EXPECT_EQ((Dims3{5, 5, 5}).size(), 125u);
+  EXPECT_EQ((Dims3{5, 5, 5}).dimensionality(), 3);
+  EXPECT_EQ((Dims3{9, 1, 1}).dimensionality(), 1);
+  EXPECT_EQ((Dims3{9, 9, 1}).dimensionality(), 2);
+  EXPECT_EQ((Dims3{1, 1, 1}).dimensionality(), 0);
+}
+
+TEST(Dims3Test, EqualityAndToString) {
+  EXPECT_TRUE((Dims3{2, 3, 4}) == (Dims3{2, 3, 4}));
+  EXPECT_FALSE((Dims3{2, 3, 4}) == (Dims3{4, 3, 2}));
+  EXPECT_EQ((Dims3{2, 3, 4}).ToString(), "2x3x4");
+}
+
+TEST(Array3DTest, IndexingIsRowMajorZFastest) {
+  Array3Dd a(Dims3{2, 3, 4});
+  a(1, 2, 3) = 42.0;
+  // Linear index = (i*ny + j)*nz + k.
+  EXPECT_EQ(a.data()[(1 * 3 + 2) * 4 + 3], 42.0);
+}
+
+TEST(Array3DTest, FillConstructor) {
+  Array3Dd a(Dims3{3, 3, 3}, 2.5);
+  for (double v : a) {
+    EXPECT_EQ(v, 2.5);
+  }
+  EXPECT_EQ(a.size(), 27u);
+}
+
+TEST(Array3DTest, VectorConstructorTakesOwnership) {
+  std::vector<double> data{1, 2, 3, 4, 5, 6};
+  Array3Dd a(Dims3{1, 2, 3}, std::move(data));
+  EXPECT_EQ(a(0, 1, 2), 6.0);
+}
+
+TEST(Array3DTest, MutationThroughVector) {
+  Array3Dd a(Dims3{2, 2, 2});
+  a.vector()[7] = 9.0;
+  EXPECT_EQ(a(1, 1, 1), 9.0);
+}
+
+}  // namespace
+}  // namespace mgardp

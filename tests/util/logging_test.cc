@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace mgardp {
+namespace {
+
+TEST(LoggingTest, PassingChecksAreSilent) {
+  MGARDP_CHECK(true) << "never shown";
+  MGARDP_CHECK_EQ(1, 1);
+  MGARDP_CHECK_NE(1, 2);
+  MGARDP_CHECK_LT(1, 2);
+  MGARDP_CHECK_LE(2, 2);
+  MGARDP_CHECK_GT(3, 2);
+  MGARDP_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+using LoggingDeathTest = ::testing::Test;
+
+TEST(LoggingDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ MGARDP_CHECK(false) << "boom"; }, "CHECK failed");
+}
+
+TEST(LoggingDeathTest, FailingBinaryCheckPrintsOperands) {
+  EXPECT_DEATH({ MGARDP_CHECK_EQ(2 + 2, 5); }, "4 vs 5");
+}
+
+TEST(LoggingDeathTest, CheckWorksInsideExpressions) {
+  // The macro must behave as a single statement in an unbraced if.
+  auto f = [](bool ok) {
+    if (ok)
+      MGARDP_CHECK(ok);
+    else
+      MGARDP_CHECK(ok) << "else branch";
+    return 1;
+  };
+  EXPECT_EQ(f(true), 1);
+  EXPECT_DEATH({ f(false); }, "else branch");
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DchecksActiveInDebugBuilds) {
+  EXPECT_DEATH({ MGARDP_DCHECK(false); }, "CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,121 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mgardp {
+namespace {
+
+TEST(StatsTest, SummarizeBasics) {
+  FieldSummary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.range(), 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(s.abs_max, 4.0);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  FieldSummary s = Summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.range(), 0.0);
+}
+
+TEST(StatsTest, SummarizeConstantField) {
+  FieldSummary s = Summarize(std::vector<double>(100, 7.5));
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(s.range(), 0.0);
+}
+
+TEST(StatsTest, SkewnessSign) {
+  // Right-skewed sample.
+  FieldSummary s = Summarize({0.0, 0.0, 0.0, 0.0, 10.0});
+  EXPECT_GT(s.skewness, 0.0);
+}
+
+TEST(StatsTest, GaussianSampleMoments) {
+  Rng rng(5);
+  std::vector<double> xs(100000);
+  for (double& x : xs) {
+    x = rng.NextGaussian() * 2.0 + 1.0;
+  }
+  FieldSummary s = Summarize(xs);
+  EXPECT_NEAR(s.mean, 1.0, 0.05);
+  EXPECT_NEAR(s.stddev, 2.0, 0.05);
+  EXPECT_NEAR(s.skewness, 0.0, 0.05);
+  EXPECT_NEAR(s.kurtosis, 0.0, 0.1);
+}
+
+TEST(StatsTest, MaxAbsError) {
+  EXPECT_DOUBLE_EQ(MaxAbsError({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbsError({1, 2, 3}, {1, 5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(MaxAbsError({-1, 0}, {1, 0}), 2.0);
+}
+
+TEST(StatsTest, RmsError) {
+  EXPECT_DOUBLE_EQ(RmsError({0, 0}, {3, 4}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(RmsError({}, {}), 0.0);
+}
+
+TEST(StatsTest, PsnrPerfectIsInfinite) {
+  EXPECT_TRUE(std::isinf(Psnr({1, 2, 3}, {1, 2, 3})));
+}
+
+TEST(StatsTest, PsnrKnownValue) {
+  // range = 10, rmse = 1 -> 20 dB.
+  std::vector<double> a{0, 10};
+  std::vector<double> b{1, 9};
+  EXPECT_NEAR(Psnr(a, b), 20.0, 1e-9);
+}
+
+TEST(StatsTest, QuantileEndpointsAndMedian) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 0.25);
+}
+
+TEST(StatsTest, AbsQuantileSketchSortedAndSized) {
+  Rng rng(3);
+  std::vector<double> v(1000);
+  for (double& x : v) {
+    x = rng.NextGaussian();
+  }
+  const auto sketch = AbsQuantileSketch(v, 16);
+  ASSERT_EQ(sketch.size(), 16u);
+  for (std::size_t i = 1; i < sketch.size(); ++i) {
+    EXPECT_LE(sketch[i - 1], sketch[i]);
+  }
+  EXPECT_GE(sketch.front(), 0.0);
+}
+
+TEST(StatsTest, AbsQuantileSketchEmptyInput) {
+  const auto sketch = AbsQuantileSketch({}, 8);
+  ASSERT_EQ(sketch.size(), 8u);
+  for (double s : sketch) {
+    EXPECT_EQ(s, 0.0);
+  }
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{2, 4, 6, 8};
+  std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  EXPECT_EQ(PearsonCorrelation(a, std::vector<double>(4, 1.0)), 0.0);
+}
+
+}  // namespace
+}  // namespace mgardp

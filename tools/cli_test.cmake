@@ -1,0 +1,61 @@
+# End-to-end smoke test of the mgardp CLI, driven by ctest.
+# Usage: cmake -DCLI=<path-to-mgardp> -P cli_test.cmake
+
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<mgardp binary>")
+endif()
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/cli_test_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(run_cli expect_rc)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "mgardp ${ARGN} -> rc=${rc} (wanted ${expect_rc})\n"
+                        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(LAST_OUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# Happy path: generate -> refactor (non 2^k+1 dims) -> info -> retrieve ->
+# verify.
+run_cli(0 generate --app warpx --field J_x --dims 20,20,20 --timestep 3
+        --out ${WORK}/f.f64)
+run_cli(0 refactor --input ${WORK}/f.f64 --dims 20,20,20
+        --out ${WORK}/art)
+run_cli(0 info --dir ${WORK}/art)
+if(NOT LAST_OUT MATCHES "original 20x20x20")
+  message(FATAL_ERROR "info did not report the original dims:\n${LAST_OUT}")
+endif()
+run_cli(0 retrieve --dir ${WORK}/art --rel-error 1e-3 --out ${WORK}/r.f64)
+run_cli(0 verify --original ${WORK}/f.f64 --reconstructed ${WORK}/r.f64)
+if(NOT LAST_OUT MATCHES "psnr")
+  message(FATAL_ERROR "verify output unexpected:\n${LAST_OUT}")
+endif()
+
+# PSNR-driven retrieval through the snorm estimator.
+run_cli(0 retrieve --dir ${WORK}/art --psnr 80 --estimator snorm
+        --out ${WORK}/p.f64)
+
+# Train a small E-MGARD model and retrieve with it.
+run_cli(0 train --model emgard --app warpx --field J_x --dims 17,17,17
+        --timesteps 4 --epochs 5 --bounds-per-decade 1
+        --out ${WORK}/emgard.bin)
+run_cli(0 refactor --input ${WORK}/f.f64 --dims 20,20,20
+        --out ${WORK}/art2)
+run_cli(0 retrieve --dir ${WORK}/art2 --rel-error 1e-3
+        --emgard ${WORK}/emgard.bin --out ${WORK}/e.f64)
+
+# Error paths return the documented exit codes.
+run_cli(1 retrieve --dir ${WORK}/art --out ${WORK}/x.f64)     # no bound
+run_cli(1 refactor --out ${WORK}/nope)                        # missing args
+run_cli(2 info --dir ${WORK}/not_an_artifact)                 # runtime error
+run_cli(1 frobnicate)                                         # unknown cmd
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "cli smoke test passed")

@@ -1,0 +1,576 @@
+// mgardp command-line tool: refactor, inspect, and progressively retrieve
+// scalar fields from the shell.
+//
+// Subcommands:
+//   generate  --app warpx|gray-scott --field <name> --dims NX[,NY[,NZ]]
+//             --timestep T --out FILE.f64
+//             Synthesizes one timestep of a simulation field as raw
+//             little-endian float64 (z fastest).
+//   refactor  --input FILE.f64 --dims NX[,NY[,NZ]] --out DIR
+//             [--planes B] [--steps K] [--no-correction]
+//             Refactors a raw field into a progressive artifact directory.
+//   info      --dir DIR
+//             Prints the artifact's levels, plane sizes, and error matrix
+//             summary.
+//   retrieve  --dir DIR (--rel-error R | --abs-error E | --psnr P)
+//             --out FILE.f64 [--estimator theory|snorm]
+//             Plans + reconstructs under the requested accuracy and writes
+//             the result; prints bytes read vs the full artifact.
+//   verify    --original FILE.f64 --reconstructed FILE.f64
+//             Prints max error, RMSE, and PSNR between two raw fields.
+//   train     --model dmgard|emgard --app warpx|gray-scott --field NAME
+//             --dims NX[,NY[,NZ]] --timesteps T --out MODEL.bin
+//             [--epochs E] [--bounds-per-decade N]
+//             Runs the paper's offline stage end to end: simulate the
+//             training timesteps (first half of T), collect compression
+//             records, train the chosen model, and save it.
+//   retrieve  also accepts --dmgard MODEL.bin (one-shot prefix prediction)
+//             or --emgard MODEL.bin (learned estimator in the greedy
+//             planner) instead of --estimator.
+//
+// Exit status is 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "models/dmgard.h"
+#include "models/emgard.h"
+#include "models/features.h"
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "sim/dataset.h"
+#include "util/io.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace mgardp;
+
+// ---- tiny flag parser ----------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected positional argument: " + arg;
+        return;
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stod(it->second);
+  }
+
+  int GetInt(const std::string& name, int def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stoi(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+bool ParseDims(const std::string& spec, Dims3* dims) {
+  std::vector<std::size_t> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok.empty()) {
+      return false;
+    }
+    parts.push_back(std::stoull(tok));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  if (parts.empty() || parts.size() > 3) {
+    return false;
+  }
+  parts.resize(3, 1);
+  *dims = Dims3{parts[0], parts[1], parts[2]};
+  return dims->size() > 0;
+}
+
+// ---- raw f64 file helpers --------------------------------------------------
+
+Status WriteRawField(const std::string& path, const Array3Dd& data) {
+  std::string bytes(reinterpret_cast<const char*>(data.data()),
+                    data.size() * sizeof(double));
+  return WriteFile(path, bytes);
+}
+
+Result<Array3Dd> ReadRawField(const std::string& path, Dims3 dims) {
+  MGARDP_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.size() != dims.size() * sizeof(double)) {
+    return Status::Invalid(path + " holds " + std::to_string(bytes.size()) +
+                           " bytes but dims " + dims.ToString() + " need " +
+                           std::to_string(dims.size() * sizeof(double)));
+  }
+  std::vector<double> values(dims.size());
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  return Array3Dd(dims, std::move(values));
+}
+
+// ---- subcommands ----------------------------------------------------------
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "usage error: %s\n(run with no arguments for help)\n",
+               msg);
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  Dims3 dims;
+  if (!ParseDims(flags.GetString("dims", "33,33,33"), &dims)) {
+    return Usage("bad --dims");
+  }
+  const std::string app = flags.GetString("app", "warpx");
+  const std::string field = flags.GetString("field", "E_x");
+  const int timestep = flags.GetInt("timestep", 0);
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    return Usage("--out is required");
+  }
+
+  Array3Dd data(Dims3{1, 1, 1});
+  if (app == "warpx") {
+    WarpXField id;
+    if (field == "B_x") {
+      id = WarpXField::kBx;
+    } else if (field == "E_x") {
+      id = WarpXField::kEx;
+    } else if (field == "J_x") {
+      id = WarpXField::kJx;
+    } else {
+      return Usage("warpx fields: B_x | E_x | J_x");
+    }
+    WarpXSimulator sim(dims);
+    data = sim.Field(id, timestep);
+  } else if (app == "gray-scott") {
+    GrayScottSimulator sim(dims);
+    sim.Step(150 + 15 * timestep);
+    if (field == "D_u") {
+      data = sim.u();
+    } else if (field == "D_v") {
+      data = sim.v();
+    } else {
+      return Usage("gray-scott fields: D_u | D_v");
+    }
+  } else {
+    return Usage("--app must be warpx or gray-scott");
+  }
+
+  Status st = WriteRawField(out, data);
+  if (!st.ok()) {
+    return Fail(st);
+  }
+  FieldSummary s = Summarize(data.vector());
+  std::printf("wrote %s: %s/%s t=%d dims=%s range=[%.6g, %.6g]\n",
+              out.c_str(), app.c_str(), field.c_str(), timestep,
+              dims.ToString().c_str(), s.min, s.max);
+  return 0;
+}
+
+int CmdRefactor(const Flags& flags) {
+  Dims3 dims;
+  if (!ParseDims(flags.GetString("dims"), &dims)) {
+    return Usage("bad or missing --dims");
+  }
+  const std::string input = flags.GetString("input");
+  const std::string out = flags.GetString("out");
+  if (input.empty() || out.empty()) {
+    return Usage("--input and --out are required");
+  }
+  auto data = ReadRawField(input, dims);
+  if (!data.ok()) {
+    return Fail(data.status());
+  }
+  RefactorOptions opts;
+  opts.num_planes = flags.GetInt("planes", 32);
+  opts.target_steps = flags.GetInt("steps", -1);
+  opts.use_correction = !flags.Has("no-correction");
+  Refactorer refactorer(opts);
+  auto field = refactorer.Refactor(std::move(data).value());
+  if (!field.ok()) {
+    return Fail(field.status());
+  }
+  Status st = field.value().WriteToDirectory(out);
+  if (!st.ok()) {
+    return Fail(st);
+  }
+  const std::size_t stored = field.value().segments.TotalBytes();
+  std::printf("refactored %s (%s) -> %s\n", input.c_str(),
+              dims.ToString().c_str(), out.c_str());
+  std::printf("  levels=%d planes=%d stored=%zu bytes (%.2fx of raw)\n",
+              field.value().num_levels(), field.value().num_planes, stored,
+              static_cast<double>(stored) /
+                  static_cast<double>(dims.size() * sizeof(double)));
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const std::string dir = flags.GetString("dir");
+  if (dir.empty()) {
+    return Usage("--dir is required");
+  }
+  auto field = RefactoredField::LoadFromDirectory(dir);
+  if (!field.ok()) {
+    return Fail(field.status());
+  }
+  const RefactoredField& f = field.value();
+  std::printf("artifact %s\n", dir.c_str());
+  std::printf("  grid %s (original %s), %d levels x %d planes, "
+              "correction=%s\n",
+              f.hierarchy.dims().ToString().c_str(),
+              f.original_dims.ToString().c_str(), f.num_levels(),
+              f.num_planes, f.use_correction ? "on" : "off");
+  SizeInterpreter sizes = MakeSizeInterpreter(f);
+  std::printf("  %5s %10s %12s %10s %12s %12s\n", "level", "coeffs",
+              "bytes", "exponent", "Err[0]", "Err[B]");
+  for (int l = 0; l < f.num_levels(); ++l) {
+    std::printf("  %5d %10zu %12zu %10d %12.4g %12.4g\n", l,
+                f.hierarchy.LevelSize(l), sizes.LevelBytes(l, f.num_planes),
+                f.level_exponents[l], f.level_errors[l].max_abs.front(),
+                f.level_errors[l].max_abs.back());
+  }
+  std::printf("  total stored: %zu bytes\n", sizes.FullBytes());
+  return 0;
+}
+
+int CmdRetrieve(const Flags& flags) {
+  const std::string dir = flags.GetString("dir");
+  const std::string out = flags.GetString("out");
+  if (dir.empty() || out.empty()) {
+    return Usage("--dir and --out are required");
+  }
+  auto field = RefactoredField::LoadFromDirectory(dir);
+  if (!field.ok()) {
+    return Fail(field.status());
+  }
+  const RefactoredField& f = field.value();
+
+  const std::string estimator_name = flags.GetString("estimator", "theory");
+  TheoryEstimator theory;
+  SNormEstimator snorm;
+  EMgardModel emgard;
+  std::unique_ptr<LearnedConstantsEstimator> learned;
+  const ErrorEstimator* estimator = nullptr;
+  if (flags.Has("emgard")) {
+    auto blob = ReadFileToString(flags.GetString("emgard"));
+    if (!blob.ok()) {
+      return Fail(blob.status());
+    }
+    auto model = EMgardModel::Deserialize(blob.value());
+    if (!model.ok()) {
+      return Fail(model.status());
+    }
+    emgard = std::move(model).value();
+    learned = std::make_unique<LearnedConstantsEstimator>(&emgard);
+    estimator = learned.get();
+  } else if (estimator_name == "theory") {
+    estimator = &theory;
+  } else if (estimator_name == "snorm") {
+    estimator = &snorm;
+  } else {
+    return Usage("--estimator must be theory or snorm");
+  }
+
+  if (flags.Has("budget")) {
+    // Budget-constrained retrieval: best accuracy within a byte budget.
+    const std::size_t budget =
+        static_cast<std::size_t>(flags.GetDouble("budget", 0.0));
+    Reconstructor rec(estimator);
+    auto plan = rec.PlanWithinBudget(f, budget);
+    if (!plan.ok()) {
+      return Fail(plan.status());
+    }
+    auto data = rec.Reconstruct(f, plan.value());
+    if (!data.ok()) {
+      return Fail(data.status());
+    }
+    Status st = WriteRawField(out, data.value());
+    if (!st.ok()) {
+      return Fail(st);
+    }
+    std::printf("retrieved %s -> %s within %zu-byte budget\n", dir.c_str(),
+                out.c_str(), budget);
+    std::printf("  bytes read: %zu, estimated error: %.6g\n",
+                plan.value().total_bytes, plan.value().estimated_error);
+    return 0;
+  }
+
+  double bound = 0.0;
+  if (flags.Has("abs-error")) {
+    bound = flags.GetDouble("abs-error", 0.0);
+  } else if (flags.Has("rel-error")) {
+    bound = flags.GetDouble("rel-error", 0.0) * f.data_summary.range();
+  } else if (flags.Has("psnr")) {
+    if (estimator_name != "snorm") {
+      return Usage("--psnr requires --estimator snorm");
+    }
+    bound = PsnrToRmsBound(f.data_summary.range(),
+                           flags.GetDouble("psnr", 60.0));
+  } else {
+    return Usage(
+        "one of --abs-error, --rel-error, --psnr, --budget is required");
+  }
+  if (!(bound > 0.0)) {
+    return Usage("accuracy bound must be positive");
+  }
+
+  Reconstructor rec(estimator);
+  RetrievalPlan plan;
+  Result<Array3Dd> data = Status::Internal("unset");
+  if (flags.Has("dmgard")) {
+    auto blob = ReadFileToString(flags.GetString("dmgard"));
+    if (!blob.ok()) {
+      return Fail(blob.status());
+    }
+    auto model = DMgardModel::Deserialize(blob.value());
+    if (!model.ok()) {
+      return Fail(model.status());
+    }
+    auto prefix = model.value().Predict(
+        ExtractDataFeatures(f.data_summary), f.level_sketches, bound);
+    if (!prefix.ok()) {
+      return Fail(prefix.status());
+    }
+    auto pplan = rec.PlanFromPrefix(f, prefix.value());
+    if (!pplan.ok()) {
+      return Fail(pplan.status());
+    }
+    plan = std::move(pplan).value();
+    data = rec.Reconstruct(f, plan);
+  } else {
+    data = rec.Retrieve(f, bound, &plan);
+  }
+  if (!data.ok()) {
+    return Fail(data.status());
+  }
+  Status st = WriteRawField(out, data.value());
+  if (!st.ok()) {
+    return Fail(st);
+  }
+  const std::size_t full = MakeSizeInterpreter(f).FullBytes();
+  std::printf("retrieved %s -> %s\n", dir.c_str(), out.c_str());
+  std::printf("  estimator=%s bound=%.6g estimate=%.6g\n",
+              estimator->name().c_str(), bound, plan.estimated_error);
+  std::printf("  planes per level:");
+  for (int b : plan.prefix) {
+    std::printf(" %d", b);
+  }
+  std::printf("\n  bytes read: %zu of %zu (%.1f%%)\n", plan.total_bytes,
+              full,
+              100.0 * static_cast<double>(plan.total_bytes) /
+                  static_cast<double>(full));
+  return 0;
+}
+
+Result<FieldSeries> GenerateSeries(const std::string& app,
+                                   const std::string& field, Dims3 dims,
+                                   int timesteps) {
+  if (app == "warpx") {
+    WarpXDatasetOptions opts;
+    opts.dims = dims;
+    opts.num_timesteps = timesteps;
+    if (field == "B_x") {
+      return GenerateWarpX(opts, WarpXField::kBx);
+    }
+    if (field == "E_x") {
+      return GenerateWarpX(opts, WarpXField::kEx);
+    }
+    if (field == "J_x") {
+      return GenerateWarpX(opts, WarpXField::kJx);
+    }
+    return Status::Invalid("warpx fields: B_x | E_x | J_x");
+  }
+  if (app == "gray-scott") {
+    GrayScottDatasetOptions opts;
+    opts.dims = dims;
+    opts.num_timesteps = timesteps;
+    auto fields = GenerateGrayScott(opts);
+    if (field == "D_u") {
+      return std::move(fields[0]);
+    }
+    if (field == "D_v") {
+      return std::move(fields[1]);
+    }
+    return Status::Invalid("gray-scott fields: D_u | D_v");
+  }
+  return Status::Invalid("--app must be warpx or gray-scott");
+}
+
+int CmdTrain(const Flags& flags) {
+  Dims3 dims;
+  if (!ParseDims(flags.GetString("dims", "33,33,33"), &dims)) {
+    return Usage("bad --dims");
+  }
+  const std::string model_kind = flags.GetString("model");
+  const std::string out = flags.GetString("out");
+  if (out.empty() || (model_kind != "dmgard" && model_kind != "emgard")) {
+    return Usage("--model dmgard|emgard and --out are required");
+  }
+  const int timesteps = flags.GetInt("timesteps", 16);
+  auto series = GenerateSeries(flags.GetString("app", "warpx"),
+                               flags.GetString("field", "E_x"), dims,
+                               timesteps);
+  if (!series.ok()) {
+    return Usage(series.status().message().c_str());
+  }
+  std::vector<int> train_steps, test_steps;
+  SplitTimesteps(timesteps, &train_steps, &test_steps);
+
+  std::printf("collecting records on %zu timesteps...\n",
+              train_steps.size());
+  CollectOptions copts;
+  copts.rel_bounds =
+      SubsampledRelativeErrorBounds(flags.GetInt("bounds-per-decade", 4));
+  auto records = CollectRecords(series.value(), train_steps, copts);
+  if (!records.ok()) {
+    return Fail(records.status());
+  }
+  std::printf("training %s on %zu records...\n", model_kind.c_str(),
+              records.value().size());
+
+  std::string blob;
+  if (model_kind == "dmgard") {
+    DMgardConfig config;
+    config.train.epochs = flags.GetInt("epochs", 150);
+    config.train.batch_size = 16;
+    config.train.learning_rate = 1e-3;
+    auto model = DMgardModel::TrainModel(records.value(), config);
+    if (!model.ok()) {
+      return Fail(model.status());
+    }
+    blob = model.value().Serialize();
+  } else {
+    EMgardConfig config;
+    config.train.epochs = flags.GetInt("epochs", 150);
+    config.train.learning_rate = 1e-3;
+    auto model = EMgardModel::TrainModel(records.value(), config);
+    if (!model.ok()) {
+      return Fail(model.status());
+    }
+    blob = model.value().Serialize();
+  }
+  Status st = WriteFile(out, blob);
+  if (!st.ok()) {
+    return Fail(st);
+  }
+  std::printf("saved %s model to %s (%zu bytes)\n", model_kind.c_str(),
+              out.c_str(), blob.size());
+  return 0;
+}
+
+int CmdVerify(const Flags& flags) {
+  const std::string a_path = flags.GetString("original");
+  const std::string b_path = flags.GetString("reconstructed");
+  if (a_path.empty() || b_path.empty()) {
+    return Usage("--original and --reconstructed are required");
+  }
+  auto a_bytes = ReadFileToString(a_path);
+  auto b_bytes = ReadFileToString(b_path);
+  if (!a_bytes.ok()) {
+    return Fail(a_bytes.status());
+  }
+  if (!b_bytes.ok()) {
+    return Fail(b_bytes.status());
+  }
+  if (a_bytes.value().size() != b_bytes.value().size() ||
+      a_bytes.value().size() % sizeof(double) != 0) {
+    return Fail(Status::Invalid("file sizes differ or are not f64"));
+  }
+  const std::size_t n = a_bytes.value().size() / sizeof(double);
+  std::vector<double> a(n), b(n);
+  std::memcpy(a.data(), a_bytes.value().data(), a_bytes.value().size());
+  std::memcpy(b.data(), b_bytes.value().data(), b_bytes.value().size());
+  std::printf("n=%zu max_abs_err=%.6g rmse=%.6g psnr=%.2f dB\n", n,
+              MaxAbsError(a, b), RmsError(a, b), Psnr(a, b));
+  return 0;
+}
+
+void PrintHelp() {
+  std::printf(
+      "mgardp: progressive refactoring and retrieval of scientific data\n\n"
+      "subcommands:\n"
+      "  generate  --app warpx|gray-scott --field NAME --dims NX[,NY[,NZ]]\n"
+      "            [--timestep T] --out FILE.f64\n"
+      "  refactor  --input FILE.f64 --dims NX[,NY[,NZ]] --out DIR\n"
+      "            [--planes B] [--steps K] [--no-correction]\n"
+      "  info      --dir DIR\n"
+      "  retrieve  --dir DIR (--rel-error R | --abs-error E | --psnr P\n"
+      "            | --budget BYTES)\n"
+      "            --out FILE.f64 [--estimator theory|snorm]\n"
+      "            [--dmgard MODEL.bin | --emgard MODEL.bin]\n"
+      "  train     --model dmgard|emgard --app APP --field NAME\n"
+      "            --dims NX[,NY[,NZ]] [--timesteps T] [--epochs E]\n"
+      "            --out MODEL.bin\n"
+      "  verify    --original FILE.f64 --reconstructed FILE.f64\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintHelp();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    return Usage(flags.error().c_str());
+  }
+  if (cmd == "generate") {
+    return CmdGenerate(flags);
+  }
+  if (cmd == "refactor") {
+    return CmdRefactor(flags);
+  }
+  if (cmd == "info") {
+    return CmdInfo(flags);
+  }
+  if (cmd == "retrieve") {
+    return CmdRetrieve(flags);
+  }
+  if (cmd == "verify") {
+    return CmdVerify(flags);
+  }
+  if (cmd == "train") {
+    return CmdTrain(flags);
+  }
+  PrintHelp();
+  return 1;
+}
