@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cmor.dir/figures/ablation_cmor.cc.o"
+  "CMakeFiles/ablation_cmor.dir/figures/ablation_cmor.cc.o.d"
+  "ablation_cmor"
+  "ablation_cmor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cmor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_emgard_design.dir/figures/ablation_emgard_design.cc.o"
+  "CMakeFiles/ablation_emgard_design.dir/figures/ablation_emgard_design.cc.o.d"
+  "ablation_emgard_design"
+  "ablation_emgard_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_emgard_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_io_cost.dir/figures/fig01_io_cost.cc.o"
+  "CMakeFiles/fig01_io_cost.dir/figures/fig01_io_cost.cc.o.d"
+  "fig01_io_cost"
+  "fig01_io_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_io_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_requested_vs_achieved.dir/figures/fig02_requested_vs_achieved.cc.o"
+  "CMakeFiles/fig02_requested_vs_achieved.dir/figures/fig02_requested_vs_achieved.cc.o.d"
+  "fig02_requested_vs_achieved"
+  "fig02_requested_vs_achieved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_requested_vs_achieved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

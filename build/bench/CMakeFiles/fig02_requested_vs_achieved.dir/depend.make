@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_requested_vs_achieved.
+# This may be replaced when dependencies are built.

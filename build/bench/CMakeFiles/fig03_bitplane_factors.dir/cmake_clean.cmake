@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_bitplane_factors.dir/figures/fig03_bitplane_factors.cc.o"
+  "CMakeFiles/fig03_bitplane_factors.dir/figures/fig03_bitplane_factors.cc.o.d"
+  "fig03_bitplane_factors"
+  "fig03_bitplane_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_bitplane_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

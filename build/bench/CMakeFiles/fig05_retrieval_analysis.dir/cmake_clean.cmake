@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_retrieval_analysis.dir/figures/fig05_retrieval_analysis.cc.o"
+  "CMakeFiles/fig05_retrieval_analysis.dir/figures/fig05_retrieval_analysis.cc.o.d"
+  "fig05_retrieval_analysis"
+  "fig05_retrieval_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_retrieval_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

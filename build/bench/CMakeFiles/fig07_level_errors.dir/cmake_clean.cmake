@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_level_errors.dir/figures/fig07_level_errors.cc.o"
+  "CMakeFiles/fig07_level_errors.dir/figures/fig07_level_errors.cc.o.d"
+  "fig07_level_errors"
+  "fig07_level_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_level_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dmgard_warpx.dir/figures/fig09_dmgard_warpx.cc.o"
+  "CMakeFiles/fig09_dmgard_warpx.dir/figures/fig09_dmgard_warpx.cc.o.d"
+  "fig09_dmgard_warpx"
+  "fig09_dmgard_warpx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dmgard_warpx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dmgard_grayscott.dir/figures/fig10_dmgard_grayscott.cc.o"
+  "CMakeFiles/fig10_dmgard_grayscott.dir/figures/fig10_dmgard_grayscott.cc.o.d"
+  "fig10_dmgard_grayscott"
+  "fig10_dmgard_grayscott.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dmgard_grayscott.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

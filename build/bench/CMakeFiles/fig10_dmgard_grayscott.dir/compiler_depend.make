@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_dmgard_grayscott.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_resolution.dir/figures/fig11_resolution.cc.o"
+  "CMakeFiles/fig11_resolution.dir/figures/fig11_resolution.cc.o.d"
+  "fig11_resolution"
+  "fig11_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

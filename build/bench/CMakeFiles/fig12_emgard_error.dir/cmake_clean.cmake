@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_emgard_error.dir/figures/fig12_emgard_error.cc.o"
+  "CMakeFiles/fig12_emgard_error.dir/figures/fig12_emgard_error.cc.o.d"
+  "fig12_emgard_error"
+  "fig12_emgard_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_emgard_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bitplane.dir/micro/micro_bitplane.cc.o"
+  "CMakeFiles/micro_bitplane.dir/micro/micro_bitplane.cc.o.d"
+  "micro_bitplane"
+  "micro_bitplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bitplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_bitplane.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_decompose.dir/micro/micro_decompose.cc.o"
+  "CMakeFiles/micro_decompose.dir/micro/micro_decompose.cc.o.d"
+  "micro_decompose"
+  "micro_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dnn.dir/micro/micro_dnn.cc.o"
+  "CMakeFiles/micro_dnn.dir/micro/micro_dnn.cc.o.d"
+  "micro_dnn"
+  "micro_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

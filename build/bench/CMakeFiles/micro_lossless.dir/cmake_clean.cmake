@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lossless.dir/micro/micro_lossless.cc.o"
+  "CMakeFiles/micro_lossless.dir/micro/micro_lossless.cc.o.d"
+  "micro_lossless"
+  "micro_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_repository.dir/campaign_repository.cpp.o"
+  "CMakeFiles/campaign_repository.dir/campaign_repository.cpp.o.d"
+  "campaign_repository"
+  "campaign_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grayscott_training.dir/grayscott_training.cpp.o"
+  "CMakeFiles/grayscott_training.dir/grayscott_training.cpp.o.d"
+  "grayscott_training"
+  "grayscott_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grayscott_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_storage_demo.dir/tiered_storage_demo.cpp.o"
+  "CMakeFiles/tiered_storage_demo.dir/tiered_storage_demo.cpp.o.d"
+  "tiered_storage_demo"
+  "tiered_storage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_storage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

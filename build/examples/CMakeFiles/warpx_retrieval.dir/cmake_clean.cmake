@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warpx_retrieval.dir/warpx_retrieval.cpp.o"
+  "CMakeFiles/warpx_retrieval.dir/warpx_retrieval.cpp.o.d"
+  "warpx_retrieval"
+  "warpx_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warpx_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

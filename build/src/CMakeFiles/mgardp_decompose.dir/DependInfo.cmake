@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decompose/decomposer.cc" "src/CMakeFiles/mgardp_decompose.dir/decompose/decomposer.cc.o" "gcc" "src/CMakeFiles/mgardp_decompose.dir/decompose/decomposer.cc.o.d"
+  "/root/repo/src/decompose/hierarchy.cc" "src/CMakeFiles/mgardp_decompose.dir/decompose/hierarchy.cc.o" "gcc" "src/CMakeFiles/mgardp_decompose.dir/decompose/hierarchy.cc.o.d"
+  "/root/repo/src/decompose/interleaver.cc" "src/CMakeFiles/mgardp_decompose.dir/decompose/interleaver.cc.o" "gcc" "src/CMakeFiles/mgardp_decompose.dir/decompose/interleaver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgardp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_decompose.dir/decompose/decomposer.cc.o"
+  "CMakeFiles/mgardp_decompose.dir/decompose/decomposer.cc.o.d"
+  "CMakeFiles/mgardp_decompose.dir/decompose/hierarchy.cc.o"
+  "CMakeFiles/mgardp_decompose.dir/decompose/hierarchy.cc.o.d"
+  "CMakeFiles/mgardp_decompose.dir/decompose/interleaver.cc.o"
+  "CMakeFiles/mgardp_decompose.dir/decompose/interleaver.cc.o.d"
+  "libmgardp_decompose.a"
+  "libmgardp_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

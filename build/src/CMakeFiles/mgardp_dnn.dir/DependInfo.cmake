@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/layers.cc" "src/CMakeFiles/mgardp_dnn.dir/dnn/layers.cc.o" "gcc" "src/CMakeFiles/mgardp_dnn.dir/dnn/layers.cc.o.d"
+  "/root/repo/src/dnn/loss.cc" "src/CMakeFiles/mgardp_dnn.dir/dnn/loss.cc.o" "gcc" "src/CMakeFiles/mgardp_dnn.dir/dnn/loss.cc.o.d"
+  "/root/repo/src/dnn/matrix.cc" "src/CMakeFiles/mgardp_dnn.dir/dnn/matrix.cc.o" "gcc" "src/CMakeFiles/mgardp_dnn.dir/dnn/matrix.cc.o.d"
+  "/root/repo/src/dnn/mlp.cc" "src/CMakeFiles/mgardp_dnn.dir/dnn/mlp.cc.o" "gcc" "src/CMakeFiles/mgardp_dnn.dir/dnn/mlp.cc.o.d"
+  "/root/repo/src/dnn/optimizer.cc" "src/CMakeFiles/mgardp_dnn.dir/dnn/optimizer.cc.o" "gcc" "src/CMakeFiles/mgardp_dnn.dir/dnn/optimizer.cc.o.d"
+  "/root/repo/src/dnn/scaler.cc" "src/CMakeFiles/mgardp_dnn.dir/dnn/scaler.cc.o" "gcc" "src/CMakeFiles/mgardp_dnn.dir/dnn/scaler.cc.o.d"
+  "/root/repo/src/dnn/trainer.cc" "src/CMakeFiles/mgardp_dnn.dir/dnn/trainer.cc.o" "gcc" "src/CMakeFiles/mgardp_dnn.dir/dnn/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgardp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

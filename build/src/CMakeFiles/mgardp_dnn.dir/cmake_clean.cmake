@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_dnn.dir/dnn/layers.cc.o"
+  "CMakeFiles/mgardp_dnn.dir/dnn/layers.cc.o.d"
+  "CMakeFiles/mgardp_dnn.dir/dnn/loss.cc.o"
+  "CMakeFiles/mgardp_dnn.dir/dnn/loss.cc.o.d"
+  "CMakeFiles/mgardp_dnn.dir/dnn/matrix.cc.o"
+  "CMakeFiles/mgardp_dnn.dir/dnn/matrix.cc.o.d"
+  "CMakeFiles/mgardp_dnn.dir/dnn/mlp.cc.o"
+  "CMakeFiles/mgardp_dnn.dir/dnn/mlp.cc.o.d"
+  "CMakeFiles/mgardp_dnn.dir/dnn/optimizer.cc.o"
+  "CMakeFiles/mgardp_dnn.dir/dnn/optimizer.cc.o.d"
+  "CMakeFiles/mgardp_dnn.dir/dnn/scaler.cc.o"
+  "CMakeFiles/mgardp_dnn.dir/dnn/scaler.cc.o.d"
+  "CMakeFiles/mgardp_dnn.dir/dnn/trainer.cc.o"
+  "CMakeFiles/mgardp_dnn.dir/dnn/trainer.cc.o.d"
+  "libmgardp_dnn.a"
+  "libmgardp_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

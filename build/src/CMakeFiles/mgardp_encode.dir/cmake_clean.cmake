@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_encode.dir/encode/bitplane.cc.o"
+  "CMakeFiles/mgardp_encode.dir/encode/bitplane.cc.o.d"
+  "libmgardp_encode.a"
+  "libmgardp_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_lossless.dir/lossless/codec.cc.o"
+  "CMakeFiles/mgardp_lossless.dir/lossless/codec.cc.o.d"
+  "libmgardp_lossless.a"
+  "libmgardp_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/dmgard.cc" "src/CMakeFiles/mgardp_models.dir/models/dmgard.cc.o" "gcc" "src/CMakeFiles/mgardp_models.dir/models/dmgard.cc.o.d"
+  "/root/repo/src/models/emgard.cc" "src/CMakeFiles/mgardp_models.dir/models/emgard.cc.o" "gcc" "src/CMakeFiles/mgardp_models.dir/models/emgard.cc.o.d"
+  "/root/repo/src/models/features.cc" "src/CMakeFiles/mgardp_models.dir/models/features.cc.o" "gcc" "src/CMakeFiles/mgardp_models.dir/models/features.cc.o.d"
+  "/root/repo/src/models/hybrid.cc" "src/CMakeFiles/mgardp_models.dir/models/hybrid.cc.o" "gcc" "src/CMakeFiles/mgardp_models.dir/models/hybrid.cc.o.d"
+  "/root/repo/src/models/training_data.cc" "src/CMakeFiles/mgardp_models.dir/models/training_data.cc.o" "gcc" "src/CMakeFiles/mgardp_models.dir/models/training_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgardp_progressive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_decompose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_models.dir/models/dmgard.cc.o"
+  "CMakeFiles/mgardp_models.dir/models/dmgard.cc.o.d"
+  "CMakeFiles/mgardp_models.dir/models/emgard.cc.o"
+  "CMakeFiles/mgardp_models.dir/models/emgard.cc.o.d"
+  "CMakeFiles/mgardp_models.dir/models/features.cc.o"
+  "CMakeFiles/mgardp_models.dir/models/features.cc.o.d"
+  "CMakeFiles/mgardp_models.dir/models/hybrid.cc.o"
+  "CMakeFiles/mgardp_models.dir/models/hybrid.cc.o.d"
+  "CMakeFiles/mgardp_models.dir/models/training_data.cc.o"
+  "CMakeFiles/mgardp_models.dir/models/training_data.cc.o.d"
+  "libmgardp_models.a"
+  "libmgardp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgardp_models.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/progressive/error_estimator.cc" "src/CMakeFiles/mgardp_progressive.dir/progressive/error_estimator.cc.o" "gcc" "src/CMakeFiles/mgardp_progressive.dir/progressive/error_estimator.cc.o.d"
+  "/root/repo/src/progressive/padding.cc" "src/CMakeFiles/mgardp_progressive.dir/progressive/padding.cc.o" "gcc" "src/CMakeFiles/mgardp_progressive.dir/progressive/padding.cc.o.d"
+  "/root/repo/src/progressive/reconstructor.cc" "src/CMakeFiles/mgardp_progressive.dir/progressive/reconstructor.cc.o" "gcc" "src/CMakeFiles/mgardp_progressive.dir/progressive/reconstructor.cc.o.d"
+  "/root/repo/src/progressive/refactored_field.cc" "src/CMakeFiles/mgardp_progressive.dir/progressive/refactored_field.cc.o" "gcc" "src/CMakeFiles/mgardp_progressive.dir/progressive/refactored_field.cc.o.d"
+  "/root/repo/src/progressive/refactorer.cc" "src/CMakeFiles/mgardp_progressive.dir/progressive/refactorer.cc.o" "gcc" "src/CMakeFiles/mgardp_progressive.dir/progressive/refactorer.cc.o.d"
+  "/root/repo/src/progressive/repository.cc" "src/CMakeFiles/mgardp_progressive.dir/progressive/repository.cc.o" "gcc" "src/CMakeFiles/mgardp_progressive.dir/progressive/repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgardp_decompose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_progressive.dir/progressive/error_estimator.cc.o"
+  "CMakeFiles/mgardp_progressive.dir/progressive/error_estimator.cc.o.d"
+  "CMakeFiles/mgardp_progressive.dir/progressive/padding.cc.o"
+  "CMakeFiles/mgardp_progressive.dir/progressive/padding.cc.o.d"
+  "CMakeFiles/mgardp_progressive.dir/progressive/reconstructor.cc.o"
+  "CMakeFiles/mgardp_progressive.dir/progressive/reconstructor.cc.o.d"
+  "CMakeFiles/mgardp_progressive.dir/progressive/refactored_field.cc.o"
+  "CMakeFiles/mgardp_progressive.dir/progressive/refactored_field.cc.o.d"
+  "CMakeFiles/mgardp_progressive.dir/progressive/refactorer.cc.o"
+  "CMakeFiles/mgardp_progressive.dir/progressive/refactorer.cc.o.d"
+  "CMakeFiles/mgardp_progressive.dir/progressive/repository.cc.o"
+  "CMakeFiles/mgardp_progressive.dir/progressive/repository.cc.o.d"
+  "libmgardp_progressive.a"
+  "libmgardp_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset.cc" "src/CMakeFiles/mgardp_sim.dir/sim/dataset.cc.o" "gcc" "src/CMakeFiles/mgardp_sim.dir/sim/dataset.cc.o.d"
+  "/root/repo/src/sim/gray_scott.cc" "src/CMakeFiles/mgardp_sim.dir/sim/gray_scott.cc.o" "gcc" "src/CMakeFiles/mgardp_sim.dir/sim/gray_scott.cc.o.d"
+  "/root/repo/src/sim/warpx.cc" "src/CMakeFiles/mgardp_sim.dir/sim/warpx.cc.o" "gcc" "src/CMakeFiles/mgardp_sim.dir/sim/warpx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgardp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_sim.dir/sim/dataset.cc.o"
+  "CMakeFiles/mgardp_sim.dir/sim/dataset.cc.o.d"
+  "CMakeFiles/mgardp_sim.dir/sim/gray_scott.cc.o"
+  "CMakeFiles/mgardp_sim.dir/sim/gray_scott.cc.o.d"
+  "CMakeFiles/mgardp_sim.dir/sim/warpx.cc.o"
+  "CMakeFiles/mgardp_sim.dir/sim/warpx.cc.o.d"
+  "libmgardp_sim.a"
+  "libmgardp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

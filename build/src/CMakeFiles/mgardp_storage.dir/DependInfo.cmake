@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/segment_store.cc" "src/CMakeFiles/mgardp_storage.dir/storage/segment_store.cc.o" "gcc" "src/CMakeFiles/mgardp_storage.dir/storage/segment_store.cc.o.d"
+  "/root/repo/src/storage/size_interpreter.cc" "src/CMakeFiles/mgardp_storage.dir/storage/size_interpreter.cc.o" "gcc" "src/CMakeFiles/mgardp_storage.dir/storage/size_interpreter.cc.o.d"
+  "/root/repo/src/storage/tiers.cc" "src/CMakeFiles/mgardp_storage.dir/storage/tiers.cc.o" "gcc" "src/CMakeFiles/mgardp_storage.dir/storage/tiers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgardp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

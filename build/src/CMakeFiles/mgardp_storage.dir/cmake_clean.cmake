@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_storage.dir/storage/segment_store.cc.o"
+  "CMakeFiles/mgardp_storage.dir/storage/segment_store.cc.o.d"
+  "CMakeFiles/mgardp_storage.dir/storage/size_interpreter.cc.o"
+  "CMakeFiles/mgardp_storage.dir/storage/size_interpreter.cc.o.d"
+  "CMakeFiles/mgardp_storage.dir/storage/tiers.cc.o"
+  "CMakeFiles/mgardp_storage.dir/storage/tiers.cc.o.d"
+  "libmgardp_storage.a"
+  "libmgardp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

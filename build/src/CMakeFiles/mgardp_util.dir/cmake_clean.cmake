@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_util.dir/util/array3d.cc.o"
+  "CMakeFiles/mgardp_util.dir/util/array3d.cc.o.d"
+  "CMakeFiles/mgardp_util.dir/util/io.cc.o"
+  "CMakeFiles/mgardp_util.dir/util/io.cc.o.d"
+  "CMakeFiles/mgardp_util.dir/util/rng.cc.o"
+  "CMakeFiles/mgardp_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/mgardp_util.dir/util/stats.cc.o"
+  "CMakeFiles/mgardp_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/mgardp_util.dir/util/status.cc.o"
+  "CMakeFiles/mgardp_util.dir/util/status.cc.o.d"
+  "libmgardp_util.a"
+  "libmgardp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

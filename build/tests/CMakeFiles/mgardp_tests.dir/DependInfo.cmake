@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decompose/decomposer_test.cc" "tests/CMakeFiles/mgardp_tests.dir/decompose/decomposer_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/decompose/decomposer_test.cc.o.d"
+  "/root/repo/tests/decompose/hierarchy_test.cc" "tests/CMakeFiles/mgardp_tests.dir/decompose/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/decompose/hierarchy_test.cc.o.d"
+  "/root/repo/tests/decompose/interleaver_test.cc" "tests/CMakeFiles/mgardp_tests.dir/decompose/interleaver_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/decompose/interleaver_test.cc.o.d"
+  "/root/repo/tests/dnn/layers_test.cc" "tests/CMakeFiles/mgardp_tests.dir/dnn/layers_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/dnn/layers_test.cc.o.d"
+  "/root/repo/tests/dnn/loss_test.cc" "tests/CMakeFiles/mgardp_tests.dir/dnn/loss_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/dnn/loss_test.cc.o.d"
+  "/root/repo/tests/dnn/matrix_test.cc" "tests/CMakeFiles/mgardp_tests.dir/dnn/matrix_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/dnn/matrix_test.cc.o.d"
+  "/root/repo/tests/dnn/mlp_test.cc" "tests/CMakeFiles/mgardp_tests.dir/dnn/mlp_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/dnn/mlp_test.cc.o.d"
+  "/root/repo/tests/dnn/optimizer_test.cc" "tests/CMakeFiles/mgardp_tests.dir/dnn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/dnn/optimizer_test.cc.o.d"
+  "/root/repo/tests/dnn/scaler_test.cc" "tests/CMakeFiles/mgardp_tests.dir/dnn/scaler_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/dnn/scaler_test.cc.o.d"
+  "/root/repo/tests/dnn/trainer_test.cc" "tests/CMakeFiles/mgardp_tests.dir/dnn/trainer_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/dnn/trainer_test.cc.o.d"
+  "/root/repo/tests/encode/bitplane_test.cc" "tests/CMakeFiles/mgardp_tests.dir/encode/bitplane_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/encode/bitplane_test.cc.o.d"
+  "/root/repo/tests/encode/negabinary_test.cc" "tests/CMakeFiles/mgardp_tests.dir/encode/negabinary_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/encode/negabinary_test.cc.o.d"
+  "/root/repo/tests/integration/golden_test.cc" "tests/CMakeFiles/mgardp_tests.dir/integration/golden_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/integration/golden_test.cc.o.d"
+  "/root/repo/tests/integration/persistence_test.cc" "tests/CMakeFiles/mgardp_tests.dir/integration/persistence_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/integration/persistence_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_test.cc" "tests/CMakeFiles/mgardp_tests.dir/integration/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/integration/pipeline_test.cc.o.d"
+  "/root/repo/tests/integration/robustness_test.cc" "tests/CMakeFiles/mgardp_tests.dir/integration/robustness_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/integration/robustness_test.cc.o.d"
+  "/root/repo/tests/lossless/codec_test.cc" "tests/CMakeFiles/mgardp_tests.dir/lossless/codec_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/lossless/codec_test.cc.o.d"
+  "/root/repo/tests/models/dmgard_test.cc" "tests/CMakeFiles/mgardp_tests.dir/models/dmgard_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/models/dmgard_test.cc.o.d"
+  "/root/repo/tests/models/emgard_test.cc" "tests/CMakeFiles/mgardp_tests.dir/models/emgard_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/models/emgard_test.cc.o.d"
+  "/root/repo/tests/models/features_test.cc" "tests/CMakeFiles/mgardp_tests.dir/models/features_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/models/features_test.cc.o.d"
+  "/root/repo/tests/models/hybrid_test.cc" "tests/CMakeFiles/mgardp_tests.dir/models/hybrid_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/models/hybrid_test.cc.o.d"
+  "/root/repo/tests/models/ladder_test.cc" "tests/CMakeFiles/mgardp_tests.dir/models/ladder_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/models/ladder_test.cc.o.d"
+  "/root/repo/tests/models/training_data_test.cc" "tests/CMakeFiles/mgardp_tests.dir/models/training_data_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/models/training_data_test.cc.o.d"
+  "/root/repo/tests/progressive/estimator_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/estimator_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/estimator_test.cc.o.d"
+  "/root/repo/tests/progressive/padding_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/padding_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/padding_test.cc.o.d"
+  "/root/repo/tests/progressive/planner_properties_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/planner_properties_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/planner_properties_test.cc.o.d"
+  "/root/repo/tests/progressive/reconstructor_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/reconstructor_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/reconstructor_test.cc.o.d"
+  "/root/repo/tests/progressive/refactorer_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/refactorer_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/refactorer_test.cc.o.d"
+  "/root/repo/tests/progressive/refinement_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/refinement_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/refinement_test.cc.o.d"
+  "/root/repo/tests/progressive/repository_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/repository_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/repository_test.cc.o.d"
+  "/root/repo/tests/progressive/roundtrip_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/roundtrip_test.cc.o.d"
+  "/root/repo/tests/progressive/snorm_test.cc" "tests/CMakeFiles/mgardp_tests.dir/progressive/snorm_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/progressive/snorm_test.cc.o.d"
+  "/root/repo/tests/sim/dataset_test.cc" "tests/CMakeFiles/mgardp_tests.dir/sim/dataset_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/sim/dataset_test.cc.o.d"
+  "/root/repo/tests/sim/gray_scott_test.cc" "tests/CMakeFiles/mgardp_tests.dir/sim/gray_scott_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/sim/gray_scott_test.cc.o.d"
+  "/root/repo/tests/sim/warpx_test.cc" "tests/CMakeFiles/mgardp_tests.dir/sim/warpx_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/sim/warpx_test.cc.o.d"
+  "/root/repo/tests/storage/segment_store_test.cc" "tests/CMakeFiles/mgardp_tests.dir/storage/segment_store_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/storage/segment_store_test.cc.o.d"
+  "/root/repo/tests/storage/size_interpreter_test.cc" "tests/CMakeFiles/mgardp_tests.dir/storage/size_interpreter_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/storage/size_interpreter_test.cc.o.d"
+  "/root/repo/tests/storage/tiers_test.cc" "tests/CMakeFiles/mgardp_tests.dir/storage/tiers_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/storage/tiers_test.cc.o.d"
+  "/root/repo/tests/util/array3d_test.cc" "tests/CMakeFiles/mgardp_tests.dir/util/array3d_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/util/array3d_test.cc.o.d"
+  "/root/repo/tests/util/io_test.cc" "tests/CMakeFiles/mgardp_tests.dir/util/io_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/util/io_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/mgardp_tests.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/mgardp_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/mgardp_tests.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/mgardp_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/mgardp_tests.dir/util/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgardp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_progressive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_decompose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgardp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgardp_cli.dir/mgardp_cli.cc.o"
+  "CMakeFiles/mgardp_cli.dir/mgardp_cli.cc.o.d"
+  "mgardp"
+  "mgardp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgardp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
