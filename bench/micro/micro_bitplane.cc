@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "encode/bitplane.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace {
@@ -57,5 +58,40 @@ void BM_BitplaneDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32768);
 }
 BENCHMARK(BM_BitplaneDecode)->Arg(4)->Arg(16)->Arg(32);
+
+// Thread-count sweep on the stats-collecting encode (the heaviest variant:
+// quantization + plane slicing + the O(planes x n) error matrix).
+void BM_BitplaneEncodeThreads(benchmark::State& state) {
+  const int ambient = GlobalThreadCount();
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  const auto coefs = RandomCoefs(262144);
+  BitplaneEncoder enc(32);
+  for (auto _ : state) {
+    LevelErrorStats stats;
+    auto set = enc.Encode(coefs, &stats);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coefs.size()));
+  SetGlobalThreadCount(ambient);
+}
+BENCHMARK(BM_BitplaneEncodeThreads)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_BitplaneDecodeThreads(benchmark::State& state) {
+  const int ambient = GlobalThreadCount();
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  const auto coefs = RandomCoefs(262144);
+  BitplaneEncoder enc(32);
+  auto set = enc.Encode(coefs, nullptr);
+  set.status().Abort("encode");
+  for (auto _ : state) {
+    auto decoded = enc.Decode(set.value(), 32);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coefs.size()));
+  SetGlobalThreadCount(ambient);
+}
+BENCHMARK(BM_BitplaneDecodeThreads)->Arg(1)->Arg(4)->Arg(8);
 
 }  // namespace

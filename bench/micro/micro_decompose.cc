@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "decompose/decomposer.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace {
@@ -67,5 +68,25 @@ void BM_DecomposeNoCorrection(benchmark::State& state) {
                           static_cast<int64_t>(dims.size()));
 }
 BENCHMARK(BM_DecomposeNoCorrection);
+
+// Thread-count sweep over the 65^3 decomposition (line solves fan out
+// across the pool per axis).
+void BM_Decompose3DThreads(benchmark::State& state) {
+  const int ambient = GlobalThreadCount();
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  const Dims3 dims{65, 65, 65};
+  auto h = GridHierarchy::Create(dims);
+  h.status().Abort("hierarchy");
+  Decomposer dec(h.value());
+  Array3Dd data = RandomField(dims);
+  for (auto _ : state) {
+    Array3Dd copy = data;
+    benchmark::DoNotOptimize(dec.Decompose(&copy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dims.size()));
+  SetGlobalThreadCount(ambient);
+}
+BENCHMARK(BM_Decompose3DThreads)->Arg(1)->Arg(4)->Arg(8);
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "dnn/loss.h"
 #include "dnn/mlp.h"
 #include "dnn/trainer.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace {
@@ -69,5 +70,43 @@ void BM_TrainEpoch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_TrainEpoch);
+
+// Thread-count sweep: wide forward pass at a large batch, where the
+// row-parallel blocked matmuls have enough work to scale.
+void BM_MlpForwardThreads(benchmark::State& state) {
+  const int ambient = GlobalThreadCount();
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  Rng rng(9);
+  Mlp mlp(MlpConfig::DMgardDefault(12, 128), &rng);
+  Matrix x = RandomMatrix(2048, 12, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+  SetGlobalThreadCount(ambient);
+}
+BENCHMARK(BM_MlpForwardThreads)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_TrainEpochThreads(benchmark::State& state) {
+  const int ambient = GlobalThreadCount();
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  Matrix x = RandomMatrix(2048, 12, 11);
+  Matrix y = RandomMatrix(2048, 1, 12);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(13);
+    Mlp mlp(MlpConfig::DMgardDefault(12, 128), &rng);
+    state.ResumeTiming();
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 512;
+    tc.learning_rate = 5e-5;
+    auto report = Train(&mlp, x, y, tc);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+  SetGlobalThreadCount(ambient);
+}
+BENCHMARK(BM_TrainEpochThreads)->Arg(1)->Arg(4)->Arg(8);
 
 }  // namespace

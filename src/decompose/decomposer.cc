@@ -2,6 +2,8 @@
 
 #include <cstddef>
 
+#include "util/parallel.h"
+
 namespace mgardp {
 namespace internal {
 
@@ -116,11 +118,18 @@ void TransformAxis(Array3Dd* data, std::size_t stride, int axis, bool forward,
   const std::size_t n1 = lat(o1);
   const std::size_t n2 = lat(o2);
 
-  std::vector<double> line(m);
-  std::vector<double> scratch;
-  std::size_t idx[3];
-  for (std::size_t a = 0; a < n1; ++a) {
-    for (std::size_t b = 0; b < n2; ++b) {
+  // Lines along `axis` touch disjoint lattice sites for distinct (a, b), so
+  // they solve independently across the pool; each chunk keeps its own line
+  // and Thomas scratch buffers.
+  const std::size_t lines_per_chunk = std::max<std::size_t>(1, 2048 / m);
+  ParallelFor(0, n1 * n2, lines_per_chunk,
+              [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> line(m);
+    std::vector<double> scratch;
+    std::size_t idx[3];
+    for (std::size_t t = lo; t < hi; ++t) {
+      const std::size_t a = t / n2;
+      const std::size_t b = t % n2;
       idx[o1] = a * stride * (ext[o1] == 1 ? 0 : 1);
       idx[o2] = b * stride * (ext[o2] == 1 ? 0 : 1);
       // Gather the strided line into contiguous scratch.
@@ -138,7 +147,7 @@ void TransformAxis(Array3Dd* data, std::size_t stride, int axis, bool forward,
         (*data)(idx[0], idx[1], idx[2]) = line[p];
       }
     }
-  }
+  });
 }
 
 }  // namespace

@@ -33,10 +33,11 @@ class Interleaver {
                  Array3Dd* data) const;
 
  private:
-  // Invokes fn(level, i, j, k) for every node, in a deterministic order
-  // within each level.
+  // Invokes fn(index_within_level, i, j, k) for every node of `level`, in
+  // the canonical (i, j, k)-ascending order. Outer i-slabs run on the
+  // shared thread pool; the index argument is scheduling-independent.
   template <typename Fn>
-  void ForEachNode(Fn&& fn) const;
+  void ForEachNodeInLevel(int level, Fn&& fn) const;
 
   GridHierarchy hierarchy_;
 };

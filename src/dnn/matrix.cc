@@ -1,64 +1,99 @@
 #include "dnn/matrix.h"
 
+#include "util/parallel.h"
+
 namespace mgardp {
 namespace dnn {
+
+namespace {
+
+// Column-block width for the inner kernels: 64 doubles = 512 bytes, a few
+// cache lines of the output row that stay resident across the k loop.
+constexpr std::size_t kColBlock = 64;
+
+// Output rows are parallelized only when the multiply has enough flops to
+// amortize a pool dispatch.
+constexpr std::size_t kMinParallelFlops = 64 * 1024;
+
+std::size_t RowGrain(std::size_t flops_per_row) {
+  return std::max<std::size_t>(
+      1, kMinParallelFlops / std::max<std::size_t>(flops_per_row, 1));
+}
+
+}  // namespace
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   MGARDP_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both inputs.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a_row = data_.data() + i * cols_;
-    double* o_row = out.data() + i * other.cols_;
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) {
-        continue;
-      }
-      const double* b_row = other.data() + k * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        o_row[j] += a * b_row[j];
+  const std::size_t n = other.cols_;
+  // Blocked i-k-j: the j block of the output row stays in cache across the
+  // whole k loop. Per output element the k-accumulation order is unchanged,
+  // so results are identical to the naive kernel and to every thread count.
+  ParallelFor(0, rows_, RowGrain(cols_ * n),
+              [&](std::size_t r_lo, std::size_t r_hi) {
+    for (std::size_t i = r_lo; i < r_hi; ++i) {
+      const double* a_row = data_.data() + i * cols_;
+      double* o_row = out.data() + i * n;
+      for (std::size_t jb = 0; jb < n; jb += kColBlock) {
+        const std::size_t je = std::min(jb + kColBlock, n);
+        for (std::size_t k = 0; k < cols_; ++k) {
+          const double a = a_row[k];
+          const double* b_row = other.data() + k * n;
+          for (std::size_t j = jb; j < je; ++j) {
+            o_row[j] += a * b_row[j];
+          }
+        }
       }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
   MGARDP_CHECK_EQ(rows_, other.rows_);
   Matrix out(cols_, other.cols_);
-  for (std::size_t k = 0; k < rows_; ++k) {
-    const double* a_row = data_.data() + k * cols_;
-    const double* b_row = other.data() + k * other.cols_;
-    for (std::size_t i = 0; i < cols_; ++i) {
-      const double a = a_row[i];
-      if (a == 0.0) {
-        continue;
-      }
-      double* o_row = out.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        o_row[j] += a * b_row[j];
+  const std::size_t n = other.cols_;
+  // Iterate output rows i (columns of this) so rows parallelize without
+  // racing on the shared output; per element the k order matches the
+  // former k-outer kernel exactly.
+  ParallelFor(0, cols_, RowGrain(rows_ * n),
+              [&](std::size_t r_lo, std::size_t r_hi) {
+    for (std::size_t i = r_lo; i < r_hi; ++i) {
+      double* o_row = out.data() + i * n;
+      for (std::size_t jb = 0; jb < n; jb += kColBlock) {
+        const std::size_t je = std::min(jb + kColBlock, n);
+        for (std::size_t k = 0; k < rows_; ++k) {
+          const double a = data_[k * cols_ + i];
+          const double* b_row = other.data() + k * n;
+          for (std::size_t j = jb; j < je; ++j) {
+            o_row[j] += a * b_row[j];
+          }
+        }
       }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   MGARDP_CHECK_EQ(cols_, other.cols_);
   Matrix out(rows_, other.rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a_row = data_.data() + i * cols_;
-    double* o_row = out.data() + i * other.rows_;
-    for (std::size_t j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.data() + j * other.cols_;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) {
-        acc += a_row[k] * b_row[k];
+  const std::size_t n = other.rows_;
+  ParallelFor(0, rows_, RowGrain(cols_ * n),
+              [&](std::size_t r_lo, std::size_t r_hi) {
+    for (std::size_t i = r_lo; i < r_hi; ++i) {
+      const double* a_row = data_.data() + i * cols_;
+      double* o_row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* b_row = other.data() + j * cols_;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < cols_; ++k) {
+          acc += a_row[k] * b_row[k];
+        }
+        o_row[j] = acc;
       }
-      o_row[j] = acc;
     }
-  }
+  });
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "encode/negabinary.h"
 #include "util/io.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace mgardp {
 
@@ -17,12 +18,23 @@ BitplaneEncoder::BitplaneEncoder(int num_planes) : num_planes_(num_planes) {
 
 namespace {
 
+// Chunk size for per-coefficient loops. Fixed (not thread-count-derived) so
+// chunked reductions are bit-identical for any MGARDP_THREADS setting.
+constexpr std::size_t kCoefGrain = 8192;
+
 // Exponent e with max_abs <= 2^e (e = 0 when the level is all zeros).
 int LevelExponent(const std::vector<double>& coefs) {
-  double max_abs = 0.0;
-  for (double c : coefs) {
-    max_abs = std::max(max_abs, std::fabs(c));
-  }
+  // max is exact under reassociation, so the parallel reduce is safe.
+  const double max_abs = ParallelReduce<double>(
+      0, coefs.size(), kCoefGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double m = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          m = std::max(m, std::fabs(coefs[i]));
+        }
+        return m;
+      },
+      [](double a, double b) { return std::max(a, b); });
   if (max_abs == 0.0) {
     return 0;
   }
@@ -33,6 +45,13 @@ int LevelExponent(const std::vector<double>& coefs) {
   }
   return e;
 }
+
+// Per-chunk accumulator for the error matrix: entry b holds the running
+// max-abs / squared-error over the chunk's coefficients at prefix length b.
+struct ErrorAccumulator {
+  std::vector<double> max_abs;
+  std::vector<double> sq_err;
+};
 
 }  // namespace
 
@@ -52,55 +71,92 @@ Result<BitplaneSet> BitplaneEncoder::Encode(const std::vector<double>& coefs,
   const double inv_scale = 1.0 / scale;
 
   std::vector<std::uint64_t> nb(coefs.size());
-  for (std::size_t i = 0; i < coefs.size(); ++i) {
-    const std::int64_t q = std::llround(coefs[i] * scale);
-    nb[i] = ToNegabinary(q);
-    if (NegabinaryDigits(nb[i]) > num_planes_) {
-      std::ostringstream os;
-      os << "coefficient " << coefs[i] << " overflows " << num_planes_
-         << " nega-binary planes (exponent " << set.exponent << ")";
-      return Status::Internal(os.str());
-    }
+  const std::size_t first_overflow = ParallelReduce<std::size_t>(
+      0, coefs.size(), kCoefGrain, coefs.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::size_t bad = coefs.size();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::int64_t q = std::llround(coefs[i] * scale);
+          nb[i] = ToNegabinary(q);
+          if (NegabinaryDigits(nb[i]) > num_planes_ && bad == coefs.size()) {
+            bad = i;
+          }
+        }
+        return bad;
+      },
+      [](std::size_t a, std::size_t b) { return std::min(a, b); });
+  if (first_overflow < coefs.size()) {
+    std::ostringstream os;
+    os << "coefficient " << coefs[first_overflow] << " overflows "
+       << num_planes_ << " nega-binary planes (exponent " << set.exponent
+       << ")";
+    return Status::Internal(os.str());
   }
 
-  // Slice digits into planes, MSB plane first.
-  for (int p = 0; p < num_planes_; ++p) {
-    const int digit = num_planes_ - 1 - p;
-    std::string& plane = set.planes[p];
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      if ((nb[i] >> digit) & 1u) {
-        plane[i >> 3] |= static_cast<char>(1u << (i & 7));
-      }
-    }
-  }
+  // Slice digits into planes, MSB plane first. Planes are independent
+  // outputs, so they fan out across the pool.
+  ParallelFor(0, static_cast<std::size_t>(num_planes_), 1,
+              [&](std::size_t p_lo, std::size_t p_hi) {
+                for (std::size_t p = p_lo; p < p_hi; ++p) {
+                  const int digit = num_planes_ - 1 - static_cast<int>(p);
+                  std::string& plane = set.planes[p];
+                  for (std::size_t i = 0; i < nb.size(); ++i) {
+                    if ((nb[i] >> digit) & 1u) {
+                      plane[i >> 3] |= static_cast<char>(1u << (i & 7));
+                    }
+                  }
+                }
+              });
 
   if (stats != nullptr) {
     stats->max_abs.assign(num_planes_ + 1, 0.0);
     stats->mse.assign(num_planes_ + 1, 0.0);
-    // Incrementally reconstruct per-coefficient prefixes: after adding plane
-    // p the kept digits are the top (p + 1).
-    std::vector<std::uint64_t> partial(nb.size(), 0);
     const double inv_n =
         coefs.empty() ? 0.0 : 1.0 / static_cast<double>(coefs.size());
+    // Nega-binary digit b contributes exactly (-2)^b, so the prefix
+    // reconstruction is linear in the digits: each coefficient's value is
+    // tracked incrementally as planes are added, instead of re-deriving it
+    // from the partial digit string every plane. Coefficients are
+    // independent, so chunks of them reduce in parallel; the fixed grain
+    // plus ordered combine keeps the sums reproducible.
+    ErrorAccumulator zero;
+    zero.max_abs.assign(num_planes_ + 1, 0.0);
+    zero.sq_err.assign(num_planes_ + 1, 0.0);
+    ErrorAccumulator total = ParallelReduce<ErrorAccumulator>(
+        0, coefs.size(), kCoefGrain, zero,
+        [&](std::size_t lo, std::size_t hi) {
+          ErrorAccumulator acc;
+          acc.max_abs.assign(num_planes_ + 1, 0.0);
+          acc.sq_err.assign(num_planes_ + 1, 0.0);
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::int64_t value = 0;  // FromNegabinary of the kept digits
+            const double d0 = std::fabs(coefs[i]);
+            acc.max_abs[0] = std::max(acc.max_abs[0], d0);
+            acc.sq_err[0] += d0 * d0;
+            for (int b = 1; b <= num_planes_; ++b) {
+              const int digit = num_planes_ - b;
+              if ((nb[i] >> digit) & 1u) {
+                const std::int64_t mag = std::int64_t{1} << digit;
+                value += (digit & 1) ? -mag : mag;
+              }
+              const double rec = static_cast<double>(value) * inv_scale;
+              const double d = std::fabs(coefs[i] - rec);
+              acc.max_abs[b] = std::max(acc.max_abs[b], d);
+              acc.sq_err[b] += d * d;
+            }
+          }
+          return acc;
+        },
+        [&](ErrorAccumulator a, ErrorAccumulator b) {
+          for (int i = 0; i <= num_planes_; ++i) {
+            a.max_abs[i] = std::max(a.max_abs[i], b.max_abs[i]);
+            a.sq_err[i] += b.sq_err[i];
+          }
+          return a;
+        });
     for (int b = 0; b <= num_planes_; ++b) {
-      if (b > 0) {
-        const int digit = num_planes_ - b;
-        const std::uint64_t bit = std::uint64_t{1} << digit;
-        for (std::size_t i = 0; i < nb.size(); ++i) {
-          partial[i] |= nb[i] & bit;
-        }
-      }
-      double max_err = 0.0;
-      double sq_err = 0.0;
-      for (std::size_t i = 0; i < nb.size(); ++i) {
-        const double rec =
-            static_cast<double>(FromNegabinary(partial[i])) * inv_scale;
-        const double d = std::fabs(coefs[i] - rec);
-        max_err = std::max(max_err, d);
-        sq_err += d * d;
-      }
-      stats->max_abs[b] = max_err;
-      stats->mse[b] = sq_err * inv_n;
+      stats->max_abs[b] = total.max_abs[b];
+      stats->mse[b] = total.sq_err[b] * inv_n;
     }
   }
   return set;
@@ -120,22 +176,25 @@ Result<std::vector<double>> BitplaneEncoder::Decode(const BitplaneSet& set,
       return Status::Invalid("plane payload has wrong size");
     }
   }
-  std::vector<std::uint64_t> nb(set.count, 0);
-  for (int p = 0; p < prefix_planes; ++p) {
-    const int digit = set.num_planes - 1 - p;
-    const std::string& plane = set.planes[p];
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      if ((plane[i >> 3] >> (i & 7)) & 1) {
-        nb[i] |= std::uint64_t{1} << digit;
-      }
-    }
-  }
   const double inv_scale =
       std::ldexp(1.0, set.exponent - (set.num_planes - 2));
   std::vector<double> coefs(set.count);
-  for (std::size_t i = 0; i < nb.size(); ++i) {
-    coefs[i] = static_cast<double>(FromNegabinary(nb[i])) * inv_scale;
-  }
+  // OR the planes together per coefficient chunk (plane-outer iteration
+  // would race on the shared digit words); each chunk owns its slice of the
+  // output, so the result is scheduling-independent.
+  ParallelFor(0, static_cast<std::size_t>(set.count), kCoefGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  std::uint64_t nb = 0;
+                  for (int p = 0; p < prefix_planes; ++p) {
+                    if ((set.planes[p][i >> 3] >> (i & 7)) & 1) {
+                      nb |= std::uint64_t{1} << (set.num_planes - 1 - p);
+                    }
+                  }
+                  coefs[i] =
+                      static_cast<double>(FromNegabinary(nb)) * inv_scale;
+                }
+              });
   return coefs;
 }
 

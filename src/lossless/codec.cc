@@ -8,15 +8,11 @@
 
 #include "util/io.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace mgardp {
 namespace lossless {
 namespace internal {
-
-namespace {
-
-constexpr unsigned char kEsc = 0xFE;
-constexpr std::size_t kMinRun = 4;
 
 void PutVarint(std::string* out, std::uint64_t v) {
   while (v >= 0x80) {
@@ -41,6 +37,11 @@ Status GetVarint(const std::string& in, std::size_t* pos, std::uint64_t* v) {
     shift += 7;
   }
 }
+
+namespace {
+
+constexpr unsigned char kEsc = 0xFE;
+constexpr std::size_t kMinRun = 4;
 
 }  // namespace
 
@@ -411,13 +412,21 @@ Result<std::string> HuffmanDecode(const std::string& in) {
 
 namespace {
 // Container flags in the leading method byte. RLE and LZ are front-stage
-// alternatives; Huffman can stack on either.
+// alternatives; Huffman can stack on either. Chunked containers carry the
+// chunked flag alone; each chunk is a complete single-shot container.
 constexpr unsigned char kFlagRle = 0x01;
 constexpr unsigned char kFlagHuffman = 0x02;
 constexpr unsigned char kFlagLz = 0x04;
-}  // namespace
+constexpr unsigned char kFlagChunked = 0x08;
 
-std::string Compress(const std::string& in) {
+// Inputs above one chunk are framed into kChunkSize pieces so encode and
+// decode parallelize per chunk. The boundary is a format constant: the
+// output bytes never depend on the thread count.
+constexpr std::size_t kChunkSize = 64 * 1024;
+
+// The original single-shot container: best front stage, then Huffman if it
+// helps.
+std::string CompressWhole(const std::string& in) {
   unsigned char flags = 0;
   std::string stage = in;
   std::string rle = internal::RleEncode(in);
@@ -441,7 +450,7 @@ std::string Compress(const std::string& in) {
   return out;
 }
 
-Result<std::string> Decompress(const std::string& in) {
+Result<std::string> DecompressWhole(const std::string& in) {
   if (in.empty()) {
     return Status::OutOfRange("lossless: empty container");
   }
@@ -463,6 +472,93 @@ Result<std::string> Decompress(const std::string& in) {
     MGARDP_ASSIGN_OR_RETURN(stage, internal::RleDecode(stage));
   }
   return stage;
+}
+
+}  // namespace
+
+std::string Compress(const std::string& in) {
+  if (in.size() <= kChunkSize) {
+    return CompressWhole(in);
+  }
+  // Chunked frame: flags byte, then varint(raw_size), varint(chunk_size),
+  // varint(num_chunks), then per chunk varint(frame_size) + frame.
+  const std::size_t num_chunks = (in.size() + kChunkSize - 1) / kChunkSize;
+  std::vector<std::string> frames(num_chunks);
+  ParallelFor(0, num_chunks, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      frames[c] = CompressWhole(in.substr(c * kChunkSize, kChunkSize));
+    }
+  });
+  std::string out;
+  out.push_back(static_cast<char>(kFlagChunked));
+  internal::PutVarint(&out, in.size());
+  internal::PutVarint(&out, kChunkSize);
+  internal::PutVarint(&out, num_chunks);
+  for (const std::string& f : frames) {
+    internal::PutVarint(&out, f.size());
+    out.append(f);
+  }
+  return out;
+}
+
+Result<std::string> Decompress(const std::string& in) {
+  if (in.empty()) {
+    return Status::OutOfRange("lossless: empty container");
+  }
+  const unsigned char flags = static_cast<unsigned char>(in[0]);
+  if ((flags & kFlagChunked) == 0) {
+    return DecompressWhole(in);
+  }
+  if (flags != kFlagChunked) {
+    return Status::Invalid("lossless: chunked flag admits no other flags");
+  }
+  std::size_t pos = 1;
+  std::uint64_t raw_size = 0, chunk_size = 0, num_chunks = 0;
+  MGARDP_RETURN_NOT_OK(internal::GetVarint(in, &pos, &raw_size));
+  MGARDP_RETURN_NOT_OK(internal::GetVarint(in, &pos, &chunk_size));
+  MGARDP_RETURN_NOT_OK(internal::GetVarint(in, &pos, &num_chunks));
+  if (chunk_size == 0 || num_chunks == 0 ||
+      (raw_size + chunk_size - 1) / chunk_size != num_chunks) {
+    return Status::Invalid("lossless: inconsistent chunk header");
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> spans(num_chunks);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    std::uint64_t frame_size = 0;
+    MGARDP_RETURN_NOT_OK(internal::GetVarint(in, &pos, &frame_size));
+    if (frame_size > in.size() - pos) {
+      return Status::OutOfRange("lossless: chunk frame past end of input");
+    }
+    spans[c] = {pos, static_cast<std::size_t>(frame_size)};
+    pos += frame_size;
+  }
+  if (pos != in.size()) {
+    return Status::Invalid("lossless: trailing bytes after chunk frames");
+  }
+  std::vector<std::string> pieces(num_chunks);
+  std::vector<Status> results(num_chunks);
+  ParallelFor(0, num_chunks, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      Result<std::string> piece =
+          DecompressWhole(in.substr(spans[c].first, spans[c].second));
+      if (piece.ok()) {
+        pieces[c] = std::move(piece).value();
+      } else {
+        results[c] = piece.status();
+      }
+    }
+  });
+  std::string out;
+  out.reserve(raw_size);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    MGARDP_RETURN_NOT_OK(results[c]);
+    const std::size_t expect =
+        std::min<std::size_t>(chunk_size, raw_size - c * chunk_size);
+    if (pieces[c].size() != expect) {
+      return Status::Invalid("lossless: chunk decodes to the wrong size");
+    }
+    out.append(pieces[c]);
+  }
+  return out;
 }
 
 }  // namespace lossless

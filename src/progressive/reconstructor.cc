@@ -8,6 +8,7 @@
 #include "encode/bitplane.h"
 #include "lossless/codec.h"
 #include "progressive/padding.h"
+#include "util/parallel.h"
 
 namespace mgardp {
 
@@ -22,21 +23,46 @@ Result<Array3Dd> ReconstructFromPrefix(const RefactoredField& field,
     return Status::Invalid("prefix size does not match level count");
   }
   BitplaneEncoder encoder(field.num_planes);
+  // Fetch the compressed planes of every level serially (the segment store
+  // makes no concurrency promises), then fan the lossless decode out over
+  // all (level, plane) pairs before the per-level bit-plane decode.
+  std::vector<int> plane_counts(L);
+  std::vector<std::size_t> first_plane(L + 1, 0);
+  for (int l = 0; l < L; ++l) {
+    plane_counts[l] = std::clamp(prefix[l], 0, field.num_planes);
+    first_plane[l + 1] = first_plane[l] + plane_counts[l];
+  }
+  std::vector<std::string> compressed(first_plane[L]);
+  for (int l = 0; l < L; ++l) {
+    for (int p = 0; p < plane_counts[l]; ++p) {
+      MGARDP_ASSIGN_OR_RETURN(compressed[first_plane[l] + p],
+                              field.segments.Get(l, p));
+    }
+  }
+  std::vector<std::string> payloads(first_plane[L]);
+  std::vector<Status> decode_status(first_plane[L]);
+  ParallelFor(0, first_plane[L], 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      Result<std::string> payload = lossless::Decompress(compressed[t]);
+      if (payload.ok()) {
+        payloads[t] = std::move(payload).value();
+      } else {
+        decode_status[t] = payload.status();
+      }
+    }
+  });
+  for (const Status& st : decode_status) {
+    MGARDP_RETURN_NOT_OK(st);
+  }
   std::vector<std::vector<double>> levels(L);
   for (int l = 0; l < L; ++l) {
-    const int planes = std::clamp(prefix[l], 0, field.num_planes);
     BitplaneSet set;
     set.num_planes = field.num_planes;
     set.exponent = field.level_exponents[l];
     set.count = field.hierarchy.LevelSize(l);
-    set.planes.resize(planes);
-    for (int p = 0; p < planes; ++p) {
-      MGARDP_ASSIGN_OR_RETURN(std::string compressed,
-                              field.segments.Get(l, p));
-      MGARDP_ASSIGN_OR_RETURN(set.planes[p],
-                              lossless::Decompress(compressed));
-    }
-    MGARDP_ASSIGN_OR_RETURN(levels[l], encoder.Decode(set, planes));
+    set.planes.assign(payloads.begin() + first_plane[l],
+                      payloads.begin() + first_plane[l + 1]);
+    MGARDP_ASSIGN_OR_RETURN(levels[l], encoder.Decode(set, plane_counts[l]));
   }
   Array3Dd data(field.hierarchy.dims());
   Interleaver interleaver(field.hierarchy);

@@ -5,6 +5,7 @@
 #include "encode/bitplane.h"
 #include "lossless/codec.h"
 #include "progressive/padding.h"
+#include "util/parallel.h"
 
 namespace mgardp {
 
@@ -48,17 +49,39 @@ Result<RefactoredField> Refactorer::Refactor(Array3Dd data) const {
   field.level_errors.resize(L);
   field.plane_sizes.resize(L);
   field.level_sketches.resize(L);
+  // Levels are encoded in order (the encoder parallelizes internally over
+  // coefficients and planes, which balances better than the skewed level
+  // sizes), collecting every plane payload; the lossless stage then fans
+  // out across all (level, plane) pairs at once -- ~L x num_planes
+  // well-mixed tasks -- before the serial store pass.
+  std::vector<BitplaneSet> sets(L);
   for (int l = 0; l < L; ++l) {
-    MGARDP_ASSIGN_OR_RETURN(
-        BitplaneSet set, encoder.Encode(levels[l], &field.level_errors[l]));
-    field.level_exponents[l] = set.exponent;
+    MGARDP_ASSIGN_OR_RETURN(sets[l],
+                            encoder.Encode(levels[l], &field.level_errors[l]));
+    field.level_exponents[l] = sets[l].exponent;
     field.level_sketches[l] = AbsQuantileSketch(
         levels[l], static_cast<std::size_t>(options_.sketch_bins));
-    field.plane_sizes[l].resize(set.planes.size());
-    for (int p = 0; p < static_cast<int>(set.planes.size()); ++p) {
-      std::string compressed = lossless::Compress(set.planes[p]);
-      field.plane_sizes[l][p] = compressed.size();
-      field.segments.Put(l, p, std::move(compressed));
+  }
+  std::vector<std::size_t> first_plane(L + 1, 0);
+  for (int l = 0; l < L; ++l) {
+    first_plane[l + 1] = first_plane[l] + sets[l].planes.size();
+  }
+  std::vector<std::string> compressed(first_plane[L]);
+  ParallelFor(0, first_plane[L], 1, [&](std::size_t lo, std::size_t hi) {
+    int l = 0;
+    for (std::size_t t = lo; t < hi; ++t) {
+      while (t >= first_plane[l + 1]) {
+        ++l;
+      }
+      compressed[t] = lossless::Compress(sets[l].planes[t - first_plane[l]]);
+    }
+  });
+  for (int l = 0; l < L; ++l) {
+    field.plane_sizes[l].resize(sets[l].planes.size());
+    for (int p = 0; p < static_cast<int>(sets[l].planes.size()); ++p) {
+      std::string& blob = compressed[first_plane[l] + p];
+      field.plane_sizes[l][p] = blob.size();
+      field.segments.Put(l, p, std::move(blob));
     }
   }
   return field;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the micro benchmarks and writes machine-readable results.
+#
+# Usage:
+#   tools/run_bench.sh [build_dir] [out_dir]
+#
+# build_dir defaults to ./build (must already be configured and built);
+# out_dir defaults to the repo root, producing BENCH_pipeline.json there.
+# Additional suites can be selected via MGARDP_BENCH_SUITES, a space-
+# separated subset of: pipeline bitplane decompose dnn lossless storage.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_dir="${2:-${repo_root}}"
+suites="${MGARDP_BENCH_SUITES:-pipeline}"
+
+if [[ ! -d "${build_dir}" ]]; then
+  echo "error: build dir '${build_dir}' not found; run:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+for suite in ${suites}; do
+  bin="${build_dir}/bench/micro_${suite}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: benchmark binary '${bin}' not built" >&2
+    exit 1
+  fi
+  out="${out_dir}/BENCH_${suite}.json"
+  echo "== micro_${suite} -> ${out}"
+  "${bin}" \
+    --benchmark_format=json \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions="${MGARDP_BENCH_REPS:-1}" \
+    >/dev/null
+done
+
+echo "done."
