@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "models/features.h"
@@ -212,7 +213,7 @@ Result<EMgardModel> EMgardModel::Deserialize(const std::string& in) {
   return model;
 }
 
-double LearnedConstantsEstimator::Estimate(
+Result<double> LearnedConstantsEstimator::TryEstimate(
     const RefactoredField& field, const std::vector<int>& prefix) const {
   MGARDP_CHECK(model_ != nullptr);
   MGARDP_CHECK_EQ(prefix.size(),
@@ -227,11 +228,21 @@ double LearnedConstantsEstimator::Estimate(
     if (level_err <= 0.0) {
       continue;
     }
-    auto c = model_->PredictConstant(l, field.level_sketches[l], level_err, b);
-    c.status().Abort("E-MGARD constant prediction");
-    est += c.value() * level_err;
+    MGARDP_ASSIGN_OR_RETURN(
+        double c,
+        model_->PredictConstant(l, field.level_sketches[l], level_err, b));
+    est += c * level_err;
   }
   return est * model_->safety_margin();
+}
+
+double LearnedConstantsEstimator::Estimate(
+    const RefactoredField& field, const std::vector<int>& prefix) const {
+  // A prefix the model cannot score is infinitely inaccurate to the
+  // planner; callers that need the cause use TryEstimate.
+  auto result = TryEstimate(field, prefix);
+  return result.ok() ? result.value()
+                     : std::numeric_limits<double>::infinity();
 }
 
 }  // namespace mgardp

@@ -93,8 +93,13 @@ class LearnedConstantsEstimator : public ErrorEstimator {
   explicit LearnedConstantsEstimator(const EMgardModel* model)
       : model_(model) {}
 
+  // +infinity when the model cannot evaluate a level (shape mismatch
+  // between the artifact and the trained model); TryEstimate carries the
+  // underlying Status.
   double Estimate(const RefactoredField& field,
                   const std::vector<int>& prefix) const override;
+  Result<double> TryEstimate(const RefactoredField& field,
+                             const std::vector<int>& prefix) const override;
   std::string name() const override { return "e-mgard"; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "progressive/reconstructor.h"
 #include "util/logging.h"
@@ -69,12 +70,21 @@ double PsnrToRmsBound(double range, double psnr_db) {
   return range / std::pow(10.0, psnr_db / 20.0);
 }
 
+Result<double> OracleEstimator::TryEstimate(
+    const RefactoredField& field, const std::vector<int>& prefix) const {
+  MGARDP_CHECK(original_ != nullptr);
+  MGARDP_ASSIGN_OR_RETURN(Array3Dd rec, ReconstructFromPrefix(field, prefix));
+  return MaxAbsError(original_->vector(), rec.vector());
+}
+
 double OracleEstimator::Estimate(const RefactoredField& field,
                                  const std::vector<int>& prefix) const {
-  MGARDP_CHECK(original_ != nullptr);
-  auto result = ReconstructFromPrefix(field, prefix);
-  result.status().Abort("OracleEstimator reconstruction");
-  return MaxAbsError(original_->vector(), result.value().vector());
+  // An unreconstructible prefix (corrupt or missing segments) is
+  // infinitely inaccurate: no planner accepts it, and callers that need
+  // the cause use TryEstimate.
+  auto result = TryEstimate(field, prefix);
+  return result.ok() ? result.value()
+                     : std::numeric_limits<double>::infinity();
 }
 
 }  // namespace mgardp

@@ -25,9 +25,20 @@ class ErrorEstimator {
 
   // Estimated maximum absolute reconstruction error when the first
   // prefix[l] planes of each level are retrieved. prefix.size() ==
-  // field.num_levels().
+  // field.num_levels(). Implementations that can fail internally (oracle
+  // reconstruction, learned-model inference) report +infinity here — a
+  // prefix whose accuracy cannot be established never satisfies a bound —
+  // and expose the underlying error through TryEstimate.
   virtual double Estimate(const RefactoredField& field,
                           const std::vector<int>& prefix) const = 0;
+
+  // Fallible variant: same value as Estimate, but internal failures
+  // propagate as Status instead of collapsing to +infinity. The default
+  // covers infallible estimators.
+  virtual Result<double> TryEstimate(const RefactoredField& field,
+                                     const std::vector<int>& prefix) const {
+    return Estimate(field, prefix);
+  }
 
   virtual std::string name() const = 0;
 };
@@ -89,8 +100,12 @@ class OracleEstimator : public ErrorEstimator {
   // `original` must outlive the estimator.
   OracleEstimator(const Array3Dd* original) : original_(original) {}
 
+  // +infinity when the prefix cannot be reconstructed (e.g. segments are
+  // corrupt); TryEstimate carries the underlying Status.
   double Estimate(const RefactoredField& field,
                   const std::vector<int>& prefix) const override;
+  Result<double> TryEstimate(const RefactoredField& field,
+                             const std::vector<int>& prefix) const override;
   std::string name() const override { return "oracle"; }
 
  private:

@@ -1,0 +1,102 @@
+#include "progressive/fault_tolerant.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lossless/codec.h"
+
+namespace mgardp {
+
+std::string RetrievalReport::ToString() const {
+  std::ostringstream os;
+  os << "retrieval " << (degraded ? "DEGRADED" : "clean") << ": bound "
+     << achieved_bound << (bound_met ? " <= " : " > ") << requested_bound
+     << " requested\n";
+  os << "  planned prefix: ";
+  for (int p : planned_prefix) {
+    os << p << ' ';
+  }
+  os << "\n  achieved prefix:";
+  for (int p : achieved_prefix) {
+    os << ' ' << p;
+  }
+  os << "\n  bytes read: " << bytes_read << ", retries: " << retries
+     << ", replans: " << replans << "\n";
+  for (const SkippedSegment& s : skipped) {
+    os << "  skipped (level=" << s.level << ", plane=" << s.plane
+       << "): " << s.reason.ToString() << "\n";
+  }
+  return os.str();
+}
+
+Result<Array3Dd> FaultTolerantReconstructor::Retrieve(
+    const RefactoredField& field, StorageBackend* backend,
+    double error_bound, RetrievalReport* report) const {
+  const int L = field.num_levels();
+  RetrievalReport rep;
+  rep.requested_bound = error_bound;
+
+  std::vector<int> have(L, 0);   // verified planes fetched so far
+  std::vector<int> caps(L, field.num_planes);  // planes still believed live
+  SegmentStore fetched;
+
+  // The fault-free plan, recorded for the report before any degradation.
+  MGARDP_ASSIGN_OR_RETURN(
+      RetrievalPlan initial,
+      PlanConstrained(field, *estimator_, error_bound, have, caps));
+  rep.planned_prefix = initial.prefix;
+
+  RetrievalPlan plan = initial;
+  for (;;) {
+    // Fetch what the current plan wants beyond what is already in hand.
+    bool lost_segment = false;
+    for (int l = 0; l < L && !lost_segment; ++l) {
+      for (int p = have[l]; p < plan.prefix[l]; ++p) {
+        const std::uint64_t salt =
+            static_cast<std::uint64_t>(l) * 4096u + static_cast<std::uint64_t>(p);
+        Result<std::string> payload = retry_.Run(
+            [&] { return backend->Get(l, p); }, salt, &rep.retries);
+        if (payload.ok()) {
+          // A checksummed backend already vouched for the bytes; the
+          // decompression probe additionally catches damage in containers
+          // without checksums (v1) before it can poison the decode.
+          Result<std::string> probe = lossless::Decompress(payload.value());
+          if (!probe.ok()) {
+            payload = probe.status();
+          }
+        }
+        if (!payload.ok()) {
+          // Permanent loss: the level's usable prefix ends at plane p.
+          rep.skipped.push_back({l, p, payload.status()});
+          caps[l] = p;
+          lost_segment = true;
+          break;
+        }
+        rep.bytes_read += payload.value().size();
+        fetched.Put(l, p, std::move(payload).value());
+        have[l] = p + 1;
+      }
+    }
+    if (!lost_segment) {
+      break;  // plan fully fetched
+    }
+    // Re-plan across the surviving segments; the greedy may now spend
+    // planes on other levels to compensate for the capped one.
+    ++rep.replans;
+    MGARDP_ASSIGN_OR_RETURN(
+        plan, PlanConstrained(field, *estimator_, error_bound, have, caps));
+  }
+
+  rep.achieved_prefix = have;
+  rep.achieved_bound = estimator_->Estimate(field, have);
+  rep.bound_met = rep.achieved_bound <= error_bound;
+  rep.degraded = !rep.skipped.empty();
+
+  Result<Array3Dd> data = ReconstructFromSegments(field, fetched, have);
+  if (report != nullptr) {
+    *report = std::move(rep);
+  }
+  return data;
+}
+
+}  // namespace mgardp

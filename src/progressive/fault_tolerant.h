@@ -1,0 +1,93 @@
+// Fault-tolerant progressive retrieval.
+//
+// The plain Reconstructor assumes every segment read succeeds and arrives
+// intact; one lost or corrupt (level, plane) aborts the retrieval. This
+// layer wraps the same planning/decode machinery with the failure handling
+// a deep storage hierarchy needs:
+//
+//   * every segment read goes through a StorageBackend and a RetryPolicy,
+//     so transient IOErrors are retried with exponential backoff and the
+//     result is bit-identical to a fault-free run;
+//   * a permanent failure (checksum mismatch, missing segment, retries
+//     exhausted) truncates that level's bit-plane prefix to the last plane
+//     that verified — later planes of the level are useless without it —
+//     and re-plans the retrieval across the surviving segments;
+//   * the outcome is reported honestly in a RetrievalReport: the achieved
+//     (possibly degraded) error bound, recomputed from the prefix actually
+//     reconstructed, plus every segment that was skipped and why.
+//
+// The call fails outright only for malformed input (bad bound, metadata
+// mismatch) — storage faults degrade, they never crash, and they can never
+// yield a bound claiming more accuracy than was delivered.
+
+#ifndef MGARDP_PROGRESSIVE_FAULT_TOLERANT_H_
+#define MGARDP_PROGRESSIVE_FAULT_TOLERANT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "progressive/error_estimator.h"
+#include "progressive/reconstructor.h"
+#include "progressive/refactored_field.h"
+#include "storage/storage_backend.h"
+#include "util/array3d.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+// One segment given up on, and why.
+struct SkippedSegment {
+  int level = 0;
+  int plane = 0;
+  Status reason;
+};
+
+// What a fault-tolerant retrieval actually delivered.
+struct RetrievalReport {
+  double requested_bound = 0.0;
+  // The estimator's bound over the prefix that was reconstructed. When
+  // degraded, this is the honest (larger) figure — never the requested one.
+  double achieved_bound = 0.0;
+  bool bound_met = false;   // achieved_bound <= requested_bound
+  bool degraded = false;    // at least one segment permanently skipped
+
+  std::vector<int> planned_prefix;   // the fault-free plan
+  std::vector<int> achieved_prefix;  // what was reconstructed
+
+  std::vector<SkippedSegment> skipped;
+  int retries = 0;   // transient-fault retries performed
+  int replans = 0;   // times planning restarted after a permanent loss
+  std::size_t bytes_read = 0;  // verified payload bytes actually fetched
+
+  // Multi-line human-readable summary (CLI, logs).
+  std::string ToString() const;
+};
+
+class FaultTolerantReconstructor {
+ public:
+  // `estimator` must outlive the reconstructor.
+  explicit FaultTolerantReconstructor(const ErrorEstimator* estimator,
+                                      RetryPolicy retry = RetryPolicy())
+      : estimator_(estimator), retry_(std::move(retry)) {}
+
+  const RetryPolicy& retry_policy() const { return retry_; }
+  RetryPolicy* mutable_retry_policy() { return &retry_; }
+
+  // Plans toward `error_bound`, fetches the plan's segments from `backend`
+  // (with retries), degrades around permanent losses, reconstructs, and
+  // fills `report` (optional) with what actually happened. `field`
+  // supplies metadata only; its own segment store is not consulted.
+  Result<Array3Dd> Retrieve(const RefactoredField& field,
+                            StorageBackend* backend, double error_bound,
+                            RetrievalReport* report = nullptr) const;
+
+ private:
+  const ErrorEstimator* estimator_;
+  RetryPolicy retry_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_PROGRESSIVE_FAULT_TOLERANT_H_

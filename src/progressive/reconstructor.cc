@@ -18,6 +18,12 @@ SizeInterpreter MakeSizeInterpreter(const RefactoredField& field) {
 
 Result<Array3Dd> ReconstructFromPrefix(const RefactoredField& field,
                                        const std::vector<int>& prefix) {
+  return ReconstructFromSegments(field, field.segments, prefix);
+}
+
+Result<Array3Dd> ReconstructFromSegments(const RefactoredField& field,
+                                         const SegmentStore& segments,
+                                         const std::vector<int>& prefix) {
   const int L = field.num_levels();
   if (static_cast<int>(prefix.size()) != L) {
     return Status::Invalid("prefix size does not match level count");
@@ -36,7 +42,7 @@ Result<Array3Dd> ReconstructFromPrefix(const RefactoredField& field,
   for (int l = 0; l < L; ++l) {
     for (int p = 0; p < plane_counts[l]; ++p) {
       MGARDP_ASSIGN_OR_RETURN(compressed[first_plane[l] + p],
-                              field.segments.Get(l, p));
+                              segments.Get(l, p));
     }
   }
   std::vector<std::string> payloads(first_plane[L]);
@@ -92,18 +98,23 @@ namespace {
 // worst coefficient reduces nothing), which makes single-plane efficiency
 // misleading on small levels. Scanning all block lengths amortizes over
 // both. Returns false when every plane is already fetched.
+// `caps`, when non-null, bounds the planes considered per level (degraded
+// retrieval plans only over segments that still verify).
 bool GreedyStep(const RefactoredField& field, const SizeInterpreter& sizes,
                 const ErrorEstimator& estimator, std::vector<int>* prefix,
-                double* est) {
+                double* est, const std::vector<int>* caps = nullptr) {
   const int L = field.num_levels();
   int best_level = -1;
   int best_count = 0;
   double best_eff = -std::numeric_limits<double>::infinity();
   double best_est = *est;
   for (int l = 0; l < L; ++l) {
+    const int limit =
+        caps == nullptr ? field.num_planes
+                        : std::clamp((*caps)[l], 0, field.num_planes);
     std::vector<int> candidate = *prefix;
     double block_bytes = 0.0;
-    for (int k = 1; (*prefix)[l] + k <= field.num_planes; ++k) {
+    for (int k = 1; (*prefix)[l] + k <= limit; ++k) {
       candidate[l] = (*prefix)[l] + k;
       block_bytes += static_cast<double>(
           std::max<std::size_t>(sizes.PlaneSize(l, candidate[l] - 1), 1));
@@ -218,6 +229,36 @@ Result<RetrievalPlan> Reconstructor::PlanRefinement(
   double est = estimator_->Estimate(field, plan.prefix);
   while (est > error_bound &&
          GreedyStep(field, sizes, *estimator_, &plan.prefix, &est)) {
+  }
+  plan.estimated_error = est;
+  plan.total_bytes = sizes.TotalBytes(plan.prefix);
+  return plan;
+}
+
+Result<RetrievalPlan> PlanConstrained(const RefactoredField& field,
+                                      const ErrorEstimator& estimator,
+                                      double error_bound,
+                                      const std::vector<int>& have,
+                                      const std::vector<int>& caps) {
+  if (!(error_bound > 0.0)) {
+    return Status::Invalid("error_bound must be positive");
+  }
+  const int L = field.num_levels();
+  if (static_cast<int>(have.size()) != L ||
+      static_cast<int>(caps.size()) != L) {
+    return Status::Invalid("have/caps sizes do not match level count");
+  }
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+  RetrievalPlan plan;
+  plan.prefix = have;
+  for (int l = 0; l < L; ++l) {
+    plan.prefix[l] =
+        std::clamp(plan.prefix[l], 0,
+                   std::clamp(caps[l], 0, field.num_planes));
+  }
+  double est = estimator.Estimate(field, plan.prefix);
+  while (est > error_bound &&
+         GreedyStep(field, sizes, estimator, &plan.prefix, &est, &caps)) {
   }
   plan.estimated_error = est;
   plan.total_bytes = sizes.TotalBytes(plan.prefix);

@@ -82,6 +82,24 @@ class Reconstructor {
 Result<Array3Dd> ReconstructFromPrefix(const RefactoredField& field,
                                        const std::vector<int>& prefix);
 
+// Same, but reading segments from `segments` instead of field.segments —
+// the fault-tolerant path reconstructs from whatever it managed to fetch
+// while `field` supplies only metadata.
+Result<Array3Dd> ReconstructFromSegments(const RefactoredField& field,
+                                         const SegmentStore& segments,
+                                         const std::vector<int>& prefix);
+
+// Greedy planning toward `error_bound` starting from `have`, never taking
+// level l beyond caps[l] planes. This is Plan() generalized for degraded
+// retrieval: when segments are lost, the caps exclude them and the greedy
+// compensates across the surviving levels. Both `have` and `caps` must
+// have num_levels entries; pass caps[l] = num_planes for no constraint.
+Result<RetrievalPlan> PlanConstrained(const RefactoredField& field,
+                                      const ErrorEstimator& estimator,
+                                      double error_bound,
+                                      const std::vector<int>& have,
+                                      const std::vector<int>& caps);
+
 // A SizeInterpreter over the field's compressed plane sizes.
 SizeInterpreter MakeSizeInterpreter(const RefactoredField& field);
 

@@ -1,0 +1,99 @@
+#include "storage/container_format.h"
+
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/io.h"
+
+namespace mgardp {
+namespace container {
+
+namespace {
+// level + plane + offset + size (+ crc in v2).
+constexpr std::size_t kRecordSizeV1 = 4 + 4 + 8 + 8;
+constexpr std::size_t kRecordSizeV2 = kRecordSizeV1 + 4;
+// Levels and planes are small non-negative integers in any real artifact;
+// anything outside this range in an index is corruption, not data.
+constexpr std::int32_t kMaxKeyComponent = 1 << 20;
+}  // namespace
+
+std::string LevelFileName(const std::string& dir, int level) {
+  std::ostringstream name;
+  name << dir << "/level_" << level << ".bin";
+  return name.str();
+}
+
+std::string KeyString(int level, int plane) {
+  std::ostringstream os;
+  os << "(level=" << level << ", plane=" << plane << ")";
+  return os.str();
+}
+
+Status ParseIndex(const std::string& index_bytes,
+                  std::vector<IndexRecord>* records) {
+  BinaryReader r(index_bytes);
+  std::uint32_t version = 1;
+  if (index_bytes.size() >= 2 * sizeof(std::uint32_t)) {
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, index_bytes.data(), sizeof(magic));
+    if (magic == kIndexMagic) {
+      MGARDP_RETURN_NOT_OK(r.Get(&magic));
+      MGARDP_RETURN_NOT_OK(r.Get(&version));
+      if (version != kIndexVersion) {
+        return Status::Invalid(
+            "segments.idx: unsupported container version " +
+            std::to_string(version));
+      }
+    }
+  }
+  std::uint64_t count = 0;
+  MGARDP_RETURN_NOT_OK(r.Get(&count));
+  const std::size_t record_size =
+      version >= kIndexVersion ? kRecordSizeV2 : kRecordSizeV1;
+  if (count > r.remaining() / record_size) {
+    return Status::OutOfRange("segments.idx: record count " +
+                              std::to_string(count) + " exceeds index size");
+  }
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  records->clear();
+  records->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IndexRecord rec;
+    MGARDP_RETURN_NOT_OK(r.Get(&rec.level));
+    MGARDP_RETURN_NOT_OK(r.Get(&rec.plane));
+    MGARDP_RETURN_NOT_OK(r.Get(&rec.offset));
+    MGARDP_RETURN_NOT_OK(r.Get(&rec.size));
+    if (version >= kIndexVersion) {
+      MGARDP_RETURN_NOT_OK(r.Get(&rec.crc));
+      rec.has_crc = true;
+    }
+    if (rec.level < 0 || rec.level > kMaxKeyComponent || rec.plane < 0 ||
+        rec.plane > kMaxKeyComponent) {
+      return Status::Invalid("segments.idx: implausible key " +
+                             KeyString(rec.level, rec.plane));
+    }
+    if (!seen.insert({rec.level, rec.plane}).second) {
+      return Status::Invalid("segments.idx: duplicate key " +
+                             KeyString(rec.level, rec.plane));
+    }
+    records->push_back(rec);
+  }
+  if (!r.exhausted()) {
+    return Status::Invalid("segments.idx: trailing bytes after " +
+                           std::to_string(count) + " records");
+  }
+  return Status::OK();
+}
+
+Status CheckRange(const IndexRecord& rec, std::uint64_t file_size) {
+  if (rec.size > file_size || rec.offset > file_size - rec.size) {
+    return Status::OutOfRange("segment " + KeyString(rec.level, rec.plane) +
+                              " points past end of level file");
+  }
+  return Status::OK();
+}
+
+}  // namespace container
+}  // namespace mgardp

@@ -1,0 +1,62 @@
+// On-disk container format shared by SegmentStore and DirectoryBackend.
+//
+// A segment directory holds one "level_<l>.bin" file per level (that
+// level's plane payloads back to back) plus "segments.idx" describing every
+// segment. Two index versions exist:
+//
+//   v1 (legacy):  u64 count, then per record
+//                 { i32 level, i32 plane, u64 offset, u64 size }
+//   v2 (current): u32 magic "SIDX", u32 version = 2, u64 count, then per
+//                 record { i32 level, i32 plane, u64 offset, u64 size,
+//                 u32 crc32c }
+//
+// The v2 checksum is CRC-32C over the little-endian (level, plane) pair
+// followed by the payload bytes (see SegmentChecksum), so corruption of the
+// key, the byte range, or the payload all fail verification. v1 indexes
+// (no magic) still parse; their records carry has_crc = false.
+
+#ifndef MGARDP_STORAGE_CONTAINER_FORMAT_H_
+#define MGARDP_STORAGE_CONTAINER_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgardp {
+namespace container {
+
+inline constexpr std::uint32_t kIndexMagic = 0x58444953;  // "SIDX"
+inline constexpr std::uint32_t kIndexVersion = 2;
+
+// One parsed index record, common to both container versions.
+struct IndexRecord {
+  std::int32_t level = 0;
+  std::int32_t plane = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  bool has_crc = false;
+};
+
+// "<dir>/level_<level>.bin".
+std::string LevelFileName(const std::string& dir, int level);
+
+// "(level=L, plane=P)" for diagnostics.
+std::string KeyString(int level, int plane);
+
+// Parses segments.idx bytes (either version) into records, validating the
+// record count against the index size, key plausibility, duplicate keys,
+// and trailing garbage. Byte ranges are validated later, against the level
+// files, via CheckRange.
+Status ParseIndex(const std::string& index_bytes,
+                  std::vector<IndexRecord>* records);
+
+// Validates a record's byte range against its level file's size.
+Status CheckRange(const IndexRecord& rec, std::uint64_t file_size);
+
+}  // namespace container
+}  // namespace mgardp
+
+#endif  // MGARDP_STORAGE_CONTAINER_FORMAT_H_

@@ -1,0 +1,121 @@
+#include "storage/fault_injection.h"
+
+#include "util/rng.h"
+
+namespace mgardp {
+
+namespace {
+
+// Mixes (seed, level, plane) into an Rng seed so each key's fault decision
+// is independent of every other key and of call order.
+std::uint64_t MixSeed(std::uint64_t seed, int level, int plane) {
+  std::uint64_t h = seed;
+  h ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(level) + 1);
+  h ^= 0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(plane) + 1);
+  return h;
+}
+
+}  // namespace
+
+FaultInjectingBackend::FaultInjectingBackend(StorageBackend* inner,
+                                             FaultConfig config)
+    : inner_(inner), config_(config) {
+  sleep_ = [](double) {};  // record only; tests must not actually wait
+}
+
+void FaultInjectingBackend::SetFault(int level, int plane, FaultRule rule) {
+  rules_[{level, plane}] = rule;
+}
+
+void FaultInjectingBackend::ClearFault(int level, int plane) {
+  rules_.erase({level, plane});
+}
+
+void FaultInjectingBackend::ClearFaults() { rules_.clear(); }
+
+void FaultInjectingBackend::set_sleep(std::function<void(double)> sleep) {
+  sleep_ = std::move(sleep);
+}
+
+int FaultInjectingBackend::num_faults(FaultKind kind) const {
+  auto it = fault_counts_.find(kind);
+  return it == fault_counts_.end() ? 0 : it->second;
+}
+
+void FaultInjectingBackend::RecordFault(FaultKind kind) {
+  ++fault_counts_[kind];
+}
+
+FaultInjectingBackend::FaultRule FaultInjectingBackend::DecideFault(
+    int level, int plane) {
+  auto it = rules_.find({level, plane});
+  if (it != rules_.end()) {
+    return it->second;
+  }
+  // The decision is a function of the key alone: a corrupt segment stays
+  // corrupt the same way on every read, a transient one fails its first
+  // `transient_failures` reads and then recovers.
+  Rng rng(MixSeed(config_.seed, level, plane));
+  FaultRule rule;
+  if (rng.NextDouble() < config_.missing_prob) {
+    rule.kind = FaultKind::kMissing;
+  } else if (rng.NextDouble() < config_.transient_prob) {
+    rule.kind = FaultKind::kTransient;
+    rule.fail_attempts = config_.transient_failures;
+  } else if (rng.NextDouble() < config_.corrupt_prob) {
+    rule.kind = FaultKind::kBitFlip;
+  } else if (rng.NextDouble() < config_.truncate_prob) {
+    rule.kind = FaultKind::kTruncate;
+  } else if (rng.NextDouble() < config_.latency_prob) {
+    rule.kind = FaultKind::kLatency;
+    rule.latency_ms = config_.latency_ms;
+  }
+  return rule;
+}
+
+Result<std::string> FaultInjectingBackend::Get(int level, int plane) {
+  ++num_gets_;
+  const int attempt = attempts_[{level, plane}]++;
+  const FaultRule rule = DecideFault(level, plane);
+  switch (rule.kind) {
+    case FaultKind::kMissing:
+      RecordFault(FaultKind::kMissing);
+      return Status::NotFound("segment " +
+                              container::KeyString(level, plane) +
+                              " [injected: missing]");
+    case FaultKind::kTransient:
+      if (rule.fail_attempts < 0 || attempt < rule.fail_attempts) {
+        RecordFault(FaultKind::kTransient);
+        return Status::IOError("segment " +
+                               container::KeyString(level, plane) +
+                               " [injected: transient, attempt " +
+                               std::to_string(attempt) + "]");
+      }
+      break;  // recovered; serve the real payload
+    case FaultKind::kLatency:
+      RecordFault(FaultKind::kLatency);
+      total_latency_ms_ += rule.latency_ms;
+      sleep_(rule.latency_ms);
+      break;
+    default:
+      break;
+  }
+  MGARDP_ASSIGN_OR_RETURN(std::string payload, inner_->Get(level, plane));
+  if (rule.kind == FaultKind::kBitFlip && !payload.empty()) {
+    RecordFault(FaultKind::kBitFlip);
+    Rng rng(MixSeed(config_.seed ^ 0xB17F11Bull, level, plane));
+    const std::size_t byte = rng.NextBounded(payload.size());
+    payload[byte] ^= static_cast<char>(1u << rng.NextBounded(8));
+  } else if (rule.kind == FaultKind::kTruncate && !payload.empty()) {
+    RecordFault(FaultKind::kTruncate);
+    Rng rng(MixSeed(config_.seed ^ 0x7A61C473ull, level, plane));
+    payload.resize(rng.NextBounded(payload.size()));
+  }
+  return payload;
+}
+
+Status FaultInjectingBackend::Put(int level, int plane, std::string payload) {
+  return inner_->Put(level, plane, std::move(payload));
+}
+
+}  // namespace mgardp

@@ -6,11 +6,21 @@
 // itself through a directory (one file per level, holding that level's
 // plane segments back to back with an index), mirroring how MGARD lays
 // files across the storage hierarchy.
+//
+// On-disk container, version 2: "segments.idx" carries a magic/version
+// header and, per segment, its (level, plane), byte range within the level
+// file, and a CRC-32C computed over the key bytes followed by the payload.
+// Binding the key into the checksum means a flipped bit anywhere — payload,
+// offset, size, or the key itself — fails verification. Version 1
+// directories (no header, no checksums) written by earlier releases still
+// load; their segments are marked as having no checksum and Get() skips
+// verification for them.
 
 #ifndef MGARDP_STORAGE_SEGMENT_STORE_H_
 #define MGARDP_STORAGE_SEGMENT_STORE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <utility>
@@ -20,12 +30,19 @@
 
 namespace mgardp {
 
+// CRC-32C over the little-endian (level, plane) pair followed by `payload`.
+// The checksum every v2 container stores and every read verifies.
+std::uint32_t SegmentChecksum(int level, int plane,
+                              const std::string& payload);
+
 class SegmentStore {
  public:
   // Stores the payload for (level, plane). Overwrites an existing entry.
+  // The segment's checksum is computed here, at ingest time.
   void Put(int level, int plane, std::string payload);
 
-  // Fetches a segment; NotFound if absent.
+  // Fetches a segment; NotFound if absent, DataLoss if the payload no
+  // longer matches the checksum recorded at Put/load time.
   Result<std::string> Get(int level, int plane) const;
 
   bool Contains(int level, int plane) const;
@@ -44,15 +61,48 @@ class SegmentStore {
   // Number of planes stored for `level`.
   int NumPlanes(int level) const;
 
+  // All (level, plane) keys, ascending.
+  std::vector<std::pair<int, int>> Keys() const;
+
+  // True when every segment carries a checksum (always, unless the store
+  // was loaded from a pre-checksum v1 directory).
+  bool has_checksums() const;
+
   // Persists all segments under `dir` (created if needed): one file
-  // "level_<l>.bin" per level plus "segments.idx".
+  // "level_<l>.bin" per level plus "segments.idx" (always written as v2,
+  // upgrading v1-loaded stores in the process).
   Status WriteToDirectory(const std::string& dir) const;
 
-  // Loads a store previously written by WriteToDirectory.
+  // Loads a store previously written by WriteToDirectory (v2 or legacy
+  // v1). Checksums, when present, are verified here and re-verified on
+  // every Get.
   static Result<SegmentStore> LoadFromDirectory(const std::string& dir);
 
+  // Health of one on-disk segment, as reported by ScrubDirectory.
+  struct SegmentHealth {
+    int level = 0;
+    int plane = 0;
+    std::size_t size = 0;
+    bool has_checksum = false;  // false for v1 containers
+    bool ok = false;            // readable and (if checksummed) verified
+    std::string detail;         // failure description when !ok
+  };
+
+  // Walks the container under `dir` without building a store, verifying
+  // every segment's byte range and checksum. Returns one entry per indexed
+  // segment (bad segments included); errors only for an unreadable or
+  // unparseable index.
+  static Result<std::vector<SegmentHealth>> ScrubDirectory(
+      const std::string& dir);
+
  private:
-  std::map<std::pair<int, int>, std::string> segments_;
+  struct Segment {
+    std::string payload;
+    std::uint32_t crc = 0;
+    bool has_crc = false;
+  };
+
+  std::map<std::pair<int, int>, Segment> segments_;
 };
 
 }  // namespace mgardp

@@ -1,0 +1,156 @@
+#include "storage/storage_backend.h"
+
+#include <filesystem>
+
+#include "util/io.h"
+
+namespace mgardp {
+
+using container::IndexRecord;
+using container::KeyString;
+using container::LevelFileName;
+
+// ---- MemoryBackend --------------------------------------------------------
+
+Result<std::string> MemoryBackend::Get(int level, int plane) {
+  return store_->Get(level, plane);
+}
+
+Status MemoryBackend::Put(int level, int plane, std::string payload) {
+  if (store_ != &owned_) {
+    return Status::FailedPrecondition(
+        "MemoryBackend over a borrowed store is read-only");
+  }
+  owned_.Put(level, plane, std::move(payload));
+  return Status::OK();
+}
+
+bool MemoryBackend::Contains(int level, int plane) const {
+  return store_->Contains(level, plane);
+}
+
+std::vector<std::pair<int, int>> MemoryBackend::Keys() const {
+  return store_->Keys();
+}
+
+// ---- DirectoryBackend -----------------------------------------------------
+
+Result<DirectoryBackend> DirectoryBackend::Open(const std::string& dir) {
+  DirectoryBackend backend(dir);
+  const std::string index_path = dir + "/segments.idx";
+  std::error_code ec;
+  if (!std::filesystem::exists(index_path, ec)) {
+    return backend;  // fresh (or not-yet-written) directory
+  }
+  MGARDP_ASSIGN_OR_RETURN(std::string index_bytes,
+                          ReadFileToString(index_path));
+  std::vector<IndexRecord> records;
+  MGARDP_RETURN_NOT_OK(container::ParseIndex(index_bytes, &records));
+  for (const IndexRecord& rec : records) {
+    backend.records_[{rec.level, rec.plane}] = rec;
+  }
+  return backend;
+}
+
+Result<std::string> DirectoryBackend::Get(int level, int plane) {
+  if (staged_.Contains(level, plane)) {
+    return staged_.Get(level, plane);
+  }
+  auto it = records_.find({level, plane});
+  if (it == records_.end()) {
+    return Status::NotFound("segment " + KeyString(level, plane));
+  }
+  const IndexRecord& rec = it->second;
+  MGARDP_ASSIGN_OR_RETURN(
+      std::string payload,
+      ReadFileRange(LevelFileName(dir_, level), rec.offset, rec.size));
+  if (rec.has_crc && SegmentChecksum(level, plane, payload) != rec.crc) {
+    return Status::DataLoss("segment " + KeyString(level, plane) +
+                            " failed checksum verification");
+  }
+  return payload;
+}
+
+Status DirectoryBackend::Put(int level, int plane, std::string payload) {
+  staged_.Put(level, plane, std::move(payload));
+  return Status::OK();
+}
+
+bool DirectoryBackend::Contains(int level, int plane) const {
+  return staged_.Contains(level, plane) ||
+         records_.count({level, plane}) > 0;
+}
+
+std::vector<std::pair<int, int>> DirectoryBackend::Keys() const {
+  std::map<std::pair<int, int>, bool> keys;
+  for (const auto& [key, rec] : records_) {
+    keys[key] = true;
+  }
+  for (const auto& key : staged_.Keys()) {
+    keys[key] = true;
+  }
+  std::vector<std::pair<int, int>> out;
+  out.reserve(keys.size());
+  for (const auto& [key, present] : keys) {
+    out.push_back(key);
+  }
+  return out;
+}
+
+Status DirectoryBackend::Flush() {
+  if (staged_.size() == 0) {
+    return Status::OK();
+  }
+  // Merge on-disk segments with the staged ones (staged wins) and rewrite.
+  SegmentStore merged;
+  for (const auto& [key, rec] : records_) {
+    if (staged_.Contains(key.first, key.second)) {
+      continue;
+    }
+    MGARDP_ASSIGN_OR_RETURN(std::string payload, Get(key.first, key.second));
+    merged.Put(key.first, key.second, std::move(payload));
+  }
+  for (const auto& key : staged_.Keys()) {
+    MGARDP_ASSIGN_OR_RETURN(std::string payload,
+                            staged_.Get(key.first, key.second));
+    merged.Put(key.first, key.second, std::move(payload));
+  }
+  MGARDP_RETURN_NOT_OK(merged.WriteToDirectory(dir_));
+  // Reopen to pick up the rewritten index.
+  MGARDP_ASSIGN_OR_RETURN(DirectoryBackend reopened, Open(dir_));
+  records_ = std::move(reopened.records_);
+  staged_ = SegmentStore();
+  return Status::OK();
+}
+
+// ---- VerifyingBackend -----------------------------------------------------
+
+VerifyingBackend::VerifyingBackend(StorageBackend* inner,
+                                   const SegmentStore& store)
+    : inner_(inner) {
+  for (const auto& [level, plane] : store.Keys()) {
+    auto payload = store.Get(level, plane);
+    if (payload.ok()) {
+      checksums_[{level, plane}] =
+          SegmentChecksum(level, plane, payload.value());
+    }
+  }
+}
+
+Result<std::string> VerifyingBackend::Get(int level, int plane) {
+  MGARDP_ASSIGN_OR_RETURN(std::string payload, inner_->Get(level, plane));
+  auto it = checksums_.find({level, plane});
+  if (it != checksums_.end() &&
+      SegmentChecksum(level, plane, payload) != it->second) {
+    return Status::DataLoss("segment " + KeyString(level, plane) +
+                            " failed checksum verification");
+  }
+  return payload;
+}
+
+Status VerifyingBackend::Put(int level, int plane, std::string payload) {
+  checksums_[{level, plane}] = SegmentChecksum(level, plane, payload);
+  return inner_->Put(level, plane, std::move(payload));
+}
+
+}  // namespace mgardp

@@ -1,0 +1,62 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace mgardp {
+
+namespace {
+
+// Slice-by-4: four 256-entry tables generated at first use. Table 0 is the
+// classic byte-at-a-time table for the reflected polynomial; table k maps a
+// byte processed k positions earlier.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 4; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t ExtendCrc32c(std::uint32_t crc, const void* data,
+                           std::size_t n) {
+  const auto& t = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  while (n >= 4) {
+    c ^= static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+    c = t[3][c & 0xFFu] ^ t[2][(c >> 8) & 0xFFu] ^ t[1][(c >> 16) & 0xFFu] ^
+        t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mgardp

@@ -1,5 +1,6 @@
 #include "util/io.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -28,6 +29,31 @@ Result<std::string> ReadFileToString(const std::string& path) {
     return Status::IOError("read failure: " + path);
   }
   return ss.str();
+}
+
+Result<std::string> ReadFileRange(const std::string& path,
+                                  std::uint64_t offset, std::uint64_t size) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return Status::NotFound("no such file: " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  if (size > file_size || offset > file_size - size) {
+    return Status::OutOfRange("range [" + std::to_string(offset) + ", +" +
+                              std::to_string(size) + ") past end of " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  std::string out(size, '\0');
+  in.read(out.data(), static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(in.gcount()) != size) {
+    return Status::IOError("short read: " + path);
+  }
+  return out;
 }
 
 }  // namespace mgardp

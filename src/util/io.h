@@ -130,6 +130,11 @@ Status WriteFile(const std::string& path, const std::string& contents);
 // Reads the entire file at `path`.
 Result<std::string> ReadFileToString(const std::string& path);
 
+// Reads exactly `size` bytes starting at `offset`. NotFound if the file
+// does not exist, OutOfRange if the range extends past its end.
+Result<std::string> ReadFileRange(const std::string& path,
+                                  std::uint64_t offset, std::uint64_t size);
+
 }  // namespace mgardp
 
 #endif  // MGARDP_UTIL_IO_H_

@@ -1,0 +1,41 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace mgardp {
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kIOError;
+}
+
+RetryPolicy::RetryPolicy(Options options) : options_(options) {
+  sleep_ = [](double ms) {
+    if (ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }
+  };
+}
+
+double RetryPolicy::DelayMs(int retry, std::uint64_t salt) const {
+  double delay = options_.base_delay_ms;
+  for (int i = 0; i < retry; ++i) {
+    delay = std::min(delay * options_.multiplier, options_.max_delay_ms);
+  }
+  delay = std::min(delay, options_.max_delay_ms);
+  const double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+  if (jitter <= 0.0) {
+    return delay;
+  }
+  // One Rng per (seed, retry, salt) triple keeps the schedule independent
+  // of how many other operations drew from the policy in between.
+  Rng rng(options_.jitter_seed ^
+          (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(retry + 1)) ^
+          (0xC2B2AE3D27D4EB4FULL * (salt + 1)));
+  return delay * (1.0 - jitter * rng.NextDouble());
+}
+
+}  // namespace mgardp

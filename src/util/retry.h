@@ -1,0 +1,81 @@
+// Retry with exponential backoff for transient storage faults.
+//
+// A deep storage hierarchy (network PFS, tape silo, burst buffer) fails
+// transiently all the time; the retrieval path wraps each segment read in a
+// RetryPolicy instead of treating the first IOError as fatal. Backoff delay
+// and jitter are fully deterministic given the policy's seed, and the sleep
+// itself is injectable so tests run at full speed while recording the
+// schedule the production path would have used.
+
+#ifndef MGARDP_UTIL_RETRY_H_
+#define MGARDP_UTIL_RETRY_H_
+
+#include <functional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mgardp {
+
+// Which failures are worth retrying: I/O errors are assumed transient
+// (loose cable, busy tier, throttled PFS); everything else — not-found,
+// checksum mismatch, parse errors — is permanent and retrying cannot help.
+bool IsRetryable(const Status& status);
+
+class RetryPolicy {
+ public:
+  struct Options {
+    int max_attempts = 3;          // total tries, including the first
+    double base_delay_ms = 1.0;    // delay after the first failure
+    double multiplier = 2.0;       // exponential growth per attempt
+    double max_delay_ms = 1000.0;  // backoff ceiling
+    double jitter = 0.5;           // fraction of the delay randomized away
+    std::uint64_t jitter_seed = 0; // deterministic jitter stream
+  };
+
+  RetryPolicy() : RetryPolicy(Options()) {}
+  explicit RetryPolicy(Options options);
+
+  const Options& options() const { return options_; }
+
+  // Backoff delay before retry number `retry` (0 = delay after the first
+  // failure). Deterministic: full-jitter over [delay*(1-jitter), delay],
+  // with the jitter stream derived from (jitter_seed, retry, salt) so a
+  // given retry of a given operation always waits the same time.
+  double DelayMs(int retry, std::uint64_t salt = 0) const;
+
+  // Replaces the sleep implementation (milliseconds). Tests install a
+  // recorder; the default performs a real std::this_thread sleep.
+  void set_sleep(std::function<void(double)> sleep) {
+    sleep_ = std::move(sleep);
+  }
+
+  // Runs `op` until it succeeds, fails permanently, or attempts run out.
+  // `op` is any callable returning Status or Result<T>; the last outcome is
+  // returned either way. `salt` diversifies the jitter stream between
+  // concurrent operations sharing one policy. `retries_out`, if non-null,
+  // is incremented once per retry actually performed.
+  template <typename Op>
+  auto Run(Op&& op, std::uint64_t salt = 0, int* retries_out = nullptr) const
+      -> decltype(op()) {
+    for (int attempt = 0;; ++attempt) {
+      auto outcome = op();
+      if (outcome.ok() || !IsRetryable(GetStatus(outcome)) ||
+          attempt + 1 >= options_.max_attempts) {
+        return outcome;
+      }
+      sleep_(DelayMs(attempt, salt));
+      if (retries_out != nullptr) {
+        ++*retries_out;
+      }
+    }
+  }
+
+ private:
+  Options options_;
+  std::function<void(double)> sleep_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_UTIL_RETRY_H_

@@ -28,6 +28,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kDataLoss,
 };
 
 // Returns a short human-readable name for `code` (e.g. "Invalid argument").
@@ -65,6 +66,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  // Unrecoverable corruption of stored data (checksum mismatch, torn
+  // write): unlike kIOError it is permanent, so retrying is pointless.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -137,26 +143,15 @@ namespace internal {
 #define MGARDP_CONCAT(x, y) MGARDP_CONCAT_IMPL(x, y)
 }  // namespace internal
 
-// Evaluates `expr` (a Status or Result) and returns its error from the
-// current function if it failed.
-#define MGARDP_RETURN_NOT_OK(expr)                       \
-  do {                                                   \
-    auto MGARDP_CONCAT(_st_, __LINE__) = (expr);         \
-    if (!MGARDP_CONCAT(_st_, __LINE__).ok()) {           \
-      return MGARDP_CONCAT(_st_, __LINE__).status_impl_( \
-          MGARDP_CONCAT(_st_, __LINE__));                \
-    }                                                    \
-  } while (false)
-
-// The above needs a uniform way to pull a Status out of Status or Result.
-// Keep it simple with overloads instead:
+// Uniform way to pull a Status out of a Status or a Result<T>.
 inline const Status& GetStatus(const Status& s) { return s; }
 template <typename T>
 const Status& GetStatus(const Result<T>& r) {
   return r.status();
 }
 
-#undef MGARDP_RETURN_NOT_OK
+// Evaluates `expr` (a Status or Result) and returns its error from the
+// current function if it failed.
 #define MGARDP_RETURN_NOT_OK(expr)                        \
   do {                                                    \
     auto&& MGARDP_CONCAT(_st_, __LINE__) = (expr);        \

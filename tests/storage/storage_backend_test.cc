@@ -1,0 +1,253 @@
+#include "storage/storage_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "storage/fault_injection.h"
+#include "util/io.h"
+
+namespace mgardp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+SegmentStore SampleStore() {
+  SegmentStore store;
+  store.Put(0, 0, "coarsest plane");
+  store.Put(0, 1, std::string("holds\0nul", 9));
+  store.Put(1, 0, std::string(4096, 'x'));
+  store.Put(2, 5, "sparse plane index");
+  return store;
+}
+
+TEST(MemoryBackendTest, OwnedRoundTrip) {
+  MemoryBackend backend;
+  ASSERT_TRUE(backend.Put(1, 2, "payload").ok());
+  EXPECT_TRUE(backend.Contains(1, 2));
+  EXPECT_EQ(backend.Get(1, 2).value(), "payload");
+  EXPECT_EQ(backend.Get(9, 9).status().code(), StatusCode::kNotFound);
+  ASSERT_EQ(backend.Keys().size(), 1u);
+  EXPECT_EQ(backend.Keys()[0], (std::pair<int, int>{1, 2}));
+}
+
+TEST(MemoryBackendTest, BorrowedViewIsReadOnly) {
+  SegmentStore store = SampleStore();
+  MemoryBackend backend(&store);
+  EXPECT_EQ(backend.Get(0, 0).value(), "coarsest plane");
+  Status st = backend.Put(0, 0, "overwrite");
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Get(0, 0).value(), "coarsest plane");
+}
+
+TEST(DirectoryBackendTest, ReadsExactRangesFromDisk) {
+  const std::string dir = TempDir("mgardp_dirbackend_read");
+  SegmentStore store = SampleStore();
+  ASSERT_TRUE(store.WriteToDirectory(dir).ok());
+
+  auto backend = DirectoryBackend::Open(dir);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ(backend.value().Keys().size(), store.size());
+  for (const auto& [level, plane] : store.Keys()) {
+    EXPECT_EQ(backend.value().Get(level, plane).value(),
+              store.Get(level, plane).value());
+  }
+  EXPECT_EQ(backend.value().Get(7, 7).status().code(), StatusCode::kNotFound);
+  fs::remove_all(dir);
+}
+
+TEST(DirectoryBackendTest, DetectsOnDiskCorruption) {
+  const std::string dir = TempDir("mgardp_dirbackend_corrupt");
+  SegmentStore store = SampleStore();
+  ASSERT_TRUE(store.WriteToDirectory(dir).ok());
+
+  // Flip one bit in the middle of level 1's payload on disk.
+  const std::string path = container::LevelFileName(dir, 1);
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = bytes.value();
+  damaged[damaged.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFile(path, damaged).ok());
+
+  auto backend = DirectoryBackend::Open(dir);
+  ASSERT_TRUE(backend.ok());
+  auto got = backend.value().Get(1, 0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  // Undamaged segments still read fine.
+  EXPECT_EQ(backend.value().Get(0, 0).value(), "coarsest plane");
+  fs::remove_all(dir);
+}
+
+TEST(DirectoryBackendTest, PutStagesUntilFlush) {
+  const std::string dir = TempDir("mgardp_dirbackend_flush");
+  SegmentStore store = SampleStore();
+  ASSERT_TRUE(store.WriteToDirectory(dir).ok());
+
+  auto backend = DirectoryBackend::Open(dir);
+  ASSERT_TRUE(backend.ok());
+  ASSERT_TRUE(backend.value().Put(3, 0, "new plane").ok());
+  EXPECT_EQ(backend.value().Get(3, 0).value(), "new plane");
+  ASSERT_TRUE(backend.value().Flush().ok());
+
+  auto reopened = DirectoryBackend::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().Get(3, 0).value(), "new plane");
+  EXPECT_EQ(reopened.value().Get(0, 1).value(), std::string("holds\0nul", 9));
+  fs::remove_all(dir);
+}
+
+TEST(DirectoryBackendTest, OpensEmptyDirectoryWritable) {
+  const std::string dir = TempDir("mgardp_dirbackend_empty");
+  fs::create_directories(dir);
+  auto backend = DirectoryBackend::Open(dir);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_TRUE(backend.value().Keys().empty());
+  ASSERT_TRUE(backend.value().Put(0, 0, "first").ok());
+  ASSERT_TRUE(backend.value().Flush().ok());
+  auto reopened = DirectoryBackend::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().Get(0, 0).value(), "first");
+  fs::remove_all(dir);
+}
+
+TEST(DirectoryBackendTest, LoadsLegacyV1Container) {
+  const std::string dir = TempDir("mgardp_dirbackend_v1");
+  fs::create_directories(dir);
+  // Hand-write a v1 container: no magic, no checksums.
+  const std::string payload_a = "legacy plane zero";
+  const std::string payload_b = "legacy plane one";
+  ASSERT_TRUE(WriteFile(container::LevelFileName(dir, 0),
+                        payload_a + payload_b)
+                  .ok());
+  BinaryWriter w;
+  w.Put<std::uint64_t>(2);
+  w.Put<std::int32_t>(0);  // level
+  w.Put<std::int32_t>(0);  // plane
+  w.Put<std::uint64_t>(0);
+  w.Put<std::uint64_t>(payload_a.size());
+  w.Put<std::int32_t>(0);
+  w.Put<std::int32_t>(1);
+  w.Put<std::uint64_t>(payload_a.size());
+  w.Put<std::uint64_t>(payload_b.size());
+  ASSERT_TRUE(WriteFile(dir + "/segments.idx", w.TakeBuffer()).ok());
+
+  auto backend = DirectoryBackend::Open(dir);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ(backend.value().Get(0, 0).value(), payload_a);
+  EXPECT_EQ(backend.value().Get(0, 1).value(), payload_b);
+  fs::remove_all(dir);
+}
+
+TEST(VerifyingBackendTest, CatchesCorruptionFromLayerBelow) {
+  SegmentStore store = SampleStore();
+  MemoryBackend memory(&store);
+  FaultInjectingBackend faulty(&memory);
+  faulty.SetFault(1, 0, {FaultKind::kBitFlip});
+  VerifyingBackend verifying(&faulty, store);
+
+  // The raw faulty backend hands back damaged bytes without complaint...
+  EXPECT_TRUE(faulty.Get(1, 0).ok());
+  // ...the verifying layer turns them into DataLoss.
+  auto got = verifying.Get(1, 0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  // Clean keys pass through verified.
+  EXPECT_EQ(verifying.Get(0, 0).value(), "coarsest plane");
+}
+
+TEST(FaultInjectionTest, ExplicitRulesAreDeterministic) {
+  SegmentStore store = SampleStore();
+  MemoryBackend memory(&store);
+  FaultInjectingBackend faulty(&memory);
+  faulty.SetFault(0, 0, {FaultKind::kBitFlip});
+  faulty.SetFault(0, 1, {FaultKind::kTruncate});
+  faulty.SetFault(2, 5, {FaultKind::kMissing});
+
+  const std::string flipped = faulty.Get(0, 0).value();
+  EXPECT_NE(flipped, store.Get(0, 0).value());
+  EXPECT_EQ(flipped.size(), store.Get(0, 0).value().size());
+  // Same damage on every read: stable media corruption, not a new fault
+  // per attempt.
+  EXPECT_EQ(faulty.Get(0, 0).value(), flipped);
+
+  const std::string truncated = faulty.Get(0, 1).value();
+  EXPECT_LT(truncated.size(), store.Get(0, 1).value().size());
+  EXPECT_EQ(faulty.Get(0, 1).value(), truncated);
+
+  EXPECT_EQ(faulty.Get(2, 5).status().code(), StatusCode::kNotFound);
+  EXPECT_GE(faulty.num_faults(FaultKind::kBitFlip), 2);
+  EXPECT_GE(faulty.num_faults(FaultKind::kMissing), 1);
+}
+
+TEST(FaultInjectionTest, TransientFaultRecovers) {
+  SegmentStore store = SampleStore();
+  MemoryBackend memory(&store);
+  FaultInjectingBackend faulty(&memory);
+  faulty.SetFault(1, 0, {FaultKind::kTransient, 2});
+
+  EXPECT_EQ(faulty.Get(1, 0).status().code(), StatusCode::kIOError);
+  EXPECT_EQ(faulty.Get(1, 0).status().code(), StatusCode::kIOError);
+  auto third = faulty.Get(1, 0);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value(), store.Get(1, 0).value());
+}
+
+TEST(FaultInjectionTest, LatencyIsRecordedNotSlept) {
+  SegmentStore store = SampleStore();
+  MemoryBackend memory(&store);
+  FaultInjectingBackend faulty(&memory);
+  FaultInjectingBackend::FaultRule rule;
+  rule.kind = FaultKind::kLatency;
+  rule.latency_ms = 250.0;
+  faulty.SetFault(0, 0, rule);
+
+  double recorded = 0.0;
+  faulty.set_sleep([&](double ms) { recorded += ms; });
+  EXPECT_EQ(faulty.Get(0, 0).value(), store.Get(0, 0).value());
+  EXPECT_DOUBLE_EQ(recorded, 250.0);
+  EXPECT_DOUBLE_EQ(faulty.total_latency_ms(), 250.0);
+}
+
+TEST(FaultInjectionTest, ProbabilisticFaultsReproducibleFromSeed) {
+  SegmentStore store;
+  for (int l = 0; l < 4; ++l) {
+    for (int p = 0; p < 16; ++p) {
+      store.Put(l, p, "payload-" + std::to_string(l * 16 + p));
+    }
+  }
+  FaultConfig config;
+  config.seed = 42;
+  config.corrupt_prob = 0.2;
+  config.missing_prob = 0.1;
+
+  auto observe = [&] {
+    MemoryBackend memory(&store);
+    FaultInjectingBackend faulty(&memory, config);
+    std::string trace;
+    for (const auto& [l, p] : store.Keys()) {
+      auto got = faulty.Get(l, p);
+      trace += got.ok() ? (got.value() == store.Get(l, p).value() ? 'c' : 'x')
+                        : 'm';
+    }
+    return trace;
+  };
+  const std::string first = observe();
+  EXPECT_EQ(first, observe());
+  // The mix actually triggers something at these probabilities.
+  EXPECT_NE(first.find_first_not_of('c'), std::string::npos);
+
+  config.seed = 43;
+  EXPECT_NE(first, observe());
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,72 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mgardp {
+namespace {
+
+// Reference vectors from RFC 3720 appendix B.4 (iSCSI CRC-32C).
+TEST(Crc32cTest, Rfc3720Vectors) {
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) {
+    ascending[i] = static_cast<char>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+
+  std::string descending(32, '\0');
+  for (int i = 0; i < 32; ++i) {
+    descending[i] = static_cast<char>(31 - i);
+  }
+  EXPECT_EQ(Crc32c(descending), 0x113FDB5Cu);
+}
+
+TEST(Crc32cTest, CheckString) {
+  // The classic check value for CRC-32C.
+  EXPECT_EQ(Crc32c(std::string("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) {
+  EXPECT_EQ(Crc32c(std::string()), 0u);
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendEqualsConcatenation) {
+  const std::string data =
+      "progressive retrieval of scientific data, one plane at a time";
+  const std::uint32_t whole = Crc32c(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = Crc32c(data.data(), split);
+    crc = ExtendCrc32c(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, EveryBitFlipChangesValue) {
+  const std::string data = "0123456789abcdef";
+  const std::uint32_t clean = Crc32c(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(corrupt), clean)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, SensitiveToByteOrder) {
+  EXPECT_NE(Crc32c(std::string("ab")), Crc32c(std::string("ba")));
+}
+
+}  // namespace
+}  // namespace mgardp

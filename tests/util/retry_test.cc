@@ -1,0 +1,134 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace mgardp {
+namespace {
+
+TEST(RetryTest, OnlyIOErrorsAreRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::IOError("flaky tier")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("gone")));
+  EXPECT_FALSE(IsRetryable(Status::DataLoss("bad crc")));
+  EXPECT_FALSE(IsRetryable(Status::Invalid("nonsense")));
+}
+
+TEST(RetryTest, DelayIsDeterministic) {
+  RetryPolicy a;
+  RetryPolicy b;
+  for (int retry = 0; retry < 5; ++retry) {
+    EXPECT_EQ(a.DelayMs(retry, 7), b.DelayMs(retry, 7)) << retry;
+  }
+}
+
+TEST(RetryTest, ZeroJitterFollowsExponentialSchedule) {
+  RetryPolicy::Options opts;
+  opts.base_delay_ms = 2.0;
+  opts.multiplier = 3.0;
+  opts.max_delay_ms = 20.0;
+  opts.jitter = 0.0;
+  RetryPolicy policy(opts);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(0), 2.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(1), 6.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(2), 18.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(3), 20.0);  // ceiling
+}
+
+TEST(RetryTest, JitterStaysWithinBand) {
+  RetryPolicy::Options opts;
+  opts.base_delay_ms = 8.0;
+  opts.multiplier = 2.0;
+  opts.max_delay_ms = 1e9;
+  opts.jitter = 0.5;
+  RetryPolicy policy(opts);
+  for (int retry = 0; retry < 6; ++retry) {
+    const double full = 8.0 * std::pow(2.0, retry);
+    for (std::uint64_t salt = 0; salt < 16; ++salt) {
+      const double d = policy.DelayMs(retry, salt);
+      EXPECT_GE(d, full * 0.5) << retry << " salt " << salt;
+      EXPECT_LE(d, full) << retry << " salt " << salt;
+    }
+  }
+}
+
+TEST(RetryTest, SuccessOnFirstAttemptNeverSleeps) {
+  RetryPolicy policy;
+  std::vector<double> slept;
+  policy.set_sleep([&](double ms) { slept.push_back(ms); });
+  int retries = 0;
+  Status st = policy.Run([] { return Status::OK(); }, 0, &retries);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(retries, 0);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryTest, TransientFailureRecoversWithinBudget) {
+  RetryPolicy::Options opts;
+  opts.max_attempts = 4;
+  RetryPolicy policy(opts);
+  std::vector<double> slept;
+  policy.set_sleep([&](double ms) { slept.push_back(ms); });
+  int calls = 0;
+  int retries = 0;
+  auto result = policy.Run(
+      [&]() -> Result<std::string> {
+        if (++calls <= 2) {
+          return Status::IOError("busy");
+        }
+        return std::string("payload");
+      },
+      0, &retries);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "payload");
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_EQ(slept[0], policy.DelayMs(0, 0));
+  EXPECT_EQ(slept[1], policy.DelayMs(1, 0));
+}
+
+TEST(RetryTest, PermanentFailureIsNotRetried) {
+  RetryPolicy policy;
+  int calls = 0;
+  auto result = policy.Run([&]() -> Result<std::string> {
+    ++calls;
+    return Status::DataLoss("checksum mismatch");
+  });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExhaustionReturnsLastError) {
+  RetryPolicy::Options opts;
+  opts.max_attempts = 3;
+  RetryPolicy policy(opts);
+  policy.set_sleep([](double) {});
+  int calls = 0;
+  Status st = policy.Run([&] {
+    ++calls;
+    return Status::IOError("still down");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, SaltsDiversifyJitterStreams) {
+  RetryPolicy policy;
+  // With 50% jitter two different operations should not share their whole
+  // backoff schedule; a single collision is possible, five in a row is not.
+  bool any_difference = false;
+  for (int retry = 0; retry < 5; ++retry) {
+    any_difference =
+        any_difference || policy.DelayMs(retry, 1) != policy.DelayMs(retry, 2);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace mgardp

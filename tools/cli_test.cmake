@@ -51,8 +51,36 @@ run_cli(0 refactor --input ${WORK}/f.f64 --dims 20,20,20
 run_cli(0 retrieve --dir ${WORK}/art2 --rel-error 1e-3
         --emgard ${WORK}/emgard.bin --out ${WORK}/e.f64)
 
+# Scrub: a clean artifact passes; a flipped bit is detected, names the
+# (level, plane), and exits 3.
+run_cli(0 scrub --dir ${WORK}/art)
+if(NOT LAST_OUT MATCHES "0 bad")
+  message(FATAL_ERROR "clean scrub reported damage:\n${LAST_OUT}")
+endif()
+run_cli(0 verify --dir ${WORK}/art)
+# Damage level 0's payload bytes in place (same file size, different
+# content; CMake script mode cannot patch single bits, the unit tests cover
+# every per-byte flip) and expect the scrub to name the victims.
+file(SIZE ${WORK}/art/level_0.bin level0_size)
+string(REPEAT "x" ${level0_size} garbage)
+file(WRITE ${WORK}/art/level_0.bin "${garbage}")
+run_cli(3 verify --dir ${WORK}/art)
+if(NOT LAST_OUT MATCHES "BAD segment level=")
+  message(FATAL_ERROR "scrub did not name the damaged segment:\n${LAST_OUT}")
+endif()
+
+# The fault-tolerant retrieve still succeeds on the damaged artifact and
+# reports the degradation; the plain retrieve refuses it.
+run_cli(2 retrieve --dir ${WORK}/art --rel-error 1e-3 --out ${WORK}/d.f64)
+run_cli(0 retrieve --dir ${WORK}/art --rel-error 1e-3 --tolerant
+        --out ${WORK}/d.f64)
+if(NOT LAST_OUT MATCHES "DEGRADED")
+  message(FATAL_ERROR "tolerant retrieve did not report degradation:\n"
+                      "${LAST_OUT}")
+endif()
+
 # Error paths return the documented exit codes.
-run_cli(1 retrieve --dir ${WORK}/art --out ${WORK}/x.f64)     # no bound
+run_cli(1 retrieve --dir ${WORK}/art2 --out ${WORK}/x.f64)    # no bound
 run_cli(1 refactor --out ${WORK}/nope)                        # missing args
 run_cli(2 info --dir ${WORK}/not_an_artifact)                 # runtime error
 run_cli(1 frobnicate)                                         # unknown cmd

@@ -18,6 +18,11 @@
 //             the result; prints bytes read vs the full artifact.
 //   verify    --original FILE.f64 --reconstructed FILE.f64
 //             Prints max error, RMSE, and PSNR between two raw fields.
+//   verify    --dir DIR | --repo ROOT     (also available as `scrub`)
+//             Walks an artifact directory (or every artifact of a field
+//             repository) and verifies each stored segment against its
+//             CRC-32C. Exits 3 naming the bad (level, plane)s if any
+//             segment is corrupt, missing, or out of range.
 //   train     --model dmgard|emgard --app warpx|gray-scott --field NAME
 //             --dims NX[,NY[,NZ]] --timesteps T --out MODEL.bin
 //             [--epochs E] [--bounds-per-decade N]
@@ -28,20 +33,30 @@
 //             or --emgard MODEL.bin (learned estimator in the greedy
 //             planner) instead of --estimator.
 //
-// Exit status is 0 on success, 1 on usage errors, 2 on runtime failures.
+//   retrieve  also accepts --tolerant: fetches through the fault-tolerant
+//             path (retries + graceful degradation) and prints the
+//             retrieval report instead of failing on a damaged artifact.
+//
+// Exit status is 0 on success, 1 on usage errors, 2 on runtime failures,
+// 3 when verify/scrub found corrupt segments.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "models/dmgard.h"
 #include "models/emgard.h"
 #include "models/features.h"
+#include "progressive/fault_tolerant.h"
 #include "progressive/reconstructor.h"
 #include "progressive/refactorer.h"
+#include "progressive/repository.h"
 #include "sim/dataset.h"
+#include "storage/storage_backend.h"
 #include "util/io.h"
 #include "util/stats.h"
 
@@ -276,7 +291,18 @@ int CmdRetrieve(const Flags& flags) {
   if (dir.empty() || out.empty()) {
     return Usage("--dir and --out are required");
   }
-  auto field = RefactoredField::LoadFromDirectory(dir);
+  Result<RefactoredField> field = Status::Internal("unset");
+  if (flags.Has("tolerant")) {
+    // Metadata only: a full load verifies every segment and would refuse
+    // the damaged artifacts the tolerant path exists to salvage.
+    auto meta = ReadFileToString(dir + "/metadata.bin");
+    if (!meta.ok()) {
+      return Fail(meta.status());
+    }
+    field = RefactoredField::DeserializeMetadata(meta.value());
+  } else {
+    field = RefactoredField::LoadFromDirectory(dir);
+  }
   if (!field.ok()) {
     return Fail(field.status());
   }
@@ -349,6 +375,30 @@ int CmdRetrieve(const Flags& flags) {
   }
   if (!(bound > 0.0)) {
     return Usage("accuracy bound must be positive");
+  }
+
+  if (flags.Has("tolerant")) {
+    if (flags.Has("dmgard")) {
+      return Usage("--tolerant cannot be combined with --dmgard");
+    }
+    auto backend = DirectoryBackend::Open(dir);
+    if (!backend.ok()) {
+      return Fail(backend.status());
+    }
+    FaultTolerantReconstructor ft(estimator);
+    RetrievalReport report;
+    auto data = ft.Retrieve(f, &backend.value(), bound, &report);
+    if (!data.ok()) {
+      return Fail(data.status());
+    }
+    Status st = WriteRawField(out, data.value());
+    if (!st.ok()) {
+      return Fail(st);
+    }
+    std::printf("retrieved %s -> %s (fault-tolerant, estimator=%s)\n%s",
+                dir.c_str(), out.c_str(), estimator->name().c_str(),
+                report.ToString().c_str());
+    return 0;
   }
 
   Reconstructor rec(estimator);
@@ -495,7 +545,87 @@ int CmdTrain(const Flags& flags) {
   return 0;
 }
 
+// Scrubs one artifact directory, printing one line per unhealthy segment.
+// Returns the number of bad segments, or -1 when the container itself is
+// unreadable (missing or unparseable index).
+int ScrubOneDir(const std::string& dir, std::size_t* segments_seen) {
+  auto health = SegmentStore::ScrubDirectory(dir);
+  if (!health.ok()) {
+    std::printf("%s: UNREADABLE: %s\n", dir.c_str(),
+                health.status().ToString().c_str());
+    return -1;
+  }
+  int bad = 0;
+  bool checksummed = true;
+  for (const SegmentStore::SegmentHealth& h : health.value()) {
+    ++*segments_seen;
+    checksummed = checksummed && h.has_checksum;
+    if (!h.ok) {
+      ++bad;
+      std::printf("%s: BAD segment level=%d plane=%d size=%zu: %s\n",
+                  dir.c_str(), h.level, h.plane, h.size, h.detail.c_str());
+    }
+  }
+  std::printf("%s: %zu segments, %d bad%s\n", dir.c_str(),
+              health.value().size(), bad,
+              checksummed ? "" : " (legacy container, no checksums)");
+  return bad;
+}
+
+// Reproduces FieldRepository's documented artifact layout,
+// <root>/<application>/<field>/t<NNNNNN>.
+std::string RepoArtifactDir(const std::string& root,
+                            const FieldRepository::Entry& entry) {
+  std::ostringstream os;
+  os << root << "/" << entry.application << "/" << entry.field << "/t";
+  os.width(6);
+  os.fill('0');
+  os << entry.timestep;
+  return os.str();
+}
+
+int CmdScrub(const Flags& flags) {
+  const std::string dir = flags.GetString("dir");
+  const std::string repo = flags.GetString("repo");
+  if (dir.empty() == repo.empty()) {
+    return Usage("exactly one of --dir or --repo is required");
+  }
+  std::vector<std::string> dirs;
+  if (!dir.empty()) {
+    dirs.push_back(dir);
+  } else {
+    if (!std::filesystem::exists(repo + "/manifest.bin")) {
+      return Fail(Status::NotFound(repo + " is not a field repository "
+                                   "(no manifest.bin)"));
+    }
+    auto r = FieldRepository::Open(repo);
+    if (!r.ok()) {
+      return Fail(r.status());
+    }
+    for (const FieldRepository::Entry& entry : r.value().entries()) {
+      dirs.push_back(RepoArtifactDir(repo, entry));
+    }
+  }
+  std::size_t segments = 0;
+  int bad = 0;
+  int unreadable = 0;
+  for (const std::string& d : dirs) {
+    const int n = ScrubOneDir(d, &segments);
+    if (n < 0) {
+      ++unreadable;
+    } else {
+      bad += n;
+    }
+  }
+  std::printf("scrub: %zu artifacts, %zu segments, %d bad, %d unreadable\n",
+              dirs.size(), segments, bad, unreadable);
+  return (bad > 0 || unreadable > 0) ? 3 : 0;
+}
+
 int CmdVerify(const Flags& flags) {
+  if (flags.Has("dir") || flags.Has("repo")) {
+    return CmdScrub(flags);
+  }
   const std::string a_path = flags.GetString("original");
   const std::string b_path = flags.GetString("reconstructed");
   if (a_path.empty() || b_path.empty()) {
@@ -534,11 +664,13 @@ void PrintHelp() {
       "  retrieve  --dir DIR (--rel-error R | --abs-error E | --psnr P\n"
       "            | --budget BYTES)\n"
       "            --out FILE.f64 [--estimator theory|snorm]\n"
-      "            [--dmgard MODEL.bin | --emgard MODEL.bin]\n"
+      "            [--dmgard MODEL.bin | --emgard MODEL.bin] [--tolerant]\n"
       "  train     --model dmgard|emgard --app APP --field NAME\n"
       "            --dims NX[,NY[,NZ]] [--timesteps T] [--epochs E]\n"
       "            --out MODEL.bin\n"
-      "  verify    --original FILE.f64 --reconstructed FILE.f64\n");
+      "  verify    --original FILE.f64 --reconstructed FILE.f64\n"
+      "  verify    --dir DIR | --repo ROOT   (checksum scrub; exits 3 on\n"
+      "            corruption; `scrub` is an alias)\n");
 }
 
 }  // namespace
@@ -567,6 +699,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "verify") {
     return CmdVerify(flags);
+  }
+  if (cmd == "scrub") {
+    return CmdScrub(flags);
   }
   if (cmd == "train") {
     return CmdTrain(flags);
