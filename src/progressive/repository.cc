@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <mutex>
 #include <sstream>
 
 #include "util/io.h"
@@ -22,6 +23,24 @@ Status ValidateName(const std::string& name) {
   return Status::OK();
 }
 }  // namespace
+
+FieldRepository::FieldRepository(FieldRepository&& other) noexcept
+    : root_(std::move(other.root_)), entries_(std::move(other.entries_)) {}
+
+FieldRepository& FieldRepository::operator=(
+    FieldRepository&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    root_ = std::move(other.root_);
+    entries_ = std::move(other.entries_);
+  }
+  return *this;
+}
+
+std::vector<FieldRepository::Entry> FieldRepository::entries() const {
+  std::shared_lock lock(mu_);
+  return entries_;
+}
 
 Result<FieldRepository> FieldRepository::Open(const std::string& root) {
   std::error_code ec;
@@ -95,6 +114,7 @@ bool FieldRepository::Contains(const std::string& application,
                                const std::string& field,
                                int timestep) const {
   Entry probe{application, field, timestep, {}, 0};
+  std::shared_lock lock(mu_);
   return std::find(entries_.begin(), entries_.end(), probe) !=
          entries_.end();
 }
@@ -102,6 +122,7 @@ bool FieldRepository::Contains(const std::string& application,
 std::vector<int> FieldRepository::Timesteps(const std::string& application,
                                             const std::string& field) const {
   std::vector<int> out;
+  std::shared_lock lock(mu_);
   for (const Entry& e : entries_) {
     if (e.application == application && e.field == field) {
       out.push_back(e.timestep);
@@ -124,6 +145,7 @@ Status FieldRepository::Store(const std::string& application,
 
   Entry entry{application, field, timestep, artifact.original_dims,
               artifact.segments.TotalBytes()};
+  std::unique_lock lock(mu_);
   auto it = std::find(entries_.begin(), entries_.end(), entry);
   if (it != entries_.end()) {
     *it = entry;
@@ -158,6 +180,7 @@ Status FieldRepository::StoreSeries(const FieldSeries& series,
 
 std::size_t FieldRepository::TotalBytes() const {
   std::size_t total = 0;
+  std::shared_lock lock(mu_);
   for (const Entry& e : entries_) {
     total += e.stored_bytes;
   }

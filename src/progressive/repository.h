@@ -11,10 +11,21 @@
 // The manifest is the authoritative index: Open() reads it, Store() appends
 // to it atomically after the artifact is fully written, so a crash between
 // the two leaves at worst an orphaned directory, never a dangling entry.
+//
+// Thread-safety contract (service sessions share one repository): the
+// in-memory entry index is guarded by a reader-writer lock, so any number
+// of concurrent readers (Contains, Timesteps, Load, entries, TotalBytes)
+// are safe against each other and against concurrent Store/StoreSeries
+// calls from ONE writer at a time. Concurrent writers for distinct
+// coordinates serialize on the lock; two writers racing on the SAME
+// coordinates leave the last write in effect. Load's filesystem reads
+// happen outside the lock, so a Store overwriting the artifact being
+// loaded can surface as a load error — never as a torn in-memory index.
 
 #ifndef MGARDP_PROGRESSIVE_REPOSITORY_H_
 #define MGARDP_PROGRESSIVE_REPOSITORY_H_
 
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -43,8 +54,15 @@ class FieldRepository {
   // Opens (creating if necessary) a repository rooted at `root`.
   static Result<FieldRepository> Open(const std::string& root);
 
+  // Moves are for construction-time handoff (Result<FieldRepository>);
+  // moving a repository that other threads are using is a caller bug.
+  FieldRepository(FieldRepository&& other) noexcept;
+  FieldRepository& operator=(FieldRepository&& other) noexcept;
+
   const std::string& root() const { return root_; }
-  const std::vector<Entry>& entries() const { return entries_; }
+  // Snapshot of the entry index (copy: the live vector may be appended to
+  // by a concurrent Store).
+  std::vector<Entry> entries() const;
 
   bool Contains(const std::string& application, const std::string& field,
                 int timestep) const;
@@ -73,9 +91,12 @@ class FieldRepository {
 
   std::string ArtifactDir(const std::string& application,
                           const std::string& field, int timestep) const;
+  // Requires mu_ held (shared suffices: entries_ is only read).
   Status WriteManifest() const;
 
   std::string root_;
+  // Guards entries_. Shared: readers; exclusive: Store's index update.
+  mutable std::shared_mutex mu_;
   std::vector<Entry> entries_;
 };
 

@@ -1,0 +1,21 @@
+#include "service/caching_backend.h"
+
+namespace mgardp {
+
+Result<std::string> CachingBackend::Get(int level, int plane) {
+  return GetTracked(level, plane, nullptr);
+}
+
+Result<std::string> CachingBackend::GetTracked(int level, int plane,
+                                               SegmentCache::Source* source) {
+  return cache_->GetOrFetch({field_id_, level, plane},
+                            [&] { return inner_->Get(level, plane); },
+                            source);
+}
+
+Status CachingBackend::Put(int level, int plane, std::string payload) {
+  cache_->Erase({field_id_, level, plane});
+  return inner_->Put(level, plane, std::move(payload));
+}
+
+}  // namespace mgardp

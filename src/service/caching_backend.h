@@ -1,0 +1,68 @@
+// Cache-aware StorageBackend decorator.
+//
+// Completes the storage layering convention of storage/storage_backend.h
+// from the service side:
+//
+//   MemoryBackend / DirectoryBackend   raw bytes
+//   FaultInjectingBackend              simulated media faults (tests)
+//   VerifyingBackend                   CRC check against a checksum table
+//   CachingBackend                     shared SegmentCache on top
+//
+// Get() is served from the shared cache, filling it through the inner
+// backend on miss with single-flight deduplication across all concurrent
+// readers of the same segment. Putting the cache ABOVE the verifying layer
+// means every fill is checksum-verified at the source and the cache serves
+// only verified bytes. Any retrieval path that speaks StorageBackend — the
+// FaultTolerantReconstructor included — becomes cache-aware by wrapping its
+// backend in this decorator; RetrievalSession uses the same cache directly
+// for finer accounting.
+
+#ifndef MGARDP_SERVICE_CACHING_BACKEND_H_
+#define MGARDP_SERVICE_CACHING_BACKEND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/segment_cache.h"
+#include "storage/storage_backend.h"
+
+namespace mgardp {
+
+class CachingBackend : public StorageBackend {
+ public:
+  // `inner` and `cache` must outlive the backend. `field_id` namespaces
+  // this backend's segments within the shared cache; two CachingBackends
+  // over different artifacts must use different ids.
+  CachingBackend(std::string field_id, StorageBackend* inner,
+                 SegmentCache* cache)
+      : field_id_(std::move(field_id)), inner_(inner), cache_(cache) {}
+
+  Result<std::string> Get(int level, int plane) override;
+
+  // Same as Get, additionally reporting how the read was served.
+  Result<std::string> GetTracked(int level, int plane,
+                                 SegmentCache::Source* source);
+
+  // Writes through to the inner backend, invalidating any cached copy.
+  Status Put(int level, int plane, std::string payload) override;
+
+  bool Contains(int level, int plane) const override {
+    return inner_->Contains(level, plane);
+  }
+  std::vector<std::pair<int, int>> Keys() const override {
+    return inner_->Keys();
+  }
+  std::string name() const override { return "cache+" + inner_->name(); }
+
+  const std::string& field_id() const { return field_id_; }
+
+ private:
+  std::string field_id_;
+  StorageBackend* inner_;
+  SegmentCache* cache_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_SERVICE_CACHING_BACKEND_H_

@@ -1,0 +1,156 @@
+#include "service/retrieval_session.h"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace mgardp {
+
+std::string RetrievalSession::Refinement::ToString() const {
+  std::ostringstream os;
+  os << "refine to " << requested_bound << ": est " << estimated_error
+     << (bound_met ? " (met" : " (MISSED") << (noop ? ", noop)" : ")")
+     << " prefix";
+  for (int p : prefix) {
+    os << ' ' << p;
+  }
+  os << " | fetched " << planes_fetched << " planes / " << fetched_bytes
+     << " B, cached " << planes_cached << " / " << cached_bytes
+     << " B, reused " << planes_reused << " / " << reused_bytes << " B";
+  return os.str();
+}
+
+RetrievalSession::RetrievalSession(std::string field_id,
+                                   const RefactoredField* field,
+                                   StorageBackend* backend,
+                                   const ErrorEstimator* estimator,
+                                   SegmentCache* cache,
+                                   ServiceMetrics* metrics, RetryPolicy retry)
+    : field_id_(std::move(field_id)),
+      field_(field),
+      backend_(backend),
+      estimator_(estimator),
+      cache_(cache),
+      metrics_(metrics),
+      retry_(std::move(retry)),
+      have_(field->num_levels(), 0),
+      estimate_(std::numeric_limits<double>::infinity()) {}
+
+Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
+                                                 Refinement* info) {
+  return Refine(error_bound, retry_, info);
+}
+
+Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
+                                                 const RetryPolicy& retry,
+                                                 Refinement* info) {
+  if (!(error_bound > 0.0)) {
+    return Status::Invalid("error_bound must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+
+  Refinement ref;
+  ref.requested_bound = error_bound;
+
+  // Loosening (or repeating) the bound: the reconstruction in hand already
+  // satisfies it — no planning, no I/O.
+  if (data_.has_value() && estimate_ <= error_bound) {
+    ref.estimated_error = estimate_;
+    ref.bound_met = true;
+    ref.noop = true;
+    ref.prefix = have_;
+    for (std::size_t l = 0; l < have_.size(); ++l) {
+      ref.planes_reused += have_[l];
+    }
+    ref.reused_bytes =
+        MakeSizeInterpreter(*field_).TotalBytes(have_);
+    if (metrics_ != nullptr) {
+      metrics_->OnNoopRefinement();
+    }
+    if (info != nullptr) {
+      *info = std::move(ref);
+    }
+    return &*data_;
+  }
+
+  Reconstructor rec(estimator_);
+  MGARDP_ASSIGN_OR_RETURN(RetrievalPlan plan,
+                          rec.PlanRefinement(*field_, have_, error_bound));
+  SizeInterpreter sizes = MakeSizeInterpreter(*field_);
+
+  // Everything already in hand counts as reuse for this refinement.
+  const std::vector<int> had = have_;
+  for (std::size_t l = 0; l < had.size(); ++l) {
+    ref.planes_reused += had[l];
+    ref.reused_bytes += sizes.LevelBytes(static_cast<int>(l), had[l]);
+  }
+
+  // Fetch the delta, advancing have_ plane by plane so a failed fetch
+  // never loses the progress made before it.
+  for (int l = 0; l < field_->num_levels(); ++l) {
+    for (int p = have_[l]; p < plan.prefix[l]; ++p) {
+      const std::uint64_t salt = static_cast<std::uint64_t>(l) * 4096u +
+                                 static_cast<std::uint64_t>(p);
+      SegmentCache::Source source = SegmentCache::Source::kFetched;
+      auto fetch = [&]() -> Result<std::string> {
+        return retry.Run([&] { return backend_->Get(l, p); }, salt);
+      };
+      Result<std::string> payload =
+          cache_ != nullptr
+              ? cache_->GetOrFetch({field_id_, l, p}, fetch, &source)
+              : fetch();
+      MGARDP_RETURN_NOT_OK(payload.status());
+      const std::size_t n = payload.value().size();
+      if (source == SegmentCache::Source::kFetched) {
+        ++ref.planes_fetched;
+        ref.fetched_bytes += n;
+      } else {
+        ++ref.planes_cached;
+        ref.cached_bytes += n;
+      }
+      local_.Put(l, p, std::move(payload).value());
+      have_[l] = p + 1;
+    }
+  }
+
+  MGARDP_ASSIGN_OR_RETURN(Array3Dd data,
+                          ReconstructFromSegments(*field_, local_, have_));
+  data_ = std::move(data);
+  estimate_ = plan.estimated_error;
+  lifetime_fetched_bytes_ += ref.fetched_bytes;
+
+  ref.estimated_error = estimate_;
+  ref.bound_met = estimate_ <= error_bound;
+  ref.prefix = have_;
+  if (metrics_ != nullptr) {
+    metrics_->OnPlanesFetched(ref.planes_fetched, ref.fetched_bytes);
+    metrics_->OnPlanesReused(ref.planes_reused + ref.planes_cached,
+                             ref.reused_bytes + ref.cached_bytes);
+  }
+  if (info != nullptr) {
+    *info = std::move(ref);
+  }
+  return &*data_;
+}
+
+std::vector<int> RetrievalSession::prefix() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return have_;
+}
+
+double RetrievalSession::estimated_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return estimate_;
+}
+
+std::size_t RetrievalSession::bytes_in_hand() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MakeSizeInterpreter(*field_).TotalBytes(have_);
+}
+
+std::size_t RetrievalSession::lifetime_fetched_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lifetime_fetched_bytes_;
+}
+
+}  // namespace mgardp

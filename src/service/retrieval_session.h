@@ -1,0 +1,124 @@
+// Stateful per-client retrieval sessions.
+//
+// A client that progressively tightens its error bound should pay only the
+// incremental bit-plane cost, not a full re-read per request. A session
+// keeps, per client:
+//   * the bit-plane prefix fetched so far (`prefix()`),
+//   * the segment payloads already in hand (so re-reconstruction never
+//     re-reads storage), and
+//   * the last reconstructed field (so loosening the bound is a no-op that
+//     returns the cached array).
+//
+// Tightening plans with Reconstructor::PlanRefinement starting from the
+// in-hand prefix, so only the delta segments are fetched — through the
+// shared SegmentCache when one is attached (misses fill it for every other
+// session on the same field, identical concurrent fetches are single-
+// flight), directly from the backend otherwise.
+//
+// Determinism: the greedy planner's fetch trajectory does not depend on the
+// requested bound (the bound only decides where along it to stop), so a
+// chain of refinements lands on exactly the prefix a cold session reaches
+// in one step at the final bound — the reconstructed field is bit-identical
+// to that one-shot retrieval while fetching strictly fewer bytes per step.
+// tests/service/retrieval_session_test.cc enforces both halves.
+//
+// Thread-safety: Refine() serializes on an internal mutex, so one session
+// may be driven from multiple threads (the scheduler does); distinct
+// sessions are fully concurrent. The pointer returned by Refine() stays
+// valid until the next successful non-noop Refine() on the same session.
+
+#ifndef MGARDP_SERVICE_RETRIEVAL_SESSION_H_
+#define MGARDP_SERVICE_RETRIEVAL_SESSION_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "progressive/error_estimator.h"
+#include "progressive/reconstructor.h"
+#include "progressive/refactored_field.h"
+#include "service/segment_cache.h"
+#include "service/service_metrics.h"
+#include "storage/storage_backend.h"
+#include "util/array3d.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+class RetrievalSession {
+ public:
+  // What one Refine() call did.
+  struct Refinement {
+    double requested_bound = 0.0;
+    double estimated_error = 0.0;
+    bool bound_met = false;  // estimated_error <= requested_bound
+    bool noop = false;       // bound already satisfied; cached field returned
+    std::vector<int> prefix;
+
+    int planes_fetched = 0;  // read from the backend (cache misses)
+    int planes_cached = 0;   // served by the shared cache (hits + shared)
+    int planes_reused = 0;   // already in this session's hands
+    std::size_t fetched_bytes = 0;
+    std::size_t cached_bytes = 0;
+    std::size_t reused_bytes = 0;
+
+    std::string ToString() const;
+  };
+
+  // `field`, `backend`, `estimator` and (when non-null) `cache`, `metrics`
+  // must outlive the session. `field_id` namespaces this field's segments
+  // in the shared cache; sessions over the same artifact must agree on it.
+  RetrievalSession(std::string field_id, const RefactoredField* field,
+                   StorageBackend* backend, const ErrorEstimator* estimator,
+                   SegmentCache* cache = nullptr,
+                   ServiceMetrics* metrics = nullptr,
+                   RetryPolicy retry = RetryPolicy());
+
+  RetrievalSession(const RetrievalSession&) = delete;
+  RetrievalSession& operator=(const RetrievalSession&) = delete;
+
+  // Refines toward `error_bound` (absolute, max-norm semantics of the
+  // session's estimator): fetches only segments not already in hand,
+  // reconstructs, and returns the field. A bound already satisfied by the
+  // current prefix returns the cached reconstruction without planning or
+  // I/O. When the bound is unreachable even with every plane, the best
+  // achievable field is returned and `info->bound_met` is false.
+  Result<const Array3Dd*> Refine(double error_bound,
+                                 Refinement* info = nullptr);
+
+  // Same, with a per-request retry policy (the scheduler maps request
+  // deadlines onto one) overriding the session default.
+  Result<const Array3Dd*> Refine(double error_bound,
+                                 const RetryPolicy& retry, Refinement* info);
+
+  const std::string& field_id() const { return field_id_; }
+  const RefactoredField& field() const { return *field_; }
+
+  // Snapshot accessors (take the session lock).
+  std::vector<int> prefix() const;
+  double estimated_error() const;       // +inf before the first Refine
+  std::size_t bytes_in_hand() const;    // compressed bytes of prefix()
+  std::size_t lifetime_fetched_bytes() const;  // backend reads, ever
+
+ private:
+  const std::string field_id_;
+  const RefactoredField* field_;
+  StorageBackend* backend_;
+  const ErrorEstimator* estimator_;
+  SegmentCache* cache_;      // may be null
+  ServiceMetrics* metrics_;  // may be null
+  RetryPolicy retry_;
+
+  mutable std::mutex mu_;
+  std::vector<int> have_;          // planes in hand per level
+  double estimate_;                // estimator value at have_
+  SegmentStore local_;             // payloads already fetched
+  std::optional<Array3Dd> data_;   // reconstruction at have_
+  std::size_t lifetime_fetched_bytes_ = 0;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_SERVICE_RETRIEVAL_SESSION_H_

@@ -1,0 +1,122 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace mgardp {
+
+RetryPolicy::Options ClampRetryToDeadline(RetryPolicy::Options base,
+                                          double deadline_ms) {
+  if (deadline_ms <= 0.0) {
+    return base;
+  }
+  base.max_delay_ms = std::min(base.max_delay_ms, deadline_ms);
+  // Worst case backoff after failure i is min(base * mult^i, max_delay);
+  // keep attempts while the cumulative worst case still fits the deadline.
+  double cumulative = 0.0;
+  int attempts = 1;
+  double delay = base.base_delay_ms;
+  while (attempts < base.max_attempts) {
+    // >=: a backoff that consumes the whole remaining budget leaves no
+    // time for the attempt after it, so it does not buy a retry.
+    const double d = std::min(delay, base.max_delay_ms);
+    if (cumulative + d >= deadline_ms) {
+      break;
+    }
+    cumulative += d;
+    delay *= base.multiplier;
+    ++attempts;
+  }
+  base.max_attempts = attempts;
+  return base;
+}
+
+RetrievalScheduler::RetrievalScheduler(ServiceMetrics* metrics)
+    : RetrievalScheduler(metrics, Options()) {}
+
+RetrievalScheduler::RetrievalScheduler(ServiceMetrics* metrics,
+                                       Options options)
+    : options_(options), metrics_(metrics) {}
+
+Status RetrievalScheduler::Submit(const Request& request, Callback done) {
+  if (request.session == nullptr) {
+    return Status::Invalid("request has no session");
+  }
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= options_.queue_capacity) {
+      if (metrics_ != nullptr) {
+        metrics_->OnRejected();
+      }
+      return Status::FailedPrecondition(
+          "retrieval queue full (" +
+          std::to_string(options_.queue_capacity) + " requests)");
+    }
+    queue_.push_back(Item{request, std::move(done)});
+    depth = queue_.size();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->OnAdmitted(depth);
+  }
+  return Status::OK();
+}
+
+void RetrievalScheduler::Process(Item* item) const {
+  const auto start = std::chrono::steady_clock::now();
+  const Request& req = item->request;
+
+  const double deadline =
+      req.deadline_ms > 0.0 ? req.deadline_ms : options_.default_deadline_ms;
+  RetryPolicy retry(ClampRetryToDeadline(options_.retry, deadline));
+
+  Response response;
+  RetrievalSession::Refinement refinement;
+  Result<const Array3Dd*> data =
+      req.session->Refine(req.error_bound, retry, &refinement);
+  response.status = data.status();
+  response.data = data.ok() ? data.value() : nullptr;
+  response.refinement = std::move(refinement);
+  response.latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (metrics_ != nullptr) {
+    metrics_->OnCompleted(response.status.ok(), response.latency_ms);
+  }
+  if (item->done) {
+    item->done(response);
+  }
+}
+
+void RetrievalScheduler::Drain() {
+  for (;;) {
+    std::vector<Item> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->OnStarted(queue_depth());
+    }
+    if (batch.empty()) {
+      return;
+    }
+    GlobalThreadPool().Run(batch.size(),
+                           [&](std::size_t i) { Process(&batch[i]); });
+  }
+}
+
+std::size_t RetrievalScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace mgardp

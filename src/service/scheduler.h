@@ -1,0 +1,104 @@
+// Admission control and execution for concurrent retrieval requests.
+//
+// The scheduler is the service's front door: clients Submit() refinement
+// requests against their sessions; the scheduler admits them into a bounded
+// queue (rejecting with kFailedPrecondition when full, so overload sheds
+// load instead of growing latency without bound) and Drain() fans the
+// queued work across the shared PR-1 thread pool. Identical concurrent
+// segment fetches are deduplicated below, in the shared SegmentCache's
+// single-flight layer — two clients tightening on the same field hit the
+// backend once.
+//
+// Deadlines: a request's deadline_ms is mapped onto the RetryPolicy used
+// for its segment fetches (ClampRetryToDeadline): the backoff schedule is
+// truncated so its worst case fits inside the deadline, trading retries
+// for bounded tail latency rather than cancelling mid-flight work.
+//
+// Threading: Submit() is thread-safe and non-blocking. Drain() runs every
+// queued request (including ones submitted by callbacks while it drains,
+// enabling refine-chain workloads) and returns when the queue is empty;
+// callbacks run on pool threads. Two sessions are refined concurrently;
+// requests against the SAME session serialize on the session's own lock.
+
+#ifndef MGARDP_SERVICE_SCHEDULER_H_
+#define MGARDP_SERVICE_SCHEDULER_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "service/retrieval_session.h"
+#include "service/service_metrics.h"
+#include "util/retry.h"
+
+namespace mgardp {
+
+// Truncates `base`'s backoff schedule to fit a deadline: the delay ceiling
+// drops to the deadline and max_attempts shrinks until the worst-case
+// cumulative backoff fits within `deadline_ms`. At least one attempt always
+// remains. deadline_ms <= 0 means "no deadline" and returns `base` as-is.
+RetryPolicy::Options ClampRetryToDeadline(RetryPolicy::Options base,
+                                          double deadline_ms);
+
+class RetrievalScheduler {
+ public:
+  struct Options {
+    std::size_t queue_capacity = 256;
+    double default_deadline_ms = 0.0;  // 0: requests carry no deadline
+    RetryPolicy::Options retry;        // base policy, clamped per request
+  };
+
+  struct Request {
+    RetrievalSession* session = nullptr;
+    double error_bound = 0.0;
+    double deadline_ms = 0.0;  // 0: use the scheduler default
+  };
+
+  struct Response {
+    Status status;
+    // The session's reconstruction; valid until its next non-noop Refine.
+    const Array3Dd* data = nullptr;
+    RetrievalSession::Refinement refinement;
+    double latency_ms = 0.0;
+  };
+
+  using Callback = std::function<void(const Response&)>;
+
+  explicit RetrievalScheduler(ServiceMetrics* metrics = nullptr);
+  RetrievalScheduler(ServiceMetrics* metrics, Options options);
+
+  RetrievalScheduler(const RetrievalScheduler&) = delete;
+  RetrievalScheduler& operator=(const RetrievalScheduler&) = delete;
+
+  // Admits the request, or rejects it immediately (kFailedPrecondition)
+  // when the queue is at capacity. `done` runs exactly once per admitted
+  // request, on a pool thread during Drain().
+  Status Submit(const Request& request, Callback done);
+
+  // Processes queued requests across the global thread pool until the
+  // queue is empty (callbacks may Submit follow-ups; those drain too).
+  // Call from one thread at a time.
+  void Drain();
+
+  std::size_t queue_depth() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Item {
+    Request request;
+    Callback done;
+  };
+
+  void Process(Item* item) const;
+
+  Options options_;
+  ServiceMetrics* metrics_;  // may be null
+
+  mutable std::mutex mu_;
+  std::deque<Item> queue_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_SERVICE_SCHEDULER_H_

@@ -1,0 +1,191 @@
+#include "service/segment_cache.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mgardp {
+
+// One fetch in progress; late arrivals for the same key wait on `cv` and
+// copy `result` once `done`.
+struct SegmentCache::InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<std::string> result = Status::Internal("fetch pending");
+};
+
+struct SegmentCache::Shard {
+  mutable std::mutex mu;
+  // front = most recently used; entries are (encoded key, payload).
+  std::list<std::pair<std::string, std::string>> lru;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, std::string>>::iterator>
+      index;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+  std::size_t bytes = 0;
+};
+
+SegmentCache::SegmentCache() : SegmentCache(Options(), nullptr) {}
+
+SegmentCache::~SegmentCache() = default;
+
+SegmentCache::SegmentCache(Options options, ServiceMetrics* metrics)
+    : options_(options), metrics_(metrics) {
+  MGARDP_CHECK_GE(options_.num_shards, 1);
+  shard_budget_ = std::max<std::size_t>(
+      options_.byte_budget / static_cast<std::size_t>(options_.num_shards),
+      1);
+  shards_.reserve(options_.num_shards);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string SegmentCache::Encode(const Key& key) {
+  return key.field + '\x1f' + std::to_string(key.level) + '\x1f' +
+         std::to_string(key.plane);
+}
+
+SegmentCache::Shard& SegmentCache::ShardFor(const std::string& encoded) const {
+  const std::size_t h = std::hash<std::string>{}(encoded);
+  return *shards_[h % shards_.size()];
+}
+
+Result<std::string> SegmentCache::GetOrFetch(const Key& key,
+                                             const Fetcher& fetch,
+                                             Source* source) {
+  const std::string encoded = Encode(key);
+  Shard& shard = ShardFor(encoded);
+
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto hit = shard.index.find(encoded);
+    if (hit != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
+      std::string payload = hit->second->second;
+      lock.unlock();
+      if (metrics_ != nullptr) {
+        metrics_->OnCacheHit(payload.size());
+      }
+      if (source != nullptr) {
+        *source = Source::kCacheHit;
+      }
+      return payload;
+    }
+    auto in = shard.inflight.find(encoded);
+    if (in != shard.inflight.end()) {
+      flight = in->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      shard.inflight[encoded] = flight;
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    // Single-flight: the owner is actively fetching on some thread and its
+    // fetch depends on nothing we hold, so this wait always terminates.
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    Result<std::string> shared = flight->result;
+    lock.unlock();
+    if (shared.ok()) {
+      if (metrics_ != nullptr) {
+        metrics_->OnSingleFlightShared(shared.value().size());
+      }
+      if (source != nullptr) {
+        *source = Source::kSharedFetch;
+      }
+    }
+    return shared;
+  }
+
+  // Owner path: fetch outside every lock, then install + publish.
+  Result<std::string> fetched = fetch();
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.inflight.erase(encoded);
+    if (fetched.ok()) {
+      shard.lru.emplace_front(encoded, fetched.value());
+      shard.index[encoded] = shard.lru.begin();
+      shard.bytes += fetched.value().size();
+      while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+        const auto& victim = shard.lru.back();
+        const std::size_t victim_bytes = victim.second.size();
+        shard.index.erase(victim.first);
+        shard.bytes -= victim_bytes;
+        shard.lru.pop_back();
+        if (metrics_ != nullptr) {
+          metrics_->OnCacheEvict(victim_bytes);
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = fetched;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (fetched.ok() && metrics_ != nullptr) {
+    metrics_->OnCacheMiss(fetched.value().size());
+  }
+  if (source != nullptr) {
+    *source = Source::kFetched;
+  }
+  return fetched;
+}
+
+void SegmentCache::Erase(const Key& key) {
+  const std::string encoded = Encode(key);
+  Shard& shard = ShardFor(encoded);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(encoded);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->second.size();
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+}
+
+bool SegmentCache::Contains(const Key& key) const {
+  const std::string encoded = Encode(key);
+  Shard& shard = ShardFor(encoded);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.count(encoded) > 0;
+}
+
+std::size_t SegmentCache::bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+std::size_t SegmentCache::entries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+void SegmentCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace mgardp

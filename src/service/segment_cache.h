@@ -1,0 +1,103 @@
+// Shared segment cache for the retrieval service.
+//
+// Concurrent clients refining toward different bounds on the same fields
+// re-read the same (field, level, plane) segments over and over; this cache
+// makes that data movement pay once. Design:
+//
+//   * Sharded, mutex-striped LRU: keys hash to one of N shards, each with
+//     its own mutex, LRU list, and byte budget (total budget / N), so
+//     concurrent lookups of different segments rarely contend.
+//   * Single-flight fills: when a segment misses while an identical fetch
+//     is already in flight, the late arrivals block on that fetch and share
+//     its result instead of hitting the backend again. A failed fill is NOT
+//     cached — waiters see the error, the next caller retries.
+//   * Integrity: the cache stores whatever the fetcher returns, so layer
+//     the fetcher over a VerifyingBackend (or DirectoryBackend, which
+//     verifies v2 checksums on read) and every fill is CRC-checked at the
+//     source; the cache then serves only verified bytes.
+//
+// All methods are thread-safe. Payloads are returned by value (the LRU may
+// evict the entry the instant the lock drops).
+
+#ifndef MGARDP_SERVICE_SEGMENT_CACHE_H_
+#define MGARDP_SERVICE_SEGMENT_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/service_metrics.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+class SegmentCache {
+ public:
+  struct Options {
+    std::size_t byte_budget = std::size_t{64} << 20;  // payload bytes, total
+    int num_shards = 8;
+  };
+
+  // Cache key: `field` names the artifact (campaign coordinates, directory
+  // path — anything unique per refactored field), (level, plane) the
+  // segment within it.
+  struct Key {
+    std::string field;
+    int level = 0;
+    int plane = 0;
+  };
+
+  // How a GetOrFetch call was satisfied.
+  enum class Source {
+    kCacheHit,      // payload was resident
+    kFetched,       // this call ran the fetcher (cache fill)
+    kSharedFetch,   // joined an identical in-flight fetch (single-flight)
+  };
+
+  SegmentCache();  // default options, no metrics
+  explicit SegmentCache(Options options, ServiceMetrics* metrics = nullptr);
+  ~SegmentCache();  // out of line: Shard is incomplete here
+
+  SegmentCache(const SegmentCache&) = delete;
+  SegmentCache& operator=(const SegmentCache&) = delete;
+
+  using Fetcher = std::function<Result<std::string>()>;
+
+  // Returns the cached payload for `key`, or runs `fetch` to fill it.
+  // At most one fetch per key is in flight at a time; concurrent callers
+  // for the same key block and share the one result. `source`, when
+  // non-null, reports how the call was served.
+  Result<std::string> GetOrFetch(const Key& key, const Fetcher& fetch,
+                                 Source* source = nullptr);
+
+  // Drops `key` if resident (e.g. after an overwrite below the cache).
+  void Erase(const Key& key);
+
+  bool Contains(const Key& key) const;
+
+  std::size_t bytes() const;    // resident payload bytes
+  std::size_t entries() const;  // resident segment count
+  const Options& options() const { return options_; }
+
+  void Clear();
+
+ private:
+  struct InFlight;
+  struct Shard;
+
+  Shard& ShardFor(const std::string& encoded) const;
+  static std::string Encode(const Key& key);
+
+  Options options_;
+  std::size_t shard_budget_ = 0;
+  ServiceMetrics* metrics_;  // may be null
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_SERVICE_SEGMENT_CACHE_H_

@@ -1,0 +1,178 @@
+#include "service/service_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mgardp {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+void AtomicPeak(std::atomic<std::uint64_t>* peak, std::uint64_t value) {
+  std::uint64_t cur = peak->load(kRelaxed);
+  while (value > cur && !peak->compare_exchange_weak(cur, value, kRelaxed)) {
+  }
+}
+}  // namespace
+
+ServiceMetrics::ServiceMetrics()
+    // Latencies from microseconds to ~20 minutes at 25% resolution.
+    : latency_ms_(Histogram::Options{1e-3, 1.25, 96}) {}
+
+void ServiceMetrics::OnCacheHit(std::size_t bytes) {
+  cache_hits_.fetch_add(1, kRelaxed);
+  cache_hit_bytes_.fetch_add(bytes, kRelaxed);
+}
+
+void ServiceMetrics::OnCacheMiss(std::size_t bytes) {
+  cache_misses_.fetch_add(1, kRelaxed);
+  cache_miss_bytes_.fetch_add(bytes, kRelaxed);
+}
+
+void ServiceMetrics::OnCacheEvict(std::size_t bytes) {
+  cache_evictions_.fetch_add(1, kRelaxed);
+  cache_evicted_bytes_.fetch_add(bytes, kRelaxed);
+}
+
+void ServiceMetrics::OnSingleFlightShared(std::size_t bytes) {
+  single_flight_shared_.fetch_add(1, kRelaxed);
+  single_flight_shared_bytes_.fetch_add(bytes, kRelaxed);
+}
+
+void ServiceMetrics::OnPlanesFetched(int planes, std::size_t bytes) {
+  planes_fetched_.fetch_add(static_cast<std::uint64_t>(planes), kRelaxed);
+  fetched_bytes_.fetch_add(bytes, kRelaxed);
+}
+
+void ServiceMetrics::OnPlanesReused(int planes, std::size_t bytes) {
+  planes_reused_.fetch_add(static_cast<std::uint64_t>(planes), kRelaxed);
+  reused_bytes_.fetch_add(bytes, kRelaxed);
+}
+
+void ServiceMetrics::OnNoopRefinement() {
+  noop_refinements_.fetch_add(1, kRelaxed);
+}
+
+void ServiceMetrics::OnAdmitted(std::size_t queue_depth_now) {
+  requests_admitted_.fetch_add(1, kRelaxed);
+  queue_depth_.store(queue_depth_now, kRelaxed);
+  AtomicPeak(&queue_depth_peak_, queue_depth_now);
+}
+
+void ServiceMetrics::OnRejected() {
+  requests_rejected_.fetch_add(1, kRelaxed);
+}
+
+void ServiceMetrics::OnStarted(std::size_t queue_depth_now) {
+  queue_depth_.store(queue_depth_now, kRelaxed);
+}
+
+void ServiceMetrics::OnCompleted(bool ok, double latency_ms) {
+  (ok ? requests_completed_ : requests_failed_).fetch_add(1, kRelaxed);
+  latency_ms_.Record(latency_ms);
+}
+
+double ServiceMetrics::Snapshot::cache_hit_rate() const {
+  const std::uint64_t reused = cache_hits + single_flight_shared;
+  const std::uint64_t lookups = reused + cache_misses;
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(reused) / static_cast<double>(lookups);
+}
+
+std::string ServiceMetrics::Snapshot::ToJson() const {
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"cache_hit_bytes\":%llu,\"cache_miss_bytes\":%llu,"
+      "\"cache_evictions\":%llu,\"cache_evicted_bytes\":%llu,"
+      "\"single_flight_shared\":%llu,\"single_flight_shared_bytes\":%llu,"
+      "\"cache_hit_rate\":%.6f,"
+      "\"planes_fetched\":%llu,\"planes_reused\":%llu,"
+      "\"fetched_bytes\":%llu,\"reused_bytes\":%llu,"
+      "\"noop_refinements\":%llu,"
+      "\"requests_admitted\":%llu,\"requests_rejected\":%llu,"
+      "\"requests_completed\":%llu,\"requests_failed\":%llu,"
+      "\"queue_depth\":%llu,\"queue_depth_peak\":%llu,"
+      "\"latency_count\":%llu,\"latency_p50_ms\":%.6f,"
+      "\"latency_p90_ms\":%.6f,\"latency_p99_ms\":%.6f,"
+      "\"latency_max_ms\":%.6f}",
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_hit_bytes),
+      static_cast<unsigned long long>(cache_miss_bytes),
+      static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(cache_evicted_bytes),
+      static_cast<unsigned long long>(single_flight_shared),
+      static_cast<unsigned long long>(single_flight_shared_bytes),
+      cache_hit_rate(),
+      static_cast<unsigned long long>(planes_fetched),
+      static_cast<unsigned long long>(planes_reused),
+      static_cast<unsigned long long>(fetched_bytes),
+      static_cast<unsigned long long>(reused_bytes),
+      static_cast<unsigned long long>(noop_refinements),
+      static_cast<unsigned long long>(requests_admitted),
+      static_cast<unsigned long long>(requests_rejected),
+      static_cast<unsigned long long>(requests_completed),
+      static_cast<unsigned long long>(requests_failed),
+      static_cast<unsigned long long>(queue_depth),
+      static_cast<unsigned long long>(queue_depth_peak),
+      static_cast<unsigned long long>(latency_count), latency_p50_ms,
+      latency_p90_ms, latency_p99_ms, latency_max_ms);
+  return buf;
+}
+
+ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
+  Snapshot s;
+  s.cache_hits = cache_hits_.load(kRelaxed);
+  s.cache_misses = cache_misses_.load(kRelaxed);
+  s.cache_hit_bytes = cache_hit_bytes_.load(kRelaxed);
+  s.cache_miss_bytes = cache_miss_bytes_.load(kRelaxed);
+  s.cache_evictions = cache_evictions_.load(kRelaxed);
+  s.cache_evicted_bytes = cache_evicted_bytes_.load(kRelaxed);
+  s.single_flight_shared = single_flight_shared_.load(kRelaxed);
+  s.single_flight_shared_bytes = single_flight_shared_bytes_.load(kRelaxed);
+  s.planes_fetched = planes_fetched_.load(kRelaxed);
+  s.planes_reused = planes_reused_.load(kRelaxed);
+  s.fetched_bytes = fetched_bytes_.load(kRelaxed);
+  s.reused_bytes = reused_bytes_.load(kRelaxed);
+  s.noop_refinements = noop_refinements_.load(kRelaxed);
+  s.requests_admitted = requests_admitted_.load(kRelaxed);
+  s.requests_rejected = requests_rejected_.load(kRelaxed);
+  s.requests_completed = requests_completed_.load(kRelaxed);
+  s.requests_failed = requests_failed_.load(kRelaxed);
+  s.queue_depth = queue_depth_.load(kRelaxed);
+  s.queue_depth_peak = queue_depth_peak_.load(kRelaxed);
+  s.latency_count = latency_ms_.count();
+  s.latency_p50_ms = latency_ms_.Quantile(0.50);
+  s.latency_p90_ms = latency_ms_.Quantile(0.90);
+  s.latency_p99_ms = latency_ms_.Quantile(0.99);
+  s.latency_max_ms = latency_ms_.max();
+  return s;
+}
+
+void ServiceMetrics::Reset() {
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+  cache_hit_bytes_ = 0;
+  cache_miss_bytes_ = 0;
+  cache_evictions_ = 0;
+  cache_evicted_bytes_ = 0;
+  single_flight_shared_ = 0;
+  single_flight_shared_bytes_ = 0;
+  planes_fetched_ = 0;
+  planes_reused_ = 0;
+  fetched_bytes_ = 0;
+  reused_bytes_ = 0;
+  noop_refinements_ = 0;
+  requests_admitted_ = 0;
+  requests_rejected_ = 0;
+  requests_completed_ = 0;
+  requests_failed_ = 0;
+  queue_depth_ = 0;
+  queue_depth_peak_ = 0;
+  latency_ms_.Reset();
+}
+
+}  // namespace mgardp

@@ -1,0 +1,118 @@
+// Service-wide observability: atomic counters and latency histograms for
+// the in-process retrieval service, snapshotable as JSON.
+//
+// One ServiceMetrics instance is shared by the segment cache, every
+// retrieval session, and the scheduler; all mutators are single relaxed
+// atomic operations (plus a wait-free histogram record), so instrumentation
+// never serializes the serving hot path. snapshot() reads the counters
+// without stopping writers — each field is individually coherent, the set
+// is only approximately simultaneous, which is what monitoring wants.
+
+#ifndef MGARDP_SERVICE_SERVICE_METRICS_H_
+#define MGARDP_SERVICE_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace mgardp {
+
+class ServiceMetrics {
+ public:
+  ServiceMetrics();
+
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  // -- segment cache ---------------------------------------------------
+  void OnCacheHit(std::size_t bytes);
+  void OnCacheMiss(std::size_t bytes);  // a fill: bytes read from below
+  void OnCacheEvict(std::size_t bytes);
+  // A fetch deduplicated onto an identical in-flight one (single-flight).
+  void OnSingleFlightShared(std::size_t bytes);
+
+  // -- sessions --------------------------------------------------------
+  void OnPlanesFetched(int planes, std::size_t bytes);
+  void OnPlanesReused(int planes, std::size_t bytes);
+  void OnNoopRefinement();
+
+  // -- scheduler -------------------------------------------------------
+  void OnAdmitted(std::size_t queue_depth_now);
+  void OnRejected();
+  void OnStarted(std::size_t queue_depth_now);
+  void OnCompleted(bool ok, double latency_ms);
+
+  struct Snapshot {
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_hit_bytes = 0;
+    std::uint64_t cache_miss_bytes = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_evicted_bytes = 0;
+    std::uint64_t single_flight_shared = 0;
+    std::uint64_t single_flight_shared_bytes = 0;
+
+    std::uint64_t planes_fetched = 0;
+    std::uint64_t planes_reused = 0;
+    std::uint64_t fetched_bytes = 0;
+    std::uint64_t reused_bytes = 0;
+    std::uint64_t noop_refinements = 0;
+
+    std::uint64_t requests_admitted = 0;
+    std::uint64_t requests_rejected = 0;
+    std::uint64_t requests_completed = 0;
+    std::uint64_t requests_failed = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t queue_depth_peak = 0;
+
+    std::uint64_t latency_count = 0;
+    double latency_p50_ms = 0.0;
+    double latency_p90_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double latency_max_ms = 0.0;
+
+    // Hit fraction of all cache lookups that did not hit the backend
+    // (hits + single-flight shares); 0 when there were none.
+    double cache_hit_rate() const;
+
+    // One flat JSON object; keys match the field names above.
+    std::string ToJson() const;
+  };
+
+  Snapshot snapshot() const;
+  std::string ToJson() const { return snapshot().ToJson(); }
+
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> cache_hit_bytes_{0};
+  std::atomic<std::uint64_t> cache_miss_bytes_{0};
+  std::atomic<std::uint64_t> cache_evictions_{0};
+  std::atomic<std::uint64_t> cache_evicted_bytes_{0};
+  std::atomic<std::uint64_t> single_flight_shared_{0};
+  std::atomic<std::uint64_t> single_flight_shared_bytes_{0};
+
+  std::atomic<std::uint64_t> planes_fetched_{0};
+  std::atomic<std::uint64_t> planes_reused_{0};
+  std::atomic<std::uint64_t> fetched_bytes_{0};
+  std::atomic<std::uint64_t> reused_bytes_{0};
+  std::atomic<std::uint64_t> noop_refinements_{0};
+
+  std::atomic<std::uint64_t> requests_admitted_{0};
+  std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> requests_completed_{0};
+  std::atomic<std::uint64_t> requests_failed_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> queue_depth_peak_{0};
+
+  Histogram latency_ms_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_SERVICE_SERVICE_METRICS_H_

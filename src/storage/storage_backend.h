@@ -8,10 +8,18 @@
 //   MemoryBackend / DirectoryBackend   raw bytes (Directory verifies CRC)
 //   FaultInjectingBackend              simulated media faults (tests)
 //   VerifyingBackend                   CRC check against a checksum table
+//   CachingBackend                     shared segment cache (src/service/)
 //
 // A VerifyingBackend on top of a FaultInjectingBackend models the real
 // deployment truthfully: corruption happens on the media, below the
-// integrity check, and is caught by it.
+// integrity check, and is caught by it. The service layer's CachingBackend
+// sits above the verifying layer, so only verified bytes are ever cached.
+//
+// Thread-safety: Get/Contains/Keys on the backends defined here are safe
+// to call concurrently from any number of threads as long as no Put or
+// Flush runs at the same time (they read immutable indices and perform
+// per-call file reads). The retrieval service relies on this read-side
+// contract; writers must be externally serialized against readers.
 
 #ifndef MGARDP_STORAGE_STORAGE_BACKEND_H_
 #define MGARDP_STORAGE_STORAGE_BACKEND_H_

@@ -1,0 +1,129 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mgardp {
+
+Histogram::Histogram() : Histogram(Options()) {}
+
+Histogram::Histogram(Options options) : options_(options) {
+  MGARDP_CHECK(options_.min_value > 0.0);
+  MGARDP_CHECK(options_.growth > 1.0);
+  MGARDP_CHECK(options_.num_buckets >= 1);
+  edges_.resize(options_.num_buckets + 1);
+  double edge = options_.min_value;
+  for (int b = 0; b <= options_.num_buckets; ++b) {
+    edges_[b] = edge;
+    edge *= options_.growth;
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      options_.num_buckets + 1);
+  Reset();
+}
+
+int Histogram::BucketFor(double value) const {
+  if (!(value > edges_[0])) {
+    return 0;
+  }
+  const int b = static_cast<int>(
+      std::floor(std::log(value / options_.min_value) /
+                 std::log(options_.growth)));
+  return std::clamp(b, 0, options_.num_buckets);
+}
+
+namespace {
+
+// fetch_add on atomic<double> is C++20 but not universally lowered well;
+// a CAS loop is portable and contention here is negligible.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First sample: seed the extrema before racing CAS updates refine them.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    AtomicMin(&min_, value);
+    AtomicMax(&max_, value);
+  }
+  AtomicAdd(&sum_, value);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (int b = 0; b <= options_.num_buckets; ++b) {
+    const std::uint64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    if (cum + in_bucket >= rank) {
+      const double lo = b == 0 ? std::min(min(), edges_[0]) : edges_[b];
+      const double hi =
+          b == options_.num_buckets ? std::max(max(), edges_[b]) : edges_[b + 1];
+      const double frac = in_bucket == 0
+                              ? 0.0
+                              : static_cast<double>(rank - cum) /
+                                    static_cast<double>(in_bucket);
+      return std::clamp(lo + frac * (hi - lo), min(), max());
+    }
+    cum += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (int b = 0; b <= options_.num_buckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace mgardp

@@ -1,0 +1,68 @@
+// Lock-free log-bucketed histogram for service telemetry.
+//
+// Latency and size distributions in a serving path are heavy-tailed, so the
+// service layer records them into geometrically spaced buckets: constant
+// relative error per bucket, fixed memory, and a wait-free Record() (one
+// relaxed atomic increment) callable from every worker thread at once.
+// Quantile() reads the bucket counts without stopping writers; the answer
+// is exact to within one bucket's width, which is all monitoring needs.
+
+#ifndef MGARDP_UTIL_HISTOGRAM_H_
+#define MGARDP_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mgardp {
+
+class Histogram {
+ public:
+  struct Options {
+    double min_value = 1e-3;  // lower edge of bucket 0
+    double growth = 1.25;     // geometric bucket-width factor (> 1)
+    int num_buckets = 96;     // covers [min_value, min_value * growth^n)
+  };
+
+  Histogram();  // default options
+  explicit Histogram(Options options);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Records one sample. Thread-safe and wait-free; values below the first
+  // bucket edge land in bucket 0, values beyond the last in the overflow
+  // bucket.
+  void Record(double value);
+
+  std::uint64_t count() const;
+  double sum() const;
+  // Smallest / largest value ever recorded (0 when empty).
+  double min() const;
+  double max() const;
+
+  // Approximate q-quantile (0 <= q <= 1): locates the bucket holding the
+  // ceil(q * count)-th sample and interpolates linearly inside it, clamped
+  // to the recorded min/max. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  int BucketFor(double value) const;
+
+  Options options_;
+  std::vector<double> edges_;  // bucket lower edges, edges_[num_buckets] = top
+  // buckets_[num_buckets] is the overflow bucket.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_UTIL_HISTOGRAM_H_

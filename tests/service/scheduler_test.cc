@@ -1,0 +1,194 @@
+// Request scheduler: deadline->retry clamping, admission control, and
+// concurrent drain over the shared thread pool.
+
+#include "service/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "progressive/refactorer.h"
+#include "service/retrieval_session.h"
+#include "service/segment_cache.h"
+#include "service/service_metrics.h"
+#include "sim/warpx.h"
+#include "storage/storage_backend.h"
+
+namespace mgardp {
+namespace {
+
+TEST(ClampRetryToDeadlineTest, NoDeadlineKeepsPolicy) {
+  RetryPolicy::Options base;
+  base.max_attempts = 7;
+  base.max_delay_ms = 500.0;
+  const RetryPolicy::Options out = ClampRetryToDeadline(base, 0.0);
+  EXPECT_EQ(out.max_attempts, 7);
+  EXPECT_DOUBLE_EQ(out.max_delay_ms, 500.0);
+}
+
+TEST(ClampRetryToDeadlineTest, TruncatesAttemptsToFitBudget) {
+  RetryPolicy::Options base;
+  base.max_attempts = 5;
+  base.base_delay_ms = 10.0;
+  base.multiplier = 2.0;
+  base.max_delay_ms = 1000.0;
+  // Worst-case backoffs: 10, 20, 40, 80. Deadline 35 fits 10+20 only.
+  const RetryPolicy::Options out = ClampRetryToDeadline(base, 35.0);
+  EXPECT_EQ(out.max_attempts, 3);
+  EXPECT_DOUBLE_EQ(out.max_delay_ms, 35.0);
+}
+
+TEST(ClampRetryToDeadlineTest, TinyDeadlineStillAllowsOneAttempt) {
+  RetryPolicy::Options base;
+  base.max_attempts = 5;
+  base.base_delay_ms = 10.0;
+  const RetryPolicy::Options out = ClampRetryToDeadline(base, 0.5);
+  EXPECT_EQ(out.max_attempts, 1);
+}
+
+class RetrievalSchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WarpXSimulator sim(Dims3{17, 17, 17});
+    auto field = Refactorer().Refactor(sim.Field(WarpXField::kEx, 6));
+    ASSERT_TRUE(field.ok());
+    field_ = std::move(field).value();
+    backend_ = std::make_unique<MemoryBackend>(&field_.segments);
+    range_ = field_.data_summary.range();
+  }
+
+  std::unique_ptr<RetrievalSession> NewSession(SegmentCache* cache,
+                                               ServiceMetrics* metrics) {
+    return std::make_unique<RetrievalSession>("f", &field_, backend_.get(),
+                                              &theory_, cache, metrics);
+  }
+
+  RefactoredField field_;
+  std::unique_ptr<MemoryBackend> backend_;
+  TheoryEstimator theory_;
+  double range_ = 0.0;
+};
+
+TEST_F(RetrievalSchedulerTest, RejectsWhenQueueIsFull) {
+  ServiceMetrics metrics;
+  RetrievalScheduler::Options opts;
+  opts.queue_capacity = 2;
+  RetrievalScheduler scheduler(&metrics, opts);
+  auto session = NewSession(nullptr, &metrics);
+
+  const RetrievalScheduler::Request req{session.get(), 1e-2 * range_, 0.0};
+  EXPECT_TRUE(scheduler.Submit(req, nullptr).ok());
+  EXPECT_TRUE(scheduler.Submit(req, nullptr).ok());
+  const Status rejected = scheduler.Submit(req, nullptr);
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(scheduler.queue_depth(), 2u);
+  EXPECT_EQ(metrics.snapshot().requests_admitted, 2u);
+  EXPECT_EQ(metrics.snapshot().requests_rejected, 1u);
+
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+  // Capacity freed: admission works again.
+  EXPECT_TRUE(scheduler.Submit(req, nullptr).ok());
+  scheduler.Drain();
+}
+
+TEST_F(RetrievalSchedulerTest, SubmitRejectsNullSession) {
+  RetrievalScheduler scheduler;
+  EXPECT_FALSE(
+      scheduler.Submit({nullptr, 1e-2 * range_, 0.0}, nullptr).ok());
+}
+
+TEST_F(RetrievalSchedulerTest, DrainRunsEveryCallbackWithResults) {
+  ServiceMetrics metrics;
+  SegmentCache cache(SegmentCache::Options(), &metrics);
+  RetrievalScheduler scheduler(&metrics);
+
+  constexpr int kClients = 6;
+  std::vector<std::unique_ptr<RetrievalSession>> sessions;
+  for (int c = 0; c < kClients; ++c) {
+    sessions.push_back(NewSession(&cache, &metrics));
+  }
+  std::atomic<int> called{0};
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(scheduler
+                    .Submit({sessions[c].get(), 1e-3 * range_, 0.0},
+                            [&called, this](
+                                const RetrievalScheduler::Response& resp) {
+                              EXPECT_TRUE(resp.status.ok());
+                              EXPECT_NE(resp.data, nullptr);
+                              EXPECT_TRUE(resp.refinement.bound_met);
+                              EXPECT_GE(resp.latency_ms, 0.0);
+                              EXPECT_LE(resp.refinement.estimated_error,
+                                        1e-3 * range_);
+                              called.fetch_add(1);
+                            })
+                    .ok());
+  }
+  scheduler.Drain();
+  EXPECT_EQ(called.load(), kClients);
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+  const ServiceMetrics::Snapshot s = metrics.snapshot();
+  EXPECT_EQ(s.requests_completed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.requests_failed, 0u);
+  EXPECT_EQ(s.latency_count, static_cast<std::uint64_t>(kClients));
+  // Concurrent identical retrievals shared segments through the cache.
+  EXPECT_GT(s.cache_hits + s.single_flight_shared, 0u);
+  // All sessions converged on the same prefix.
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(sessions[c]->prefix(), sessions[0]->prefix());
+  }
+}
+
+TEST_F(RetrievalSchedulerTest, CallbacksMaySubmitFollowUps) {
+  ServiceMetrics metrics;
+  RetrievalScheduler scheduler(&metrics);
+  auto session = NewSession(nullptr, &metrics);
+
+  std::atomic<int> completions{0};
+  RetrievalScheduler::Callback tighten =
+      [&](const RetrievalScheduler::Response& resp) {
+        ASSERT_TRUE(resp.status.ok());
+        completions.fetch_add(1);
+        // First round at 1e-2 chains a tighter follow-up request.
+        if (resp.refinement.requested_bound > 1e-3 * range_) {
+          ASSERT_TRUE(scheduler
+                          .Submit({session.get(), 1e-4 * range_, 0.0},
+                                  [&completions](
+                                      const RetrievalScheduler::Response& r) {
+                                    EXPECT_TRUE(r.status.ok());
+                                    EXPECT_FALSE(r.refinement.noop);
+                                    completions.fetch_add(1);
+                                  })
+                          .ok());
+        }
+      };
+  ASSERT_TRUE(
+      scheduler.Submit({session.get(), 1e-2 * range_, 0.0}, tighten).ok());
+  scheduler.Drain();
+  EXPECT_EQ(completions.load(), 2);
+  EXPECT_LE(session->estimated_error(), 1e-4 * range_);
+}
+
+TEST_F(RetrievalSchedulerTest, DeadlinedRequestsStillComplete) {
+  ServiceMetrics metrics;
+  RetrievalScheduler::Options opts;
+  opts.retry.max_attempts = 5;
+  opts.retry.base_delay_ms = 50.0;
+  RetrievalScheduler scheduler(&metrics, opts);
+  auto session = NewSession(nullptr, &metrics);
+
+  std::atomic<bool> ok{false};
+  ASSERT_TRUE(scheduler
+                  .Submit({session.get(), 1e-3 * range_, /*deadline_ms=*/1.0},
+                          [&ok](const RetrievalScheduler::Response& resp) {
+                            ok.store(resp.status.ok());
+                          })
+                  .ok());
+  scheduler.Drain();
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace mgardp

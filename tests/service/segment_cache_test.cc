@@ -1,0 +1,212 @@
+// Shared segment cache: LRU byte budget, single-flight dedup, concurrency.
+
+#include "service/segment_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service_metrics.h"
+#include "util/status.h"
+
+namespace mgardp {
+namespace {
+
+SegmentCache::Key K(int level, int plane, const std::string& field = "f") {
+  return SegmentCache::Key{field, level, plane};
+}
+
+SegmentCache::Fetcher Payload(std::string value) {
+  return [value = std::move(value)]() -> Result<std::string> { return value; };
+}
+
+TEST(SegmentCacheTest, MissFillsThenHits) {
+  SegmentCache cache;
+  SegmentCache::Source source;
+  auto first = cache.GetOrFetch(K(0, 0), Payload("abc"), &source);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), "abc");
+  EXPECT_EQ(source, SegmentCache::Source::kFetched);
+
+  auto second = cache.GetOrFetch(
+      K(0, 0), []() -> Result<std::string> {
+        ADD_FAILURE() << "fetcher ran on a resident key";
+        return Status::Internal("unreachable");
+      },
+      &source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), "abc");
+  EXPECT_EQ(source, SegmentCache::Source::kCacheHit);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 3u);
+}
+
+TEST(SegmentCacheTest, DistinctKeysDoNotCollide) {
+  SegmentCache cache;
+  ASSERT_TRUE(cache.GetOrFetch(K(0, 1), Payload("a")).ok());
+  ASSERT_TRUE(cache.GetOrFetch(K(1, 0), Payload("b")).ok());
+  ASSERT_TRUE(cache.GetOrFetch(K(0, 1, "g"), Payload("c")).ok());
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.GetOrFetch(K(0, 1), Payload("x")).value(), "a");
+  EXPECT_EQ(cache.GetOrFetch(K(1, 0), Payload("x")).value(), "b");
+  EXPECT_EQ(cache.GetOrFetch(K(0, 1, "g"), Payload("x")).value(), "c");
+}
+
+TEST(SegmentCacheTest, FailedFillIsNotCachedAndRetries) {
+  SegmentCache cache;
+  auto failed = cache.GetOrFetch(K(0, 0), []() -> Result<std::string> {
+    return Status::IOError("flaky");
+  });
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(cache.Contains(K(0, 0)));
+  // The next caller gets a fresh fetch, not the stale error.
+  auto retried = cache.GetOrFetch(K(0, 0), Payload("ok"));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value(), "ok");
+}
+
+TEST(SegmentCacheTest, EraseAndClear) {
+  SegmentCache cache;
+  ASSERT_TRUE(cache.GetOrFetch(K(0, 0), Payload("abc")).ok());
+  ASSERT_TRUE(cache.GetOrFetch(K(0, 1), Payload("de")).ok());
+  cache.Erase(K(0, 0));
+  EXPECT_FALSE(cache.Contains(K(0, 0)));
+  EXPECT_TRUE(cache.Contains(K(0, 1)));
+  EXPECT_EQ(cache.bytes(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(SegmentCacheTest, EvictsLeastRecentlyUsedWithinBudget) {
+  SegmentCache::Options opts;
+  opts.byte_budget = 10;
+  opts.num_shards = 1;  // one shard so the budget applies to all keys
+  ServiceMetrics metrics;
+  SegmentCache cache(opts, &metrics);
+
+  ASSERT_TRUE(cache.GetOrFetch(K(0, 0), Payload("aaaa")).ok());  // 4 B
+  ASSERT_TRUE(cache.GetOrFetch(K(0, 1), Payload("bbbb")).ok());  // 8 B
+  // Touch (0,0) so (0,1) is the LRU victim.
+  SegmentCache::Source source;
+  ASSERT_TRUE(cache.GetOrFetch(K(0, 0), Payload("x"), &source).ok());
+  EXPECT_EQ(source, SegmentCache::Source::kCacheHit);
+  ASSERT_TRUE(cache.GetOrFetch(K(0, 2), Payload("cccc")).ok());  // 12 B -> evict
+
+  EXPECT_TRUE(cache.Contains(K(0, 0)));
+  EXPECT_FALSE(cache.Contains(K(0, 1)));
+  EXPECT_TRUE(cache.Contains(K(0, 2)));
+  EXPECT_LE(cache.bytes(), opts.byte_budget);
+  EXPECT_EQ(metrics.snapshot().cache_evictions, 1u);
+  EXPECT_EQ(metrics.snapshot().cache_evicted_bytes, 4u);
+}
+
+TEST(SegmentCacheTest, BudgetHoldsUnderContention) {
+  SegmentCache::Options opts;
+  opts.byte_budget = 1024;
+  opts.num_shards = 4;
+  ServiceMetrics metrics;
+  SegmentCache cache(opts, &metrics);
+
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kKeys; ++i) {
+        // Overlapping key ranges across threads: hits, fills, evictions
+        // and single-flight joins all interleave.
+        const int plane = (i + 13 * t) % kKeys;
+        auto got = cache.GetOrFetch(K(plane / 64, plane),
+                                    Payload(std::string(32, 'x')));
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got.value().size(), 32u);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Per-shard budgets bound the total; entries agree with resident bytes.
+  EXPECT_LE(cache.bytes(), opts.byte_budget);
+  EXPECT_EQ(cache.bytes(), cache.entries() * 32u);
+  const ServiceMetrics::Snapshot s = metrics.snapshot();
+  EXPECT_EQ(s.cache_hits + s.cache_misses + s.single_flight_shared,
+            static_cast<std::uint64_t>(kThreads) * kKeys);
+}
+
+TEST(SegmentCacheTest, SingleFlightDeduplicatesConcurrentFetches) {
+  SegmentCache cache;
+  ServiceMetrics metrics;
+  SegmentCache::Options opts;
+  SegmentCache instrumented_cache(opts, &metrics);
+
+  std::atomic<int> fetches{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<SegmentCache::Source> sources(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto got = instrumented_cache.GetOrFetch(
+          K(3, 7),
+          [&fetches]() -> Result<std::string> {
+            fetches.fetch_add(1);
+            // Hold the fetch open long enough for the other threads to
+            // arrive and join it.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            return std::string("payload");
+          },
+          &sources[t]);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value(), "payload");
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(fetches.load(), 1);
+  int fetched = 0;
+  for (const SegmentCache::Source s : sources) {
+    fetched += s == SegmentCache::Source::kFetched ? 1 : 0;
+  }
+  EXPECT_EQ(fetched, 1);
+  const ServiceMetrics::Snapshot s = metrics.snapshot();
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.single_flight_shared + s.cache_hits,
+            static_cast<std::uint64_t>(kThreads) - 1);
+}
+
+TEST(SegmentCacheTest, FailedSingleFlightPropagatesToWaiters) {
+  SegmentCache cache;
+  std::atomic<int> fetches{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto got = cache.GetOrFetch(K(0, 0), [&fetches]() -> Result<std::string> {
+        fetches.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return Status::IOError("down");
+      });
+      if (!got.ok()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Every caller either joined the failed flight or ran its own failing
+  // fetch; nobody hangs and nothing was cached.
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_GE(fetches.load(), 1);
+  EXPECT_FALSE(cache.Contains(K(0, 0)));
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,105 @@
+// Service metrics: counter plumbing, hit-rate math, JSON snapshot.
+
+#include "service/service_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mgardp {
+namespace {
+
+TEST(ServiceMetricsTest, CountersAccumulate) {
+  ServiceMetrics m;
+  m.OnCacheHit(100);
+  m.OnCacheHit(50);
+  m.OnCacheMiss(200);
+  m.OnCacheEvict(25);
+  m.OnSingleFlightShared(10);
+  m.OnPlanesFetched(3, 300);
+  m.OnPlanesReused(5, 500);
+  m.OnNoopRefinement();
+
+  const ServiceMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.cache_hit_bytes, 150u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.cache_miss_bytes, 200u);
+  EXPECT_EQ(s.cache_evictions, 1u);
+  EXPECT_EQ(s.cache_evicted_bytes, 25u);
+  EXPECT_EQ(s.single_flight_shared, 1u);
+  EXPECT_EQ(s.single_flight_shared_bytes, 10u);
+  EXPECT_EQ(s.planes_fetched, 3u);
+  EXPECT_EQ(s.fetched_bytes, 300u);
+  EXPECT_EQ(s.planes_reused, 5u);
+  EXPECT_EQ(s.reused_bytes, 500u);
+  EXPECT_EQ(s.noop_refinements, 1u);
+}
+
+TEST(ServiceMetricsTest, HitRateCountsSharedFetchesAsHits) {
+  ServiceMetrics m;
+  EXPECT_DOUBLE_EQ(m.snapshot().cache_hit_rate(), 0.0);
+  m.OnCacheHit(1);
+  m.OnCacheMiss(1);
+  m.OnSingleFlightShared(1);
+  m.OnCacheMiss(1);
+  // (1 hit + 1 shared) / 4 lookups.
+  EXPECT_DOUBLE_EQ(m.snapshot().cache_hit_rate(), 0.5);
+}
+
+TEST(ServiceMetricsTest, SchedulerCountersAndLatency) {
+  ServiceMetrics m;
+  m.OnAdmitted(1);
+  m.OnAdmitted(2);
+  m.OnRejected();
+  m.OnStarted(1);
+  m.OnCompleted(true, 10.0);
+  m.OnCompleted(false, 20.0);
+
+  const ServiceMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.requests_admitted, 2u);
+  EXPECT_EQ(s.requests_rejected, 1u);
+  EXPECT_EQ(s.requests_completed, 1u);  // successes only
+  EXPECT_EQ(s.requests_failed, 1u);
+  EXPECT_EQ(s.queue_depth, 1u);
+  EXPECT_EQ(s.queue_depth_peak, 2u);
+  EXPECT_EQ(s.latency_count, 2u);
+  EXPECT_GT(s.latency_p50_ms, 0.0);
+  EXPECT_LE(s.latency_p50_ms, s.latency_p99_ms);
+  EXPECT_DOUBLE_EQ(s.latency_max_ms, 20.0);
+}
+
+TEST(ServiceMetricsTest, JsonHasEveryCounterKey) {
+  ServiceMetrics m;
+  m.OnCacheHit(7);
+  m.OnCompleted(true, 1.5);
+  const std::string json = m.ToJson();
+  for (const char* key :
+       {"cache_hits", "cache_misses", "cache_hit_bytes", "cache_evictions",
+        "single_flight_shared", "cache_hit_rate", "planes_fetched",
+        "planes_reused", "noop_refinements", "requests_admitted",
+        "requests_rejected", "queue_depth_peak", "latency_count",
+        "latency_p50_ms", "latency_p99_ms", "latency_max_ms"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\":"), std::string::npos)
+        << "missing key " << key << " in " << json;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ServiceMetricsTest, ResetZeroesEverything) {
+  ServiceMetrics m;
+  m.OnCacheHit(1);
+  m.OnAdmitted(1);
+  m.OnCompleted(true, 5.0);
+  m.Reset();
+  const ServiceMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.requests_admitted, 0u);
+  EXPECT_EQ(s.requests_completed, 0u);
+  EXPECT_EQ(s.latency_count, 0u);
+  EXPECT_EQ(s.latency_max_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace mgardp

@@ -1,0 +1,99 @@
+// Lock-free log-bucketed histogram.
+
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mgardp {
+namespace {
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, TracksCountSumExtrema) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(HistogramTest, QuantilesAreBucketAccurate) {
+  Histogram::Options opts;
+  opts.min_value = 1.0;
+  opts.growth = 1.1;
+  opts.num_buckets = 128;
+  Histogram h(opts);
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  // A geometric bucket at value v has width < growth * v, so the estimate
+  // is within one bucket-width (10%) of the exact order statistic.
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 5.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 9.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  // Quantiles never escape the recorded range.
+  EXPECT_GE(h.Quantile(0.0), 1.0);
+  EXPECT_LE(h.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBuckets) {
+  Histogram::Options opts;
+  opts.min_value = 1.0;
+  opts.growth = 2.0;
+  opts.num_buckets = 4;  // covers [1, 16); beyond goes to overflow
+  Histogram h(opts);
+  h.Record(1e-9);  // below bucket 0
+  h.Record(1e9);   // far above the top edge
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  // Both samples remain reachable through quantiles, clamped to min/max.
+  EXPECT_GE(h.Quantile(1.0), 1.0);
+  EXPECT_LE(h.Quantile(1.0), 1e9);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(0.5 + t + 1e-4 * i);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 0.5 + (kThreads - 1) + 1e-4 * (kPerThread - 1));
+}
+
+}  // namespace
+}  // namespace mgardp

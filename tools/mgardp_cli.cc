@@ -37,13 +37,30 @@
 //             path (retries + graceful degradation) and prints the
 //             retrieval report instead of failing on a damaged artifact.
 //
+//   serve-bench  --app warpx|gray-scott --field NAME --dims NX[,NY[,NZ]]
+//             [--fields F] [--clients 1,8,64] [--rounds R] [--planes B]
+//             [--cache-mb M] [--queue CAP] [--zipf S] [--seed S]
+//             [--json FILE]
+//             Drives the in-process retrieval service with N simulated
+//             clients progressively tightening error bounds on a Zipf-
+//             distributed set of fields through a shared segment cache and
+//             the request scheduler; prints throughput, cache hit rate,
+//             and latency percentiles per client count.
+//
+//   retrieve and serve-bench accept --threads N (otherwise the
+//   MGARDP_THREADS environment variable, then hardware concurrency).
+//
 // Exit status is 0 on success, 1 on usage errors, 2 on runtime failures,
 // 3 when verify/scrub found corrupt segments.
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,9 +72,14 @@
 #include "progressive/reconstructor.h"
 #include "progressive/refactorer.h"
 #include "progressive/repository.h"
+#include "service/retrieval_session.h"
+#include "service/scheduler.h"
+#include "service/segment_cache.h"
 #include "sim/dataset.h"
 #include "storage/storage_backend.h"
 #include "util/io.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace {
@@ -165,6 +187,19 @@ int Usage(const char* msg) {
   std::fprintf(stderr, "usage error: %s\n(run with no arguments for help)\n",
                msg);
   return 1;
+}
+
+// Applies --threads to the global pool. Returns 0, or a usage exit code.
+int ApplyThreadsFlag(const Flags& flags) {
+  if (!flags.Has("threads")) {
+    return 0;
+  }
+  const int n = flags.GetInt("threads", 0);
+  if (n <= 0) {
+    return Usage("--threads must be a positive integer");
+  }
+  SetGlobalThreadCount(n);
+  return 0;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -286,6 +321,9 @@ int CmdInfo(const Flags& flags) {
 }
 
 int CmdRetrieve(const Flags& flags) {
+  if (int rc = ApplyThreadsFlag(flags); rc != 0) {
+    return rc;
+  }
   const std::string dir = flags.GetString("dir");
   const std::string out = flags.GetString("out");
   if (dir.empty() || out.empty()) {
@@ -483,6 +521,215 @@ Result<FieldSeries> GenerateSeries(const std::string& app,
   return Status::Invalid("--app must be warpx or gray-scott");
 }
 
+// ---- serve-bench -----------------------------------------------------------
+
+// One measured service run: `num_clients` sessions over Zipf-assigned
+// fields, `rounds` rounds of tightening bounds through the scheduler.
+struct ServeBenchResult {
+  int clients = 0;
+  std::size_t requests = 0;
+  std::size_t rejected = 0;
+  std::size_t failed = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  ServiceMetrics::Snapshot metrics;
+};
+
+bool ParseIntList(const std::string& spec, std::vector<int>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok.empty()) {
+      return false;
+    }
+    const int v = std::stoi(tok);
+    if (v <= 0) {
+      return false;
+    }
+    out->push_back(v);
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+int CmdServeBench(const Flags& flags) {
+  if (int rc = ApplyThreadsFlag(flags); rc != 0) {
+    return rc;
+  }
+  Dims3 dims;
+  if (!ParseDims(flags.GetString("dims", "33,33,33"), &dims)) {
+    return Usage("bad --dims");
+  }
+  const int num_fields = flags.GetInt("fields", 4);
+  const int rounds = flags.GetInt("rounds", 4);
+  const int planes = flags.GetInt("planes", 32);
+  const double zipf_s = flags.GetDouble("zipf", 1.1);
+  const double cache_mb = flags.GetDouble("cache-mb", 64.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  if (num_fields <= 0 || rounds <= 0) {
+    return Usage("--fields and --rounds must be positive");
+  }
+  std::vector<int> client_counts;
+  if (!ParseIntList(flags.GetString("clients", "1,8,64"), &client_counts)) {
+    return Usage("bad --clients (expected e.g. 1,8,64)");
+  }
+
+  // Build the serving corpus in memory: `num_fields` timesteps of one
+  // simulated field, each refactored into its own artifact + backend.
+  auto series = GenerateSeries(flags.GetString("app", "gray-scott"),
+                               flags.GetString("field", "D_u"), dims,
+                               num_fields);
+  if (!series.ok()) {
+    return Usage(series.status().message().c_str());
+  }
+  RefactorOptions ropts;
+  ropts.num_planes = planes;
+  Refactorer refactorer(ropts);
+  std::vector<RefactoredField> fields;
+  fields.reserve(num_fields);
+  for (int t = 0; t < num_fields; ++t) {
+    auto artifact = refactorer.Refactor(series.value().frames[t]);
+    if (!artifact.ok()) {
+      return Fail(artifact.status());
+    }
+    fields.push_back(std::move(artifact).value());
+  }
+  std::vector<std::unique_ptr<MemoryBackend>> backends;
+  backends.reserve(num_fields);
+  for (const RefactoredField& f : fields) {
+    backends.push_back(std::make_unique<MemoryBackend>(&f.segments));
+  }
+  TheoryEstimator estimator;
+
+  // Zipf CDF over fields: weight(k) = 1/(k+1)^s.
+  std::vector<double> cdf(num_fields);
+  double total = 0.0;
+  for (int k = 0; k < num_fields; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), zipf_s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) {
+    c /= total;
+  }
+
+  std::printf("serve-bench: %d fields %s, %d rounds, cache %.0f MiB, "
+              "%d threads\n",
+              num_fields, dims.ToString().c_str(), rounds, cache_mb,
+              GlobalThreadCount());
+
+  std::vector<ServeBenchResult> results;
+  for (const int num_clients : client_counts) {
+    ServiceMetrics metrics;
+    SegmentCache::Options copts;
+    copts.byte_budget =
+        static_cast<std::size_t>(cache_mb * 1024.0 * 1024.0);
+    SegmentCache cache(copts, &metrics);
+
+    RetrievalScheduler::Options sopts;
+    sopts.queue_capacity =
+        static_cast<std::size_t>(flags.GetInt("queue", 4096));
+    RetrievalScheduler scheduler(&metrics, sopts);
+
+    std::vector<std::unique_ptr<RetrievalSession>> sessions;
+    std::vector<int> field_of(num_clients);
+    sessions.reserve(num_clients);
+    for (int c = 0; c < num_clients; ++c) {
+      Rng rng(seed + 7919ULL * static_cast<std::uint64_t>(c));
+      const double u = rng.NextDouble();
+      int idx = 0;
+      while (idx + 1 < num_fields && u > cdf[idx]) {
+        ++idx;
+      }
+      field_of[c] = idx;
+      sessions.push_back(std::make_unique<RetrievalSession>(
+          "t" + std::to_string(idx), &fields[idx], backends[idx].get(),
+          &estimator, &cache, &metrics));
+    }
+
+    ServeBenchResult r;
+    r.clients = num_clients;
+    std::atomic<std::size_t> failed{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int round = 0; round < rounds; ++round) {
+      const double rel = 0.1 * std::pow(0.25, round);
+      for (int c = 0; c < num_clients; ++c) {
+        Rng jitter(seed ^ (1000003ULL * static_cast<std::uint64_t>(c) +
+                           static_cast<std::uint64_t>(round)));
+        const double bound = rel * jitter.Uniform(0.7, 1.0) *
+                             fields[field_of[c]].data_summary.range();
+        const Status admitted = scheduler.Submit(
+            {sessions[c].get(), bound, 0.0},
+            [&failed](const RetrievalScheduler::Response& resp) {
+              if (!resp.status.ok()) {
+                failed.fetch_add(1, std::memory_order_relaxed);
+              }
+            });
+        if (admitted.ok()) {
+          ++r.requests;
+        } else {
+          ++r.rejected;
+        }
+      }
+      scheduler.Drain();
+    }
+    r.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    r.failed = failed.load();
+    r.throughput_rps =
+        r.seconds > 0.0 ? static_cast<double>(r.requests) / r.seconds : 0.0;
+    r.metrics = metrics.snapshot();
+    results.push_back(r);
+
+    std::printf(
+        "  clients=%-4d requests=%-5zu rejected=%zu failed=%zu "
+        "%.3fs  %.1f req/s  hit-rate=%.3f  p50=%.2fms p99=%.2fms\n",
+        r.clients, r.requests, r.rejected, r.failed, r.seconds,
+        r.throughput_rps, r.metrics.cache_hit_rate(),
+        r.metrics.latency_p50_ms, r.metrics.latency_p99_ms);
+    if (r.failed > 0) {
+      std::fprintf(stderr, "error: %zu requests failed\n", r.failed);
+      return 2;
+    }
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "{\"benchmark\":\"serve\",\"app\":\""
+       << flags.GetString("app", "gray-scott") << "\",\"field\":\""
+       << flags.GetString("field", "D_u") << "\",\"dims\":\""
+       << dims.ToString() << "\",\"fields\":" << num_fields
+       << ",\"rounds\":" << rounds << ",\"threads\":" << GlobalThreadCount()
+       << ",\"cache_mb\":" << cache_mb << ",\"results\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ServeBenchResult& r = results[i];
+      if (i > 0) {
+        os << ",";
+      }
+      os << "{\"clients\":" << r.clients << ",\"requests\":" << r.requests
+         << ",\"rejected\":" << r.rejected << ",\"seconds\":" << r.seconds
+         << ",\"throughput_rps\":" << r.throughput_rps
+         << ",\"cache_hit_rate\":" << r.metrics.cache_hit_rate()
+         << ",\"metrics\":" << r.metrics.ToJson() << "}";
+    }
+    os << "]}\n";
+    Status st = WriteFile(json_path, os.str());
+    if (!st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 int CmdTrain(const Flags& flags) {
   Dims3 dims;
   if (!ParseDims(flags.GetString("dims", "33,33,33"), &dims)) {
@@ -670,7 +917,15 @@ void PrintHelp() {
       "            --out MODEL.bin\n"
       "  verify    --original FILE.f64 --reconstructed FILE.f64\n"
       "  verify    --dir DIR | --repo ROOT   (checksum scrub; exits 3 on\n"
-      "            corruption; `scrub` is an alias)\n");
+      "            corruption; `scrub` is an alias)\n"
+      "  serve-bench  --app APP --field NAME --dims NX[,NY[,NZ]]\n"
+      "            [--fields F] [--clients 1,8,64] [--rounds R]\n"
+      "            [--cache-mb M] [--queue CAP] [--zipf S] [--seed S]\n"
+      "            [--json FILE]   (in-process retrieval service benchmark)\n"
+      "\n"
+      "retrieve and serve-bench accept --threads N; effective thread count\n"
+      "now: %d (override order: --threads, MGARDP_THREADS, hardware)\n",
+      GlobalThreadCount());
 }
 
 }  // namespace
@@ -705,6 +960,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "train") {
     return CmdTrain(flags);
+  }
+  if (cmd == "serve-bench") {
+    return CmdServeBench(flags);
   }
   PrintHelp();
   return 1;

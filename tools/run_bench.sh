@@ -5,16 +5,19 @@
 #   tools/run_bench.sh [build_dir] [out_dir]
 #
 # build_dir defaults to ./build (must already be configured and built);
-# out_dir defaults to the repo root, producing BENCH_pipeline.json there.
-# Additional suites can be selected via MGARDP_BENCH_SUITES, a space-
-# separated subset of: pipeline bitplane decompose dnn lossless storage.
+# out_dir defaults to the repo root, producing BENCH_pipeline.json and
+# BENCH_serve.json there. Additional suites can be selected via
+# MGARDP_BENCH_SUITES, a space-separated subset of: pipeline bitplane
+# decompose dnn lossless storage serve. The `serve` suite drives the
+# in-process retrieval service through the CLI (throughput and cache hit
+# rate at 1/8/64 concurrent clients) instead of a google-benchmark binary.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 out_dir="${2:-${repo_root}}"
-suites="${MGARDP_BENCH_SUITES:-pipeline}"
+suites="${MGARDP_BENCH_SUITES:-pipeline serve}"
 
 if [[ ! -d "${build_dir}" ]]; then
   echo "error: build dir '${build_dir}' not found; run:" >&2
@@ -23,6 +26,22 @@ if [[ ! -d "${build_dir}" ]]; then
 fi
 
 for suite in ${suites}; do
+  if [[ "${suite}" == "serve" ]]; then
+    cli="${build_dir}/tools/mgardp"
+    if [[ ! -x "${cli}" ]]; then
+      echo "error: CLI binary '${cli}' not built" >&2
+      exit 1
+    fi
+    out="${out_dir}/BENCH_serve.json"
+    echo "== serve-bench -> ${out}"
+    "${cli}" serve-bench \
+      --app gray-scott --field D_u --dims 33,33,33 \
+      --fields "${MGARDP_BENCH_SERVE_FIELDS:-4}" \
+      --clients "${MGARDP_BENCH_SERVE_CLIENTS:-1,8,64}" \
+      --rounds "${MGARDP_BENCH_SERVE_ROUNDS:-4}" \
+      --json "${out}" >/dev/null
+    continue
+  fi
   bin="${build_dir}/bench/micro_${suite}"
   if [[ ! -x "${bin}" ]]; then
     echo "error: benchmark binary '${bin}' not built" >&2
