@@ -1,0 +1,112 @@
+// Microbenchmark: the tracing subsystem's overhead contract.
+//
+// BM_PipelineTraceOff is the number that matters: the full refactor +
+// retrieve round trip with every MGARDP_TRACE_SPAN compiled in but the
+// tracer disabled must stay within noise (<2%) of the same pipeline
+// before instrumentation existed (compare against micro_pipeline's
+// BM_PipelineRoundTripThreads/1 from the pre-instrumentation tree) — the
+// disabled span is one relaxed load. BM_SpanDisabled / BM_SpanEnabled
+// isolate the per-span cost in a deliberately tiny (~100 ns) caller;
+// read their delta in absolute ns, not as a percentage of that caller.
+// BM_PipelineTraceOn shows the enabled end-to-end tax.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "obs/tracer.h"
+#include "progressive/reconstructor.h"
+#include "progressive/refactorer.h"
+#include "sim/warpx.h"
+
+namespace {
+
+using namespace mgardp;
+
+Array3Dd TestData(std::size_t n) {
+  WarpXSimulator sim(Dims3{n, n, n});
+  return sim.Field(WarpXField::kEx, 8);
+}
+
+// A unit of real work spans wrap in the hot paths: cheap enough that span
+// overhead is visible, real enough that the loop cannot be folded away.
+double Work(double x) {
+  for (int i = 0; i < 32; ++i) {
+    x = x * 1.0000001 + 1e-9;
+  }
+  return x;
+}
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::GlobalTracer().set_enabled(false);
+  double x = 1.0;
+  for (auto _ : state) {
+    MGARDP_TRACE_SPAN("bench/span_off", "bench");
+    x = Work(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer& tracer = obs::GlobalTracer();
+  tracer.set_enabled(true);
+  double x = 1.0;
+  for (auto _ : state) {
+    MGARDP_TRACE_SPAN("bench/span_on", "bench");
+    x = Work(x);
+    benchmark::DoNotOptimize(x);
+  }
+  tracer.set_enabled(false);
+  tracer.Clear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+// Baseline without any span in the loop, for the per-span delta.
+void BM_SpanBaseline(benchmark::State& state) {
+  double x = 1.0;
+  for (auto _ : state) {
+    x = Work(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SpanBaseline);
+
+void PipelineRoundTrip(const Array3Dd& data) {
+  Refactorer refactorer;
+  auto field = refactorer.Refactor(data);
+  field.status().Abort("refactor");
+  TheoryEstimator theory;
+  Reconstructor rec(&theory);
+  const double bound = 1e-4 * field.value().data_summary.range();
+  RetrievalPlan plan;
+  auto out = rec.Retrieve(field.value(), bound, &plan);
+  benchmark::DoNotOptimize(out);
+}
+
+void BM_PipelineTraceOff(benchmark::State& state) {
+  obs::GlobalTracer().set_enabled(false);
+  const Array3Dd data = TestData(17);
+  for (auto _ : state) {
+    PipelineRoundTrip(data);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_PipelineTraceOff);
+
+void BM_PipelineTraceOn(benchmark::State& state) {
+  obs::Tracer& tracer = obs::GlobalTracer();
+  tracer.set_enabled(true);
+  const Array3Dd data = TestData(17);
+  for (auto _ : state) {
+    PipelineRoundTrip(data);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+  tracer.set_enabled(false);
+  tracer.Clear();
+}
+BENCHMARK(BM_PipelineTraceOn);
+
+}  // namespace

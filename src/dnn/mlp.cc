@@ -1,5 +1,7 @@
 #include "dnn/mlp.h"
 
+#include "obs/tracer.h"
+
 namespace mgardp {
 namespace dnn {
 
@@ -57,6 +59,7 @@ void Mlp::Build(Rng* rng) {
 }
 
 Matrix Mlp::Forward(const Matrix& x) {
+  MGARDP_TRACE_SPAN("dnn/forward", "dnn");
   MGARDP_CHECK(initialized());
   Matrix h = x;
   for (auto& layer : layers_) {

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "dnn/optimizer.h"
+#include "obs/tracer.h"
 #include "util/rng.h"
 
 namespace mgardp {
@@ -14,6 +15,7 @@ namespace dnn {
 
 Result<TrainReport> Train(Mlp* mlp, const Matrix& features,
                           const Matrix& targets, const TrainConfig& config) {
+  MGARDP_TRACE_SPAN("dnn/train", "dnn");
   if (mlp == nullptr || !mlp->initialized()) {
     return Status::Invalid("trainer: network not initialized");
   }

@@ -1,0 +1,60 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/tracer.h"
+#include "util/io.h"
+
+namespace mgardp {
+namespace obs {
+
+namespace {
+
+// Stage names are string literals under our control, but escape anyway so
+// a stray quote or backslash can never produce an unloadable trace.
+void AppendEscaped(std::ostringstream* os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      *os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *os << buf;
+    } else {
+      *os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (i > 0) {
+      os << ",\n";
+    }
+    os << "{\"name\":\"";
+    AppendEscaped(&os, ev.name);
+    os << "\",\"cat\":\"";
+    AppendEscaped(&os, ev.category);
+    os << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f}", ev.ts_us,
+                  ev.dur_us);
+    os << buf;
+  }
+  os << "]\n";
+  return os.str();
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  return WriteFile(path, ToChromeTraceJson(tracer.events()));
+}
+
+}  // namespace obs
+}  // namespace mgardp

@@ -1,0 +1,32 @@
+// Chrome trace ("trace event format") export of a Tracer's timeline.
+//
+// The output is the JSON-array form of the format: one complete ("ph":
+// "X") event per span with microsecond ts/dur, which chrome://tracing
+// and Perfetto load directly. Nesting needs no explicit encoding — the
+// viewers stack events on the same tid by ts/dur containment, which the
+// RAII Span discipline guarantees.
+
+#ifndef MGARDP_OBS_TRACE_EXPORT_H_
+#define MGARDP_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgardp {
+namespace obs {
+
+class Tracer;
+struct TraceEvent;
+
+// Renders events as a Chrome trace JSON array ("[]" when empty).
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events);
+
+// Snapshots `tracer`'s timeline and writes it to `path`.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace obs
+}  // namespace mgardp
+
+#endif  // MGARDP_OBS_TRACE_EXPORT_H_

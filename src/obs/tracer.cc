@@ -1,0 +1,209 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/trace_export.h"
+
+namespace mgardp {
+namespace obs {
+
+namespace {
+
+// Span durations range from sub-microsecond (cache hits) to minutes
+// (full refactors); 1 ns resolution at the bottom, ~40% relative error
+// per bucket, top edge beyond 10^8 ms.
+Histogram::Options StageHistogramOptions() {
+  Histogram::Options o;
+  o.min_value = 1e-6;  // 1 ns in ms
+  o.growth = 1.4;
+  o.num_buckets = 96;
+  return o;
+}
+
+constexpr int kNumStripes = 64;
+
+std::atomic<int> g_next_thread_id{0};
+
+}  // namespace
+
+int CurrentThreadId() {
+  thread_local const int id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+StageStats::StageStats(const char* name, const char* category)
+    : name_(name), category_(category), durations_ms_(StageHistogramOptions()) {}
+
+struct Tracer::Stripe {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+Tracer::Tracer() : Tracer(Options()) {}
+
+Tracer::Tracer(Options options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  stripes_.reserve(kNumStripes);
+  for (int s = 0; s < kNumStripes; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+Tracer::~Tracer() = default;
+
+StageStats* Tracer::GetOrCreateStage(const char* name, const char* category) {
+  std::lock_guard<std::mutex> lock(stages_mu_);
+  for (const auto& stage : stages_) {
+    if (std::strcmp(stage->name(), name) == 0) {
+      return stage.get();
+    }
+  }
+  stages_.push_back(std::make_unique<StageStats>(name, category));
+  return stages_.back().get();
+}
+
+Tracer::Stripe& Tracer::StripeForThisThread() const {
+  return *stripes_[static_cast<std::size_t>(CurrentThreadId()) % kNumStripes];
+}
+
+void Tracer::RecordInterval(StageStats* stage,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end) {
+  const double dur_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  stage->RecordMs(dur_us / 1000.0);
+  if (num_events_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_events) {
+    num_events_.fetch_sub(1, std::memory_order_relaxed);
+    events_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent ev;
+  ev.name = stage->name();
+  ev.category = stage->category();
+  ev.ts_us = ToUs(start);
+  ev.dur_us = dur_us;
+  ev.tid = CurrentThreadId();
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.events.push_back(ev);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> all;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    all.insert(all.end(), stripe->events.begin(), stripe->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.tid != b.tid ? a.tid < b.tid : a.ts_us < b.ts_us;
+            });
+  return all;
+}
+
+std::vector<Tracer::StageSummary> Tracer::Summary() const {
+  std::vector<StageSummary> out;
+  {
+    std::lock_guard<std::mutex> lock(stages_mu_);
+    for (const auto& stage : stages_) {
+      const Histogram& h = stage->durations_ms();
+      if (h.count() == 0) {
+        continue;
+      }
+      StageSummary s;
+      s.name = stage->name();
+      s.category = stage->category();
+      s.count = h.count();
+      s.total_ms = h.sum();
+      s.min_ms = h.min();
+      s.max_ms = h.max();
+      s.p50_ms = h.Quantile(0.50);
+      s.p99_ms = h.Quantile(0.99);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StageSummary& a, const StageSummary& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Tracer::SummaryJson() const {
+  const std::vector<StageSummary> stages = Summary();
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageSummary& s = stages[i];
+    if (i > 0) {
+      os << ",";
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"count\":%llu,"
+                  "\"total_ms\":%.6f,\"min_ms\":%.6f,\"max_ms\":%.6f,"
+                  "\"p50_ms\":%.6f,\"p99_ms\":%.6f}",
+                  s.name.c_str(), s.category.c_str(),
+                  static_cast<unsigned long long>(s.count), s.total_ms,
+                  s.min_ms, s.max_ms, s.p50_ms, s.p99_ms);
+    os << buf;
+  }
+  os << "]";
+  return os.str();
+}
+
+void Tracer::Clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->events.clear();
+  }
+  num_events_.store(0, std::memory_order_relaxed);
+  events_dropped_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stages_mu_);
+  for (const auto& stage : stages_) {
+    stage->Reset();
+  }
+}
+
+namespace {
+
+// Written once before the atexit registration, read once at exit.
+// Leaked so the handler never reads a destroyed string.
+const std::string* g_exit_trace_path = nullptr;
+
+void ExportGlobalTraceAtExit() {
+  if (g_exit_trace_path == nullptr || g_exit_trace_path->empty()) {
+    return;
+  }
+  const Status st = WriteChromeTrace(GlobalTracer(), *g_exit_trace_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "MGARDP_TRACE: %s\n", st.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+Tracer& GlobalTracer() {
+  // Intentionally leaked: exit-time exporters (and spans in static
+  // destructors) must never observe a destroyed tracer.
+  static Tracer* tracer = [] {
+    Tracer* t = new Tracer();
+    const char* env = std::getenv("MGARDP_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      t->set_enabled(true);
+      g_exit_trace_path = new std::string(env);
+      std::atexit(ExportGlobalTraceAtExit);
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+}  // namespace obs
+}  // namespace mgardp

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "lossless/codec.h"
+#include "obs/tracer.h"
 
 namespace mgardp {
 
@@ -32,6 +33,7 @@ std::string RetrievalReport::ToString() const {
 Result<Array3Dd> FaultTolerantReconstructor::Retrieve(
     const RefactoredField& field, StorageBackend* backend,
     double error_bound, RetrievalReport* report) const {
+  MGARDP_TRACE_SPAN("ft/retrieve", "progressive");
   const int L = field.num_levels();
   RetrievalReport rep;
   rep.requested_bound = error_bound;
@@ -50,31 +52,34 @@ Result<Array3Dd> FaultTolerantReconstructor::Retrieve(
   for (;;) {
     // Fetch what the current plan wants beyond what is already in hand.
     bool lost_segment = false;
-    for (int l = 0; l < L && !lost_segment; ++l) {
-      for (int p = have[l]; p < plan.prefix[l]; ++p) {
-        const std::uint64_t salt =
-            static_cast<std::uint64_t>(l) * 4096u + static_cast<std::uint64_t>(p);
-        Result<std::string> payload = retry_.Run(
-            [&] { return backend->Get(l, p); }, salt, &rep.retries);
-        if (payload.ok()) {
-          // A checksummed backend already vouched for the bytes; the
-          // decompression probe additionally catches damage in containers
-          // without checksums (v1) before it can poison the decode.
-          Result<std::string> probe = lossless::Decompress(payload.value());
-          if (!probe.ok()) {
-            payload = probe.status();
+    {
+      MGARDP_TRACE_SPAN("ft/fetch", "storage");
+      for (int l = 0; l < L && !lost_segment; ++l) {
+        for (int p = have[l]; p < plan.prefix[l]; ++p) {
+          const std::uint64_t salt = static_cast<std::uint64_t>(l) * 4096u +
+                                     static_cast<std::uint64_t>(p);
+          Result<std::string> payload = retry_.Run(
+              [&] { return backend->Get(l, p); }, salt, &rep.retries);
+          if (payload.ok()) {
+            // A checksummed backend already vouched for the bytes; the
+            // decompression probe additionally catches damage in containers
+            // without checksums (v1) before it can poison the decode.
+            Result<std::string> probe = lossless::Decompress(payload.value());
+            if (!probe.ok()) {
+              payload = probe.status();
+            }
           }
+          if (!payload.ok()) {
+            // Permanent loss: the level's usable prefix ends at plane p.
+            rep.skipped.push_back({l, p, payload.status()});
+            caps[l] = p;
+            lost_segment = true;
+            break;
+          }
+          rep.bytes_read += payload.value().size();
+          fetched.Put(l, p, std::move(payload).value());
+          have[l] = p + 1;
         }
-        if (!payload.ok()) {
-          // Permanent loss: the level's usable prefix ends at plane p.
-          rep.skipped.push_back({l, p, payload.status()});
-          caps[l] = p;
-          lost_segment = true;
-          break;
-        }
-        rep.bytes_read += payload.value().size();
-        fetched.Put(l, p, std::move(payload).value());
-        have[l] = p + 1;
       }
     }
     if (!lost_segment) {
@@ -83,6 +88,7 @@ Result<Array3Dd> FaultTolerantReconstructor::Retrieve(
     // Re-plan across the surviving segments; the greedy may now spend
     // planes on other levels to compensate for the capped one.
     ++rep.replans;
+    MGARDP_TRACE_SPAN("ft/replan", "progressive");
     MGARDP_ASSIGN_OR_RETURN(
         plan, PlanConstrained(field, *estimator_, error_bound, have, caps));
   }

@@ -7,6 +7,7 @@
 #include "decompose/interleaver.h"
 #include "encode/bitplane.h"
 #include "lossless/codec.h"
+#include "obs/tracer.h"
 #include "progressive/padding.h"
 #include "util/parallel.h"
 
@@ -39,37 +40,47 @@ Result<Array3Dd> ReconstructFromSegments(const RefactoredField& field,
     first_plane[l + 1] = first_plane[l] + plane_counts[l];
   }
   std::vector<std::string> compressed(first_plane[L]);
-  for (int l = 0; l < L; ++l) {
-    for (int p = 0; p < plane_counts[l]; ++p) {
-      MGARDP_ASSIGN_OR_RETURN(compressed[first_plane[l] + p],
-                              segments.Get(l, p));
+  {
+    MGARDP_TRACE_SPAN("reconstruct/fetch", "storage");
+    for (int l = 0; l < L; ++l) {
+      for (int p = 0; p < plane_counts[l]; ++p) {
+        MGARDP_ASSIGN_OR_RETURN(compressed[first_plane[l] + p],
+                                segments.Get(l, p));
+      }
     }
   }
   std::vector<std::string> payloads(first_plane[L]);
-  std::vector<Status> decode_status(first_plane[L]);
-  ParallelFor(0, first_plane[L], 1, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t t = lo; t < hi; ++t) {
-      Result<std::string> payload = lossless::Decompress(compressed[t]);
-      if (payload.ok()) {
-        payloads[t] = std::move(payload).value();
-      } else {
-        decode_status[t] = payload.status();
+  {
+    MGARDP_TRACE_SPAN("reconstruct/lossless", "progressive");
+    std::vector<Status> decode_status(first_plane[L]);
+    ParallelFor(0, first_plane[L], 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t t = lo; t < hi; ++t) {
+        Result<std::string> payload = lossless::Decompress(compressed[t]);
+        if (payload.ok()) {
+          payloads[t] = std::move(payload).value();
+        } else {
+          decode_status[t] = payload.status();
+        }
       }
+    });
+    for (const Status& st : decode_status) {
+      MGARDP_RETURN_NOT_OK(st);
     }
-  });
-  for (const Status& st : decode_status) {
-    MGARDP_RETURN_NOT_OK(st);
   }
   std::vector<std::vector<double>> levels(L);
-  for (int l = 0; l < L; ++l) {
-    BitplaneSet set;
-    set.num_planes = field.num_planes;
-    set.exponent = field.level_exponents[l];
-    set.count = field.hierarchy.LevelSize(l);
-    set.planes.assign(payloads.begin() + first_plane[l],
-                      payloads.begin() + first_plane[l + 1]);
-    MGARDP_ASSIGN_OR_RETURN(levels[l], encoder.Decode(set, plane_counts[l]));
+  {
+    MGARDP_TRACE_SPAN("reconstruct/decode", "progressive");
+    for (int l = 0; l < L; ++l) {
+      BitplaneSet set;
+      set.num_planes = field.num_planes;
+      set.exponent = field.level_exponents[l];
+      set.count = field.hierarchy.LevelSize(l);
+      set.planes.assign(payloads.begin() + first_plane[l],
+                        payloads.begin() + first_plane[l + 1]);
+      MGARDP_ASSIGN_OR_RETURN(levels[l], encoder.Decode(set, plane_counts[l]));
+    }
   }
+  MGARDP_TRACE_SPAN("reconstruct/recompose", "progressive");
   Array3Dd data(field.hierarchy.dims());
   Interleaver interleaver(field.hierarchy);
   MGARDP_RETURN_NOT_OK(interleaver.Deposit(levels, &data));
@@ -182,6 +193,7 @@ Result<RetrievalPlan> Reconstructor::Plan(const RefactoredField& field,
   if (!(error_bound > 0.0)) {
     return Status::Invalid("error_bound must be positive");
   }
+  MGARDP_TRACE_SPAN("retrieve/plan", "progressive");
   SizeInterpreter sizes = MakeSizeInterpreter(field);
 
   RetrievalPlan plan;
@@ -220,6 +232,7 @@ Result<RetrievalPlan> Reconstructor::PlanRefinement(
   if (static_cast<int>(have.size()) != field.num_levels()) {
     return Status::Invalid("have-prefix size does not match level count");
   }
+  MGARDP_TRACE_SPAN("retrieve/plan", "progressive");
   SizeInterpreter sizes = MakeSizeInterpreter(field);
   RetrievalPlan plan;
   plan.prefix = have;
@@ -248,6 +261,7 @@ Result<RetrievalPlan> PlanConstrained(const RefactoredField& field,
       static_cast<int>(caps.size()) != L) {
     return Status::Invalid("have/caps sizes do not match level count");
   }
+  MGARDP_TRACE_SPAN("retrieve/plan", "progressive");
   SizeInterpreter sizes = MakeSizeInterpreter(field);
   RetrievalPlan plan;
   plan.prefix = have;

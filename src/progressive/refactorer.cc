@@ -4,12 +4,14 @@
 #include "decompose/interleaver.h"
 #include "encode/bitplane.h"
 #include "lossless/codec.h"
+#include "obs/tracer.h"
 #include "progressive/padding.h"
 #include "util/parallel.h"
 
 namespace mgardp {
 
 Result<RefactoredField> Refactorer::Refactor(Array3Dd data) const {
+  MGARDP_TRACE_SPAN("refactor", "progressive");
   if (options_.num_planes < 2 || options_.num_planes > 60) {
     return Status::Invalid("num_planes must be in [2, 60]");
   }
@@ -38,10 +40,13 @@ Result<RefactoredField> Refactorer::Refactor(Array3Dd data) const {
   DecomposeOptions dopts;
   dopts.use_correction = options_.use_correction;
   Decomposer decomposer(hierarchy, dopts);
-  MGARDP_RETURN_NOT_OK(decomposer.Decompose(&data));
-
-  Interleaver interleaver(hierarchy);
-  std::vector<std::vector<double>> levels = interleaver.Extract(data);
+  std::vector<std::vector<double>> levels;
+  {
+    MGARDP_TRACE_SPAN("refactor/decompose", "progressive");
+    MGARDP_RETURN_NOT_OK(decomposer.Decompose(&data));
+    Interleaver interleaver(hierarchy);
+    levels = interleaver.Extract(data);
+  }
 
   BitplaneEncoder encoder(options_.num_planes);
   const int L = hierarchy.num_levels();
@@ -55,33 +60,42 @@ Result<RefactoredField> Refactorer::Refactor(Array3Dd data) const {
   // out across all (level, plane) pairs at once -- ~L x num_planes
   // well-mixed tasks -- before the serial store pass.
   std::vector<BitplaneSet> sets(L);
-  for (int l = 0; l < L; ++l) {
-    MGARDP_ASSIGN_OR_RETURN(sets[l],
-                            encoder.Encode(levels[l], &field.level_errors[l]));
-    field.level_exponents[l] = sets[l].exponent;
-    field.level_sketches[l] = AbsQuantileSketch(
-        levels[l], static_cast<std::size_t>(options_.sketch_bins));
+  {
+    MGARDP_TRACE_SPAN("refactor/encode", "progressive");
+    for (int l = 0; l < L; ++l) {
+      MGARDP_ASSIGN_OR_RETURN(
+          sets[l], encoder.Encode(levels[l], &field.level_errors[l]));
+      field.level_exponents[l] = sets[l].exponent;
+      field.level_sketches[l] = AbsQuantileSketch(
+          levels[l], static_cast<std::size_t>(options_.sketch_bins));
+    }
   }
   std::vector<std::size_t> first_plane(L + 1, 0);
   for (int l = 0; l < L; ++l) {
     first_plane[l + 1] = first_plane[l] + sets[l].planes.size();
   }
   std::vector<std::string> compressed(first_plane[L]);
-  ParallelFor(0, first_plane[L], 1, [&](std::size_t lo, std::size_t hi) {
-    int l = 0;
-    for (std::size_t t = lo; t < hi; ++t) {
-      while (t >= first_plane[l + 1]) {
-        ++l;
+  {
+    MGARDP_TRACE_SPAN("refactor/lossless", "progressive");
+    ParallelFor(0, first_plane[L], 1, [&](std::size_t lo, std::size_t hi) {
+      int l = 0;
+      for (std::size_t t = lo; t < hi; ++t) {
+        while (t >= first_plane[l + 1]) {
+          ++l;
+        }
+        compressed[t] = lossless::Compress(sets[l].planes[t - first_plane[l]]);
       }
-      compressed[t] = lossless::Compress(sets[l].planes[t - first_plane[l]]);
-    }
-  });
-  for (int l = 0; l < L; ++l) {
-    field.plane_sizes[l].resize(sets[l].planes.size());
-    for (int p = 0; p < static_cast<int>(sets[l].planes.size()); ++p) {
-      std::string& blob = compressed[first_plane[l] + p];
-      field.plane_sizes[l][p] = blob.size();
-      field.segments.Put(l, p, std::move(blob));
+    });
+  }
+  {
+    MGARDP_TRACE_SPAN("refactor/store", "storage");
+    for (int l = 0; l < L; ++l) {
+      field.plane_sizes[l].resize(sets[l].planes.size());
+      for (int p = 0; p < static_cast<int>(sets[l].planes.size()); ++p) {
+        std::string& blob = compressed[first_plane[l] + p];
+        field.plane_sizes[l][p] = blob.size();
+        field.segments.Put(l, p, std::move(blob));
+      }
     }
   }
   return field;

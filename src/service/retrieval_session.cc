@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/tracer.h"
+
 namespace mgardp {
 
 std::string RetrievalSession::Refinement::ToString() const {
@@ -47,6 +49,7 @@ Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
   if (!(error_bound > 0.0)) {
     return Status::Invalid("error_bound must be positive");
   }
+  MGARDP_TRACE_SPAN("session/refine", "service");
   std::lock_guard<std::mutex> lock(mu_);
 
   Refinement ref;
@@ -74,8 +77,12 @@ Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
   }
 
   Reconstructor rec(estimator_);
-  MGARDP_ASSIGN_OR_RETURN(RetrievalPlan plan,
-                          rec.PlanRefinement(*field_, have_, error_bound));
+  Result<RetrievalPlan> planned = Status::Internal("unplanned");
+  {
+    MGARDP_TRACE_SPAN("session/plan", "service");
+    planned = rec.PlanRefinement(*field_, have_, error_bound);
+  }
+  MGARDP_ASSIGN_OR_RETURN(RetrievalPlan plan, std::move(planned));
   SizeInterpreter sizes = MakeSizeInterpreter(*field_);
 
   // Everything already in hand counts as reuse for this refinement.
@@ -87,29 +94,32 @@ Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
 
   // Fetch the delta, advancing have_ plane by plane so a failed fetch
   // never loses the progress made before it.
-  for (int l = 0; l < field_->num_levels(); ++l) {
-    for (int p = have_[l]; p < plan.prefix[l]; ++p) {
-      const std::uint64_t salt = static_cast<std::uint64_t>(l) * 4096u +
-                                 static_cast<std::uint64_t>(p);
-      SegmentCache::Source source = SegmentCache::Source::kFetched;
-      auto fetch = [&]() -> Result<std::string> {
-        return retry.Run([&] { return backend_->Get(l, p); }, salt);
-      };
-      Result<std::string> payload =
-          cache_ != nullptr
-              ? cache_->GetOrFetch({field_id_, l, p}, fetch, &source)
-              : fetch();
-      MGARDP_RETURN_NOT_OK(payload.status());
-      const std::size_t n = payload.value().size();
-      if (source == SegmentCache::Source::kFetched) {
-        ++ref.planes_fetched;
-        ref.fetched_bytes += n;
-      } else {
-        ++ref.planes_cached;
-        ref.cached_bytes += n;
+  {
+    MGARDP_TRACE_SPAN("session/fetch", "service");
+    for (int l = 0; l < field_->num_levels(); ++l) {
+      for (int p = have_[l]; p < plan.prefix[l]; ++p) {
+        const std::uint64_t salt = static_cast<std::uint64_t>(l) * 4096u +
+                                   static_cast<std::uint64_t>(p);
+        SegmentCache::Source source = SegmentCache::Source::kFetched;
+        auto fetch = [&]() -> Result<std::string> {
+          return retry.Run([&] { return backend_->Get(l, p); }, salt);
+        };
+        Result<std::string> payload =
+            cache_ != nullptr
+                ? cache_->GetOrFetch({field_id_, l, p}, fetch, &source)
+                : fetch();
+        MGARDP_RETURN_NOT_OK(payload.status());
+        const std::size_t n = payload.value().size();
+        if (source == SegmentCache::Source::kFetched) {
+          ++ref.planes_fetched;
+          ref.fetched_bytes += n;
+        } else {
+          ++ref.planes_cached;
+          ref.cached_bytes += n;
+        }
+        local_.Put(l, p, std::move(payload).value());
+        have_[l] = p + 1;
       }
-      local_.Put(l, p, std::move(payload).value());
-      have_[l] = p + 1;
     }
   }
 

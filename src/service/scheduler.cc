@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "util/parallel.h"
 
 namespace mgardp {
@@ -57,7 +58,8 @@ Status RetrievalScheduler::Submit(const Request& request, Callback done) {
           "retrieval queue full (" +
           std::to_string(options_.queue_capacity) + " requests)");
     }
-    queue_.push_back(Item{request, std::move(done)});
+    queue_.push_back(
+        Item{request, std::move(done), std::chrono::steady_clock::now()});
     depth = queue_.size();
   }
   if (metrics_ != nullptr) {
@@ -68,6 +70,16 @@ Status RetrievalScheduler::Submit(const Request& request, Callback done) {
 
 void RetrievalScheduler::Process(Item* item) const {
   const auto start = std::chrono::steady_clock::now();
+  // Queue wait and service time are recorded as separate stages: the wait
+  // interval started back at Submit() on another thread, so it cannot be
+  // a scoped span here.
+  obs::Tracer& tracer = obs::GlobalTracer();
+  if (tracer.enabled()) {
+    static obs::StageStats* wait_stage =
+        tracer.GetOrCreateStage("sched/queue_wait", "service");
+    tracer.RecordInterval(wait_stage, item->submitted, start);
+  }
+  MGARDP_TRACE_SPAN("sched/service", "service");
   const Request& req = item->request;
 
   const double deadline =
@@ -96,18 +108,25 @@ void RetrievalScheduler::Process(Item* item) const {
 void RetrievalScheduler::Drain() {
   for (;;) {
     std::vector<Item> batch;
+    std::size_t remaining = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       while (!queue_.empty()) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-    }
-    if (metrics_ != nullptr) {
-      metrics_->OnStarted(queue_depth());
+      // Depth left behind by THIS batch, read under the same lock — a
+      // post-pop queue_depth() call would count items admitted since and
+      // attribute them to a batch that never took them.
+      remaining = queue_.size();
     }
     if (batch.empty()) {
+      // No phantom OnStarted: an empty sweep started nothing, and
+      // emitting one here would break started == completed accounting.
       return;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->OnStarted(batch.size(), remaining);
     }
     GlobalThreadPool().Run(batch.size(),
                            [&](std::size_t i) { Process(&batch[i]); });

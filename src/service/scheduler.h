@@ -23,6 +23,7 @@
 #ifndef MGARDP_SERVICE_SCHEDULER_H_
 #define MGARDP_SERVICE_SCHEDULER_H_
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -88,6 +89,9 @@ class RetrievalScheduler {
   struct Item {
     Request request;
     Callback done;
+    // Admission time, so the tracer can split time-in-queue from service
+    // time ("sched/queue_wait" vs "sched/service" spans).
+    std::chrono::steady_clock::time_point submitted;
   };
 
   void Process(Item* item) const;

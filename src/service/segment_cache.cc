@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace mgardp {
@@ -64,6 +65,7 @@ Result<std::string> SegmentCache::GetOrFetch(const Key& key,
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
+    MGARDP_TRACE_SPAN("cache/lookup", "service");
     std::unique_lock<std::mutex> lock(shard.mu);
     auto hit = shard.index.find(encoded);
     if (hit != shard.index.end()) {
@@ -91,6 +93,7 @@ Result<std::string> SegmentCache::GetOrFetch(const Key& key,
   if (!owner) {
     // Single-flight: the owner is actively fetching on some thread and its
     // fetch depends on nothing we hold, so this wait always terminates.
+    MGARDP_TRACE_SPAN("cache/shared_wait", "service");
     std::unique_lock<std::mutex> lock(flight->mu);
     flight->cv.wait(lock, [&] { return flight->done; });
     Result<std::string> shared = flight->result;
@@ -107,6 +110,7 @@ Result<std::string> SegmentCache::GetOrFetch(const Key& key,
   }
 
   // Owner path: fetch outside every lock, then install + publish.
+  MGARDP_TRACE_SPAN("cache/fill", "service");
   Result<std::string> fetched = fetch();
   {
     std::unique_lock<std::mutex> lock(shard.mu);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/tracer.h"
+
 namespace mgardp {
 
 namespace {
@@ -63,7 +65,9 @@ void ServiceMetrics::OnRejected() {
   requests_rejected_.fetch_add(1, kRelaxed);
 }
 
-void ServiceMetrics::OnStarted(std::size_t queue_depth_now) {
+void ServiceMetrics::OnStarted(std::size_t batch_size,
+                               std::size_t queue_depth_now) {
+  requests_started_.fetch_add(batch_size, kRelaxed);
   queue_depth_.store(queue_depth_now, kRelaxed);
 }
 
@@ -93,6 +97,7 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
       "\"fetched_bytes\":%llu,\"reused_bytes\":%llu,"
       "\"noop_refinements\":%llu,"
       "\"requests_admitted\":%llu,\"requests_rejected\":%llu,"
+      "\"requests_started\":%llu,"
       "\"requests_completed\":%llu,\"requests_failed\":%llu,"
       "\"queue_depth\":%llu,\"queue_depth_peak\":%llu,"
       "\"latency_count\":%llu,\"latency_p50_ms\":%.6f,"
@@ -114,6 +119,7 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
       static_cast<unsigned long long>(noop_refinements),
       static_cast<unsigned long long>(requests_admitted),
       static_cast<unsigned long long>(requests_rejected),
+      static_cast<unsigned long long>(requests_started),
       static_cast<unsigned long long>(requests_completed),
       static_cast<unsigned long long>(requests_failed),
       static_cast<unsigned long long>(queue_depth),
@@ -121,6 +127,23 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
       static_cast<unsigned long long>(latency_count), latency_p50_ms,
       latency_p90_ms, latency_p99_ms, latency_max_ms);
   return buf;
+}
+
+std::string ServiceMetrics::SnapshotJson(const obs::Tracer* tracer) const {
+  std::string json = ToJson();
+  if (tracer == nullptr) {
+    return json;
+  }
+  const std::string stages = tracer->SummaryJson();
+  if (stages == "[]") {
+    return json;
+  }
+  // Splice the stage array into the flat object: {...} -> {...,"stages":[...]}
+  json.pop_back();
+  json += ",\"stages\":";
+  json += stages;
+  json += "}";
+  return json;
 }
 
 ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
@@ -140,6 +163,7 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   s.noop_refinements = noop_refinements_.load(kRelaxed);
   s.requests_admitted = requests_admitted_.load(kRelaxed);
   s.requests_rejected = requests_rejected_.load(kRelaxed);
+  s.requests_started = requests_started_.load(kRelaxed);
   s.requests_completed = requests_completed_.load(kRelaxed);
   s.requests_failed = requests_failed_.load(kRelaxed);
   s.queue_depth = queue_depth_.load(kRelaxed);
@@ -168,6 +192,7 @@ void ServiceMetrics::Reset() {
   noop_refinements_ = 0;
   requests_admitted_ = 0;
   requests_rejected_ = 0;
+  requests_started_ = 0;
   requests_completed_ = 0;
   requests_failed_ = 0;
   queue_depth_ = 0;

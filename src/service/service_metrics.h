@@ -20,6 +20,10 @@
 
 namespace mgardp {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 class ServiceMetrics {
  public:
   ServiceMetrics();
@@ -42,7 +46,11 @@ class ServiceMetrics {
   // -- scheduler -------------------------------------------------------
   void OnAdmitted(std::size_t queue_depth_now);
   void OnRejected();
-  void OnStarted(std::size_t queue_depth_now);
+  // A drained batch of `batch_size` >= 1 requests began processing;
+  // `queue_depth_now` is what remained queued after the batch was taken.
+  // Never call with an empty batch — started must stay reconcilable with
+  // admitted/completed.
+  void OnStarted(std::size_t batch_size, std::size_t queue_depth_now);
   void OnCompleted(bool ok, double latency_ms);
 
   struct Snapshot {
@@ -63,6 +71,7 @@ class ServiceMetrics {
 
     std::uint64_t requests_admitted = 0;
     std::uint64_t requests_rejected = 0;
+    std::uint64_t requests_started = 0;
     std::uint64_t requests_completed = 0;
     std::uint64_t requests_failed = 0;
     std::uint64_t queue_depth = 0;
@@ -85,6 +94,13 @@ class ServiceMetrics {
   Snapshot snapshot() const;
   std::string ToJson() const { return snapshot().ToJson(); }
 
+  // The counter snapshot with the tracer's per-stage profile merged in as
+  // a "stages" array (span name -> count/total/min/max/quantiles), so one
+  // JSON object answers both "how much" and "where the time went".
+  // Passing nullptr (or a tracer with no recorded stages) yields plain
+  // ToJson().
+  std::string SnapshotJson(const obs::Tracer* tracer = nullptr) const;
+
   void Reset();
 
  private:
@@ -105,6 +121,7 @@ class ServiceMetrics {
 
   std::atomic<std::uint64_t> requests_admitted_{0};
   std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> requests_started_{0};
   std::atomic<std::uint64_t> requests_completed_{0};
   std::atomic<std::uint64_t> requests_failed_{0};
   std::atomic<std::uint64_t> queue_depth_{0};

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "obs/tracer.h"
 #include "util/io.h"
 
 namespace mgardp {
@@ -13,6 +14,7 @@ using container::LevelFileName;
 // ---- MemoryBackend --------------------------------------------------------
 
 Result<std::string> MemoryBackend::Get(int level, int plane) {
+  MGARDP_TRACE_SPAN("storage/memory_get", "storage");
   return store_->Get(level, plane);
 }
 
@@ -53,6 +55,7 @@ Result<DirectoryBackend> DirectoryBackend::Open(const std::string& dir) {
 }
 
 Result<std::string> DirectoryBackend::Get(int level, int plane) {
+  MGARDP_TRACE_SPAN("storage/dir_get", "storage");
   if (staged_.Contains(level, plane)) {
     return staged_.Get(level, plane);
   }
@@ -138,6 +141,7 @@ VerifyingBackend::VerifyingBackend(StorageBackend* inner,
 }
 
 Result<std::string> VerifyingBackend::Get(int level, int plane) {
+  MGARDP_TRACE_SPAN("storage/verify_get", "storage");
   MGARDP_ASSIGN_OR_RETURN(std::string payload, inner_->Get(level, plane));
   auto it = checksums_.find({level, plane});
   if (it != checksums_.end() &&

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -25,6 +26,8 @@ Histogram::Histogram(Options options) : options_(options) {
 }
 
 int Histogram::BucketFor(double value) const {
+  // Record() has already rejected NaN and clamped negatives, so the only
+  // values reaching the `!(value > edge)` test are well-ordered.
   if (!(value > edges_[0])) {
     return 0;
   }
@@ -62,20 +65,33 @@ void AtomicMax(std::atomic<double>* target, double value) {
 }  // namespace
 
 void Histogram::Record(double value) {
-  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
-  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
-    // First sample: seed the extrema before racing CAS updates refine them.
-    min_.store(value, std::memory_order_relaxed);
-    max_.store(value, std::memory_order_relaxed);
-  } else {
-    AtomicMin(&min_, value);
-    AtomicMax(&max_, value);
+  // NaN would poison sum_ and wedge the extrema CAS loops (every NaN
+  // comparison is false); count it as dropped instead of recording.
+  if (std::isnan(value)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  // Negative samples (backward clock steps) would otherwise alias into
+  // bucket 0 silently while dragging min() below zero; clamp them.
+  if (value < 0.0) {
+    value = 0.0;
+  }
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Reset() seeds min_=+inf / max_=-inf, so the first sample needs no
+  // special case: a count-gated seeding store would race a concurrent
+  // second sample's CAS against the stale seed and lose it.
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
   AtomicAdd(&sum_, value);
 }
 
 std::uint64_t Histogram::count() const {
   return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
 }
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -121,9 +137,14 @@ void Histogram::Reset() {
     buckets_[b].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
+  // Identity elements, so Record() never needs a first-sample branch (the
+  // accessors report 0 while count() == 0).
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 }  // namespace mgardp

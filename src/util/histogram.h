@@ -34,10 +34,14 @@ class Histogram {
 
   // Records one sample. Thread-safe and wait-free; values below the first
   // bucket edge land in bucket 0, values beyond the last in the overflow
-  // bucket.
+  // bucket. NaN samples are dropped (see dropped()); negative samples —
+  // clock anomalies in latency feeds — are clamped to 0 rather than
+  // silently aliasing into bucket 0 with a negative min.
   void Record(double value);
 
   std::uint64_t count() const;
+  // NaN samples rejected by Record() since the last Reset().
+  std::uint64_t dropped() const;
   double sum() const;
   // Smallest / largest value ever recorded (0 when empty).
   double min() const;
@@ -58,7 +62,10 @@ class Histogram {
   // buckets_[num_buckets] is the overflow bucket.
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   std::atomic<double> sum_{0.0};
+  // Seeded to +/-inf by Reset() so every Record() path is a plain
+  // CAS-min/max — a count-gated first-sample store would race.
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
 };

@@ -19,7 +19,11 @@ namespace {
 class RobustnessTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "mgardp_robust_test")
+    // Per-test directory: ctest runs each TEST_F as its own process, so a
+    // shared fixed path races under `ctest -j`.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("mgardp_robust_test_") + info->name()))
                .string();
     std::filesystem::remove_all(dir_);
     WarpXSimulator sim(Dims3{17, 17, 1});

@@ -1,0 +1,66 @@
+// Chrome trace exporter: event JSON shape, escaping, file round-trip.
+
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+#include "util/io.h"
+
+namespace mgardp {
+namespace obs {
+namespace {
+
+TEST(TraceExportTest, EmptyTimelineIsAnEmptyArray) {
+  EXPECT_EQ(ToChromeTraceJson({}), "[]\n");
+}
+
+TEST(TraceExportTest, EmitsCompleteEventsWithAllRequiredKeys) {
+  std::vector<TraceEvent> events;
+  events.push_back({"stage/a", "progressive", 12.5, 100.25, 0});
+  events.push_back({"stage/b", "service", 150.0, 3.0, 2});
+  const std::string json = ToChromeTraceJson(events);
+  EXPECT_EQ(json.front(), '[');
+  // One complete ("ph":"X") event per span, with ts/dur in microseconds.
+  EXPECT_NE(json.find("{\"name\":\"stage/a\",\"cat\":\"progressive\","
+                      "\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+                      "\"ts\":12.500,\"dur\":100.250}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"stage/b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos) << json;
+}
+
+TEST(TraceExportTest, EscapesQuotesBackslashesAndControlChars) {
+  std::vector<TraceEvent> events;
+  events.push_back({"a\"b\\c\td", "cat", 0.0, 1.0, 0});
+  const std::string json = ToChromeTraceJson(events);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\u0009d"), std::string::npos) << json;
+}
+
+TEST(TraceExportTest, WriteChromeTraceRoundTripsThroughTheTracer) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  StageStats* stage = tracer.GetOrCreateStage("export/stage", "test");
+  const auto t0 = std::chrono::steady_clock::now();
+  tracer.RecordInterval(stage, t0, t0 + std::chrono::microseconds(250));
+
+  const std::string path =
+      ::testing::TempDir() + "/mgardp_trace_export_test.json";
+  ASSERT_TRUE(WriteChromeTrace(tracer, path).ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string& json = bytes.value();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"export/stage\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mgardp

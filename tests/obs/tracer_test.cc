@@ -1,0 +1,243 @@
+// Tracer: span recording, stage profiles, event cap, thread safety, and
+// the zero-work contract of the disabled path.
+
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mgardp {
+namespace obs {
+namespace {
+
+std::chrono::steady_clock::time_point At(double us) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::micro>(us)));
+}
+
+TEST(TracerTest, DisabledSpanRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  StageStats* stage = tracer.GetOrCreateStage("t/disabled", "test");
+  {
+    Span span(&tracer, stage);
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_TRUE(tracer.Summary().empty());
+  EXPECT_EQ(tracer.SummaryJson(), "[]");
+  EXPECT_EQ(stage->durations_ms().count(), 0u);
+}
+
+TEST(TracerTest, EnabledSpanRecordsEventAndProfile) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  StageStats* stage = tracer.GetOrCreateStage("t/span", "test");
+  {
+    Span span(&tracer, stage);
+  }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "t/span");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_EQ(events[0].tid, CurrentThreadId());
+  EXPECT_EQ(stage->durations_ms().count(), 1u);
+
+  const std::vector<Tracer::StageSummary> summary = tracer.Summary();
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].name, "t/span");
+  EXPECT_EQ(summary[0].count, 1u);
+  EXPECT_GE(summary[0].max_ms, summary[0].min_ms);
+}
+
+TEST(TracerTest, StageRegistrationDedupsByName) {
+  Tracer tracer;
+  StageStats* a = tracer.GetOrCreateStage("t/same", "test");
+  StageStats* b = tracer.GetOrCreateStage("t/same", "other");
+  StageStats* c = tracer.GetOrCreateStage("t/different", "test");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TracerTest, NestedSpansBothRecordWithContainment) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  StageStats* outer = tracer.GetOrCreateStage("t/outer", "test");
+  StageStats* inner = tracer.GetOrCreateStage("t/inner", "test");
+  {
+    Span o(&tracer, outer);
+    {
+      Span i(&tracer, inner);
+    }
+  }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* oe = nullptr;
+  const TraceEvent* ie = nullptr;
+  for (const TraceEvent& ev : events) {
+    (std::strcmp(ev.name, "t/outer") == 0 ? oe : ie) = &ev;
+  }
+  ASSERT_NE(oe, nullptr);
+  ASSERT_NE(ie, nullptr);
+  // Chrome trace nesting is inferred from interval containment per tid.
+  EXPECT_EQ(oe->tid, ie->tid);
+  EXPECT_LE(oe->ts_us, ie->ts_us);
+  EXPECT_GE(oe->ts_us + oe->dur_us, ie->ts_us + ie->dur_us);
+}
+
+TEST(TracerTest, EventCapDropsTimelineButKeepsProfile) {
+  Tracer::Options opts;
+  opts.max_events = 4;
+  Tracer tracer(opts);
+  tracer.set_enabled(true);
+  StageStats* stage = tracer.GetOrCreateStage("t/capped", "test");
+  for (int i = 0; i < 10; ++i) {
+    tracer.RecordInterval(stage, At(i), At(i + 0.5));
+  }
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.events_dropped(), 6u);
+  // The aggregate profile keeps every sample.
+  EXPECT_EQ(stage->durations_ms().count(), 10u);
+}
+
+TEST(TracerTest, ClearKeepsRegisteredStagesValid) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  StageStats* stage = tracer.GetOrCreateStage("t/clear", "test");
+  tracer.RecordInterval(stage, At(0), At(10));
+  ASSERT_EQ(tracer.events().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.events_dropped(), 0u);
+  EXPECT_EQ(stage->durations_ms().count(), 0u);
+  // The cached pointer stays usable after Clear, as call sites require.
+  tracer.RecordInterval(stage, At(0), At(5));
+  EXPECT_EQ(stage->durations_ms().count(), 1u);
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(TracerTest, SummaryAggregatesAndSortsByName) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  StageStats* b = tracer.GetOrCreateStage("t/b", "test");
+  StageStats* a = tracer.GetOrCreateStage("t/a", "test");
+  tracer.GetOrCreateStage("t/silent", "test");  // never records: omitted
+  tracer.RecordInterval(b, At(0), At(3000));  // 3 ms
+  tracer.RecordInterval(b, At(0), At(1000));  // 1 ms
+  tracer.RecordInterval(a, At(0), At(2000));  // 2 ms
+
+  const std::vector<Tracer::StageSummary> summary = tracer.Summary();
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].name, "t/a");
+  EXPECT_EQ(summary[1].name, "t/b");
+  EXPECT_EQ(summary[1].count, 2u);
+  EXPECT_NEAR(summary[1].total_ms, 4.0, 1e-9);
+  EXPECT_NEAR(summary[1].min_ms, 1.0, 1e-9);
+  EXPECT_NEAR(summary[1].max_ms, 3.0, 1e-9);
+
+  const std::string json = tracer.SummaryJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"t/a\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_EQ(json.find("t/silent"), std::string::npos) << json;
+}
+
+TEST(TracerTest, CurrentThreadIdIsStableAndDistinct) {
+  const int here = CurrentThreadId();
+  EXPECT_EQ(CurrentThreadId(), here);
+  int other = -1;
+  std::thread t([&other] { other = CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other, here);
+  EXPECT_GE(other, 0);
+}
+
+// Hammered by the obs_tsan ctest target: concurrent spans over shared
+// stages must neither race nor lose samples.
+TEST(TracerTest, ConcurrentSpansLoseNoSamples) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  StageStats* shared = tracer.GetOrCreateStage("t/shared", "test");
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &ready, shared] {
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (ready.load(std::memory_order_relaxed) < kThreads) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        Span span(&tracer, shared);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(shared->durations_ms().count(), kTotal);
+  EXPECT_EQ(tracer.events().size() + tracer.events_dropped(), kTotal);
+  // Distinct tids made it into the timeline.
+  std::set<int> tids;
+  for (const TraceEvent& ev : tracer.events()) {
+    tids.insert(ev.tid);
+  }
+  EXPECT_GT(tids.size(), 1u);
+}
+
+TEST(TracerTest, ConcurrentStageRegistrationYieldsOnePointer) {
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  std::vector<StageStats*> got(kThreads, nullptr);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &ready, &got, t] {
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (ready.load(std::memory_order_relaxed) < kThreads) {
+        std::this_thread::yield();
+      }
+      got[t] = tracer.GetOrCreateStage("t/race", "test");
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(got[t], got[0]);
+  }
+}
+
+TEST(TracerMacroTest, GlobalSpanRespectsEnableFlag) {
+  Tracer& tracer = GlobalTracer();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  StageStats* stage = tracer.GetOrCreateStage("t/global_macro", "test");
+  const std::uint64_t before = stage->durations_ms().count();
+  {
+    MGARDP_TRACE_SPAN("t/global_macro", "test");
+  }
+  EXPECT_EQ(stage->durations_ms().count(), before + 1);
+  tracer.set_enabled(false);
+  {
+    MGARDP_TRACE_SPAN("t/global_macro", "test");
+  }
+  EXPECT_EQ(stage->durations_ms().count(), before + 1);
+  tracer.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mgardp

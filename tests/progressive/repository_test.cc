@@ -13,7 +13,11 @@ namespace {
 class RepositoryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = (std::filesystem::temp_directory_path() / "mgardp_repo_test")
+    // Per-test directory: ctest runs each TEST_F as its own process, so a
+    // shared fixed path races under `ctest -j`.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = (std::filesystem::temp_directory_path() /
+             (std::string("mgardp_repo_test_") + info->name()))
                 .string();
     std::filesystem::remove_all(root_);
   }

@@ -48,6 +48,45 @@ TEST(ClampRetryToDeadlineTest, TinyDeadlineStillAllowsOneAttempt) {
   EXPECT_EQ(out.max_attempts, 1);
 }
 
+TEST(ClampRetryToDeadlineTest, DeadlineBelowBaseDelayMeansOneAttempt) {
+  RetryPolicy::Options base;
+  base.max_attempts = 8;
+  base.base_delay_ms = 10.0;
+  base.multiplier = 2.0;
+  base.max_delay_ms = 1000.0;
+  // Any deadline <= the first backoff leaves no room for a second attempt
+  // (a backoff consuming the whole budget buys nothing), including the
+  // exact-equality edge.
+  EXPECT_EQ(ClampRetryToDeadline(base, 9.9).max_attempts, 1);
+  EXPECT_EQ(ClampRetryToDeadline(base, 10.0).max_attempts, 1);
+}
+
+TEST(ClampRetryToDeadlineTest, DeadlineBetweenFirstAndSecondBackoff) {
+  RetryPolicy::Options base;
+  base.max_attempts = 8;
+  base.base_delay_ms = 10.0;
+  base.multiplier = 2.0;
+  base.max_delay_ms = 1000.0;
+  // Backoffs are 10, 20, ...: a 15 ms deadline fits the first backoff
+  // only, so exactly two attempts survive.
+  const RetryPolicy::Options out = ClampRetryToDeadline(base, 15.0);
+  EXPECT_EQ(out.max_attempts, 2);
+}
+
+TEST(ClampRetryToDeadlineTest, MaxDelayBelowDeadlineIsNeverRaised) {
+  RetryPolicy::Options base;
+  base.max_attempts = 3;
+  base.base_delay_ms = 1.0;
+  base.multiplier = 2.0;
+  base.max_delay_ms = 5.0;
+  const RetryPolicy::Options out = ClampRetryToDeadline(base, 100.0);
+  // Clamping takes min(max_delay, deadline); a cap already tighter than
+  // the deadline must come through untouched, as must the attempt count
+  // when every backoff fits.
+  EXPECT_DOUBLE_EQ(out.max_delay_ms, 5.0);
+  EXPECT_EQ(out.max_attempts, 3);
+}
+
 class RetrievalSchedulerTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -169,6 +208,40 @@ TEST_F(RetrievalSchedulerTest, CallbacksMaySubmitFollowUps) {
   scheduler.Drain();
   EXPECT_EQ(completions.load(), 2);
   EXPECT_LE(session->estimated_error(), 1e-4 * range_);
+}
+
+TEST_F(RetrievalSchedulerTest, EmptyDrainStartsNothing) {
+  // Regression: Drain() used to emit OnStarted for every sweep, including
+  // sweeps that popped an empty queue, so requests_started drifted above
+  // requests_admitted.
+  ServiceMetrics metrics;
+  RetrievalScheduler scheduler(&metrics);
+  scheduler.Drain();
+  scheduler.Drain();
+  EXPECT_EQ(metrics.snapshot().requests_started, 0u);
+  EXPECT_EQ(metrics.snapshot().queue_depth, 0u);
+}
+
+TEST_F(RetrievalSchedulerTest, StartedReconcilesWithAdmittedAndCompleted) {
+  ServiceMetrics metrics;
+  RetrievalScheduler scheduler(&metrics);
+  constexpr int kClients = 5;
+  std::vector<std::unique_ptr<RetrievalSession>> sessions;
+  for (int c = 0; c < kClients; ++c) {
+    sessions.push_back(NewSession(nullptr, &metrics));
+    ASSERT_TRUE(scheduler
+                    .Submit({sessions.back().get(), 1e-2 * range_, 0.0},
+                            nullptr)
+                    .ok());
+  }
+  scheduler.Drain();
+  scheduler.Drain();  // empty: must not inflate started
+  const ServiceMetrics::Snapshot s = metrics.snapshot();
+  EXPECT_EQ(s.requests_admitted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.requests_started, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.requests_completed + s.requests_failed,
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.queue_depth, 0u);
 }
 
 TEST_F(RetrievalSchedulerTest, DeadlinedRequestsStillComplete) {

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+
+#include "obs/tracer.h"
 
 namespace mgardp {
 namespace {
@@ -52,21 +55,31 @@ TEST(ServiceMetricsTest, SchedulerCountersAndLatency) {
   m.OnAdmitted(1);
   m.OnAdmitted(2);
   m.OnRejected();
-  m.OnStarted(1);
+  m.OnStarted(2, 0);
   m.OnCompleted(true, 10.0);
   m.OnCompleted(false, 20.0);
 
   const ServiceMetrics::Snapshot s = m.snapshot();
   EXPECT_EQ(s.requests_admitted, 2u);
   EXPECT_EQ(s.requests_rejected, 1u);
+  EXPECT_EQ(s.requests_started, 2u);
   EXPECT_EQ(s.requests_completed, 1u);  // successes only
   EXPECT_EQ(s.requests_failed, 1u);
-  EXPECT_EQ(s.queue_depth, 1u);
+  EXPECT_EQ(s.queue_depth, 0u);  // what OnStarted left behind
   EXPECT_EQ(s.queue_depth_peak, 2u);
   EXPECT_EQ(s.latency_count, 2u);
   EXPECT_GT(s.latency_p50_ms, 0.0);
   EXPECT_LE(s.latency_p50_ms, s.latency_p99_ms);
   EXPECT_DOUBLE_EQ(s.latency_max_ms, 20.0);
+}
+
+TEST(ServiceMetricsTest, StartedCountsWholeBatches) {
+  ServiceMetrics m;
+  m.OnStarted(3, 5);
+  m.OnStarted(4, 0);
+  const ServiceMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.requests_started, 7u);
+  EXPECT_EQ(s.queue_depth, 0u);
 }
 
 TEST(ServiceMetricsTest, JsonHasEveryCounterKey) {
@@ -78,13 +91,44 @@ TEST(ServiceMetricsTest, JsonHasEveryCounterKey) {
        {"cache_hits", "cache_misses", "cache_hit_bytes", "cache_evictions",
         "single_flight_shared", "cache_hit_rate", "planes_fetched",
         "planes_reused", "noop_refinements", "requests_admitted",
-        "requests_rejected", "queue_depth_peak", "latency_count",
+        "requests_rejected", "requests_started", "queue_depth_peak",
+        "latency_count",
         "latency_p50_ms", "latency_p99_ms", "latency_max_ms"}) {
     EXPECT_NE(json.find(std::string("\"") + key + "\":"), std::string::npos)
         << "missing key " << key << " in " << json;
   }
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ServiceMetricsTest, SnapshotJsonWithoutTracerIsPlainJson) {
+  ServiceMetrics m;
+  m.OnCacheHit(1);
+  EXPECT_EQ(m.SnapshotJson(nullptr), m.ToJson());
+  // A tracer that recorded nothing adds nothing.
+  obs::Tracer idle;
+  idle.set_enabled(true);
+  EXPECT_EQ(m.SnapshotJson(&idle), m.ToJson());
+}
+
+TEST(ServiceMetricsTest, SnapshotJsonMergesStageSummary) {
+  ServiceMetrics m;
+  m.OnCacheHit(1);
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  obs::StageStats* stage = tracer.GetOrCreateStage("test/stage", "service");
+  const auto t0 = std::chrono::steady_clock::now();
+  tracer.RecordInterval(stage, t0, t0 + std::chrono::milliseconds(2));
+
+  const std::string json = m.SnapshotJson(&tracer);
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test/stage\""), std::string::npos) << json;
+  // Still one well-formed object: the stages array is spliced in before
+  // the closing brace.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // The plain keys survive the splice.
+  EXPECT_NE(json.find("\"cache_hits\":1"), std::string::npos) << json;
 }
 
 TEST(ServiceMetricsTest, ResetZeroesEverything) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -73,6 +75,98 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.sum(), 0.0);
   EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, NanSamplesAreDroppedNotRecorded) {
+  Histogram h;
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.dropped(), 1u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  // Extrema were never poisoned: the next real sample defines them.
+  h.Record(2.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  h.Reset();
+  EXPECT_EQ(h.dropped(), 0u);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.dropped(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  h.Record(3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0);
+}
+
+// Regression: the extrema used to be seeded by a count-gated store of the
+// "first" sample, so concurrent first records raced — the seeding thread's
+// plain store could land after (and silently discard) another thread's
+// CAS-established extremum. With Reset() seeding +/-inf, every record is a
+// plain CAS min/max and no round can lose either extremum. Long-lived
+// threads race fresh first-samples through a spin barrier every round;
+// under the old seeding this fails within a few thousand rounds on any
+// multicore machine.
+TEST(HistogramTest, ConcurrentFirstSamplesKeepBothExtrema) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8000;
+  Histogram h;
+  std::atomic<int> arrived{0};
+  std::atomic<int> generation{0};
+  std::atomic<int> bad_round{-1};
+  // Sense-reversing spin barrier: rounds stay hot, so the per-round
+  // records genuinely collide instead of being serialized by thread
+  // startup latency. The yield keeps the barrier live when threads
+  // outnumber cores (single-core CI, sanitizer runs).
+  const auto barrier = [&arrived, &generation] {
+    const int gen = generation.load(std::memory_order_acquire);
+    if (arrived.fetch_add(1, std::memory_order_acq_rel) == kThreads - 1) {
+      arrived.store(0, std::memory_order_relaxed);
+      generation.fetch_add(1, std::memory_order_release);
+    } else {
+      while (generation.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        barrier();  // histogram freshly reset; race the first samples
+        h.Record(1.0 + static_cast<double>(t));
+        barrier();  // every record landed
+        if (t == 0) {
+          if (h.count() != static_cast<std::uint64_t>(kThreads) ||
+              h.min() != 1.0 ||
+              h.max() != static_cast<double>(kThreads)) {
+            int expected = -1;
+            bad_round.compare_exchange_strong(expected, round,
+                                              std::memory_order_relaxed);
+          }
+          h.Reset();
+        }
+        barrier();  // reset visible before the next round starts
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(bad_round.load(), -1)
+      << "lost a concurrently recorded extremum in round "
+      << bad_round.load();
 }
 
 TEST(HistogramTest, ConcurrentRecordsLoseNothing) {

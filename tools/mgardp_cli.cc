@@ -68,6 +68,8 @@
 #include "models/dmgard.h"
 #include "models/emgard.h"
 #include "models/features.h"
+#include "obs/trace_export.h"
+#include "obs/tracer.h"
 #include "progressive/fault_tolerant.h"
 #include "progressive/reconstructor.h"
 #include "progressive/refactorer.h"
@@ -98,7 +100,11 @@ class Flags {
         return;
       }
       arg = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[arg] = argv[++i];
       } else {
         values_[arg] = "";  // boolean flag
@@ -720,7 +726,12 @@ int CmdServeBench(const Flags& flags) {
          << ",\"cache_hit_rate\":" << r.metrics.cache_hit_rate()
          << ",\"metrics\":" << r.metrics.ToJson() << "}";
     }
-    os << "]}\n";
+    os << "]";
+    // Whole-run per-stage profile (all client counts pooled) when tracing.
+    if (obs::GlobalTracer().enabled()) {
+      os << ",\"stages\":" << obs::GlobalTracer().SummaryJson();
+    }
+    os << "}\n";
     Status st = WriteFile(json_path, os.str());
     if (!st.ok()) {
       return Fail(st);
@@ -924,22 +935,20 @@ void PrintHelp() {
       "            [--json FILE]   (in-process retrieval service benchmark)\n"
       "\n"
       "retrieve and serve-bench accept --threads N; effective thread count\n"
-      "now: %d (override order: --threads, MGARDP_THREADS, hardware)\n",
+      "now: %d (override order: --threads, MGARDP_THREADS, hardware)\n"
+      "\n"
+      "every subcommand accepts --trace FILE (or --trace=FILE): record\n"
+      "per-stage spans and write a Chrome trace (chrome://tracing or\n"
+      "Perfetto) on exit; MGARDP_TRACE=FILE does the same for any run.\n"
+      "serve-bench --json output gains a \"stages\" profile when tracing.\n",
       GlobalThreadCount());
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    PrintHelp();
-    return 1;
-  }
-  const std::string cmd = argv[1];
-  Flags flags(argc, argv, 2);
-  if (!flags.ok()) {
-    return Usage(flags.error().c_str());
-  }
+namespace {
+
+int Dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "generate") {
     return CmdGenerate(flags);
   }
@@ -966,4 +975,39 @@ int main(int argc, char** argv) {
   }
   PrintHelp();
   return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintHelp();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    return Usage(flags.error().c_str());
+  }
+  const std::string trace_path = flags.GetString("trace");
+  if (flags.Has("trace")) {
+    if (trace_path.empty()) {
+      return Usage("--trace needs an output file path");
+    }
+    obs::GlobalTracer().set_enabled(true);
+  }
+  const int rc = Dispatch(cmd, flags);
+  if (!trace_path.empty()) {
+    const Status st = obs::WriteChromeTrace(obs::GlobalTracer(), trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing trace: %s\n",
+                   st.ToString().c_str());
+      return rc != 0 ? rc : 2;
+    }
+    std::printf("wrote trace %s (%zu events, %llu dropped)\n",
+                trace_path.c_str(), obs::GlobalTracer().events().size(),
+                static_cast<unsigned long long>(
+                    obs::GlobalTracer().events_dropped()));
+  }
+  return rc;
 }

@@ -8,16 +8,20 @@
 # out_dir defaults to the repo root, producing BENCH_pipeline.json and
 # BENCH_serve.json there. Additional suites can be selected via
 # MGARDP_BENCH_SUITES, a space-separated subset of: pipeline bitplane
-# decompose dnn lossless storage serve. The `serve` suite drives the
+# decompose dnn lossless storage obs serve. The `serve` suite drives the
 # in-process retrieval service through the CLI (throughput and cache hit
-# rate at 1/8/64 concurrent clients) instead of a google-benchmark binary.
+# rate at 1/8/64 concurrent clients) instead of a google-benchmark binary;
+# it runs traced (--trace), so BENCH_serve.json carries a per-"stages"
+# profile and BENCH_serve_trace.json holds the Chrome timeline. The `obs`
+# suite additionally prints the tracing-disabled span overhead extracted
+# from its own results.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 out_dir="${2:-${repo_root}}"
-suites="${MGARDP_BENCH_SUITES:-pipeline serve}"
+suites="${MGARDP_BENCH_SUITES:-pipeline obs serve}"
 
 if [[ ! -d "${build_dir}" ]]; then
   echo "error: build dir '${build_dir}' not found; run:" >&2
@@ -33,12 +37,14 @@ for suite in ${suites}; do
       exit 1
     fi
     out="${out_dir}/BENCH_serve.json"
-    echo "== serve-bench -> ${out}"
+    trace_out="${out_dir}/BENCH_serve_trace.json"
+    echo "== serve-bench (traced) -> ${out}, ${trace_out}"
     "${cli}" serve-bench \
       --app gray-scott --field D_u --dims 33,33,33 \
       --fields "${MGARDP_BENCH_SERVE_FIELDS:-4}" \
       --clients "${MGARDP_BENCH_SERVE_CLIENTS:-1,8,64}" \
       --rounds "${MGARDP_BENCH_SERVE_ROUNDS:-4}" \
+      --trace "${trace_out}" \
       --json "${out}" >/dev/null
     continue
   fi
@@ -55,6 +61,26 @@ for suite in ${suites}; do
     --benchmark_out_format=json \
     --benchmark_repetitions="${MGARDP_BENCH_REPS:-1}" \
     >/dev/null
+  if [[ "${suite}" == "obs" ]] && command -v python3 >/dev/null 2>&1; then
+    # Span overhead numbers. The disabled-path delta is reported in
+    # absolute ns/span (the baseline loop is ~100 ns, so a percentage of
+    # it would be meaningless for the ms-scale stages spans actually
+    # wrap); the pipeline pair gives the end-to-end enabled tax.
+    python3 - "${out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    runs = {b["name"]: b["real_time"] for b in json.load(f)["benchmarks"]}
+off, on = runs.get("BM_SpanDisabled"), runs.get("BM_SpanEnabled")
+bare = runs.get("BM_SpanBaseline")
+if off and bare:
+    print(f"   span cost, tracing disabled: {off - bare:.1f} ns "
+          f"(enabled: {on - bare:.1f} ns)" if on else "")
+poff, pon = runs.get("BM_PipelineTraceOff"), runs.get("BM_PipelineTraceOn")
+if poff and pon:
+    print("   end-to-end pipeline tax with tracing ON: "
+          f"{100.0 * (pon - poff) / poff:+.2f}%")
+EOF
+  fi
 done
 
 echo "done."
