@@ -14,6 +14,7 @@
 
 #include <chrono>
 
+#include "obs/audit.h"
 #include "obs/tracer.h"
 #include "progressive/reconstructor.h"
 #include "progressive/refactorer.h"
@@ -108,5 +109,42 @@ void BM_PipelineTraceOn(benchmark::State& state) {
   tracer.Clear();
 }
 BENCHMARK(BM_PipelineTraceOn);
+
+// The audit layer's always-on cost: one estimate-only Record() (the shape
+// every production retrieval pays when no ground truth is attached) —
+// counter increments plus two histogram records, no drift samples.
+void BM_AuditRecord(benchmark::State& state) {
+  obs::ErrorControlAuditor auditor;
+  obs::AuditRecord r;
+  r.model = "baseline";
+  r.requested_tolerance = 1e-3;
+  r.predicted_error = 8e-4;
+  r.bytes_fetched = 1 << 20;
+  r.oracle_bytes = 1 << 19;
+  for (auto _ : state) {
+    auditor.Record(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuditRecord);
+
+// Same record with per-level prefix vectors attached: adds the drift ring
+// updates under the per-model mutex (5 levels).
+void BM_AuditRecordWithDrift(benchmark::State& state) {
+  obs::ErrorControlAuditor auditor;
+  obs::AuditRecord r;
+  r.model = "baseline";
+  r.requested_tolerance = 1e-3;
+  r.predicted_error = 8e-4;
+  r.bytes_fetched = 1 << 20;
+  r.oracle_bytes = 1 << 19;
+  r.predicted_prefix = {12, 10, 8, 6, 4};
+  r.oracle_prefix = {11, 10, 9, 6, 3};
+  for (auto _ : state) {
+    auditor.Record(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuditRecordWithDrift);
 
 }  // namespace

@@ -9,7 +9,8 @@ namespace mgardp {
 Result<RetrievalPlan> PlanHybrid(const RefactoredField& field,
                                  double error_bound,
                                  const DMgardModel& dmgard,
-                                 const ErrorEstimator& estimator) {
+                                 const ErrorEstimator& estimator,
+                                 RetrievalPlan* dmgard_plan) {
   if (!(error_bound > 0.0)) {
     return Status::Invalid("error_bound must be positive");
   }
@@ -25,6 +26,11 @@ Result<RetrievalPlan> PlanHybrid(const RefactoredField& field,
   Reconstructor verifier(&estimator);
 
   double est = estimator.Estimate(field, prefix);
+  if (dmgard_plan != nullptr) {
+    dmgard_plan->prefix = prefix;
+    dmgard_plan->total_bytes = sizes.TotalBytes(prefix);
+    dmgard_plan->estimated_error = est;
+  }
   if (est > error_bound) {
     // Under-provisioned: extend greedily from the warm start.
     MGARDP_ASSIGN_OR_RETURN(RetrievalPlan plan,

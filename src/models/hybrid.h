@@ -21,11 +21,15 @@ namespace mgardp {
 
 // Plans a retrieval for `error_bound` using both models. `estimator` must
 // be the LearnedConstantsEstimator (or any estimator) used for
-// verification; `dmgard` supplies the warm start.
+// verification; `dmgard` supplies the warm start. When `dmgard_plan` is
+// non-null it receives the uncorrected warm-start plan (the raw D-MGARD
+// prediction), so callers — the audit layer in particular — can measure
+// how far the estimator's correction moved it.
 Result<RetrievalPlan> PlanHybrid(const RefactoredField& field,
                                  double error_bound,
                                  const DMgardModel& dmgard,
-                                 const ErrorEstimator& estimator);
+                                 const ErrorEstimator& estimator,
+                                 RetrievalPlan* dmgard_plan = nullptr);
 
 }  // namespace mgardp
 

@@ -1,0 +1,267 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+namespace mgardp {
+namespace obs {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Ratio histograms: overfetch/tightness/violation magnitude live in
+// roughly [0.01, 1e3] with occasional wild tails; 128 geometric buckets at
+// 10% growth cover [0.01, ~2e3] with constant relative resolution.
+Histogram::Options RatioHistogramOptions() {
+  return Histogram::Options{1e-2, 1.1, 128};
+}
+
+ErrorControlAuditor::RatioSummary SummarizeRatio(const Histogram& h) {
+  ErrorControlAuditor::RatioSummary s;
+  s.count = h.count();
+  s.mean = s.count == 0 ? 0.0 : h.sum() / static_cast<double>(s.count);
+  s.p50 = h.Quantile(0.5);
+  s.p90 = h.Quantile(0.9);
+  s.min = h.min();
+  s.max = h.max();
+  return s;
+}
+
+void AppendRatioJson(std::ostringstream* os, const char* key,
+                     const ErrorControlAuditor::RatioSummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"count\":%llu,\"mean\":%.6g,\"p50\":%.6g,"
+                "\"p90\":%.6g,\"min\":%.6g,\"max\":%.6g}",
+                key, static_cast<unsigned long long>(s.count), s.mean, s.p50,
+                s.p90, s.min, s.max);
+  *os << buf;
+}
+
+}  // namespace
+
+ErrorControlAuditor::ModelStats::ModelStats(std::string model_name)
+    : name(std::move(model_name)),
+      violation_magnitude(RatioHistogramOptions()),
+      overfetch(RatioHistogramOptions()),
+      tightness(RatioHistogramOptions()) {}
+
+ErrorControlAuditor::ErrorControlAuditor()
+    : ErrorControlAuditor(Options()) {}
+
+ErrorControlAuditor::ErrorControlAuditor(Options options)
+    : options_(options) {
+  if (options_.drift_window < 1) {
+    options_.drift_window = 1;
+  }
+}
+
+ErrorControlAuditor::ModelStats* ErrorControlAuditor::GetOrCreate(
+    const std::string& model) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& m : models_) {
+      if (m->name == model) {
+        return m.get();
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& m : models_) {
+    if (m->name == model) {
+      return m.get();
+    }
+  }
+  models_.push_back(std::make_unique<ModelStats>(model));
+  return models_.back().get();
+}
+
+void ErrorControlAuditor::Record(const AuditRecord& record) {
+  ModelStats* m = GetOrCreate(record.model);
+  m->records.fetch_add(1, kRelaxed);
+  if (record.degraded) {
+    m->degraded.fetch_add(1, kRelaxed);
+  }
+  if (record.has_actual()) {
+    if (record.actual_error <= record.requested_tolerance) {
+      m->satisfied.fetch_add(1, kRelaxed);
+    } else {
+      m->violations.fetch_add(1, kRelaxed);
+    }
+    if (record.requested_tolerance > 0.0) {
+      m->violation_magnitude.Record(record.actual_error /
+                                    record.requested_tolerance);
+    }
+    // predicted/actual blows up (and would wedge the histogram extrema at
+    // +inf) on an exact reconstruction; such records carry no tightness
+    // information anyway.
+    if (record.actual_error > 0.0) {
+      m->tightness.Record(record.predicted_error / record.actual_error);
+    }
+  } else {
+    m->estimate_only.fetch_add(1, kRelaxed);
+  }
+  if (record.oracle_bytes > 0) {
+    m->overfetch.Record(static_cast<double>(record.bytes_fetched) /
+                        static_cast<double>(record.oracle_bytes));
+  }
+  if (!record.predicted_prefix.empty() &&
+      record.predicted_prefix.size() == record.oracle_prefix.size()) {
+    std::lock_guard<std::mutex> lock(m->drift_mu);
+    if (m->drift.size() < record.predicted_prefix.size()) {
+      m->drift.resize(record.predicted_prefix.size());
+    }
+    for (std::size_t l = 0; l < record.predicted_prefix.size(); ++l) {
+      LevelDriftState& d = m->drift[l];
+      const double err = static_cast<double>(record.predicted_prefix[l] -
+                                             record.oracle_prefix[l]);
+      ++d.count;
+      d.sum += err;
+      d.max_abs = std::max(d.max_abs, std::abs(err));
+      if (d.ring.size() <
+          static_cast<std::size_t>(options_.drift_window)) {
+        d.ring.push_back(err);
+      } else {
+        d.ring[d.next] = err;
+        d.next = (d.next + 1) % d.ring.size();
+      }
+    }
+  }
+}
+
+ErrorControlAuditor::Snapshot ErrorControlAuditor::snapshot() const {
+  Snapshot snap;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  snap.models.reserve(models_.size());
+  for (const auto& m : models_) {
+    ModelSnapshot ms;
+    ms.model = m->name;
+    ms.records = m->records.load(kRelaxed);
+    ms.violations = m->violations.load(kRelaxed);
+    ms.satisfied = m->satisfied.load(kRelaxed);
+    ms.estimate_only = m->estimate_only.load(kRelaxed);
+    ms.degraded = m->degraded.load(kRelaxed);
+    ms.violation_magnitude = SummarizeRatio(m->violation_magnitude);
+    ms.overfetch = SummarizeRatio(m->overfetch);
+    ms.tightness = SummarizeRatio(m->tightness);
+    {
+      std::lock_guard<std::mutex> drift_lock(m->drift_mu);
+      ms.drift.reserve(m->drift.size());
+      for (std::size_t l = 0; l < m->drift.size(); ++l) {
+        const LevelDriftState& d = m->drift[l];
+        LevelDrift out;
+        out.level = static_cast<int>(l);
+        out.count = d.count;
+        out.mean = d.count == 0 ? 0.0 : d.sum / static_cast<double>(d.count);
+        out.max_abs = d.max_abs;
+        if (!d.ring.empty()) {
+          double sum = 0.0, sum_abs = 0.0, max_abs = 0.0;
+          for (const double e : d.ring) {
+            sum += e;
+            sum_abs += std::abs(e);
+            max_abs = std::max(max_abs, std::abs(e));
+          }
+          const double n = static_cast<double>(d.ring.size());
+          out.window_mean = sum / n;
+          out.window_mean_abs = sum_abs / n;
+          out.window_max_abs = max_abs;
+          out.alert = out.window_mean_abs > options_.drift_alert_planes;
+        }
+        ms.drift.push_back(out);
+      }
+    }
+    snap.models.push_back(std::move(ms));
+  }
+  std::sort(snap.models.begin(), snap.models.end(),
+            [](const ModelSnapshot& a, const ModelSnapshot& b) {
+              return a.model < b.model;
+            });
+  return snap;
+}
+
+std::uint64_t ErrorControlAuditor::total_records() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& m : models_) {
+    total += m->records.load(kRelaxed);
+  }
+  return total;
+}
+
+void ErrorControlAuditor::Reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& m : models_) {
+    m->records.store(0, kRelaxed);
+    m->violations.store(0, kRelaxed);
+    m->satisfied.store(0, kRelaxed);
+    m->estimate_only.store(0, kRelaxed);
+    m->degraded.store(0, kRelaxed);
+    m->violation_magnitude.Reset();
+    m->overfetch.Reset();
+    m->tightness.Reset();
+    std::lock_guard<std::mutex> drift_lock(m->drift_mu);
+    m->drift.clear();
+  }
+}
+
+std::string ErrorControlAuditor::Snapshot::ToJson() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const ModelSnapshot& m = models[i];
+    if (i > 0) {
+      os << ",";
+    }
+    char head[512];
+    std::snprintf(head, sizeof(head),
+                  "{\"model\":\"%s\",\"records\":%llu,\"violations\":%llu,"
+                  "\"satisfied\":%llu,\"estimate_only\":%llu,"
+                  "\"degraded\":%llu,\"violation_rate\":%.6f,"
+                  "\"drift_alert\":%s,",
+                  m.model.c_str(),
+                  static_cast<unsigned long long>(m.records),
+                  static_cast<unsigned long long>(m.violations),
+                  static_cast<unsigned long long>(m.satisfied),
+                  static_cast<unsigned long long>(m.estimate_only),
+                  static_cast<unsigned long long>(m.degraded),
+                  m.violation_rate(), m.drift_alert() ? "true" : "false");
+    os << head;
+    AppendRatioJson(&os, "violation_magnitude", m.violation_magnitude);
+    os << ",";
+    AppendRatioJson(&os, "overfetch", m.overfetch);
+    os << ",";
+    AppendRatioJson(&os, "tightness", m.tightness);
+    os << ",\"drift\":[";
+    for (std::size_t l = 0; l < m.drift.size(); ++l) {
+      const LevelDrift& d = m.drift[l];
+      if (l > 0) {
+        os << ",";
+      }
+      char buf[320];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"level\":%d,\"count\":%llu,\"mean\":%.6g,"
+                    "\"max_abs\":%.6g,\"window_mean\":%.6g,"
+                    "\"window_mean_abs\":%.6g,\"window_max_abs\":%.6g,"
+                    "\"alert\":%s}",
+                    d.level, static_cast<unsigned long long>(d.count),
+                    d.mean, d.max_abs, d.window_mean, d.window_mean_abs,
+                    d.window_max_abs, d.alert ? "true" : "false");
+      os << buf;
+    }
+    os << "]}";
+  }
+  os << "]";
+  return os.str();
+}
+
+ErrorControlAuditor& GlobalAuditor() {
+  // Leaked on purpose: exit-time exporters (--prom atexit hooks) may read
+  // it after static destruction would have run.
+  static ErrorControlAuditor* const auditor = new ErrorControlAuditor();
+  return *auditor;
+}
+
+}  // namespace obs
+}  // namespace mgardp

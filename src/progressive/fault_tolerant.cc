@@ -99,6 +99,18 @@ Result<Array3Dd> FaultTolerantReconstructor::Retrieve(
   rep.degraded = !rep.skipped.empty();
 
   Result<Array3Dd> data = ReconstructFromSegments(field, fetched, have);
+  if (data.ok()) {
+    // Audit with the estimator's bound over the prefix actually delivered —
+    // on a degraded retrieval that is the honest (larger) figure, so a
+    // blown bound shows up as a violation instead of hiding behind the
+    // fault-free plan's estimate.
+    RetrievalPlan achieved;
+    achieved.prefix = rep.achieved_prefix;
+    achieved.total_bytes = rep.bytes_read;
+    achieved.estimated_error = rep.achieved_bound;
+    AuditRetrieval(field, AuditModelId(estimator_->name()), error_bound,
+                   achieved, truth_, &data.value(), rep.degraded, auditor_);
+  }
   if (report != nullptr) {
     *report = std::move(rep);
   }

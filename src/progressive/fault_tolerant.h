@@ -83,9 +83,17 @@ class FaultTolerantReconstructor {
                             StorageBackend* backend, double error_bound,
                             RetrievalReport* report = nullptr) const;
 
+  // Audit configuration (see Reconstructor). Every successful Retrieve —
+  // degraded ones included, with the honest achieved bound as the
+  // prediction — feeds one AuditRecord; nullptr routes to GlobalAuditor().
+  void set_ground_truth(const Array3Dd* truth) { truth_ = truth; }
+  void set_auditor(obs::ErrorControlAuditor* auditor) { auditor_ = auditor; }
+
  private:
   const ErrorEstimator* estimator_;
   RetryPolicy retry_;
+  const Array3Dd* truth_ = nullptr;
+  obs::ErrorControlAuditor* auditor_ = nullptr;
 };
 
 }  // namespace mgardp

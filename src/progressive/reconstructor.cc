@@ -10,6 +10,7 @@
 #include "obs/tracer.h"
 #include "progressive/padding.h"
 #include "util/parallel.h"
+#include "util/stats.h"
 
 namespace mgardp {
 
@@ -373,7 +374,93 @@ Result<Array3Dd> Reconstructor::Retrieve(const RefactoredField& field,
   if (plan_out != nullptr) {
     *plan_out = plan;
   }
-  return Reconstruct(field, plan);
+  MGARDP_ASSIGN_OR_RETURN(Array3Dd data, Reconstruct(field, plan));
+  const std::string model =
+      model_id_.empty() ? AuditModelId(estimator_->name()) : model_id_;
+  AuditRetrieval(field, model, error_bound, plan, truth_, &data,
+                 /*degraded=*/false, auditor_);
+  return data;
+}
+
+namespace {
+
+// The matrices' own tightest bound: err <= sum_l Err[l][b_l] with no
+// amplification constant. Not safe as a *planner* estimator for real
+// retrieval (it ignores recomposition amplification) — it exists to define
+// the oracle byte floor the audit layer normalizes against.
+class IdealMatrixEstimator : public ErrorEstimator {
+ public:
+  double Estimate(const RefactoredField& field,
+                  const std::vector<int>& prefix) const override {
+    MGARDP_CHECK_EQ(prefix.size(),
+                    static_cast<std::size_t>(field.num_levels()));
+    double est = 0.0;
+    for (int l = 0; l < field.num_levels(); ++l) {
+      const auto& max_abs = field.level_errors[l].max_abs;
+      const int b = std::clamp(prefix[l], 0,
+                               static_cast<int>(max_abs.size()) - 1);
+      est += max_abs[b];
+    }
+    return est;
+  }
+  std::string name() const override { return "ideal-matrix"; }
+};
+
+}  // namespace
+
+Result<RetrievalPlan> OracleMinPlan(const RefactoredField& field,
+                                    double tolerance) {
+  if (!(tolerance > 0.0)) {
+    return Status::Invalid("tolerance must be positive");
+  }
+  SizeInterpreter sizes = MakeSizeInterpreter(field);
+  IdealMatrixEstimator ideal;
+  RetrievalPlan plan;
+  plan.prefix.assign(field.num_levels(), 0);
+  double est = ideal.Estimate(field, plan.prefix);
+  while (est > tolerance &&
+         GreedyStep(field, sizes, ideal, &plan.prefix, &est)) {
+  }
+  if (est <= tolerance) {
+    TrimPlan(field, sizes, ideal, tolerance, &plan.prefix, &est);
+  }
+  plan.estimated_error = est;
+  plan.total_bytes = sizes.TotalBytes(plan.prefix);
+  return plan;
+}
+
+std::string AuditModelId(const std::string& estimator_name) {
+  if (estimator_name == "theory") {
+    return "baseline";
+  }
+  if (estimator_name == "e-mgard") {
+    return "emgard";
+  }
+  return estimator_name;
+}
+
+void AuditRetrieval(const RefactoredField& field, const std::string& model,
+                    double tolerance, const RetrievalPlan& plan,
+                    const Array3Dd* ground_truth,
+                    const Array3Dd* reconstructed, bool degraded,
+                    obs::ErrorControlAuditor* auditor) {
+  obs::AuditRecord record;
+  record.model = model;
+  record.requested_tolerance = tolerance;
+  record.predicted_error = plan.estimated_error;
+  record.degraded = degraded;
+  record.bytes_fetched = plan.total_bytes;
+  record.predicted_prefix = plan.prefix;
+  if (auto oracle = OracleMinPlan(field, tolerance); oracle.ok()) {
+    record.oracle_bytes = oracle.value().total_bytes;
+    record.oracle_prefix = std::move(oracle.value().prefix);
+  }
+  if (ground_truth != nullptr && reconstructed != nullptr &&
+      ground_truth->vector().size() == reconstructed->vector().size()) {
+    record.actual_error =
+        MaxAbsError(ground_truth->vector(), reconstructed->vector());
+  }
+  (auditor != nullptr ? *auditor : obs::GlobalAuditor()).Record(record);
 }
 
 }  // namespace mgardp

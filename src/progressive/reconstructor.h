@@ -5,8 +5,10 @@
 #ifndef MGARDP_PROGRESSIVE_RECONSTRUCTOR_H_
 #define MGARDP_PROGRESSIVE_RECONSTRUCTOR_H_
 
+#include <string>
 #include <vector>
 
+#include "obs/audit.h"
 #include "progressive/error_estimator.h"
 #include "progressive/refactored_field.h"
 #include "storage/size_interpreter.h"
@@ -68,13 +70,27 @@ class Reconstructor {
   Result<Array3Dd> Reconstruct(const RefactoredField& field,
                                const RetrievalPlan& plan) const;
 
-  // Plan + Reconstruct in one call.
+  // Plan + Reconstruct in one call. Every Retrieve feeds one AuditRecord
+  // to the configured auditor (GlobalAuditor by default); with ground
+  // truth set, the record carries the actual achieved error.
   Result<Array3Dd> Retrieve(const RefactoredField& field,
                             double error_bound,
                             RetrievalPlan* plan_out = nullptr) const;
 
+  // Audit configuration. `truth` must match the field's original dims and
+  // outlive the reconstructor; nullptr (the default) audits estimate-only.
+  void set_ground_truth(const Array3Dd* truth) { truth_ = truth; }
+  // nullptr routes to GlobalAuditor(); pass a local auditor in tests.
+  void set_auditor(obs::ErrorControlAuditor* auditor) { auditor_ = auditor; }
+  // Overrides the model id derived from the estimator name (see
+  // AuditModelId), e.g. "hybrid" when the plan came from PlanHybrid.
+  void set_model_id(std::string model_id) { model_id_ = std::move(model_id); }
+
  private:
   const ErrorEstimator* estimator_;
+  const Array3Dd* truth_ = nullptr;
+  obs::ErrorControlAuditor* auditor_ = nullptr;
+  std::string model_id_;
 };
 
 // Decode + recompose for an explicit prefix, independent of any estimator.
@@ -108,6 +124,31 @@ SizeInterpreter MakeSizeInterpreter(const RefactoredField& field);
 Result<std::size_t> DeltaBytes(const RefactoredField& field,
                                const std::vector<int>& from,
                                const std::vector<int>& to);
+
+// The cheapest plan per the stored error matrices alone: greedy selection
+// under the idealized estimator sum_l Err[l][b_l] (Equation 6 with C = 1 —
+// no amplification slack), which is the tightest bound the matrices can
+// certify. Its total_bytes is the audit layer's oracle floor for the
+// overfetch ratio; real planners pay amplification constants (or model
+// error) on top of it. Pure matrix arithmetic — never reconstructs.
+Result<RetrievalPlan> OracleMinPlan(const RefactoredField& field,
+                                    double tolerance);
+
+// Canonical audit model id for an estimator name: the paper's baseline
+// ("theory") audits as "baseline", "e-mgard" as "emgard"; anything else
+// (snorm, oracle, dmgard, hybrid) passes through unchanged.
+std::string AuditModelId(const std::string& estimator_name);
+
+// Builds and records one AuditRecord for a completed retrieval: derives
+// oracle bytes/prefix from OracleMinPlan at `tolerance`, and computes the
+// actual max error only when both `ground_truth` and `reconstructed` are
+// non-null with matching sizes (estimate-only otherwise — no O(N) work).
+// Records into `auditor`, or GlobalAuditor() when null.
+void AuditRetrieval(const RefactoredField& field, const std::string& model,
+                    double tolerance, const RetrievalPlan& plan,
+                    const Array3Dd* ground_truth,
+                    const Array3Dd* reconstructed, bool degraded = false,
+                    obs::ErrorControlAuditor* auditor = nullptr);
 
 }  // namespace mgardp
 

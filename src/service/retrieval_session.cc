@@ -5,14 +5,19 @@
 #include <utility>
 
 #include "obs/tracer.h"
+#include "util/stats.h"
 
 namespace mgardp {
 
 std::string RetrievalSession::Refinement::ToString() const {
   std::ostringstream os;
   os << "refine to " << requested_bound << ": est " << estimated_error
-     << (bound_met ? " (met" : " (MISSED") << (noop ? ", noop)" : ")")
-     << " prefix";
+     << (bound_met ? " (met" : " (MISSED") << (noop ? ", noop)" : ")");
+  if (has_actual) {
+    os << " actual " << actual_error
+       << (actual_bound_met ? " (met)" : " (VIOLATED)");
+  }
+  os << " prefix";
   for (int p : prefix) {
     os << ' ' << p;
   }
@@ -132,6 +137,20 @@ Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
   ref.estimated_error = estimate_;
   ref.bound_met = estimate_ <= error_bound;
   ref.prefix = have_;
+  if (truth_ != nullptr &&
+      truth_->vector().size() == data_->vector().size()) {
+    ref.has_actual = true;
+    ref.actual_error = MaxAbsError(truth_->vector(), data_->vector());
+    ref.actual_bound_met = ref.actual_error <= error_bound;
+  }
+  // Each non-noop refinement is one audited request; total_bytes reports
+  // the full prefix in hand (what this accuracy costs), not just the delta.
+  RetrievalPlan audited;
+  audited.prefix = have_;
+  audited.total_bytes = sizes.TotalBytes(have_);
+  audited.estimated_error = estimate_;
+  AuditRetrieval(*field_, AuditModelId(estimator_->name()), error_bound,
+                 audited, truth_, &*data_, /*degraded=*/false, auditor_);
   if (metrics_ != nullptr) {
     metrics_->OnPlanesFetched(ref.planes_fetched, ref.fetched_bytes);
     metrics_->OnPlanesReused(ref.planes_reused + ref.planes_cached,
@@ -141,6 +160,16 @@ Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
     *info = std::move(ref);
   }
   return &*data_;
+}
+
+void RetrievalSession::set_ground_truth(const Array3Dd* truth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  truth_ = truth;
+}
+
+void RetrievalSession::set_auditor(obs::ErrorControlAuditor* auditor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auditor_ = auditor;
 }
 
 std::vector<int> RetrievalSession::prefix() const {

@@ -53,8 +53,17 @@ class RetrievalSession {
   struct Refinement {
     double requested_bound = 0.0;
     double estimated_error = 0.0;
-    bool bound_met = false;  // estimated_error <= requested_bound
+    bool bound_met = false;  // estimated_error <= requested_bound (estimate!)
     bool noop = false;       // bound already satisfied; cached field returned
+
+    // Honest accounting, mirroring RetrievalReport: bound_met above only
+    // says the *estimate* cleared the bound. When the session has ground
+    // truth attached, has_actual is true and actual_error/actual_bound_met
+    // report the real achieved error against it.
+    bool has_actual = false;
+    double actual_error = 0.0;
+    bool actual_bound_met = false;  // actual_error <= requested_bound
+
     std::vector<int> prefix;
 
     int planes_fetched = 0;  // read from the backend (cache misses)
@@ -96,6 +105,14 @@ class RetrievalSession {
   const std::string& field_id() const { return field_id_; }
   const RefactoredField& field() const { return *field_; }
 
+  // Audit configuration. With ground truth attached (must match the
+  // field's original size and outlive the session), every non-noop Refine
+  // computes the actual achieved error, fills the Refinement's honest
+  // fields, and the audit record carries it; without it refinements audit
+  // estimate-only. nullptr auditor routes to GlobalAuditor().
+  void set_ground_truth(const Array3Dd* truth);
+  void set_auditor(obs::ErrorControlAuditor* auditor);
+
   // Snapshot accessors (take the session lock).
   std::vector<int> prefix() const;
   double estimated_error() const;       // +inf before the first Refine
@@ -112,6 +129,8 @@ class RetrievalSession {
   RetryPolicy retry_;
 
   mutable std::mutex mu_;
+  const Array3Dd* truth_ = nullptr;           // guarded by mu_
+  obs::ErrorControlAuditor* auditor_ = nullptr;  // guarded by mu_
   std::vector<int> have_;          // planes in hand per level
   double estimate_;                // estimator value at have_
   SegmentStore local_;             // payloads already fetched

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/audit.h"
+#include "obs/prom_export.h"
 #include "obs/tracer.h"
 
 namespace mgardp {
@@ -129,21 +131,105 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
   return buf;
 }
 
-std::string ServiceMetrics::SnapshotJson(const obs::Tracer* tracer) const {
+std::string ServiceMetrics::SnapshotJson(
+    const obs::Tracer* tracer, const obs::ErrorControlAuditor* auditor) const {
   std::string json = ToJson();
-  if (tracer == nullptr) {
-    return json;
+  if (tracer != nullptr) {
+    const std::string stages = tracer->SummaryJson();
+    if (stages != "[]") {
+      // Splice into the flat object: {...} -> {...,"stages":[...]}
+      json.pop_back();
+      json += ",\"stages\":";
+      json += stages;
+      json += "}";
+    }
   }
-  const std::string stages = tracer->SummaryJson();
-  if (stages == "[]") {
-    return json;
+  if (auditor != nullptr) {
+    const std::string audit = auditor->ToJson();
+    if (audit != "[]") {
+      json.pop_back();
+      json += ",\"audit\":";
+      json += audit;
+      json += "}";
+    }
   }
-  // Splice the stage array into the flat object: {...} -> {...,"stages":[...]}
-  json.pop_back();
-  json += ",\"stages\":";
-  json += stages;
-  json += "}";
   return json;
+}
+
+void AppendServiceMetricsProm(const ServiceMetrics::Snapshot& s,
+                              obs::PromWriter* writer) {
+  struct Row {
+    const char* name;
+    const char* type;
+    const char* help;
+    double value;
+  };
+  const Row rows[] = {
+      {"mgardp_service_cache_hits_total", "counter",
+       "Segment cache hits.", static_cast<double>(s.cache_hits)},
+      {"mgardp_service_cache_misses_total", "counter",
+       "Segment cache misses (backend fills).",
+       static_cast<double>(s.cache_misses)},
+      {"mgardp_service_cache_hit_bytes_total", "counter",
+       "Bytes served from the segment cache.",
+       static_cast<double>(s.cache_hit_bytes)},
+      {"mgardp_service_cache_miss_bytes_total", "counter",
+       "Bytes read from the backend on cache misses.",
+       static_cast<double>(s.cache_miss_bytes)},
+      {"mgardp_service_cache_evictions_total", "counter",
+       "Segment cache evictions.", static_cast<double>(s.cache_evictions)},
+      {"mgardp_service_single_flight_shared_total", "counter",
+       "Fetches deduplicated onto an identical in-flight one.",
+       static_cast<double>(s.single_flight_shared)},
+      {"mgardp_service_planes_fetched_total", "counter",
+       "Bit-planes fetched from the backend by sessions.",
+       static_cast<double>(s.planes_fetched)},
+      {"mgardp_service_planes_reused_total", "counter",
+       "Bit-planes reused from session or shared cache.",
+       static_cast<double>(s.planes_reused)},
+      {"mgardp_service_fetched_bytes_total", "counter",
+       "Bytes fetched from the backend by sessions.",
+       static_cast<double>(s.fetched_bytes)},
+      {"mgardp_service_reused_bytes_total", "counter",
+       "Bytes reused without touching the backend.",
+       static_cast<double>(s.reused_bytes)},
+      {"mgardp_service_noop_refinements_total", "counter",
+       "Refinements satisfied by the reconstruction already in hand.",
+       static_cast<double>(s.noop_refinements)},
+      {"mgardp_service_requests_admitted_total", "counter",
+       "Requests admitted by the scheduler.",
+       static_cast<double>(s.requests_admitted)},
+      {"mgardp_service_requests_rejected_total", "counter",
+       "Requests rejected at admission.",
+       static_cast<double>(s.requests_rejected)},
+      {"mgardp_service_requests_completed_total", "counter",
+       "Requests completed successfully.",
+       static_cast<double>(s.requests_completed)},
+      {"mgardp_service_requests_failed_total", "counter",
+       "Requests that completed with an error.",
+       static_cast<double>(s.requests_failed)},
+      {"mgardp_service_queue_depth", "gauge",
+       "Scheduler queue depth at the last admission/start event.",
+       static_cast<double>(s.queue_depth)},
+      {"mgardp_service_queue_depth_peak", "gauge",
+       "Peak scheduler queue depth since reset.",
+       static_cast<double>(s.queue_depth_peak)},
+      {"mgardp_service_cache_hit_rate", "gauge",
+       "Fraction of cache lookups that avoided the backend.",
+       s.cache_hit_rate()},
+      {"mgardp_service_request_latency_ms_p50", "gauge",
+       "Median request latency (ms).", s.latency_p50_ms},
+      {"mgardp_service_request_latency_ms_p90", "gauge",
+       "90th-percentile request latency (ms).", s.latency_p90_ms},
+      {"mgardp_service_request_latency_ms_p99", "gauge",
+       "99th-percentile request latency (ms).", s.latency_p99_ms},
+      {"mgardp_service_request_latency_ms_max", "gauge",
+       "Maximum request latency (ms).", s.latency_max_ms},
+  };
+  for (const Row& r : rows) {
+    writer->Family(r.name, r.type, r.help);
+    writer->Sample({}, r.value);
+  }
 }
 
 ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {

@@ -21,6 +21,8 @@
 namespace mgardp {
 
 namespace obs {
+class ErrorControlAuditor;
+class PromWriter;
 class Tracer;
 }  // namespace obs
 
@@ -95,11 +97,14 @@ class ServiceMetrics {
   std::string ToJson() const { return snapshot().ToJson(); }
 
   // The counter snapshot with the tracer's per-stage profile merged in as
-  // a "stages" array (span name -> count/total/min/max/quantiles), so one
-  // JSON object answers both "how much" and "where the time went".
-  // Passing nullptr (or a tracer with no recorded stages) yields plain
-  // ToJson().
-  std::string SnapshotJson(const obs::Tracer* tracer = nullptr) const;
+  // a "stages" array (span name -> count/total/min/max/quantiles) and the
+  // auditor's per-model error-control accounting as an "audit" array, so
+  // one JSON object answers "how much", "where the time went", and
+  // "did the error control hold". Passing nullptr (or a tracer/auditor
+  // with nothing recorded) omits the corresponding section.
+  std::string SnapshotJson(const obs::Tracer* tracer = nullptr,
+                           const obs::ErrorControlAuditor* auditor =
+                               nullptr) const;
 
   void Reset();
 
@@ -129,6 +134,14 @@ class ServiceMetrics {
 
   Histogram latency_ms_;
 };
+
+// Renders a metrics snapshot into a Prometheus exposition as
+// `mgardp_service_*` counter and gauge families (cache traffic, session
+// plane/byte accounting, scheduler request counts, queue depth, latency
+// quantile gauges). Lives beside ServiceMetrics so the obs layer stays
+// free of service-layer types.
+void AppendServiceMetricsProm(const ServiceMetrics::Snapshot& snapshot,
+                              obs::PromWriter* writer);
 
 }  // namespace mgardp
 

@@ -104,12 +104,32 @@ double Histogram::max() const {
   return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
+double Histogram::bucket_upper_edge(int b) const {
+  MGARDP_CHECK(b >= 0 && b <= options_.num_buckets);
+  return b == options_.num_buckets ? std::numeric_limits<double>::infinity()
+                                   : edges_[b + 1];
+}
+
+std::uint64_t Histogram::bucket_count(int b) const {
+  MGARDP_CHECK(b >= 0 && b <= options_.num_buckets);
+  return buckets_[b].load(std::memory_order_relaxed);
+}
+
 double Histogram::Quantile(double q) const {
   const std::uint64_t n = count();
   if (n == 0) {
     return 0.0;
   }
   q = std::clamp(q, 0.0, 1.0);
+  // The extrema are tracked exactly (CAS min/max on every Record), so the
+  // distribution's endpoints need no in-bucket interpolation — p0/p100
+  // from bucket edges would be off by up to one bucket's width.
+  if (q == 0.0) {
+    return min();
+  }
+  if (q == 1.0) {
+    return max();
+  }
   const std::uint64_t rank =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
                                      std::ceil(q * static_cast<double>(n))));

@@ -49,8 +49,17 @@ class Histogram {
 
   // Approximate q-quantile (0 <= q <= 1): locates the bucket holding the
   // ceil(q * count)-th sample and interpolates linearly inside it, clamped
-  // to the recorded min/max. Returns 0 when empty.
+  // to the recorded min/max. q <= 0 and q >= 1 return the tracked min/max
+  // extrema exactly (not a bucket-edge interpolation), so p0/p100 are
+  // sample-precise. Returns 0 when empty.
   double Quantile(double q) const;
+
+  // Bucket introspection for exporters (Prometheus text exposition).
+  // Valid b is [0, num_buckets()]; index num_buckets() is the overflow
+  // bucket, whose upper edge is +infinity.
+  int num_buckets() const { return options_.num_buckets; }
+  double bucket_upper_edge(int b) const;
+  std::uint64_t bucket_count(int b) const;
 
   void Reset();
 

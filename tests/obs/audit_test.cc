@@ -1,0 +1,266 @@
+// ErrorControlAuditor: record classification, per-model aggregation, drift
+// windows and alerts, JSON shape, and multithreaded reconciliation.
+
+#include "obs/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mgardp {
+namespace obs {
+namespace {
+
+AuditRecord Checked(const std::string& model, double tol, double predicted,
+                    double actual) {
+  AuditRecord r;
+  r.model = model;
+  r.requested_tolerance = tol;
+  r.predicted_error = predicted;
+  r.actual_error = actual;
+  return r;
+}
+
+AuditRecord EstimateOnly(const std::string& model, double tol,
+                         double predicted) {
+  AuditRecord r;
+  r.model = model;
+  r.requested_tolerance = tol;
+  r.predicted_error = predicted;
+  return r;
+}
+
+TEST(AuditTest, ClassifiesSatisfiedViolationAndEstimateOnly) {
+  ErrorControlAuditor auditor;
+  auditor.Record(Checked("m", 1.0, 0.8, 0.5));   // satisfied
+  auditor.Record(Checked("m", 1.0, 0.9, 2.0));   // violation
+  auditor.Record(EstimateOnly("m", 1.0, 0.7));   // estimate-only
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 1u);
+  const auto& m = snap.models[0];
+  EXPECT_EQ(m.model, "m");
+  EXPECT_EQ(m.records, 3u);
+  EXPECT_EQ(m.satisfied, 1u);
+  EXPECT_EQ(m.violations, 1u);
+  EXPECT_EQ(m.estimate_only, 1u);
+  EXPECT_EQ(m.records, m.satisfied + m.violations + m.estimate_only);
+  EXPECT_DOUBLE_EQ(m.violation_rate(), 0.5);  // 1 violation / 2 checked
+}
+
+TEST(AuditTest, DefaultRecordIsEstimateOnly) {
+  AuditRecord r;
+  EXPECT_FALSE(r.has_actual());
+  r.actual_error = 0.25;
+  EXPECT_TRUE(r.has_actual());
+}
+
+TEST(AuditTest, RatioHistogramsTrackMagnitudeOverfetchTightness) {
+  ErrorControlAuditor auditor;
+  AuditRecord r = Checked("m", 1.0, 3.0, 2.0);  // magnitude 2, tightness 1.5
+  r.bytes_fetched = 300;
+  r.oracle_bytes = 100;  // overfetch 3
+  auditor.Record(r);
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 1u);
+  const auto& m = snap.models[0];
+  EXPECT_EQ(m.violation_magnitude.count, 1u);
+  EXPECT_NEAR(m.violation_magnitude.mean, 2.0, 1e-9);
+  EXPECT_EQ(m.overfetch.count, 1u);
+  EXPECT_NEAR(m.overfetch.mean, 3.0, 1e-9);
+  EXPECT_EQ(m.tightness.count, 1u);
+  EXPECT_NEAR(m.tightness.mean, 1.5, 1e-9);
+}
+
+TEST(AuditTest, ZeroActualErrorSkipsTightnessNotClassification) {
+  ErrorControlAuditor auditor;
+  auditor.Record(Checked("m", 1.0, 0.5, 0.0));  // exact reconstruction
+  auto snap = auditor.snapshot();
+  const auto& m = snap.models[0];
+  EXPECT_EQ(m.satisfied, 1u);
+  EXPECT_EQ(m.tightness.count, 0u);  // predicted/0 would be +inf
+  EXPECT_EQ(m.violation_magnitude.count, 1u);
+}
+
+TEST(AuditTest, ZeroOracleBytesSkipsOverfetch) {
+  ErrorControlAuditor auditor;
+  AuditRecord r = EstimateOnly("m", 1.0, 0.5);
+  r.bytes_fetched = 100;
+  r.oracle_bytes = 0;  // oracle not computed
+  auditor.Record(r);
+  EXPECT_EQ(auditor.snapshot().models[0].overfetch.count, 0u);
+}
+
+TEST(AuditTest, DegradedCounted) {
+  ErrorControlAuditor auditor;
+  AuditRecord r = EstimateOnly("m", 1.0, 0.5);
+  r.degraded = true;
+  auditor.Record(r);
+  auditor.Record(EstimateOnly("m", 1.0, 0.5));
+  EXPECT_EQ(auditor.snapshot().models[0].degraded, 1u);
+}
+
+TEST(AuditTest, ModelsAggregateIndependentlyAndSortByName) {
+  ErrorControlAuditor auditor;
+  auditor.Record(EstimateOnly("zeta", 1.0, 0.5));
+  auditor.Record(EstimateOnly("alpha", 1.0, 0.5));
+  auditor.Record(EstimateOnly("alpha", 1.0, 0.5));
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 2u);
+  EXPECT_EQ(snap.models[0].model, "alpha");
+  EXPECT_EQ(snap.models[0].records, 2u);
+  EXPECT_EQ(snap.models[1].model, "zeta");
+  EXPECT_EQ(snap.models[1].records, 1u);
+  EXPECT_EQ(auditor.total_records(), 3u);
+}
+
+TEST(AuditTest, DriftTracksSignedPerLevelError) {
+  ErrorControlAuditor auditor;
+  AuditRecord r = EstimateOnly("m", 1.0, 0.5);
+  r.predicted_prefix = {5, 3};
+  r.oracle_prefix = {3, 4};  // errors: +2, -1
+  auditor.Record(r);
+  auto snap = auditor.snapshot();
+  const auto& drift = snap.models[0].drift;
+  ASSERT_EQ(drift.size(), 2u);
+  EXPECT_EQ(drift[0].level, 0);
+  EXPECT_EQ(drift[0].count, 1u);
+  EXPECT_DOUBLE_EQ(drift[0].mean, 2.0);
+  EXPECT_DOUBLE_EQ(drift[0].max_abs, 2.0);
+  EXPECT_DOUBLE_EQ(drift[0].window_mean, 2.0);
+  EXPECT_DOUBLE_EQ(drift[1].window_mean, -1.0);
+  EXPECT_DOUBLE_EQ(drift[1].window_mean_abs, 1.0);
+}
+
+TEST(AuditTest, MismatchedPrefixSizesSkipDrift) {
+  ErrorControlAuditor auditor;
+  AuditRecord r = EstimateOnly("m", 1.0, 0.5);
+  r.predicted_prefix = {5, 3};
+  r.oracle_prefix = {3};  // size mismatch: no drift sample
+  auditor.Record(r);
+  EXPECT_TRUE(auditor.snapshot().models[0].drift.empty());
+}
+
+TEST(AuditTest, DriftWindowRollsAndAlertFires) {
+  ErrorControlAuditor::Options opts;
+  opts.drift_window = 4;
+  opts.drift_alert_planes = 2.0;
+  ErrorControlAuditor auditor(opts);
+  // Fill the window with zero error, then roll it over with +3s: the
+  // window forgets the zeros, the lifetime stats do not.
+  for (int i = 0; i < 4; ++i) {
+    AuditRecord r = EstimateOnly("m", 1.0, 0.5);
+    r.predicted_prefix = {2};
+    r.oracle_prefix = {2};
+    auditor.Record(r);
+  }
+  EXPECT_FALSE(auditor.snapshot().models[0].drift[0].alert);
+  for (int i = 0; i < 4; ++i) {
+    AuditRecord r = EstimateOnly("m", 1.0, 0.5);
+    r.predicted_prefix = {5};
+    r.oracle_prefix = {2};
+    auditor.Record(r);
+  }
+  auto snap = auditor.snapshot();
+  const auto& d = snap.models[0].drift[0];
+  EXPECT_EQ(d.count, 8u);
+  EXPECT_DOUBLE_EQ(d.window_mean, 3.0);      // only the +3s remain
+  EXPECT_DOUBLE_EQ(d.window_mean_abs, 3.0);
+  EXPECT_DOUBLE_EQ(d.window_max_abs, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean, 1.5);             // lifetime: 4 zeros + 4 threes
+  EXPECT_TRUE(d.alert);
+  EXPECT_TRUE(snap.models[0].drift_alert());
+}
+
+TEST(AuditTest, ResetClearsCountsAndWindows) {
+  ErrorControlAuditor auditor;
+  AuditRecord r = Checked("m", 1.0, 0.5, 2.0);
+  r.predicted_prefix = {4};
+  r.oracle_prefix = {1};
+  r.bytes_fetched = 10;
+  r.oracle_bytes = 5;
+  auditor.Record(r);
+  auditor.Reset();
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 1u);  // registered models survive
+  EXPECT_EQ(snap.models[0].records, 0u);
+  EXPECT_EQ(snap.models[0].violations, 0u);
+  EXPECT_EQ(snap.models[0].overfetch.count, 0u);
+  EXPECT_TRUE(snap.models[0].drift.empty());
+  EXPECT_EQ(auditor.total_records(), 0u);
+}
+
+TEST(AuditTest, ToJsonShape) {
+  ErrorControlAuditor auditor;
+  EXPECT_EQ(auditor.ToJson(), "[]");
+  AuditRecord r = Checked("m\"x", 1.0, 0.5, 2.0);
+  r.predicted_prefix = {4};
+  r.oracle_prefix = {1};
+  auditor.Record(r);
+  const std::string json = auditor.ToJson();
+  EXPECT_NE(json.find("\"records\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"violations\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"violation_rate\":1.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"drift\":[{\"level\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tightness\""), std::string::npos);
+}
+
+TEST(AuditTest, GlobalAuditorIsASingleton) {
+  EXPECT_EQ(&GlobalAuditor(), &GlobalAuditor());
+}
+
+TEST(AuditTest, ConcurrentRecordsReconcile) {
+  ErrorControlAuditor auditor;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&auditor, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        AuditRecord r;
+        r.model = (t % 2 == 0) ? "even" : "odd";
+        r.requested_tolerance = 1.0;
+        r.predicted_error = 0.5;
+        switch (i % 3) {
+          case 0:
+            r.actual_error = 0.5;  // satisfied
+            break;
+          case 1:
+            r.actual_error = 2.0;  // violation
+            break;
+          default:
+            break;  // estimate-only
+        }
+        r.bytes_fetched = 200;
+        r.oracle_bytes = 100;
+        r.predicted_prefix = {3, 4};
+        r.oracle_prefix = {2, 4};
+        auditor.Record(r);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 2u);
+  std::uint64_t records = 0;
+  for (const auto& m : snap.models) {
+    // The invariant the dashboards rely on: every record is exactly one of
+    // violation / satisfied / estimate-only.
+    EXPECT_EQ(m.records, m.violations + m.satisfied + m.estimate_only);
+    EXPECT_EQ(m.overfetch.count, m.records);
+    EXPECT_EQ(m.drift[0].count, m.records);
+    records += m.records;
+  }
+  EXPECT_EQ(records,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(auditor.total_records(), records);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mgardp

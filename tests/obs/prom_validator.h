@@ -1,0 +1,333 @@
+// Minimal Prometheus text-exposition (0.0.4) validator for tests.
+//
+// Checks the invariants a real scraper relies on:
+//   * every sample's metric name was introduced by `# HELP` + `# TYPE`
+//     lines (series suffixes _bucket/_sum/_count belong to their
+//     histogram family);
+//   * metric and label names are legal identifiers, label values are
+//     correctly quoted with only \\, \", and \n escapes;
+//   * sample values parse as floats ("+Inf"/"-Inf"/"NaN" allowed);
+//   * per histogram series (family + non-le labels): bucket counts are
+//     cumulative non-decreasing in `le` order, the last bucket is
+//     le="+Inf", `_count` equals the +Inf bucket, and `_sum` is present.
+//
+// Returns an empty string when valid, else a description of the first
+// problem found.
+
+#ifndef MGARDP_TESTS_OBS_PROM_VALIDATOR_H_
+#define MGARDP_TESTS_OBS_PROM_VALIDATOR_H_
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mgardp {
+namespace prom_test {
+
+inline bool IsMetricNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+inline bool ValidMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (!IsMetricNameChar(name[i], i == 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool ParseSampleValue(const std::string& tok, double* out) {
+  if (tok == "+Inf" || tok == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (tok == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (tok == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  try {
+    std::size_t used = 0;
+    *out = std::stod(tok, &used);
+    return used == tok.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+struct PromSample {
+  std::string name;                          // full series name
+  std::vector<std::pair<std::string, std::string>> labels;  // in order
+  double value = 0.0;
+};
+
+// Parses `name{k="v",...}` into name + labels. Returns false on syntax
+// errors, with `err` describing the problem.
+inline bool ParseSeries(const std::string& text, PromSample* out,
+                        std::string* err) {
+  std::size_t pos = 0;
+  while (pos < text.size() && IsMetricNameChar(text[pos], pos == 0)) {
+    ++pos;
+  }
+  out->name = text.substr(0, pos);
+  if (out->name.empty()) {
+    *err = "empty metric name";
+    return false;
+  }
+  if (pos == text.size()) {
+    return true;  // no labels
+  }
+  if (text[pos] != '{') {
+    *err = "unexpected character after metric name";
+    return false;
+  }
+  ++pos;
+  while (pos < text.size() && text[pos] != '}') {
+    std::size_t name_start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    const std::string label = text.substr(name_start, pos - name_start);
+    if (label.empty() || std::isdigit(static_cast<unsigned char>(label[0]))) {
+      *err = "bad label name";
+      return false;
+    }
+    if (pos >= text.size() || text[pos] != '=') {
+      *err = "label missing '='";
+      return false;
+    }
+    ++pos;
+    if (pos >= text.size() || text[pos] != '"') {
+      *err = "label value not quoted";
+      return false;
+    }
+    ++pos;
+    std::string value;
+    bool closed = false;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '\\') {
+        if (pos + 1 >= text.size()) {
+          *err = "dangling escape in label value";
+          return false;
+        }
+        const char esc = text[pos + 1];
+        if (esc != '\\' && esc != '"' && esc != 'n') {
+          *err = "illegal escape in label value";
+          return false;
+        }
+        value += esc == 'n' ? '\n' : esc;
+        pos += 2;
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        ++pos;
+        break;
+      }
+      if (c == '\n') {
+        *err = "raw newline in label value";
+        return false;
+      }
+      value += c;
+      ++pos;
+    }
+    if (!closed) {
+      *err = "unterminated label value";
+      return false;
+    }
+    out->labels.emplace_back(label, value);
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+    } else if (pos >= text.size() || text[pos] != '}') {
+      *err = "expected ',' or '}' after label";
+      return false;
+    }
+  }
+  if (pos >= text.size() || text[pos] != '}') {
+    *err = "unterminated label set";
+    return false;
+  }
+  if (pos + 1 != text.size()) {
+    *err = "trailing characters after '}'";
+    return false;
+  }
+  return true;
+}
+
+// Validates a full exposition. Empty return == valid.
+inline std::string ValidatePromExposition(const std::string& text) {
+  std::map<std::string, std::string> family_type;  // family -> type
+  std::set<std::string> family_help;
+  // Histogram series state, keyed by family + serialized non-le labels.
+  struct HistSeries {
+    double last_bucket = -1.0;
+    bool saw_inf = false;
+    double inf_count = 0.0;
+    bool has_sum = false;
+    bool has_count = false;
+    double count_value = -1.0;
+  };
+  std::map<std::string, HistSeries> hists;
+
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    return "line " + std::to_string(lineno) + ": " + msg + ": " + line;
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      std::istringstream ls(line.substr(7));
+      std::string name, rest;
+      ls >> name;
+      std::getline(ls, rest);
+      if (!ValidMetricName(name)) {
+        return fail("bad metric name in header");
+      }
+      if (is_type) {
+        std::istringstream ts(rest);
+        std::string type;
+        ts >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail("unknown metric type");
+        }
+        if (family_help.count(name) == 0) {
+          return fail("# TYPE before # HELP");
+        }
+        if (family_type.count(name) > 0) {
+          return fail("duplicate # TYPE");
+        }
+        family_type[name] = type;
+      } else {
+        family_help.insert(name);
+      }
+      continue;
+    }
+    if (line[0] == '#') {
+      continue;  // plain comment
+    }
+    // Sample line: <series> <value>
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) {
+      return fail("sample line without value");
+    }
+    const std::string series = line.substr(0, sp);
+    double value = 0.0;
+    if (!ParseSampleValue(line.substr(sp + 1), &value)) {
+      return fail("unparseable sample value");
+    }
+    PromSample sample;
+    std::string err;
+    if (!ParseSeries(series, &sample, &err)) {
+      return fail(err);
+    }
+    // Resolve the family: exact name, or histogram suffix.
+    std::string family = sample.name;
+    std::string suffix;
+    for (const char* s : {"_bucket", "_sum", "_count"}) {
+      const std::string suf(s);
+      if (family.size() > suf.size() &&
+          family.compare(family.size() - suf.size(), suf.size(), suf) == 0) {
+        const std::string base = family.substr(0, family.size() - suf.size());
+        auto it = family_type.find(base);
+        if (it != family_type.end() && it->second == "histogram") {
+          family = base;
+          suffix = suf;
+          break;
+        }
+      }
+    }
+    auto it = family_type.find(family);
+    if (it == family_type.end()) {
+      return fail("sample without # TYPE header");
+    }
+    if (it->second == "histogram") {
+      if (suffix.empty()) {
+        return fail("bare sample under histogram family");
+      }
+      std::string key = family + "|";
+      std::string le;
+      bool has_le = false;
+      for (const auto& [k, v] : sample.labels) {
+        if (k == "le") {
+          le = v;
+          has_le = true;
+        } else {
+          key += k + "=" + v + ";";
+        }
+      }
+      HistSeries& h = hists[key];
+      if (suffix == "_bucket") {
+        if (!has_le) {
+          return fail("_bucket without le label");
+        }
+        double edge = 0.0;
+        if (!ParseSampleValue(le, &edge)) {
+          return fail("unparseable le value");
+        }
+        if (value + 1e-9 < h.last_bucket) {
+          return fail("bucket counts not cumulative");
+        }
+        h.last_bucket = value;
+        if (le == "+Inf") {
+          h.saw_inf = true;
+          h.inf_count = value;
+        }
+      } else if (suffix == "_sum") {
+        if (has_le) {
+          return fail("_sum must not carry le");
+        }
+        h.has_sum = true;
+      } else {
+        if (has_le) {
+          return fail("_count must not carry le");
+        }
+        h.has_count = true;
+        h.count_value = value;
+      }
+    }
+  }
+  for (const auto& [key, h] : hists) {
+    if (!h.saw_inf) {
+      return "histogram " + key + " missing le=\"+Inf\" bucket";
+    }
+    if (!h.has_sum) {
+      return "histogram " + key + " missing _sum";
+    }
+    if (!h.has_count) {
+      return "histogram " + key + " missing _count";
+    }
+    if (h.count_value != h.inf_count) {
+      return "histogram " + key + " _count != +Inf bucket";
+    }
+  }
+  return "";
+}
+
+}  // namespace prom_test
+}  // namespace mgardp
+
+#endif  // MGARDP_TESTS_OBS_PROM_VALIDATOR_H_

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "obs/audit.h"
 #include "progressive/refactorer.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -143,6 +144,85 @@ TEST_F(ReconstructorTest, BytesMatchSizeInterpreter) {
   ASSERT_TRUE(data.ok());
   SizeInterpreter si = MakeSizeInterpreter(field_);
   EXPECT_EQ(plan.total_bytes, si.TotalBytes(plan.prefix));
+}
+
+TEST_F(ReconstructorTest, AuditModelIdMapsEstimatorNames) {
+  EXPECT_EQ(AuditModelId("theory"), "baseline");
+  EXPECT_EQ(AuditModelId("e-mgard"), "emgard");
+  EXPECT_EQ(AuditModelId("dmgard"), "dmgard");
+  EXPECT_EQ(AuditModelId("hybrid"), "hybrid");
+  EXPECT_EQ(AuditModelId("snorm"), "snorm");
+}
+
+TEST_F(ReconstructorTest, OracleMinPlanNeverCostsMoreThanTheoryPlan) {
+  Reconstructor rec(&theory_);
+  const double range = field_.data_summary.range();
+  for (double rel : {1e-1, 1e-2, 1e-4, 1e-6}) {
+    const double bound = rel * range;
+    auto theory_plan = rec.Plan(field_, bound);
+    ASSERT_TRUE(theory_plan.ok());
+    auto oracle = OracleMinPlan(field_, bound);
+    ASSERT_TRUE(oracle.ok());
+    // The oracle plans against the raw error matrices (C = 1), the theory
+    // estimator against C * the same sums; the oracle byte floor can never
+    // exceed the conservative plan's cost.
+    EXPECT_LE(oracle.value().total_bytes, theory_plan.value().total_bytes)
+        << "rel=" << rel;
+    // When the oracle stops short of the full artifact its idealized
+    // estimate respects the bound.
+    const bool full =
+        oracle.value().prefix ==
+        std::vector<int>(field_.num_levels(), field_.num_planes);
+    if (!full) {
+      EXPECT_LE(oracle.value().estimated_error, bound) << "rel=" << rel;
+    }
+  }
+}
+
+TEST_F(ReconstructorTest, OracleMinPlanMonotoneInTolerance) {
+  const double range = field_.data_summary.range();
+  std::size_t prev_bytes = 0;
+  for (double rel : {1e-1, 1e-3, 1e-5, 1e-7}) {
+    auto plan = OracleMinPlan(field_, rel * range);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_GE(plan.value().total_bytes, prev_bytes);
+    prev_bytes = plan.value().total_bytes;
+  }
+  EXPECT_GT(prev_bytes, 0u);
+  EXPECT_FALSE(OracleMinPlan(field_, 0.0).ok());
+}
+
+TEST_F(ReconstructorTest, RetrieveAuditsWithGroundTruthAndOracleBytes) {
+  obs::ErrorControlAuditor auditor;
+  Reconstructor rec(&theory_);
+  rec.set_ground_truth(&original_);
+  rec.set_auditor(&auditor);
+  const double bound = 1e-3 * field_.data_summary.range();
+  RetrievalPlan plan;
+  ASSERT_TRUE(rec.Retrieve(field_, bound, &plan).ok());
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 1u);
+  const auto& m = snap.models[0];
+  EXPECT_EQ(m.model, "baseline");
+  EXPECT_EQ(m.records, 1u);
+  EXPECT_EQ(m.estimate_only, 0u);          // ground truth was available
+  EXPECT_EQ(m.overfetch.count, 1u);        // oracle bytes were computed
+  EXPECT_GE(m.overfetch.min, 1.0 - 1e-9);  // cannot beat the oracle floor
+  EXPECT_FALSE(m.drift.empty());
+}
+
+TEST_F(ReconstructorTest, RetrieveWithoutGroundTruthIsEstimateOnly) {
+  obs::ErrorControlAuditor auditor;
+  Reconstructor rec(&theory_);
+  rec.set_auditor(&auditor);
+  rec.set_model_id("custom");
+  ASSERT_TRUE(
+      rec.Retrieve(field_, 1e-3 * field_.data_summary.range(), nullptr)
+          .ok());
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 1u);
+  EXPECT_EQ(snap.models[0].model, "custom");
+  EXPECT_EQ(snap.models[0].estimate_only, 1u);
 }
 
 }  // namespace

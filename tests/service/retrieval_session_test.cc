@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/audit.h"
 #include "progressive/refactorer.h"
 #include "service/segment_cache.h"
 #include "service/service_metrics.h"
@@ -120,6 +121,49 @@ TEST_F(RetrievalSessionTest, LooseningIsANoopServedFromMemory) {
   EXPECT_EQ(loose.value(), tight.value());
   EXPECT_EQ(session.lifetime_fetched_bytes(), fetched_before);
   EXPECT_EQ(metrics.snapshot().noop_refinements, 1u);
+}
+
+TEST_F(RetrievalSessionTest, GroundTruthFillsHonestFieldsAndAudits) {
+  obs::ErrorControlAuditor auditor;
+  RetrievalSession session("f", &field_, backend_.get(), &theory_);
+  session.set_ground_truth(&original_);
+  session.set_auditor(&auditor);
+
+  const double bound = 1e-3 * range_;
+  RetrievalSession::Refinement info;
+  auto data = session.Refine(bound, &info);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(info.has_actual);
+  EXPECT_DOUBLE_EQ(
+      info.actual_error,
+      MaxAbsError(original_.vector(), data.value()->vector()));
+  EXPECT_EQ(info.actual_bound_met, info.actual_error <= bound);
+
+  // The refinement was audited into the session-local auditor with ground
+  // truth, so the record is classified (not estimate-only).
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 1u);
+  EXPECT_EQ(snap.models[0].model, "baseline");
+  EXPECT_EQ(snap.models[0].records, 1u);
+  EXPECT_EQ(snap.models[0].estimate_only, 0u);
+  EXPECT_EQ(snap.models[0].violations + snap.models[0].satisfied, 1u);
+
+  // A loosening noop is served from memory and not re-audited.
+  ASSERT_TRUE(session.Refine(1e-1 * range_, &info).ok());
+  EXPECT_TRUE(info.noop);
+  EXPECT_EQ(auditor.total_records(), 1u);
+}
+
+TEST_F(RetrievalSessionTest, WithoutGroundTruthRefinementIsEstimateOnly) {
+  obs::ErrorControlAuditor auditor;
+  RetrievalSession session("f", &field_, backend_.get(), &theory_);
+  session.set_auditor(&auditor);
+  RetrievalSession::Refinement info;
+  ASSERT_TRUE(session.Refine(1e-3 * range_, &info).ok());
+  EXPECT_FALSE(info.has_actual);
+  auto snap = auditor.snapshot();
+  ASSERT_EQ(snap.models.size(), 1u);
+  EXPECT_EQ(snap.models[0].estimate_only, 1u);
 }
 
 TEST_F(RetrievalSessionTest, RejectsNonPositiveBound) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <limits>
 #include <thread>
 #include <vector>
@@ -50,6 +51,41 @@ TEST(HistogramTest, QuantilesAreBucketAccurate) {
   // Quantiles never escape the recorded range.
   EXPECT_GE(h.Quantile(0.0), 1.0);
   EXPECT_LE(h.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, ExtremeQuantilesAreExactSamples) {
+  Histogram h;
+  h.Record(0.37);
+  h.Record(5.2);
+  h.Record(19.0);
+  // q=0 and q=1 must return the tracked extrema exactly — not the edge of
+  // the bucket the extremum landed in — so exported p0/p100 gauges are
+  // sample-precise.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.37);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 19.0);
+  // Out-of-range q clamps to the same exact extrema.
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 0.37);
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), 19.0);
+}
+
+TEST(HistogramTest, BucketIntrospectionMatchesRecords) {
+  Histogram::Options opts;
+  opts.min_value = 1.0;
+  opts.growth = 2.0;
+  opts.num_buckets = 3;  // upper edges 2, 4, 8, then overflow
+  Histogram h(opts);
+  h.Record(0.5);    // bucket 0
+  h.Record(3.0);    // bucket 1
+  h.Record(100.0);  // overflow
+  ASSERT_EQ(h.num_buckets(), 3);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_edge(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_edge(1), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_edge(2), 8.0);
+  EXPECT_TRUE(std::isinf(h.bucket_upper_edge(3)));
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
 }
 
 TEST(HistogramTest, OutOfRangeValuesClampToEdgeBuckets) {

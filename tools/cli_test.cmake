@@ -79,6 +79,21 @@ if(NOT LAST_OUT MATCHES "DEGRADED")
                       "${LAST_OUT}")
 endif()
 
+# Error-control audit: the baseline-only quick run prints the per-model
+# table, and --prom leaves a Prometheus exposition behind.
+run_cli(0 audit --app warpx --field J_x --dims 9,9,9 --timesteps 2
+        --planes 16 --bounds-per-decade 1 --prom ${WORK}/audit.prom)
+if(NOT LAST_OUT MATCHES "baseline")
+  message(FATAL_ERROR "audit table missing the baseline row:\n${LAST_OUT}")
+endif()
+if(NOT EXISTS ${WORK}/audit.prom)
+  message(FATAL_ERROR "audit --prom did not write ${WORK}/audit.prom")
+endif()
+file(READ ${WORK}/audit.prom prom_text)
+if(NOT prom_text MATCHES "# TYPE mgardp_audit_records_total counter")
+  message(FATAL_ERROR "prom exposition malformed:\n${prom_text}")
+endif()
+
 # Error paths return the documented exit codes.
 run_cli(1 retrieve --dir ${WORK}/art2 --out ${WORK}/x.f64)    # no bound
 run_cli(1 refactor --out ${WORK}/nope)                        # missing args

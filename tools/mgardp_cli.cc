@@ -61,6 +61,8 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -68,6 +70,9 @@
 #include "models/dmgard.h"
 #include "models/emgard.h"
 #include "models/features.h"
+#include "models/hybrid.h"
+#include "obs/audit.h"
+#include "obs/prom_export.h"
 #include "obs/trace_export.h"
 #include "obs/tracer.h"
 #include "progressive/fault_tolerant.h"
@@ -87,6 +92,11 @@
 namespace {
 
 using namespace mgardp;
+
+// Set when a subcommand already wrote the --prom file itself (serve-bench's
+// periodic flusher includes service metrics the generic exit-time writer
+// does not have), so main() must not clobber it with an audit-only render.
+bool g_prom_handled = false;
 
 // ---- tiny flag parser ----------------------------------------------------
 
@@ -421,6 +431,17 @@ int CmdRetrieve(const Flags& flags) {
     return Usage("accuracy bound must be positive");
   }
 
+  // Optional ground truth: audit records (and the summary line) carry the
+  // actual achieved error instead of being estimate-only.
+  std::optional<Array3Dd> truth;
+  if (flags.Has("original")) {
+    auto t = ReadRawField(flags.GetString("original"), f.original_dims);
+    if (!t.ok()) {
+      return Fail(t.status());
+    }
+    truth = std::move(t).value();
+  }
+
   if (flags.Has("tolerant")) {
     if (flags.Has("dmgard")) {
       return Usage("--tolerant cannot be combined with --dmgard");
@@ -430,6 +451,7 @@ int CmdRetrieve(const Flags& flags) {
       return Fail(backend.status());
     }
     FaultTolerantReconstructor ft(estimator);
+    ft.set_ground_truth(truth ? &*truth : nullptr);
     RetrievalReport report;
     auto data = ft.Retrieve(f, &backend.value(), bound, &report);
     if (!data.ok()) {
@@ -446,8 +468,10 @@ int CmdRetrieve(const Flags& flags) {
   }
 
   Reconstructor rec(estimator);
+  rec.set_ground_truth(truth ? &*truth : nullptr);
   RetrievalPlan plan;
   Result<Array3Dd> data = Status::Internal("unset");
+  std::string mode = estimator->name();
   if (flags.Has("dmgard")) {
     auto blob = ReadFileToString(flags.GetString("dmgard"));
     if (!blob.ok()) {
@@ -457,19 +481,43 @@ int CmdRetrieve(const Flags& flags) {
     if (!model.ok()) {
       return Fail(model.status());
     }
-    auto prefix = model.value().Predict(
-        ExtractDataFeatures(f.data_summary), f.level_sketches, bound);
-    if (!prefix.ok()) {
-      return Fail(prefix.status());
+    if (flags.Has("emgard")) {
+      // Hybrid: D-MGARD warm start corrected by the learned estimator.
+      mode = "hybrid";
+      auto hplan = PlanHybrid(f, bound, model.value(), *estimator);
+      if (!hplan.ok()) {
+        return Fail(hplan.status());
+      }
+      plan = std::move(hplan).value();
+      data = rec.Reconstruct(f, plan);
+      if (data.ok()) {
+        AuditRetrieval(f, "hybrid", bound, plan, truth ? &*truth : nullptr,
+                       &data.value());
+      }
+    } else {
+      mode = "dmgard";
+      auto prefix = model.value().Predict(
+          ExtractDataFeatures(f.data_summary), f.level_sketches, bound);
+      if (!prefix.ok()) {
+        return Fail(prefix.status());
+      }
+      auto pplan = rec.PlanFromPrefix(f, prefix.value());
+      if (!pplan.ok()) {
+        return Fail(pplan.status());
+      }
+      plan = std::move(pplan).value();
+      data = rec.Reconstruct(f, plan);
+      if (data.ok()) {
+        // D-MGARD's implicit claim is the bound it aimed its prediction
+        // at, not the baseline estimator's value over that prefix.
+        RetrievalPlan audited = plan;
+        audited.estimated_error = bound;
+        AuditRetrieval(f, "dmgard", bound, audited,
+                       truth ? &*truth : nullptr, &data.value());
+      }
     }
-    auto pplan = rec.PlanFromPrefix(f, prefix.value());
-    if (!pplan.ok()) {
-      return Fail(pplan.status());
-    }
-    plan = std::move(pplan).value();
-    data = rec.Reconstruct(f, plan);
   } else {
-    data = rec.Retrieve(f, bound, &plan);
+    data = rec.Retrieve(f, bound, &plan);  // audits internally
   }
   if (!data.ok()) {
     return Fail(data.status());
@@ -480,8 +528,14 @@ int CmdRetrieve(const Flags& flags) {
   }
   const std::size_t full = MakeSizeInterpreter(f).FullBytes();
   std::printf("retrieved %s -> %s\n", dir.c_str(), out.c_str());
-  std::printf("  estimator=%s bound=%.6g estimate=%.6g\n",
-              estimator->name().c_str(), bound, plan.estimated_error);
+  std::printf("  mode=%s bound=%.6g estimate=%.6g\n", mode.c_str(), bound,
+              plan.estimated_error);
+  if (truth && truth->vector().size() == data.value().vector().size()) {
+    const double actual =
+        MaxAbsError(truth->vector(), data.value().vector());
+    std::printf("  actual error: %.6g (%s)\n", actual,
+                actual <= bound ? "bound met" : "BOUND VIOLATED");
+  }
   std::printf("  planes per level:");
   for (int b : plan.prefix) {
     std::printf(" %d", b);
@@ -525,6 +579,197 @@ Result<FieldSeries> GenerateSeries(const std::string& app,
     return Status::Invalid("gray-scott fields: D_u | D_v");
   }
   return Status::Invalid("--app must be warpx or gray-scott");
+}
+
+// ---- audit -----------------------------------------------------------------
+
+// Replays a dataset (optionally through a field repository on disk)
+// against every available model and prints the per-model error-control
+// report: bound-violation rate, overfetch vs the matrix-oracle floor,
+// estimator tightness, and per-level prefix drift.
+int CmdAudit(const Flags& flags) {
+  if (int rc = ApplyThreadsFlag(flags); rc != 0) {
+    return rc;
+  }
+  Dims3 dims;
+  if (!ParseDims(flags.GetString("dims", "33,33,33"), &dims)) {
+    return Usage("bad --dims");
+  }
+  const std::string app = flags.GetString("app", "gray-scott");
+  const std::string field_name = flags.GetString("field", "D_u");
+  const int timesteps = flags.GetInt("timesteps", 4);
+  const int planes = flags.GetInt("planes", 32);
+  if (timesteps <= 0) {
+    return Usage("--timesteps must be positive");
+  }
+  auto series = GenerateSeries(app, field_name, dims, timesteps);
+  if (!series.ok()) {
+    return Usage(series.status().message().c_str());
+  }
+
+  // Optional learned models; without them the audit covers the baseline
+  // estimator only.
+  std::unique_ptr<DMgardModel> dmgard;
+  EMgardModel emgard_model;
+  std::unique_ptr<LearnedConstantsEstimator> learned;
+  if (flags.Has("dmgard")) {
+    auto blob = ReadFileToString(flags.GetString("dmgard"));
+    if (!blob.ok()) {
+      return Fail(blob.status());
+    }
+    auto model = DMgardModel::Deserialize(blob.value());
+    if (!model.ok()) {
+      return Fail(model.status());
+    }
+    dmgard = std::make_unique<DMgardModel>(std::move(model).value());
+  }
+  if (flags.Has("emgard")) {
+    auto blob = ReadFileToString(flags.GetString("emgard"));
+    if (!blob.ok()) {
+      return Fail(blob.status());
+    }
+    auto model = EMgardModel::Deserialize(blob.value());
+    if (!model.ok()) {
+      return Fail(model.status());
+    }
+    emgard_model = std::move(model).value();
+    learned = std::make_unique<LearnedConstantsEstimator>(&emgard_model);
+  }
+
+  // Artifact source: load from (or populate) a repository when --repo is
+  // given, refactor in memory otherwise.
+  const std::string repo_root = flags.GetString("repo");
+  std::optional<FieldRepository> repo;
+  if (!repo_root.empty()) {
+    auto r = FieldRepository::Open(repo_root);
+    if (!r.ok()) {
+      return Fail(r.status());
+    }
+    repo.emplace(std::move(r).value());
+  }
+  RefactorOptions ropts;
+  ropts.num_planes = planes;
+  Refactorer refactorer(ropts);
+  std::vector<RefactoredField> fields;
+  fields.reserve(timesteps);
+  for (int t = 0; t < timesteps; ++t) {
+    if (repo && repo->Contains(app, field_name, t)) {
+      auto loaded = repo->Load(app, field_name, t);
+      if (!loaded.ok()) {
+        return Fail(loaded.status());
+      }
+      fields.push_back(std::move(loaded).value());
+      continue;
+    }
+    auto artifact = refactorer.Refactor(series.value().frames[t]);
+    if (!artifact.ok()) {
+      return Fail(artifact.status());
+    }
+    if (repo) {
+      Status st = repo->Store(app, field_name, t, artifact.value());
+      if (!st.ok()) {
+        return Fail(st);
+      }
+    }
+    fields.push_back(std::move(artifact).value());
+  }
+
+  const std::vector<double> rel_bounds =
+      SubsampledRelativeErrorBounds(flags.GetInt("bounds-per-decade", 2));
+
+  obs::ErrorControlAuditor& auditor = obs::GlobalAuditor();
+  auditor.Reset();
+  TheoryEstimator theory;
+  for (int t = 0; t < timesteps; ++t) {
+    const RefactoredField& f = fields[t];
+    const Array3Dd& truth = series.value().frames[t];
+    for (const double rel : rel_bounds) {
+      const double bound = rel * f.data_summary.range();
+      if (!(bound > 0.0)) {
+        continue;
+      }
+      {
+        Reconstructor rec(&theory);
+        rec.set_ground_truth(&truth);
+        auto data = rec.Retrieve(f, bound);  // audits as "baseline"
+        if (!data.ok()) {
+          return Fail(data.status());
+        }
+      }
+      if (learned != nullptr) {
+        Reconstructor rec(learned.get());
+        rec.set_ground_truth(&truth);
+        auto data = rec.Retrieve(f, bound);  // audits as "emgard"
+        if (!data.ok()) {
+          return Fail(data.status());
+        }
+      }
+      if (dmgard != nullptr) {
+        auto prefix = dmgard->Predict(ExtractDataFeatures(f.data_summary),
+                                      f.level_sketches, bound);
+        if (!prefix.ok()) {
+          return Fail(prefix.status());
+        }
+        Reconstructor rec(&theory);
+        auto pplan = rec.PlanFromPrefix(f, prefix.value());
+        if (!pplan.ok()) {
+          return Fail(pplan.status());
+        }
+        auto data = rec.Reconstruct(f, pplan.value());
+        if (!data.ok()) {
+          return Fail(data.status());
+        }
+        RetrievalPlan audited = std::move(pplan).value();
+        audited.estimated_error = bound;  // the model's implicit claim
+        AuditRetrieval(f, "dmgard", bound, audited, &truth, &data.value());
+      }
+      if (dmgard != nullptr && learned != nullptr) {
+        auto hplan = PlanHybrid(f, bound, *dmgard, *learned);
+        if (!hplan.ok()) {
+          return Fail(hplan.status());
+        }
+        auto data = ReconstructFromPrefix(f, hplan.value().prefix);
+        if (!data.ok()) {
+          return Fail(data.status());
+        }
+        AuditRetrieval(f, "hybrid", bound, hplan.value(), &truth,
+                       &data.value());
+      }
+    }
+  }
+
+  const obs::ErrorControlAuditor::Snapshot snap = auditor.snapshot();
+  std::printf("audit: %s/%s dims=%s timesteps=%d bounds=%zu\n", app.c_str(),
+              field_name.c_str(), dims.ToString().c_str(), timesteps,
+              rel_bounds.size());
+  std::printf("  %-9s %8s %6s %10s %9s %9s %9s %9s %6s\n", "model",
+              "records", "viol", "viol-rate", "overfetch", "ovf-p50",
+              "tight", "tight-p50", "drift");
+  for (const auto& m : snap.models) {
+    std::printf("  %-9s %8llu %6llu %9.1f%% %9.2f %9.2f %9.2f %9.2f %6s\n",
+                m.model.c_str(),
+                static_cast<unsigned long long>(m.records),
+                static_cast<unsigned long long>(m.violations),
+                100.0 * m.violation_rate(), m.overfetch.mean,
+                m.overfetch.p50, m.tightness.mean, m.tightness.p50,
+                m.drift_alert() ? "ALERT" : "ok");
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "{\"benchmark\":\"audit\",\"app\":\"" << app << "\",\"field\":\""
+       << field_name << "\",\"dims\":\"" << dims.ToString()
+       << "\",\"timesteps\":" << timesteps
+       << ",\"bounds\":" << rel_bounds.size()
+       << ",\"audit\":" << snap.ToJson() << "}\n";
+    Status st = WriteFile(json_path, os.str());
+    if (!st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
 }
 
 // ---- serve-bench -----------------------------------------------------------
@@ -613,6 +858,30 @@ int CmdServeBench(const Flags& flags) {
     backends.push_back(std::make_unique<MemoryBackend>(&f.segments));
   }
   TheoryEstimator estimator;
+  const bool with_truth = flags.Has("ground-truth");
+
+  // Live Prometheus export: a background flusher rewrites --prom=FILE
+  // every second with the audit families plus the current run's service
+  // metrics; Stop() below guarantees one final flush with the end state.
+  const std::string prom_path = flags.GetString("prom");
+  std::mutex prom_mu;
+  ServiceMetrics* prom_metrics = nullptr;              // guarded by prom_mu
+  std::optional<ServiceMetrics::Snapshot> prom_last;   // guarded by prom_mu
+  std::unique_ptr<obs::PeriodicPromFlusher> prom_flusher;
+  if (!prom_path.empty()) {
+    prom_flusher = std::make_unique<obs::PeriodicPromFlusher>(
+        prom_path, std::chrono::milliseconds(1000), [&] {
+          obs::PromWriter writer;
+          AppendAuditMetrics(obs::GlobalAuditor(), &writer);
+          std::lock_guard<std::mutex> lock(prom_mu);
+          if (prom_metrics != nullptr) {
+            AppendServiceMetricsProm(prom_metrics->snapshot(), &writer);
+          } else if (prom_last) {
+            AppendServiceMetricsProm(*prom_last, &writer);
+          }
+          return writer.str();
+        });
+  }
 
   // Zipf CDF over fields: weight(k) = 1/(k+1)^s.
   std::vector<double> cdf(num_fields);
@@ -642,6 +911,10 @@ int CmdServeBench(const Flags& flags) {
     sopts.queue_capacity =
         static_cast<std::size_t>(flags.GetInt("queue", 4096));
     RetrievalScheduler scheduler(&metrics, sopts);
+    if (prom_flusher != nullptr) {
+      std::lock_guard<std::mutex> lock(prom_mu);
+      prom_metrics = &metrics;
+    }
 
     std::vector<std::unique_ptr<RetrievalSession>> sessions;
     std::vector<int> field_of(num_clients);
@@ -657,6 +930,9 @@ int CmdServeBench(const Flags& flags) {
       sessions.push_back(std::make_unique<RetrievalSession>(
           "t" + std::to_string(idx), &fields[idx], backends[idx].get(),
           &estimator, &cache, &metrics));
+      if (with_truth) {
+        sessions.back()->set_ground_truth(&series.value().frames[idx]);
+      }
     }
 
     ServeBenchResult r;
@@ -700,10 +976,31 @@ int CmdServeBench(const Flags& flags) {
         r.clients, r.requests, r.rejected, r.failed, r.seconds,
         r.throughput_rps, r.metrics.cache_hit_rate(),
         r.metrics.latency_p50_ms, r.metrics.latency_p99_ms);
+    // `metrics` dies with this iteration; the flusher must not touch it
+    // afterwards. Its final snapshot keeps serving the export.
+    if (prom_flusher != nullptr) {
+      std::lock_guard<std::mutex> lock(prom_mu);
+      prom_last = metrics.snapshot();
+      prom_metrics = nullptr;
+    }
     if (r.failed > 0) {
       std::fprintf(stderr, "error: %zu requests failed\n", r.failed);
+      if (prom_flusher != nullptr) {
+        prom_flusher->Stop();
+        g_prom_handled = true;
+      }
       return 2;
     }
+  }
+
+  if (prom_flusher != nullptr) {
+    const Status st = prom_flusher->Stop();
+    g_prom_handled = true;
+    if (!st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s (%llu flushes)\n", prom_path.c_str(),
+                static_cast<unsigned long long>(prom_flusher->flushes()));
   }
 
   const std::string json_path = flags.GetString("json");
@@ -932,15 +1229,30 @@ void PrintHelp() {
       "  serve-bench  --app APP --field NAME --dims NX[,NY[,NZ]]\n"
       "            [--fields F] [--clients 1,8,64] [--rounds R]\n"
       "            [--cache-mb M] [--queue CAP] [--zipf S] [--seed S]\n"
-      "            [--json FILE]   (in-process retrieval service benchmark)\n"
+      "            [--json FILE] [--ground-truth] [--prom FILE]\n"
+      "            (in-process retrieval service benchmark; --prom keeps a\n"
+      "            live Prometheus exposition refreshed every second)\n"
+      "  audit     --app APP --field NAME --dims NX[,NY[,NZ]]\n"
+      "            [--timesteps T] [--repo ROOT] [--dmgard MODEL.bin]\n"
+      "            [--emgard MODEL.bin] [--bounds-per-decade N]\n"
+      "            [--planes B] [--json FILE]\n"
+      "            (replay the dataset against every available model and\n"
+      "            report bound-violation rate, overfetch vs the matrix-\n"
+      "            oracle floor, estimator tightness, and prefix drift)\n"
       "\n"
-      "retrieve and serve-bench accept --threads N; effective thread count\n"
-      "now: %d (override order: --threads, MGARDP_THREADS, hardware)\n"
+      "retrieve also accepts --original FILE.f64: audit the retrieval\n"
+      "against ground truth and print the actual achieved error.\n"
+      "\n"
+      "retrieve, serve-bench, and audit accept --threads N; effective\n"
+      "thread count now: %d (override order: --threads, MGARDP_THREADS,\n"
+      "hardware)\n"
       "\n"
       "every subcommand accepts --trace FILE (or --trace=FILE): record\n"
       "per-stage spans and write a Chrome trace (chrome://tracing or\n"
       "Perfetto) on exit; MGARDP_TRACE=FILE does the same for any run.\n"
-      "serve-bench --json output gains a \"stages\" profile when tracing.\n",
+      "serve-bench --json output gains a \"stages\" profile when tracing.\n"
+      "every subcommand accepts --prom FILE: write the error-control audit\n"
+      "as a Prometheus text exposition on exit.\n",
       GlobalThreadCount());
 }
 
@@ -973,6 +1285,9 @@ int Dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "serve-bench") {
     return CmdServeBench(flags);
   }
+  if (cmd == "audit") {
+    return CmdAudit(flags);
+  }
   PrintHelp();
   return 1;
 }
@@ -996,7 +1311,21 @@ int main(int argc, char** argv) {
     }
     obs::GlobalTracer().set_enabled(true);
   }
+  const std::string prom_path = flags.GetString("prom");
+  if (flags.Has("prom") && prom_path.empty()) {
+    return Usage("--prom needs an output file path");
+  }
   const int rc = Dispatch(cmd, flags);
+  if (!prom_path.empty() && !g_prom_handled) {
+    const Status st = obs::WritePromFile(
+        prom_path, obs::RenderAuditPrometheus(obs::GlobalAuditor()));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing prom file: %s\n",
+                   st.ToString().c_str());
+      return rc != 0 ? rc : 2;
+    }
+    std::printf("wrote %s\n", prom_path.c_str());
+  }
   if (!trace_path.empty()) {
     const Status st = obs::WriteChromeTrace(obs::GlobalTracer(), trace_path);
     if (!st.ok()) {

@@ -8,13 +8,17 @@
 # out_dir defaults to the repo root, producing BENCH_pipeline.json and
 # BENCH_serve.json there. Additional suites can be selected via
 # MGARDP_BENCH_SUITES, a space-separated subset of: pipeline bitplane
-# decompose dnn lossless storage obs serve. The `serve` suite drives the
-# in-process retrieval service through the CLI (throughput and cache hit
-# rate at 1/8/64 concurrent clients) instead of a google-benchmark binary;
-# it runs traced (--trace), so BENCH_serve.json carries a per-"stages"
-# profile and BENCH_serve_trace.json holds the Chrome timeline. The `obs`
-# suite additionally prints the tracing-disabled span overhead extracted
-# from its own results.
+# decompose dnn lossless storage obs serve audit. The `serve` suite drives
+# the in-process retrieval service through the CLI (throughput and cache
+# hit rate at 1/8/64 concurrent clients) instead of a google-benchmark
+# binary; it runs traced (--trace), so BENCH_serve.json carries a
+# per-"stages" profile and BENCH_serve_trace.json holds the Chrome
+# timeline. The `obs` suite additionally prints the tracing-disabled span
+# overhead extracted from its own results. The `audit` suite trains small
+# D-MGARD/E-MGARD models and runs the error-control audit (`mgardp audit`)
+# against ground truth on both simulated applications, producing
+# BENCH_audit.json with per-model violation/overfetch/tightness/drift
+# accounting.
 
 set -euo pipefail
 
@@ -46,6 +50,41 @@ for suite in ${suites}; do
       --rounds "${MGARDP_BENCH_SERVE_ROUNDS:-4}" \
       --trace "${trace_out}" \
       --json "${out}" >/dev/null
+    continue
+  fi
+  if [[ "${suite}" == "audit" ]]; then
+    cli="${build_dir}/tools/mgardp"
+    if [[ ! -x "${cli}" ]]; then
+      echo "error: CLI binary '${cli}' not built" >&2
+      exit 1
+    fi
+    out="${out_dir}/BENCH_audit.json"
+    work="${build_dir}/bench_audit_work"
+    mkdir -p "${work}"
+    echo "== audit suite -> ${out}"
+    dims="${MGARDP_BENCH_AUDIT_DIMS:-17,17,17}"
+    timesteps="${MGARDP_BENCH_AUDIT_TIMESTEPS:-4}"
+    epochs="${MGARDP_BENCH_AUDIT_EPOCHS:-20}"
+    for spec in "gray-scott:D_u:gray_scott" "warpx:E_x:warpx"; do
+      app="${spec%%:*}"; rest="${spec#*:}"
+      field="${rest%%:*}"; key="${rest#*:}"
+      echo "   training ${app}/${field} models (epochs=${epochs})"
+      "${cli}" train --model dmgard --app "${app}" --field "${field}" \
+        --dims "${dims}" --timesteps "${timesteps}" --epochs "${epochs}" \
+        --bounds-per-decade 1 --out "${work}/${key}_dmgard.bin" >/dev/null
+      "${cli}" train --model emgard --app "${app}" --field "${field}" \
+        --dims "${dims}" --timesteps "${timesteps}" --epochs "${epochs}" \
+        --bounds-per-decade 1 --out "${work}/${key}_emgard.bin" >/dev/null
+      echo "   auditing ${app}/${field}"
+      "${cli}" audit --app "${app}" --field "${field}" --dims "${dims}" \
+        --timesteps "${timesteps}" --bounds-per-decade 1 \
+        --dmgard "${work}/${key}_dmgard.bin" \
+        --emgard "${work}/${key}_emgard.bin" \
+        --json "${work}/${key}.json"
+    done
+    printf '{"benchmark":"audit","gray_scott":%s,"warpx":%s}\n' \
+      "$(cat "${work}/gray_scott.json")" "$(cat "${work}/warpx.json")" \
+      > "${out}"
     continue
   fi
   bin="${build_dir}/bench/micro_${suite}"
