@@ -45,6 +45,40 @@ void BM_BitplaneEncodeWithErrorMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_BitplaneEncodeWithErrorMatrix)->Arg(4096)->Arg(32768);
 
+// The 64x64 SWAR bit-matrix transpose at the heart of the word-parallel
+// kernels, on a batch of blocks sized like one plane-set pass.
+void BM_BitplaneTranspose(benchmark::State& state) {
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0)) / 64;
+  Rng rng(7);
+  std::vector<std::uint64_t> words(blocks * 64);
+  for (auto& w : words) {
+    w = rng.NextUint64();
+  }
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      internal::Transpose64x64(words.data() + b * 64);
+    }
+    benchmark::DoNotOptimize(words.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(blocks * 64));
+}
+BENCHMARK(BM_BitplaneTranspose)->Arg(4096)->Arg(262144);
+
+// Scalar reference encoder, for the before/after story against
+// BM_BitplaneEncode (the word-parallel path).
+void BM_BitplaneTransposeScalarEncode(benchmark::State& state) {
+  const auto coefs = RandomCoefs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto set = internal::EncodeScalar(coefs, 32, nullptr);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coefs.size()));
+}
+BENCHMARK(BM_BitplaneTransposeScalarEncode)->Arg(4096)->Arg(32768);
+
 void BM_BitplaneDecode(benchmark::State& state) {
   const auto coefs = RandomCoefs(32768);
   BitplaneEncoder enc(32);

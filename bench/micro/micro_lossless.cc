@@ -55,4 +55,43 @@ void BM_Decompress(benchmark::State& state) {
 }
 BENCHMARK(BM_Decompress);
 
+// Registered-codec family: compress and decompress a high-significance
+// (sparse) bit-plane payload through each codec name the refactorer can be
+// pointed at, auto included. Arg 0/1/2 = pipeline/rice/auto.
+const char* CodecNameForArg(std::int64_t arg) {
+  switch (arg) {
+    case 0: return "pipeline";
+    case 1: return "rice";
+    default: return "auto";
+  }
+}
+
+void BM_LosslessCodecCompress(benchmark::State& state) {
+  const std::string name = CodecNameForArg(state.range(0));
+  const std::string payload = SparsePayload(65536, 0.02);
+  for (auto _ : state) {
+    auto out = lossless::CompressWith(payload, name);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+  state.SetLabel(name);
+}
+BENCHMARK(BM_LosslessCodecCompress)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LosslessCodecDecompress(benchmark::State& state) {
+  const std::string name = CodecNameForArg(state.range(0));
+  const std::string payload = SparsePayload(65536, 0.02);
+  auto compressed = lossless::CompressWith(payload, name);
+  compressed.status().Abort("compress");
+  for (auto _ : state) {
+    auto out = lossless::Decompress(compressed.value());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+  state.SetLabel(name);
+}
+BENCHMARK(BM_LosslessCodecDecompress)->Arg(0)->Arg(1)->Arg(2);
+
 }  // namespace

@@ -7,100 +7,150 @@
 namespace mgardp {
 namespace internal {
 
-void SolveCoarseMass(double* b, std::size_t mc, std::vector<double>* scratch) {
-  // Mass matrix of linear hats on a uniform coarse grid with spacing H = 2:
-  //   interior rows: [H/6, 4H/6, H/6], boundary rows: [2H/6, H/6].
-  MGARDP_DCHECK(mc >= 2);
-  constexpr double kH = 2.0;
-  const double off = kH / 6.0;
-  const double diag_int = 4.0 * kH / 6.0;
-  const double diag_bnd = 2.0 * kH / 6.0;
+namespace {
 
-  // Thomas algorithm. scratch holds the modified upper-diagonal factors.
-  scratch->resize(mc);
-  std::vector<double>& c = *scratch;
-  double diag0 = diag_bnd;
-  c[0] = off / diag0;
-  b[0] /= diag0;
+// Mass matrix of linear hats on a uniform coarse grid with spacing H = 2:
+//   interior rows: [H/6, 4H/6, H/6], boundary rows: [2H/6, H/6].
+constexpr double kH = 2.0;
+constexpr double kOff = kH / 6.0;
+constexpr double kDiagInt = 4.0 * kH / 6.0;
+constexpr double kDiagBnd = 2.0 * kH / 6.0;
+
+// Thomas-algorithm factors for the coarse mass matrix of size mc. They
+// depend only on mc, so one computation serves every line of an axis pass;
+// the divisions in the data sweep still divide by the stored denominators,
+// keeping results bit-identical to factoring inline.
+struct ThomasFactors {
+  std::vector<double> c;      // modified upper-diagonal factors
+  std::vector<double> denom;  // forward-elimination denominators
+};
+
+void ComputeThomasFactors(std::size_t mc, ThomasFactors* f) {
+  MGARDP_DCHECK(mc >= 2);
+  f->c.resize(mc);
+  f->denom.resize(mc);
+  f->denom[0] = kDiagBnd;
+  f->c[0] = kOff / kDiagBnd;
   for (std::size_t i = 1; i < mc; ++i) {
-    const double diag = (i + 1 == mc) ? diag_bnd : diag_int;
-    const double denom = diag - off * c[i - 1];
-    c[i] = off / denom;
-    b[i] = (b[i] - off * b[i - 1]) / denom;
-  }
-  for (std::size_t i = mc - 1; i-- > 0;) {
-    b[i] -= c[i] * b[i + 1];
+    const double diag = (i + 1 == mc) ? kDiagBnd : kDiagInt;
+    const double denom = diag - kOff * f->c[i - 1];
+    f->c[i] = kOff / denom;
+    f->denom[i] = denom;
   }
 }
 
-namespace {
+void SolveCoarseMassWith(double* b, std::size_t mc, const ThomasFactors& f) {
+  b[0] /= f.denom[0];
+  for (std::size_t i = 1; i < mc; ++i) {
+    b[i] = (b[i] - kOff * b[i - 1]) / f.denom[i];
+  }
+  for (std::size_t i = mc - 1; i-- > 0;) {
+    b[i] -= f.c[i] * b[i + 1];
+  }
+}
 
 // Computes the coarse-grid load vector of the detail function: each detail
 // hat at odd position 2I +- 1 overlaps coarse hat I with integral h/2
-// (h = 1, the fine spacing).
-void DetailLoadVector(const double* u, std::size_t m, double* b) {
+// (h = 1, the fine spacing). `us` is the element stride of the line.
+void DetailLoadVector(const double* u, std::size_t us, std::size_t m,
+                      double* b) {
   const std::size_t mc = (m + 1) / 2;
   for (std::size_t i = 0; i < mc; ++i) {
     double load = 0.0;
     if (i > 0) {
-      load += u[2 * i - 1];
+      load += u[(2 * i - 1) * us];
     }
     if (2 * i + 1 < m) {
-      load += u[2 * i + 1];
+      load += u[(2 * i + 1) * us];
     }
     b[i] = 0.5 * load;
   }
 }
 
-}  // namespace
-
-void ForwardLine(double* u, std::size_t m, bool correct,
-                 std::vector<double>* scratch) {
+// Strided line kernels: identical arithmetic to the public ForwardLine /
+// InverseLine, operating in place on a line whose elements are `us` apart.
+// `b` is caller-provided scratch of at least (m + 1) / 2 doubles; `factors`
+// is null when the correction is disabled.
+void ForwardLineStrided(double* u, std::size_t us, std::size_t m,
+                        const ThomasFactors* factors, double* b) {
   MGARDP_DCHECK(m >= 3 && m % 2 == 1);
   // Predict: odd entries become interpolation residuals.
   for (std::size_t p = 1; p < m; p += 2) {
-    u[p] -= 0.5 * (u[p - 1] + u[p + 1]);
+    u[p * us] -= 0.5 * (u[(p - 1) * us] + u[(p + 1) * us]);
   }
-  if (!correct) {
+  if (factors == nullptr) {
     return;
   }
   // Update: L2 projection correction on the even (coarse) entries.
   const std::size_t mc = (m + 1) / 2;
-  scratch->resize(2 * mc);
-  double* b = scratch->data();
-  std::vector<double> thomas;
-  DetailLoadVector(u, m, b);
-  SolveCoarseMass(b, mc, &thomas);
+  DetailLoadVector(u, us, m, b);
+  SolveCoarseMassWith(b, mc, *factors);
   for (std::size_t i = 0; i < mc; ++i) {
-    u[2 * i] += b[i];
+    u[2 * i * us] += b[i];
   }
+}
+
+void InverseLineStrided(double* u, std::size_t us, std::size_t m,
+                        const ThomasFactors* factors, double* b) {
+  MGARDP_DCHECK(m >= 3 && m % 2 == 1);
+  if (factors != nullptr) {
+    const std::size_t mc = (m + 1) / 2;
+    DetailLoadVector(u, us, m, b);
+    SolveCoarseMassWith(b, mc, *factors);
+    for (std::size_t i = 0; i < mc; ++i) {
+      u[2 * i * us] -= b[i];
+    }
+  }
+  for (std::size_t p = 1; p < m; p += 2) {
+    u[p * us] += 0.5 * (u[(p - 1) * us] + u[(p + 1) * us]);
+  }
+}
+
+}  // namespace
+
+void SolveCoarseMass(double* b, std::size_t mc, std::vector<double>* scratch) {
+  MGARDP_DCHECK(mc >= 2);
+  ThomasFactors factors;
+  ComputeThomasFactors(mc, &factors);
+  // Preserve the historical contract that scratch holds the modified
+  // upper-diagonal factors.
+  *scratch = factors.c;
+  SolveCoarseMassWith(b, mc, factors);
+}
+
+void ForwardLine(double* u, std::size_t m, bool correct,
+                 std::vector<double>* scratch) {
+  MGARDP_DCHECK(m >= 3 && m % 2 == 1);
+  const std::size_t mc = (m + 1) / 2;
+  scratch->resize(2 * mc);
+  ThomasFactors factors;
+  if (correct) {
+    ComputeThomasFactors(mc, &factors);
+  }
+  ForwardLineStrided(u, 1, m, correct ? &factors : nullptr, scratch->data());
 }
 
 void InverseLine(double* u, std::size_t m, bool correct,
                  std::vector<double>* scratch) {
   MGARDP_DCHECK(m >= 3 && m % 2 == 1);
+  const std::size_t mc = (m + 1) / 2;
+  scratch->resize(2 * mc);
+  ThomasFactors factors;
   if (correct) {
-    const std::size_t mc = (m + 1) / 2;
-    scratch->resize(2 * mc);
-    double* b = scratch->data();
-    std::vector<double> thomas;
-    DetailLoadVector(u, m, b);
-    SolveCoarseMass(b, mc, &thomas);
-    for (std::size_t i = 0; i < mc; ++i) {
-      u[2 * i] -= b[i];
-    }
+    ComputeThomasFactors(mc, &factors);
   }
-  for (std::size_t p = 1; p < m; p += 2) {
-    u[p] += 0.5 * (u[p - 1] + u[p + 1]);
-  }
+  InverseLineStrided(u, 1, m, correct ? &factors : nullptr, scratch->data());
 }
 
 }  // namespace internal
 
 namespace {
 
-// Applies `forward ? ForwardLine : InverseLine` along `axis` (0 = x, 1 = y,
-// 2 = z) over every line of the active lattice at `stride`.
+// Applies the forward or inverse line transform along `axis` (0 = x, 1 = y,
+// 2 = z) over every line of the active lattice at `stride`. Lines are
+// transformed in place through strided pointers -- no gather/scatter copy --
+// and the Thomas factors are computed once per pass since every line of the
+// pass has the same length.
 void TransformAxis(Array3Dd* data, std::size_t stride, int axis, bool forward,
                    bool correct) {
   const Dims3& dims = data->dims();
@@ -118,33 +168,33 @@ void TransformAxis(Array3Dd* data, std::size_t stride, int axis, bool forward,
   const std::size_t n1 = lat(o1);
   const std::size_t n2 = lat(o2);
 
+  const std::size_t mc = (m + 1) / 2;
+  internal::ThomasFactors factors;
+  if (correct) {
+    internal::ComputeThomasFactors(mc, &factors);
+  }
+  const internal::ThomasFactors* f = correct ? &factors : nullptr;
+
+  // Element strides of each axis in the row-major (z fastest) layout.
+  const std::size_t elem_stride[3] = {dims.ny * dims.nz, dims.nz, 1};
+  const std::size_t us = stride * elem_stride[axis];
+  const std::size_t s1 = ext[o1] == 1 ? 0 : stride * elem_stride[o1];
+  const std::size_t s2 = ext[o2] == 1 ? 0 : stride * elem_stride[o2];
+  double* const base = data->data();
+
   // Lines along `axis` touch disjoint lattice sites for distinct (a, b), so
-  // they solve independently across the pool; each chunk keeps its own line
-  // and Thomas scratch buffers.
+  // they solve independently across the pool; each chunk keeps its own
+  // correction scratch buffer.
   const std::size_t lines_per_chunk = std::max<std::size_t>(1, 2048 / m);
   ParallelFor(0, n1 * n2, lines_per_chunk,
               [&](std::size_t lo, std::size_t hi) {
-    std::vector<double> line(m);
-    std::vector<double> scratch;
-    std::size_t idx[3];
+    std::vector<double> b(mc);
     for (std::size_t t = lo; t < hi; ++t) {
-      const std::size_t a = t / n2;
-      const std::size_t b = t % n2;
-      idx[o1] = a * stride * (ext[o1] == 1 ? 0 : 1);
-      idx[o2] = b * stride * (ext[o2] == 1 ? 0 : 1);
-      // Gather the strided line into contiguous scratch.
-      for (std::size_t p = 0; p < m; ++p) {
-        idx[axis] = p * stride;
-        line[p] = (*data)(idx[0], idx[1], idx[2]);
-      }
+      double* const u = base + (t / n2) * s1 + (t % n2) * s2;
       if (forward) {
-        internal::ForwardLine(line.data(), m, correct, &scratch);
+        internal::ForwardLineStrided(u, us, m, f, b.data());
       } else {
-        internal::InverseLine(line.data(), m, correct, &scratch);
-      }
-      for (std::size_t p = 0; p < m; ++p) {
-        idx[axis] = p * stride;
-        (*data)(idx[0], idx[1], idx[2]) = line[p];
+        internal::InverseLineStrided(u, us, m, f, b.data());
       }
     }
   });

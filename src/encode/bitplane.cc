@@ -1,5 +1,6 @@
 #include "encode/bitplane.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <sstream>
@@ -19,7 +20,8 @@ BitplaneEncoder::BitplaneEncoder(int num_planes) : num_planes_(num_planes) {
 namespace {
 
 // Chunk size for per-coefficient loops. Fixed (not thread-count-derived) so
-// chunked reductions are bit-identical for any MGARDP_THREADS setting.
+// chunked reductions are bit-identical for any MGARDP_THREADS setting. A
+// multiple of 64 so transpose blocks never straddle a chunk boundary.
 constexpr std::size_t kCoefGrain = 8192;
 
 // Exponent e with max_abs <= 2^e (e = 0 when the level is all zeros).
@@ -53,6 +55,129 @@ struct ErrorAccumulator {
   std::vector<double> sq_err;
 };
 
+// Quantizes every coefficient into a nega-binary digit word. Returns the
+// index of the first coefficient whose expansion needs more than
+// `num_planes` digits, or coefs.size() when all fit.
+std::size_t QuantizeNegabinary(const std::vector<double>& coefs, double scale,
+                               int num_planes, std::vector<std::uint64_t>* nb) {
+  return ParallelReduce<std::size_t>(
+      0, coefs.size(), kCoefGrain, coefs.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::size_t bad = coefs.size();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::int64_t q = std::llround(coefs[i] * scale);
+          (*nb)[i] = ToNegabinary(q);
+          if (NegabinaryDigits((*nb)[i]) > num_planes && bad == coefs.size()) {
+            bad = i;
+          }
+        }
+        return bad;
+      },
+      [](std::size_t a, std::size_t b) { return std::min(a, b); });
+}
+
+Status OverflowError(const std::vector<double>& coefs, std::size_t index,
+                     int num_planes, int exponent) {
+  std::ostringstream os;
+  os << "coefficient " << coefs[index] << " overflows " << num_planes
+     << " nega-binary planes (exponent " << exponent << ")";
+  return Status::Internal(os.str());
+}
+
+// Little-endian word <-> plane-byte shuttles. On little-endian hosts the
+// full-word forms compile to single unaligned accesses; the byte loops keep
+// partial (tail) blocks and big-endian hosts correct.
+inline void StoreWordLE(std::uint64_t w, char* dst, std::size_t nbytes) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  if (nbytes == 8) {
+    std::memcpy(dst, &w, 8);
+    return;
+  }
+#endif
+  for (std::size_t b = 0; b < nbytes; ++b) {
+    dst[b] = static_cast<char>(w >> (8 * b));
+  }
+}
+
+inline std::uint64_t LoadWordLE(const char* src, std::size_t nbytes) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  if (nbytes == 8) {
+    std::uint64_t w;
+    std::memcpy(&w, src, 8);
+    return w;
+  }
+#endif
+  std::uint64_t w = 0;
+  for (std::size_t b = 0; b < nbytes; ++b) {
+    w |= static_cast<std::uint64_t>(static_cast<unsigned char>(src[b]))
+         << (8 * b);
+  }
+  return w;
+}
+
+// Transposes the 64-coefficient block starting at i0 (i0 a multiple of 64)
+// and stores one machine word per plane. Block i0 owns plane bytes
+// [i0 / 8, i0 / 8 + ceil(nblock / 8)), so concurrent blocks never touch the
+// same byte.
+inline void EmitBlock(const std::uint64_t* nb, std::size_t i0,
+                      std::size_t nblock, int num_planes,
+                      std::vector<std::string>* planes) {
+  std::uint64_t m[64];
+  std::size_t r = 0;
+  for (; r < nblock; ++r) {
+    m[r] = nb[i0 + r];
+  }
+  for (; r < 64; ++r) {
+    m[r] = 0;
+  }
+  internal::Transpose64x64(m);
+  const std::size_t byte0 = i0 >> 3;
+  const std::size_t nbytes = (nblock + 7) >> 3;
+  for (int p = 0; p < num_planes; ++p) {
+    StoreWordLE(m[num_planes - 1 - p], (*planes)[p].data() + byte0, nbytes);
+  }
+}
+
+// The per-coefficient error-matrix walk. Value-identical to the reference
+// loop in EncodeScalar: that loop recomputes rec = value * inv_scale and
+// d = |c - rec| unconditionally every plane, so doing the same here --
+// with the digit test folded into a branchless masked add -- feeds the
+// accumulators the exact same doubles in the exact same order. The digit
+// bits of typical coefficients are close to random, so a data-dependent
+// branch in this loop mispredicts about half the time; the masked add is
+// what makes stats collection run at memory speed.
+inline void AccumulateStats(const std::vector<double>& coefs,
+                            const std::uint64_t* nb, std::size_t lo,
+                            std::size_t hi, int num_planes, double inv_scale,
+                            ErrorAccumulator* acc) {
+  // Digit d of a nega-binary word contributes exactly (-2)^d.
+  std::int64_t signed_mag[64];
+  for (int d = 0; d < num_planes; ++d) {
+    const std::int64_t mag = std::int64_t{1} << d;
+    signed_mag[d] = (d & 1) ? -mag : mag;
+  }
+  double* const max_abs = acc->max_abs.data();
+  double* const sq_err = acc->sq_err.data();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::uint64_t w = nb[i];
+    const double c = coefs[i];
+    std::int64_t value = 0;  // FromNegabinary of the kept digits
+    const double d0 = std::fabs(c);
+    max_abs[0] = std::max(max_abs[0], d0);
+    sq_err[0] += d0 * d0;
+    for (int b = 1; b <= num_planes; ++b) {
+      const int digit = num_planes - b;
+      const std::int64_t take =
+          -static_cast<std::int64_t>((w >> digit) & 1u);
+      value += signed_mag[digit] & take;
+      const double rec = static_cast<double>(value) * inv_scale;
+      const double d = std::fabs(c - rec);
+      max_abs[b] = std::max(max_abs[b], d);
+      sq_err[b] += d * d;
+    }
+  }
+}
+
 }  // namespace
 
 Result<BitplaneSet> BitplaneEncoder::Encode(const std::vector<double>& coefs,
@@ -71,128 +196,98 @@ Result<BitplaneSet> BitplaneEncoder::Encode(const std::vector<double>& coefs,
   const double inv_scale = 1.0 / scale;
 
   std::vector<std::uint64_t> nb(coefs.size());
-  const std::size_t first_overflow = ParallelReduce<std::size_t>(
-      0, coefs.size(), kCoefGrain, coefs.size(),
-      [&](std::size_t lo, std::size_t hi) {
-        std::size_t bad = coefs.size();
-        for (std::size_t i = lo; i < hi; ++i) {
-          const std::int64_t q = std::llround(coefs[i] * scale);
-          nb[i] = ToNegabinary(q);
-          if (NegabinaryDigits(nb[i]) > num_planes_ && bad == coefs.size()) {
-            bad = i;
-          }
-        }
-        return bad;
-      },
-      [](std::size_t a, std::size_t b) { return std::min(a, b); });
+  const std::size_t first_overflow =
+      QuantizeNegabinary(coefs, scale, num_planes_, &nb);
   if (first_overflow < coefs.size()) {
-    std::ostringstream os;
-    os << "coefficient " << coefs[first_overflow] << " overflows "
-       << num_planes_ << " nega-binary planes (exponent " << set.exponent
-       << ")";
-    return Status::Internal(os.str());
+    return OverflowError(coefs, first_overflow, num_planes_, set.exponent);
   }
 
-  // Slice digits into planes, MSB plane first. Planes are independent
-  // outputs, so they fan out across the pool.
-  ParallelFor(0, static_cast<std::size_t>(num_planes_), 1,
-              [&](std::size_t p_lo, std::size_t p_hi) {
-                for (std::size_t p = p_lo; p < p_hi; ++p) {
-                  const int digit = num_planes_ - 1 - static_cast<int>(p);
-                  std::string& plane = set.planes[p];
-                  for (std::size_t i = 0; i < nb.size(); ++i) {
-                    if ((nb[i] >> digit) & 1u) {
-                      plane[i >> 3] |= static_cast<char>(1u << (i & 7));
-                    }
+  // Slice digits into planes, MSB plane first, 64 coefficients per
+  // instruction: each 64-word block is bit-transposed so word d holds digit
+  // d of all 64 coefficients, which is exactly 8 plane bytes. When the
+  // error matrix is requested its accumulation shares the same pass over
+  // the transposed blocks.
+  const std::size_t n = coefs.size();
+  if (stats == nullptr) {
+    ParallelFor(0, (n + 63) / 64, kCoefGrain / 64,
+                [&](std::size_t b_lo, std::size_t b_hi) {
+                  for (std::size_t blk = b_lo; blk < b_hi; ++blk) {
+                    const std::size_t i0 = blk * 64;
+                    EmitBlock(nb.data(), i0, std::min<std::size_t>(64, n - i0),
+                              num_planes_, &set.planes);
                   }
-                }
-              });
+                });
+    return set;
+  }
 
-  if (stats != nullptr) {
-    stats->max_abs.assign(num_planes_ + 1, 0.0);
-    stats->mse.assign(num_planes_ + 1, 0.0);
-    const double inv_n =
-        coefs.empty() ? 0.0 : 1.0 / static_cast<double>(coefs.size());
-    // Nega-binary digit b contributes exactly (-2)^b, so the prefix
-    // reconstruction is linear in the digits: each coefficient's value is
-    // tracked incrementally as planes are added, instead of re-deriving it
-    // from the partial digit string every plane. Coefficients are
-    // independent, so chunks of them reduce in parallel; the fixed grain
-    // plus ordered combine keeps the sums reproducible.
-    ErrorAccumulator zero;
-    zero.max_abs.assign(num_planes_ + 1, 0.0);
-    zero.sq_err.assign(num_planes_ + 1, 0.0);
-    ErrorAccumulator total = ParallelReduce<ErrorAccumulator>(
-        0, coefs.size(), kCoefGrain, zero,
-        [&](std::size_t lo, std::size_t hi) {
-          ErrorAccumulator acc;
-          acc.max_abs.assign(num_planes_ + 1, 0.0);
-          acc.sq_err.assign(num_planes_ + 1, 0.0);
-          for (std::size_t i = lo; i < hi; ++i) {
-            std::int64_t value = 0;  // FromNegabinary of the kept digits
-            const double d0 = std::fabs(coefs[i]);
-            acc.max_abs[0] = std::max(acc.max_abs[0], d0);
-            acc.sq_err[0] += d0 * d0;
-            for (int b = 1; b <= num_planes_; ++b) {
-              const int digit = num_planes_ - b;
-              if ((nb[i] >> digit) & 1u) {
-                const std::int64_t mag = std::int64_t{1} << digit;
-                value += (digit & 1) ? -mag : mag;
-              }
-              const double rec = static_cast<double>(value) * inv_scale;
-              const double d = std::fabs(coefs[i] - rec);
-              acc.max_abs[b] = std::max(acc.max_abs[b], d);
-              acc.sq_err[b] += d * d;
-            }
-          }
-          return acc;
-        },
-        [&](ErrorAccumulator a, ErrorAccumulator b) {
-          for (int i = 0; i <= num_planes_; ++i) {
-            a.max_abs[i] = std::max(a.max_abs[i], b.max_abs[i]);
-            a.sq_err[i] += b.sq_err[i];
-          }
-          return a;
-        });
-    for (int b = 0; b <= num_planes_; ++b) {
-      stats->max_abs[b] = total.max_abs[b];
-      stats->mse[b] = total.sq_err[b] * inv_n;
-    }
+  stats->max_abs.assign(num_planes_ + 1, 0.0);
+  stats->mse.assign(num_planes_ + 1, 0.0);
+  const double inv_n = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  // Nega-binary digit b contributes exactly (-2)^b, so the prefix
+  // reconstruction is linear in the digits: each coefficient's value is
+  // tracked incrementally as planes are added, instead of re-deriving it
+  // from the partial digit string every plane. Coefficients are
+  // independent, so chunks of them reduce in parallel; the fixed grain
+  // plus ordered combine keeps the sums reproducible. Chunks are
+  // 64-aligned, so the plane-emitting blocks nest inside them.
+  ErrorAccumulator zero;
+  zero.max_abs.assign(num_planes_ + 1, 0.0);
+  zero.sq_err.assign(num_planes_ + 1, 0.0);
+  ErrorAccumulator total = ParallelReduce<ErrorAccumulator>(
+      0, n, kCoefGrain, zero,
+      [&](std::size_t lo, std::size_t hi) {
+        ErrorAccumulator acc;
+        acc.max_abs.assign(num_planes_ + 1, 0.0);
+        acc.sq_err.assign(num_planes_ + 1, 0.0);
+        for (std::size_t i0 = lo; i0 < hi; i0 += 64) {
+          const std::size_t nblock = std::min<std::size_t>(64, hi - i0);
+          EmitBlock(nb.data(), i0, nblock, num_planes_, &set.planes);
+          AccumulateStats(coefs, nb.data(), i0, i0 + nblock, num_planes_,
+                          inv_scale, &acc);
+        }
+        return acc;
+      },
+      [&](ErrorAccumulator a, ErrorAccumulator b) {
+        for (int i = 0; i <= num_planes_; ++i) {
+          a.max_abs[i] = std::max(a.max_abs[i], b.max_abs[i]);
+          a.sq_err[i] += b.sq_err[i];
+        }
+        return a;
+      });
+  for (int b = 0; b <= num_planes_; ++b) {
+    stats->max_abs[b] = total.max_abs[b];
+    stats->mse[b] = total.sq_err[b] * inv_n;
   }
   return set;
 }
 
 Result<std::vector<double>> BitplaneEncoder::Decode(const BitplaneSet& set,
                                                     int prefix_planes) const {
-  if (prefix_planes < 0 || prefix_planes > set.num_planes) {
-    return Status::Invalid("prefix_planes out of range");
-  }
-  if (static_cast<int>(set.planes.size()) < prefix_planes) {
-    return Status::Invalid("BitplaneSet is missing planes");
-  }
-  const std::size_t plane_bytes = set.PlaneBytes();
-  for (int p = 0; p < prefix_planes; ++p) {
-    if (set.planes[p].size() != plane_bytes) {
-      return Status::Invalid("plane payload has wrong size");
-    }
-  }
+  MGARDP_RETURN_NOT_OK(internal::ValidateBitplaneSet(set, prefix_planes));
   const double inv_scale =
       std::ldexp(1.0, set.exponent - (set.num_planes - 2));
-  std::vector<double> coefs(set.count);
-  // OR the planes together per coefficient chunk (plane-outer iteration
-  // would race on the shared digit words); each chunk owns its slice of the
-  // output, so the result is scheduling-independent.
-  ParallelFor(0, static_cast<std::size_t>(set.count), kCoefGrain,
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t i = lo; i < hi; ++i) {
-                  std::uint64_t nb = 0;
+  const std::size_t n = set.count;
+  std::vector<double> coefs(n);
+  // Gather each 64-coefficient block's plane words, transpose back to
+  // coefficient-major nega-binary words, and convert. Each block owns its
+  // slice of the output, so the result is scheduling-independent.
+  ParallelFor(0, (n + 63) / 64, kCoefGrain / 64,
+              [&](std::size_t b_lo, std::size_t b_hi) {
+                std::uint64_t m[64];
+                for (std::size_t blk = b_lo; blk < b_hi; ++blk) {
+                  const std::size_t i0 = blk * 64;
+                  const std::size_t nblock = std::min<std::size_t>(64, n - i0);
+                  const std::size_t nbytes = (nblock + 7) >> 3;
+                  std::memset(m, 0, sizeof(m));
                   for (int p = 0; p < prefix_planes; ++p) {
-                    if ((set.planes[p][i >> 3] >> (i & 7)) & 1) {
-                      nb |= std::uint64_t{1} << (set.num_planes - 1 - p);
-                    }
+                    m[set.num_planes - 1 - p] =
+                        LoadWordLE(set.planes[p].data() + (i0 >> 3), nbytes);
                   }
-                  coefs[i] =
-                      static_cast<double>(FromNegabinary(nb)) * inv_scale;
+                  internal::Transpose64x64(m);
+                  for (std::size_t r = 0; r < nblock; ++r) {
+                    coefs[i0 + r] =
+                        static_cast<double>(FromNegabinary(m[r])) * inv_scale;
+                  }
                 }
               });
   return coefs;
@@ -219,14 +314,161 @@ Result<BitplaneSet> DeserializeBitplaneSet(const std::string& in) {
   MGARDP_RETURN_NOT_OK(r.Get(&exponent));
   MGARDP_RETURN_NOT_OK(r.Get(&count));
   MGARDP_RETURN_NOT_OK(r.Get(&n_planes));
+  // Reject impossible shapes before allocating anything sized by them: a
+  // corrupt n_planes would otherwise drive a multi-gigabyte resize, and a
+  // count that disagrees with the stored payload sizes would let Decode
+  // index past plane ends.
+  if (num_planes < 2 || num_planes > 60) {
+    return Status::Invalid("BitplaneSet: num_planes out of range");
+  }
+  if (n_planes > static_cast<std::uint64_t>(num_planes)) {
+    return Status::Invalid("BitplaneSet: more planes than num_planes");
+  }
   set.num_planes = num_planes;
   set.exponent = exponent;
   set.count = count;
   set.planes.resize(n_planes);
   for (auto& p : set.planes) {
     MGARDP_RETURN_NOT_OK(r.GetString(&p));
+    if (p.size() != set.PlaneBytes()) {
+      return Status::Invalid("BitplaneSet: plane size disagrees with count");
+    }
   }
   return set;
 }
+
+namespace internal {
+
+Status ValidateBitplaneSet(const BitplaneSet& set, int prefix_planes) {
+  if (set.num_planes < 2 || set.num_planes > 60) {
+    return Status::Invalid("BitplaneSet: num_planes out of range");
+  }
+  if (prefix_planes < 0 || prefix_planes > set.num_planes) {
+    return Status::Invalid("prefix_planes out of range");
+  }
+  if (set.planes.size() > static_cast<std::size_t>(set.num_planes)) {
+    return Status::Invalid("BitplaneSet: more planes than num_planes");
+  }
+  if (set.planes.size() < static_cast<std::size_t>(prefix_planes)) {
+    return Status::Invalid("BitplaneSet is missing planes");
+  }
+  // Validate every present plane, not just the first prefix_planes: a set
+  // whose tail planes are malformed is corrupt even when this particular
+  // decode would not touch them.
+  const std::size_t plane_bytes = set.PlaneBytes();
+  for (const std::string& p : set.planes) {
+    if (p.size() != plane_bytes) {
+      return Status::Invalid("plane payload has wrong size");
+    }
+  }
+  return Status::OK();
+}
+
+void SlicePlanesScalar(const std::uint64_t* nb, std::size_t count,
+                       int num_planes, std::vector<std::string>* planes) {
+  for (int p = 0; p < num_planes; ++p) {
+    const int digit = num_planes - 1 - p;
+    std::string& plane = (*planes)[p];
+    for (std::size_t i = 0; i < count; ++i) {
+      if ((nb[i] >> digit) & 1u) {
+        plane[i >> 3] |= static_cast<char>(1u << (i & 7));
+      }
+    }
+  }
+}
+
+Result<BitplaneSet> EncodeScalar(const std::vector<double>& coefs,
+                                 int num_planes, LevelErrorStats* stats) {
+  MGARDP_CHECK(num_planes >= 2 && num_planes <= 60)
+      << "num_planes out of range";
+  BitplaneSet set;
+  set.num_planes = num_planes;
+  set.count = coefs.size();
+  set.exponent = LevelExponent(coefs);
+  set.planes.assign(num_planes, std::string(set.PlaneBytes(), '\0'));
+
+  const double scale = std::ldexp(1.0, num_planes - 2 - set.exponent);
+  const double inv_scale = 1.0 / scale;
+
+  std::vector<std::uint64_t> nb(coefs.size());
+  const std::size_t first_overflow =
+      QuantizeNegabinary(coefs, scale, num_planes, &nb);
+  if (first_overflow < coefs.size()) {
+    return OverflowError(coefs, first_overflow, num_planes, set.exponent);
+  }
+
+  SlicePlanesScalar(nb.data(), coefs.size(), num_planes, &set.planes);
+
+  if (stats != nullptr) {
+    stats->max_abs.assign(num_planes + 1, 0.0);
+    stats->mse.assign(num_planes + 1, 0.0);
+    const double inv_n =
+        coefs.empty() ? 0.0 : 1.0 / static_cast<double>(coefs.size());
+    ErrorAccumulator zero;
+    zero.max_abs.assign(num_planes + 1, 0.0);
+    zero.sq_err.assign(num_planes + 1, 0.0);
+    ErrorAccumulator total = ParallelReduce<ErrorAccumulator>(
+        0, coefs.size(), kCoefGrain, zero,
+        [&](std::size_t lo, std::size_t hi) {
+          ErrorAccumulator acc;
+          acc.max_abs.assign(num_planes + 1, 0.0);
+          acc.sq_err.assign(num_planes + 1, 0.0);
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::int64_t value = 0;  // FromNegabinary of the kept digits
+            const double d0 = std::fabs(coefs[i]);
+            acc.max_abs[0] = std::max(acc.max_abs[0], d0);
+            acc.sq_err[0] += d0 * d0;
+            for (int b = 1; b <= num_planes; ++b) {
+              const int digit = num_planes - b;
+              if ((nb[i] >> digit) & 1u) {
+                const std::int64_t mag = std::int64_t{1} << digit;
+                value += (digit & 1) ? -mag : mag;
+              }
+              const double rec = static_cast<double>(value) * inv_scale;
+              const double d = std::fabs(coefs[i] - rec);
+              acc.max_abs[b] = std::max(acc.max_abs[b], d);
+              acc.sq_err[b] += d * d;
+            }
+          }
+          return acc;
+        },
+        [&](ErrorAccumulator a, ErrorAccumulator b) {
+          for (int i = 0; i <= num_planes; ++i) {
+            a.max_abs[i] = std::max(a.max_abs[i], b.max_abs[i]);
+            a.sq_err[i] += b.sq_err[i];
+          }
+          return a;
+        });
+    for (int b = 0; b <= num_planes; ++b) {
+      stats->max_abs[b] = total.max_abs[b];
+      stats->mse[b] = total.sq_err[b] * inv_n;
+    }
+  }
+  return set;
+}
+
+Result<std::vector<double>> DecodeScalar(const BitplaneSet& set,
+                                         int prefix_planes) {
+  MGARDP_RETURN_NOT_OK(ValidateBitplaneSet(set, prefix_planes));
+  const double inv_scale =
+      std::ldexp(1.0, set.exponent - (set.num_planes - 2));
+  std::vector<double> coefs(set.count);
+  ParallelFor(0, static_cast<std::size_t>(set.count), kCoefGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  std::uint64_t nb = 0;
+                  for (int p = 0; p < prefix_planes; ++p) {
+                    if ((set.planes[p][i >> 3] >> (i & 7)) & 1) {
+                      nb |= std::uint64_t{1} << (set.num_planes - 1 - p);
+                    }
+                  }
+                  coefs[i] =
+                      static_cast<double>(FromNegabinary(nb)) * inv_scale;
+                }
+              });
+  return coefs;
+}
+
+}  // namespace internal
 
 }  // namespace mgardp

@@ -6,6 +6,15 @@
 // coarse version of every coefficient; the error matrix records exactly how
 // coarse (max-abs and mean-squared error per prefix length), which is the
 // Err[l][b] input to the error estimators (Table I of the paper).
+//
+// The hot slicing loops are word-parallel: blocks of 64 nega-binary
+// coefficient words are transposed into plane-major machine words with a
+// 64x64 SWAR bit-matrix transpose (shift/mask butterflies), so every plane
+// is emitted/consumed 64 coefficients per instruction instead of one bit at
+// a time. The original scalar kernels survive behind `internal::` as the
+// reference implementation the cross-check tests compare against; both
+// paths produce bit-identical plane payloads, error matrices, and decoded
+// coefficients for any thread count.
 
 #ifndef MGARDP_ENCODE_BITPLANE_H_
 #define MGARDP_ENCODE_BITPLANE_H_
@@ -24,7 +33,9 @@ struct BitplaneSet {
   int exponent = 0;     // e: max |coefficient| <= 2^e
   std::uint64_t count = 0;  // number of coefficients
   // planes[p] is the packed bitstream of plane p (p = 0 is the most
-  // significant); each holds ceil(count / 8) bytes.
+  // significant); each holds ceil(count / 8) bytes. Bit (i & 7) of byte
+  // (i >> 3) is coefficient i's digit, i.e. a plane is the little-endian
+  // byte image of 64-bit words whose bit i belongs to coefficient i.
   std::vector<std::string> planes;
 
   // Raw (pre-lossless) size in bytes of one plane.
@@ -47,13 +58,16 @@ class BitplaneEncoder {
   int num_planes() const { return num_planes_; }
 
   // Encodes `coefs` into bit-planes; if `stats` is non-null also collects
-  // the error matrix row for this level.
+  // the error matrix row for this level (folded into the same transposed
+  // pass over the nega-binary words).
   Result<BitplaneSet> Encode(const std::vector<double>& coefs,
                              LevelErrorStats* stats) const;
 
   // Reconstructs coefficients from the first `prefix_planes` planes
   // (0 <= prefix_planes <= set.num_planes). Missing planes read as zero
-  // digits.
+  // digits. Validates the set's shape (num_planes range, plane count, and
+  // every present plane's payload size) before touching any plane byte, so
+  // corrupt or hostile sets fail cleanly instead of over-reading.
   Result<std::vector<double>> Decode(const BitplaneSet& set,
                                      int prefix_planes) const;
 
@@ -63,7 +77,47 @@ class BitplaneEncoder {
 
 // Serialization of a BitplaneSet (including plane payloads).
 void SerializeBitplaneSet(const BitplaneSet& set, std::string* out);
+// Rejects structurally invalid input: num_planes outside [2, 60], more
+// planes than num_planes, or any plane payload whose size disagrees with
+// `count`. Guarantees the returned set passes Decode's validation shape
+// checks for any in-range prefix.
 Result<BitplaneSet> DeserializeBitplaneSet(const std::string& in);
+
+namespace internal {
+
+// In-place transpose of a 64x64 bit matrix: bit d of word r moves to bit r
+// of word d. Six rounds of shift/mask butterflies; an involution.
+inline void Transpose64x64(std::uint64_t m[64]) {
+  std::uint64_t mask = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k + j] ^= t;
+      m[k] ^= t << j;
+    }
+  }
+}
+
+// Structural validation shared by Decode and the scalar reference: checks
+// num_planes, prefix range, plane count, and every present plane's size.
+Status ValidateBitplaneSet(const BitplaneSet& set, int prefix_planes);
+
+// Reference scalar kernels (the pre-word-parallel implementation). Used by
+// the cross-check tests and kept verbatim so any divergence in the fast
+// path is attributable.
+//
+// Slices nega-binary words into plane payloads one bit at a time.
+// `planes` must already hold num_planes strings of PlaneBytes() zero bytes.
+void SlicePlanesScalar(const std::uint64_t* nb, std::size_t count,
+                       int num_planes, std::vector<std::string>* planes);
+// Full scalar encode: quantize + slice + optional error matrix.
+Result<BitplaneSet> EncodeScalar(const std::vector<double>& coefs,
+                                 int num_planes, LevelErrorStats* stats);
+// Scalar decode, one plane bit per coefficient per iteration.
+Result<std::vector<double>> DecodeScalar(const BitplaneSet& set,
+                                         int prefix_planes);
+
+}  // namespace internal
 
 }  // namespace mgardp
 

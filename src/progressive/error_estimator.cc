@@ -10,6 +10,31 @@
 
 namespace mgardp {
 
+namespace {
+
+// Exponents reach K - level + 1 <= num_steps + 1; hierarchies cap well
+// below this (each step halves every axis of a size_t extent).
+constexpr int kMaxPowExp = 80;
+
+}  // namespace
+
+const double* TheoryEstimator::PowTable(int d) {
+  // Cached exact std::pow values per dimensionality; thread-safe via the
+  // magic static, and identical to calling std::pow at use time.
+  static const std::vector<double> tables = [] {
+    std::vector<double> t(3 * (kMaxPowExp + 1));
+    for (int dim = 1; dim <= 3; ++dim) {
+      const double per_step = 1.0 + 1.5 * static_cast<double>(dim);
+      for (int n = 0; n <= kMaxPowExp; ++n) {
+        t[(dim - 1) * (kMaxPowExp + 1) + n] =
+            std::pow(per_step, static_cast<double>(n));
+      }
+    }
+    return t;
+  }();
+  return (d >= 1 && d <= 3) ? &tables[(d - 1) * (kMaxPowExp + 1)] : nullptr;
+}
+
 double TheoryEstimator::LevelConstant(const RefactoredField& field,
                                       int level) const {
   const int K = field.hierarchy.num_steps();
@@ -19,8 +44,13 @@ double TheoryEstimator::LevelConstant(const RefactoredField& field,
   // whose inverse has inf-norm <= 3/2). Level l detail passes through
   // K - l + 1 steps' worth of worst-case growth under the absolute-row-sum
   // combination -- no cancellation credited anywhere.
+  const int n = K - level + 1;
+  const double* table = PowTable(d);
+  if (table != nullptr && n >= 0 && n <= kMaxPowExp) {
+    return slack_ * table[n];
+  }
   const double per_step = 1.0 + 1.5 * static_cast<double>(d);
-  return slack_ * std::pow(per_step, static_cast<double>(K - level + 1));
+  return slack_ * std::pow(per_step, static_cast<double>(n));
 }
 
 double TheoryEstimator::Estimate(const RefactoredField& field,
@@ -37,6 +67,21 @@ double TheoryEstimator::Estimate(const RefactoredField& field,
   return est;
 }
 
+const double* SNormEstimator::PowTable(int d) {
+  static const std::vector<double> tables = [] {
+    std::vector<double> t(3 * (kMaxPowExp + 1));
+    for (int dim = 1; dim <= 3; ++dim) {
+      const double per_step = 1.0 + 0.5 * static_cast<double>(dim);
+      for (int n = 0; n <= kMaxPowExp; ++n) {
+        t[(dim - 1) * (kMaxPowExp + 1) + n] =
+            std::pow(per_step, static_cast<double>(n));
+      }
+    }
+    return t;
+  }();
+  return (d >= 1 && d <= 3) ? &tables[(d - 1) * (kMaxPowExp + 1)] : nullptr;
+}
+
 double SNormEstimator::LevelConstant(const RefactoredField& field,
                                      int level) const {
   const int K = field.hierarchy.num_steps();
@@ -45,8 +90,13 @@ double SNormEstimator::LevelConstant(const RefactoredField& field,
   // mass solve is an L2 contraction and interpolation has norm <= 1 per
   // axis up to the mesh weights); 1 + d/2 per step is a conservative
   // engineering constant of the same flavour as the max-norm estimator's.
+  const int n = K - level + 1;
+  const double* table = PowTable(d);
+  if (table != nullptr && n >= 0 && n <= kMaxPowExp) {
+    return slack_ * table[n];
+  }
   const double per_step = 1.0 + 0.5 * static_cast<double>(d);
-  return slack_ * std::pow(per_step, static_cast<double>(K - level + 1));
+  return slack_ * std::pow(per_step, static_cast<double>(n));
 }
 
 double SNormEstimator::Estimate(const RefactoredField& field,

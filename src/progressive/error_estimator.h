@@ -64,6 +64,11 @@ class TheoryEstimator : public ErrorEstimator {
 
  private:
   double slack_;
+  // pow((1 + 1.5 * d), n) for d in {1, 2, 3}, n in [0, kMaxPowExp]. The
+  // planners issue O(levels * planes) Estimate calls per greedy step, so a
+  // libm pow per level per call dominates planning; the table holds the
+  // exact same std::pow values.
+  static const double* PowTable(int d);
 };
 
 // An L2 companion to TheoryEstimator: estimates the ROOT-MEAN-SQUARE
@@ -84,6 +89,8 @@ class SNormEstimator : public ErrorEstimator {
 
  private:
   double slack_;
+  // pow((1 + 0.5 * d), n) tables, same rationale as TheoryEstimator's.
+  static const double* PowTable(int d);
 };
 
 // The RMS bound equivalent to a PSNR target for data of value range

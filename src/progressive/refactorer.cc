@@ -1,5 +1,7 @@
 #include "progressive/refactorer.h"
 
+#include <mutex>
+
 #include "decompose/decomposer.h"
 #include "decompose/interleaver.h"
 #include "encode/bitplane.h"
@@ -17,6 +19,10 @@ Result<RefactoredField> Refactorer::Refactor(Array3Dd data) const {
   }
   if (options_.sketch_bins < 1) {
     return Status::Invalid("sketch_bins must be >= 1");
+  }
+  if (options_.codec != "auto" &&
+      lossless::FindCodecByName(options_.codec) == nullptr) {
+    return Status::Invalid("unknown lossless codec '" + options_.codec + "'");
   }
   // Pad arbitrary extents to the next 2^k + 1 (edge replication); the
   // original extents travel in the metadata and reconstruction crops back.
@@ -77,15 +83,25 @@ Result<RefactoredField> Refactorer::Refactor(Array3Dd data) const {
   std::vector<std::string> compressed(first_plane[L]);
   {
     MGARDP_TRACE_SPAN("refactor/lossless", "progressive");
+    Status compress_status;
+    std::mutex status_mu;
     ParallelFor(0, first_plane[L], 1, [&](std::size_t lo, std::size_t hi) {
       int l = 0;
       for (std::size_t t = lo; t < hi; ++t) {
         while (t >= first_plane[l + 1]) {
           ++l;
         }
-        compressed[t] = lossless::Compress(sets[l].planes[t - first_plane[l]]);
+        Result<std::string> blob = lossless::CompressWith(
+            sets[l].planes[t - first_plane[l]], options_.codec);
+        if (blob.ok()) {
+          compressed[t] = std::move(blob).value();
+        } else {
+          std::lock_guard<std::mutex> lock(status_mu);
+          compress_status = blob.status();
+        }
       }
     });
+    MGARDP_RETURN_NOT_OK(compress_status);
   }
   {
     MGARDP_TRACE_SPAN("refactor/store", "storage");

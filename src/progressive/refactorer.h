@@ -5,6 +5,8 @@
 #ifndef MGARDP_PROGRESSIVE_REFACTORER_H_
 #define MGARDP_PROGRESSIVE_REFACTORER_H_
 
+#include <string>
+
 #include "progressive/refactored_field.h"
 #include "util/array3d.h"
 #include "util/status.h"
@@ -20,6 +22,11 @@ struct RefactorOptions {
   bool use_correction = true;
   // Bins in the per-level |coefficient| quantile sketch (E-MGARD input).
   int sketch_bins = 32;
+  // Lossless codec per plane: a registered codec name ("pipeline", "rice")
+  // or "auto" to pick per plane by density/entropy gates and trial size
+  // (see lossless::CompressAuto). Retrieval is unaffected by the choice --
+  // containers are self-describing.
+  std::string codec = "auto";
 };
 
 class Refactorer {

@@ -11,9 +11,10 @@ namespace mgardp {
 namespace container {
 
 namespace {
-// level + plane + offset + size (+ crc in v2).
+// level + plane + offset + size (+ crc in v2, + codec id in v3).
 constexpr std::size_t kRecordSizeV1 = 4 + 4 + 8 + 8;
 constexpr std::size_t kRecordSizeV2 = kRecordSizeV1 + 4;
+constexpr std::size_t kRecordSizeV3 = kRecordSizeV2 + 1;
 // Levels and planes are small non-negative integers in any real artifact;
 // anything outside this range in an index is corruption, not data.
 constexpr std::int32_t kMaxKeyComponent = 1 << 20;
@@ -41,7 +42,7 @@ Status ParseIndex(const std::string& index_bytes,
     if (magic == kIndexMagic) {
       MGARDP_RETURN_NOT_OK(r.Get(&magic));
       MGARDP_RETURN_NOT_OK(r.Get(&version));
-      if (version != kIndexVersion) {
+      if (version < kMinIndexVersion || version > kIndexVersion) {
         return Status::Invalid(
             "segments.idx: unsupported container version " +
             std::to_string(version));
@@ -50,8 +51,9 @@ Status ParseIndex(const std::string& index_bytes,
   }
   std::uint64_t count = 0;
   MGARDP_RETURN_NOT_OK(r.Get(&count));
-  const std::size_t record_size =
-      version >= kIndexVersion ? kRecordSizeV2 : kRecordSizeV1;
+  const std::size_t record_size = version >= 3   ? kRecordSizeV3
+                                  : version >= 2 ? kRecordSizeV2
+                                                 : kRecordSizeV1;
   if (count > r.remaining() / record_size) {
     return Status::OutOfRange("segments.idx: record count " +
                               std::to_string(count) + " exceeds index size");
@@ -65,9 +67,12 @@ Status ParseIndex(const std::string& index_bytes,
     MGARDP_RETURN_NOT_OK(r.Get(&rec.plane));
     MGARDP_RETURN_NOT_OK(r.Get(&rec.offset));
     MGARDP_RETURN_NOT_OK(r.Get(&rec.size));
-    if (version >= kIndexVersion) {
+    if (version >= 2) {
       MGARDP_RETURN_NOT_OK(r.Get(&rec.crc));
       rec.has_crc = true;
+    }
+    if (version >= 3) {
+      MGARDP_RETURN_NOT_OK(r.Get(&rec.codec));
     }
     if (rec.level < 0 || rec.level > kMaxKeyComponent || rec.plane < 0 ||
         rec.plane > kMaxKeyComponent) {

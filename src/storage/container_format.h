@@ -2,18 +2,28 @@
 //
 // A segment directory holds one "level_<l>.bin" file per level (that
 // level's plane payloads back to back) plus "segments.idx" describing every
-// segment. Two index versions exist:
+// segment. Three index versions exist:
 //
 //   v1 (legacy):  u64 count, then per record
 //                 { i32 level, i32 plane, u64 offset, u64 size }
-//   v2 (current): u32 magic "SIDX", u32 version = 2, u64 count, then per
+//   v2 (legacy):  u32 magic "SIDX", u32 version = 2, u64 count, then per
 //                 record { i32 level, i32 plane, u64 offset, u64 size,
 //                 u32 crc32c }
+//   v3 (current): as v2 with version = 3 and a trailing u8 lossless codec
+//                 id per record (the first byte of the segment payload; see
+//                 lossless/codec.h for the id space).
 //
-// The v2 checksum is CRC-32C over the little-endian (level, plane) pair
+// The v2/v3 checksum is CRC-32C over the little-endian (level, plane) pair
 // followed by the payload bytes (see SegmentChecksum), so corruption of the
-// key, the byte range, or the payload all fail verification. v1 indexes
-// (no magic) still parse; their records carry has_crc = false.
+// key, the byte range, or the payload all fail verification; the codec id
+// needs no separate checksum because it duplicates the payload's first
+// byte, which the CRC already covers. Compatibility rules: readers accept
+// v1 (no magic, has_crc = false, codec recovered from the payload), v2
+// (codec recovered from the payload), and v3; writers always emit v3.
+// Decompression routes on the payload's leading byte, so the recorded
+// codec id is metadata for tooling (info listings, scrub reports), never a
+// decode dependency -- which is also why pre-codec-registry archives
+// decode unchanged.
 
 #ifndef MGARDP_STORAGE_CONTAINER_FORMAT_H_
 #define MGARDP_STORAGE_CONTAINER_FORMAT_H_
@@ -28,9 +38,11 @@ namespace mgardp {
 namespace container {
 
 inline constexpr std::uint32_t kIndexMagic = 0x58444953;  // "SIDX"
-inline constexpr std::uint32_t kIndexVersion = 2;
+inline constexpr std::uint32_t kIndexVersion = 3;
+// Oldest SIDX version readers still accept (v1 predates the magic).
+inline constexpr std::uint32_t kMinIndexVersion = 2;
 
-// One parsed index record, common to both container versions.
+// One parsed index record, common to all container versions.
 struct IndexRecord {
   std::int32_t level = 0;
   std::int32_t plane = 0;
@@ -38,6 +50,9 @@ struct IndexRecord {
   std::uint64_t size = 0;
   std::uint32_t crc = 0;
   bool has_crc = false;
+  // Lossless codec id of the payload (v3; 0 for v1/v2 records, whose
+  // loaders recover it from the payload's first byte instead).
+  std::uint8_t codec = 0;
 };
 
 // "<dir>/level_<level>.bin".

@@ -29,6 +29,11 @@ void SegmentStore::Put(int level, int plane, std::string payload) {
   Segment seg;
   seg.crc = SegmentChecksum(level, plane, payload);
   seg.has_crc = true;
+  // Every lossless container is self-describing: its first byte is the
+  // codec id (or a legacy pipeline flags byte). Record it as segment
+  // metadata for tooling; decode never depends on it.
+  seg.codec =
+      payload.empty() ? 0 : static_cast<unsigned char>(payload.front());
   seg.payload = std::move(payload);
   segments_[{level, plane}] = std::move(seg);
 }
@@ -54,6 +59,11 @@ bool SegmentStore::Contains(int level, int plane) const {
 std::size_t SegmentStore::SizeOf(int level, int plane) const {
   auto it = segments_.find({level, plane});
   return it == segments_.end() ? 0 : it->second.payload.size();
+}
+
+std::uint8_t SegmentStore::CodecOf(int level, int plane) const {
+  auto it = segments_.find({level, plane});
+  return it == segments_.end() ? 0 : it->second.codec;
 }
 
 std::size_t SegmentStore::TotalBytes() const {
@@ -124,6 +134,7 @@ Status SegmentStore::WriteToDirectory(const std::string& dir) const {
     index.Put<std::uint32_t>(
         seg.has_crc ? seg.crc
                     : SegmentChecksum(key.first, key.second, seg.payload));
+    index.Put<std::uint8_t>(seg.codec);
     w.PutBytes(seg.payload.data(), seg.payload.size());
   }
   for (auto& [level, w] : level_files) {
@@ -152,6 +163,11 @@ Result<SegmentStore> SegmentStore::LoadFromDirectory(const std::string& dir) {
     seg.payload = it->second.substr(rec.offset, rec.size);
     seg.crc = rec.crc;
     seg.has_crc = rec.has_crc;
+    // v1/v2 records carry no codec id; the payload's leading byte is
+    // authoritative in every version.
+    seg.codec = rec.codec != 0 || seg.payload.empty()
+                    ? rec.codec
+                    : static_cast<unsigned char>(seg.payload.front());
     if (rec.has_crc &&
         SegmentChecksum(rec.level, rec.plane, seg.payload) != rec.crc) {
       return Status::DataLoss("segment " + KeyString(rec.level, rec.plane) +

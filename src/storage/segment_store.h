@@ -7,14 +7,15 @@
 // plane segments back to back with an index), mirroring how MGARD lays
 // files across the storage hierarchy.
 //
-// On-disk container, version 2: "segments.idx" carries a magic/version
+// On-disk container, version 3: "segments.idx" carries a magic/version
 // header and, per segment, its (level, plane), byte range within the level
-// file, and a CRC-32C computed over the key bytes followed by the payload.
+// file, a CRC-32C computed over the key bytes followed by the payload, and
+// the payload's lossless codec id (its first byte; see lossless/codec.h).
 // Binding the key into the checksum means a flipped bit anywhere — payload,
-// offset, size, or the key itself — fails verification. Version 1
-// directories (no header, no checksums) written by earlier releases still
-// load; their segments are marked as having no checksum and Get() skips
-// verification for them.
+// offset, size, or the key itself — fails verification. Directories written
+// by earlier releases still load: version 2 (no codec ids; recovered from
+// payload first bytes) and version 1 (no header, no checksums; segments are
+// marked as having no checksum and Get() skips verification for them).
 
 #ifndef MGARDP_STORAGE_SEGMENT_STORE_H_
 #define MGARDP_STORAGE_SEGMENT_STORE_H_
@@ -50,6 +51,10 @@ class SegmentStore {
   // Compressed size in bytes of a segment, 0 if absent.
   std::size_t SizeOf(int level, int plane) const;
 
+  // Lossless codec id of a segment's payload (its leading container byte;
+  // ids below 0x10 are the legacy pipeline), 0 if absent or empty.
+  std::uint8_t CodecOf(int level, int plane) const;
+
   // Number of stored segments.
   std::size_t size() const { return segments_.size(); }
 
@@ -69,12 +74,12 @@ class SegmentStore {
   bool has_checksums() const;
 
   // Persists all segments under `dir` (created if needed): one file
-  // "level_<l>.bin" per level plus "segments.idx" (always written as v2,
-  // upgrading v1-loaded stores in the process).
+  // "level_<l>.bin" per level plus "segments.idx" (always written as v3,
+  // upgrading stores loaded from older containers in the process).
   Status WriteToDirectory(const std::string& dir) const;
 
-  // Loads a store previously written by WriteToDirectory (v2 or legacy
-  // v1). Checksums, when present, are verified here and re-verified on
+  // Loads a store previously written by WriteToDirectory (v3 or legacy
+  // v2/v1). Checksums, when present, are verified here and re-verified on
   // every Get.
   static Result<SegmentStore> LoadFromDirectory(const std::string& dir);
 
@@ -100,6 +105,7 @@ class SegmentStore {
     std::string payload;
     std::uint32_t crc = 0;
     bool has_crc = false;
+    std::uint8_t codec = 0;  // leading container byte of the payload
   };
 
   std::map<std::pair<int, int>, Segment> segments_;

@@ -111,6 +111,29 @@ double Quantile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+namespace {
+
+// Places the order statistics at `ranks` (ascending, within [first, last))
+// into their sorted positions via divide-and-conquer nth_element: the k-th
+// smallest element of a multiset is a well-defined value, so the ranks end
+// up holding exactly what a full sort would put there, in O(n log ranks)
+// instead of O(n log n).
+void SelectRanks(std::vector<double>* v, std::size_t first, std::size_t last,
+                 const std::size_t* ranks, std::size_t num_ranks) {
+  if (num_ranks == 0 || first >= last) {
+    return;
+  }
+  const std::size_t mid = num_ranks / 2;
+  const std::size_t r = ranks[mid];
+  std::nth_element(v->begin() + static_cast<std::ptrdiff_t>(first),
+                   v->begin() + static_cast<std::ptrdiff_t>(r),
+                   v->begin() + static_cast<std::ptrdiff_t>(last));
+  SelectRanks(v, first, r, ranks, mid);
+  SelectRanks(v, r + 1, last, ranks + mid + 1, num_ranks - mid - 1);
+}
+
+}  // namespace
+
 std::vector<double> AbsQuantileSketch(const std::vector<double>& values,
                                       std::size_t bins) {
   MGARDP_CHECK_GT(bins, 0u);
@@ -118,11 +141,24 @@ std::vector<double> AbsQuantileSketch(const std::vector<double>& values,
   for (std::size_t i = 0; i < values.size(); ++i) {
     abs_vals[i] = std::fabs(values[i]);
   }
-  std::sort(abs_vals.begin(), abs_vals.end());
   std::vector<double> sketch(bins, 0.0);
   if (abs_vals.empty()) {
     return sketch;
   }
+  // Each bin reads positions lo and lo + 1 of the sorted array; selecting
+  // just those ranks yields the same values as sorting everything.
+  std::vector<std::size_t> ranks;
+  ranks.reserve(2 * bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double q = (static_cast<double>(b) + 0.5) / static_cast<double>(bins);
+    const double pos = q * static_cast<double>(abs_vals.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    ranks.push_back(lo);
+    ranks.push_back(std::min(lo + 1, abs_vals.size() - 1));
+  }
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  SelectRanks(&abs_vals, 0, abs_vals.size(), ranks.data(), ranks.size());
   for (std::size_t b = 0; b < bins; ++b) {
     const double q = (static_cast<double>(b) + 0.5) / static_cast<double>(bins);
     const double pos = q * static_cast<double>(abs_vals.size() - 1);

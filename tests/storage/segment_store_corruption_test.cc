@@ -6,6 +6,7 @@
 // one unacceptable outcome.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -22,7 +23,12 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string TempDir(const std::string& name) {
-  const std::string dir = (fs::temp_directory_path() / name).string();
+  // Per-process suffix: ctest runs each test case as its own process, and
+  // cases of this fixture mutate their directory, so a shared name races
+  // under parallel test execution.
+  const std::string dir =
+      (fs::temp_directory_path() / (name + "." + std::to_string(::getpid())))
+          .string();
   fs::remove_all(dir);
   return dir;
 }

@@ -42,6 +42,18 @@ endif()
 run_cli(0 retrieve --dir ${WORK}/art --psnr 80 --estimator snorm
         --out ${WORK}/p.f64)
 
+# Every registered codec (and the auto policy) writes an archive the reader
+# retrieves transparently: the container's per-segment codec id routes
+# decode with no side channel.
+foreach(codec pipeline rice auto)
+  run_cli(0 refactor --input ${WORK}/f.f64 --dims 20,20,20
+          --codec ${codec} --out ${WORK}/art_${codec})
+  run_cli(0 retrieve --dir ${WORK}/art_${codec} --rel-error 1e-3
+          --out ${WORK}/r_${codec}.f64)
+  run_cli(0 verify --original ${WORK}/f.f64
+          --reconstructed ${WORK}/r_${codec}.f64)
+endforeach()
+
 # Train a small E-MGARD model and retrieve with it.
 run_cli(0 train --model emgard --app warpx --field J_x --dims 17,17,17
         --timesteps 4 --epochs 5 --bounds-per-decade 1

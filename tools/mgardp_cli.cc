@@ -8,7 +8,10 @@
 //             little-endian float64 (z fastest).
 //   refactor  --input FILE.f64 --dims NX[,NY[,NZ]] --out DIR
 //             [--planes B] [--steps K] [--no-correction]
+//             [--codec auto|pipeline|rice]
 //             Refactors a raw field into a progressive artifact directory.
+//             --codec picks the lossless coder per plane ("auto" gates on
+//             plane statistics; retrieval reads any mix).
 //   info      --dir DIR
 //             Prints the artifact's levels, plane sizes, and error matrix
 //             summary.
@@ -67,6 +70,7 @@
 #include <string>
 #include <vector>
 
+#include "lossless/codec.h"
 #include "models/dmgard.h"
 #include "models/emgard.h"
 #include "models/features.h"
@@ -288,6 +292,8 @@ int CmdRefactor(const Flags& flags) {
   opts.num_planes = flags.GetInt("planes", 32);
   opts.target_steps = flags.GetInt("steps", -1);
   opts.use_correction = !flags.Has("no-correction");
+  opts.codec = flags.GetString("codec").empty() ? "auto"
+                                                : flags.GetString("codec");
   Refactorer refactorer(opts);
   auto field = refactorer.Refactor(std::move(data).value());
   if (!field.ok()) {
@@ -332,6 +338,19 @@ int CmdInfo(const Flags& flags) {
                 f.level_exponents[l], f.level_errors[l].max_abs.front(),
                 f.level_errors[l].max_abs.back());
   }
+  // Lossless codec mix across the stored segments (the recorded per-segment
+  // codec ids; legacy flags bytes all count as the pipeline codec).
+  std::map<std::string, int> codec_mix;
+  for (const auto& [level, plane] : f.segments.Keys()) {
+    const lossless::Codec* codec =
+        lossless::FindCodec(f.segments.CodecOf(level, plane));
+    ++codec_mix[codec != nullptr ? codec->Name() : "unknown"];
+  }
+  std::printf("  codecs:");
+  for (const auto& [name, count] : codec_mix) {
+    std::printf(" %s=%d", name.c_str(), count);
+  }
+  std::printf("\n");
   std::printf("  total stored: %zu bytes\n", sizes.FullBytes());
   return 0;
 }
@@ -1215,6 +1234,7 @@ void PrintHelp() {
       "            [--timestep T] --out FILE.f64\n"
       "  refactor  --input FILE.f64 --dims NX[,NY[,NZ]] --out DIR\n"
       "            [--planes B] [--steps K] [--no-correction]\n"
+      "            [--codec auto|pipeline|rice]\n"
       "  info      --dir DIR\n"
       "  retrieve  --dir DIR (--rel-error R | --abs-error E | --psnr P\n"
       "            | --budget BYTES)\n"

@@ -5,7 +5,8 @@
 #   tools/run_bench.sh [build_dir] [out_dir]
 #
 # build_dir defaults to ./build (must already be configured and built);
-# out_dir defaults to the repo root, producing BENCH_pipeline.json and
+# out_dir defaults to the repo root, producing BENCH_pipeline.json,
+# BENCH_bitplane.json, BENCH_lossless.json, BENCH_obs.json, and
 # BENCH_serve.json there. Additional suites can be selected via
 # MGARDP_BENCH_SUITES, a space-separated subset of: pipeline bitplane
 # decompose dnn lossless storage obs serve audit. The `serve` suite drives
@@ -25,7 +26,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 out_dir="${2:-${repo_root}}"
-suites="${MGARDP_BENCH_SUITES:-pipeline obs serve}"
+suites="${MGARDP_BENCH_SUITES:-pipeline bitplane lossless obs serve}"
 
 if [[ ! -d "${build_dir}" ]]; then
   echo "error: build dir '${build_dir}' not found; run:" >&2
