@@ -63,7 +63,7 @@ int main() {
     std::size_t fetched = 0, cached = 0, reused = 0;
     for (int c = 0; c < kClients; ++c) {
       Status admitted = scheduler.Submit(
-          {sessions[c].get(), ladder[round] * range, 0.0},
+          {sessions[c].get(), ladder[round] * range, 0.0, ""},
           [&](const RetrievalScheduler::Response& resp) {
             if (!resp.status.ok() || !resp.refinement.bound_met) {
               violated = true;

@@ -1,0 +1,100 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mgardp {
+
+namespace {
+
+// SplitMix64 finalizer: full-avalanche mix so sequential (node, vnode)
+// pairs land on uncorrelated ring positions.
+std::uint64_t Avalanche(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// FNV-1a over the field id, so the key hash separates fields before the
+// (level, plane) mix.
+std::uint64_t HashField(const std::string& field_id) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : field_id) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(int num_nodes) : HashRing(num_nodes, Options()) {}
+
+HashRing::HashRing(int num_nodes, Options options)
+    : num_nodes_(num_nodes), options_(options) {
+  assert(num_nodes_ >= 1);
+  assert(options_.vnodes >= 1);
+  points_.reserve(static_cast<std::size_t>(num_nodes_) *
+                  static_cast<std::size_t>(options_.vnodes));
+  for (int node = 0; node < num_nodes_; ++node) {
+    for (int v = 0; v < options_.vnodes; ++v) {
+      const std::uint64_t point = Avalanche(
+          options_.seed ^
+          (0xA24BAED4963EE407ULL * (static_cast<std::uint64_t>(node) + 1)) ^
+          (0x9FB21C651E98DF25ULL * (static_cast<std::uint64_t>(v) + 1)));
+      points_.emplace_back(point, node);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::uint64_t HashRing::KeyHash(const std::string& field_id, int level,
+                                int plane) {
+  std::uint64_t h = HashField(field_id);
+  h ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(level) + 1);
+  h ^= 0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(plane) + 1);
+  return Avalanche(h);
+}
+
+std::vector<int> HashRing::WalkOrder(std::uint64_t key_hash) const {
+  std::vector<int> order;
+  order.reserve(num_nodes_);
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes_), false);
+  const auto start = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(key_hash, 0),
+      [](const std::pair<std::uint64_t, int>& a,
+         const std::pair<std::uint64_t, int>& b) { return a.first < b.first; });
+  const std::size_t n = points_.size();
+  std::size_t i = static_cast<std::size_t>(start - points_.begin());
+  if (i == n) {
+    i = 0;  // key hashes past the last point: wrap to the ring's start
+  }
+  for (std::size_t walked = 0;
+       walked < n && order.size() < static_cast<std::size_t>(num_nodes_);
+       ++walked, i = (i + 1) % n) {
+    const int node = points_[i].second;
+    if (!seen[static_cast<std::size_t>(node)]) {
+      seen[static_cast<std::size_t>(node)] = true;
+      order.push_back(node);
+    }
+  }
+  return order;
+}
+
+std::vector<int> HashRing::Replicas(std::uint64_t key_hash, int r) const {
+  std::vector<int> order = WalkOrder(key_hash);
+  if (r < static_cast<int>(order.size())) {
+    order.resize(static_cast<std::size_t>(r < 0 ? 0 : r));
+  }
+  return order;
+}
+
+int HashRing::PrimaryFor(std::uint64_t key_hash) const {
+  return WalkOrder(key_hash).front();
+}
+
+}  // namespace mgardp

@@ -1,0 +1,68 @@
+// Consistent-hash placement of segments onto simulated storage nodes.
+//
+// The ring is the classic construction: every node projects `vnodes`
+// virtual points onto a 64-bit circle, and a segment key is owned by the
+// first point at or after its hash, walking clockwise. Placement therefore
+// moves only ~1/N of the keys when a node joins or leaves, and the virtual
+// points smooth out the load imbalance a single point per node would have.
+//
+// WalkOrder returns *every* distinct node in ring order from the key's
+// position — a Dynamo-style preference list. The cluster backend takes the
+// first R alive entries as the replica set, so when a node dies its keys
+// fall through to the next distinct node on the ring instead of vanishing,
+// and repair knows exactly where each segment now belongs.
+//
+// Everything is deterministic from (num_nodes, vnodes, seed): two rings
+// built with the same parameters place every key identically, which is what
+// lets the chaos harness replay a run bit-for-bit.
+
+#ifndef MGARDP_CLUSTER_HASH_RING_H_
+#define MGARDP_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgardp {
+
+class HashRing {
+ public:
+  struct Options {
+    int vnodes = 64;                          // virtual points per node
+    std::uint64_t seed = 0x9E3779B97F4A7C15;  // ring layout seed
+  };
+
+  // `num_nodes` >= 1; node ids are 0..num_nodes-1.
+  explicit HashRing(int num_nodes);
+  HashRing(int num_nodes, Options options);
+
+  int num_nodes() const { return num_nodes_; }
+  const Options& options() const { return options_; }
+
+  // Position of a segment key on the circle. Mixes the field id with the
+  // (level, plane) pair so distinct fields' identical keys spread out.
+  static std::uint64_t KeyHash(const std::string& field_id, int level,
+                               int plane);
+
+  // All num_nodes() distinct nodes in ring order starting at `key_hash`:
+  // the key's full preference list. The first entry is the primary.
+  std::vector<int> WalkOrder(std::uint64_t key_hash) const;
+
+  // The first min(r, num_nodes()) entries of WalkOrder: where r-way
+  // replication puts the key when every node is alive.
+  std::vector<int> Replicas(std::uint64_t key_hash, int r) const;
+
+  // WalkOrder's first entry.
+  int PrimaryFor(std::uint64_t key_hash) const;
+
+ private:
+  int num_nodes_;
+  Options options_;
+  // (point on the circle, node id), sorted by point.
+  std::vector<std::pair<std::uint64_t, int>> points_;
+};
+
+}  // namespace mgardp
+
+#endif  // MGARDP_CLUSTER_HASH_RING_H_

@@ -107,7 +107,13 @@ Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
                                    static_cast<std::uint64_t>(p);
         SegmentCache::Source source = SegmentCache::Source::kFetched;
         auto fetch = [&]() -> Result<std::string> {
-          return retry.Run([&] { return backend_->Get(l, p); }, salt);
+          int retries = 0;
+          auto r = retry.Run([&] { return backend_->Get(l, p); }, salt,
+                             &retries);
+          if (retries > 0 && metrics_ != nullptr) {
+            metrics_->OnRetries(retries);
+          }
+          return r;
         };
         Result<std::string> payload =
             cache_ != nullptr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -50,17 +51,28 @@ Status RetrievalScheduler::Submit(const Request& request, Callback done) {
   std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.size() >= options_.queue_capacity) {
+    if (queued_total_ >= options_.queue_capacity) {
       if (metrics_ != nullptr) {
         metrics_->OnRejected();
       }
-      return Status::FailedPrecondition(
+      return Status::Overloaded(
           "retrieval queue full (" +
           std::to_string(options_.queue_capacity) + " requests)");
     }
-    queue_.push_back(
+    std::deque<Item>& tenant_queue = queues_[request.tenant];
+    if (options_.per_tenant_capacity > 0 &&
+        tenant_queue.size() >= options_.per_tenant_capacity) {
+      if (metrics_ != nullptr) {
+        metrics_->OnRejected();
+      }
+      return Status::Overloaded(
+          "tenant '" + request.tenant + "' over quota (" +
+          std::to_string(options_.per_tenant_capacity) + " queued requests)");
+    }
+    tenant_queue.push_back(
         Item{request, std::move(done), std::chrono::steady_clock::now()});
-    depth = queue_.size();
+    ++queued_total_;
+    depth = queued_total_;
   }
   if (metrics_ != nullptr) {
     metrics_->OnAdmitted(depth);
@@ -111,14 +123,21 @@ void RetrievalScheduler::Drain() {
     std::size_t remaining = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      while (!queue_.empty()) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      // Fair interleave: one request per tenant per pass, repeating until
+      // every tenant queue is empty, so the batch alternates A,B,A,B,...
+      // instead of draining A's burst before B's single request.
+      while (!queues_.empty()) {
+        for (auto it = queues_.begin(); it != queues_.end();) {
+          batch.push_back(std::move(it->second.front()));
+          it->second.pop_front();
+          --queued_total_;
+          it = it->second.empty() ? queues_.erase(it) : std::next(it);
+        }
       }
       // Depth left behind by THIS batch, read under the same lock — a
       // post-pop queue_depth() call would count items admitted since and
       // attribute them to a batch that never took them.
-      remaining = queue_.size();
+      remaining = queued_total_;
     }
     if (batch.empty()) {
       // No phantom OnStarted: an empty sweep started nothing, and
@@ -135,7 +154,7 @@ void RetrievalScheduler::Drain() {
 
 std::size_t RetrievalScheduler::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queued_total_;
 }
 
 }  // namespace mgardp

@@ -2,12 +2,19 @@
 //
 // The scheduler is the service's front door: clients Submit() refinement
 // requests against their sessions; the scheduler admits them into a bounded
-// queue (rejecting with kFailedPrecondition when full, so overload sheds
-// load instead of growing latency without bound) and Drain() fans the
-// queued work across the shared PR-1 thread pool. Identical concurrent
-// segment fetches are deduplicated below, in the shared SegmentCache's
+// queue (rejecting with kOverloaded when full, so overload sheds load
+// instead of growing latency without bound) and Drain() fans the queued
+// work across the shared PR-1 thread pool. Identical concurrent segment
+// fetches are deduplicated below, in the shared SegmentCache's
 // single-flight layer — two clients tightening on the same field hit the
 // backend once.
+//
+// Fairness: requests carry an optional tenant id. Each tenant has its own
+// FIFO (optionally capped by per_tenant_capacity, so one runaway client
+// cannot consume the whole admission budget), and Drain() assembles batches
+// round-robin — one request per tenant per pass — so a tenant submitting a
+// burst of 100 cannot starve a tenant submitting 1. Within a tenant, order
+// stays FIFO.
 //
 // Deadlines: a request's deadline_ms is mapped onto the RetryPolicy used
 // for its segment fetches (ClampRetryToDeadline): the backoff schedule is
@@ -27,7 +34,9 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <string>
 
 #include "service/retrieval_session.h"
 #include "service/service_metrics.h"
@@ -48,12 +57,15 @@ class RetrievalScheduler {
     std::size_t queue_capacity = 256;
     double default_deadline_ms = 0.0;  // 0: requests carry no deadline
     RetryPolicy::Options retry;        // base policy, clamped per request
+    // Per-tenant admission cap; 0 means only the total cap applies.
+    std::size_t per_tenant_capacity = 0;
   };
 
   struct Request {
     RetrievalSession* session = nullptr;
     double error_bound = 0.0;
-    double deadline_ms = 0.0;  // 0: use the scheduler default
+    double deadline_ms = 0.0;   // 0: use the scheduler default
+    std::string tenant;         // "" is itself a (shared) tenant
   };
 
   struct Response {
@@ -72,9 +84,9 @@ class RetrievalScheduler {
   RetrievalScheduler(const RetrievalScheduler&) = delete;
   RetrievalScheduler& operator=(const RetrievalScheduler&) = delete;
 
-  // Admits the request, or rejects it immediately (kFailedPrecondition)
-  // when the queue is at capacity. `done` runs exactly once per admitted
-  // request, on a pool thread during Drain().
+  // Admits the request, or sheds it immediately with kOverloaded when the
+  // total queue — or the request's tenant — is at capacity. `done` runs
+  // exactly once per admitted request, on a pool thread during Drain().
   Status Submit(const Request& request, Callback done);
 
   // Processes queued requests across the global thread pool until the
@@ -100,7 +112,11 @@ class RetrievalScheduler {
   ServiceMetrics* metrics_;  // may be null
 
   mutable std::mutex mu_;
-  std::deque<Item> queue_;
+  // One FIFO per tenant plus the total count; Drain() interleaves the
+  // tenant queues round-robin. Empty queues are erased so the map stays
+  // proportional to tenants with work, not tenants ever seen.
+  std::map<std::string, std::deque<Item>> queues_;
+  std::size_t queued_total_ = 0;
 };
 
 }  // namespace mgardp

@@ -57,6 +57,18 @@ void ServiceMetrics::OnNoopRefinement() {
   noop_refinements_.fetch_add(1, kRelaxed);
 }
 
+void ServiceMetrics::OnRetries(int n) {
+  if (n > 0) {
+    retries_total_.fetch_add(static_cast<std::uint64_t>(n), kRelaxed);
+  }
+}
+
+void ServiceMetrics::OnFailover() { failovers_total_.fetch_add(1, kRelaxed); }
+
+void ServiceMetrics::OnReplicaLost() {
+  replicas_lost_.fetch_add(1, kRelaxed);
+}
+
 void ServiceMetrics::OnAdmitted(std::size_t queue_depth_now) {
   requests_admitted_.fetch_add(1, kRelaxed);
   queue_depth_.store(queue_depth_now, kRelaxed);
@@ -87,7 +99,7 @@ double ServiceMetrics::Snapshot::cache_hit_rate() const {
 }
 
 std::string ServiceMetrics::Snapshot::ToJson() const {
-  char buf[1536];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "{\"cache_hits\":%llu,\"cache_misses\":%llu,"
@@ -98,13 +110,15 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
       "\"planes_fetched\":%llu,\"planes_reused\":%llu,"
       "\"fetched_bytes\":%llu,\"reused_bytes\":%llu,"
       "\"noop_refinements\":%llu,"
+      "\"retries_total\":%llu,\"failovers_total\":%llu,"
+      "\"replicas_lost\":%llu,"
       "\"requests_admitted\":%llu,\"requests_rejected\":%llu,"
       "\"requests_started\":%llu,"
       "\"requests_completed\":%llu,\"requests_failed\":%llu,"
       "\"queue_depth\":%llu,\"queue_depth_peak\":%llu,"
       "\"latency_count\":%llu,\"latency_p50_ms\":%.6f,"
       "\"latency_p90_ms\":%.6f,\"latency_p99_ms\":%.6f,"
-      "\"latency_max_ms\":%.6f}",
+      "\"latency_p999_ms\":%.6f,\"latency_max_ms\":%.6f}",
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_hit_bytes),
@@ -119,6 +133,9 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
       static_cast<unsigned long long>(fetched_bytes),
       static_cast<unsigned long long>(reused_bytes),
       static_cast<unsigned long long>(noop_refinements),
+      static_cast<unsigned long long>(retries_total),
+      static_cast<unsigned long long>(failovers_total),
+      static_cast<unsigned long long>(replicas_lost),
       static_cast<unsigned long long>(requests_admitted),
       static_cast<unsigned long long>(requests_rejected),
       static_cast<unsigned long long>(requests_started),
@@ -127,7 +144,7 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
       static_cast<unsigned long long>(queue_depth),
       static_cast<unsigned long long>(queue_depth_peak),
       static_cast<unsigned long long>(latency_count), latency_p50_ms,
-      latency_p90_ms, latency_p99_ms, latency_max_ms);
+      latency_p90_ms, latency_p99_ms, latency_p999_ms, latency_max_ms);
   return buf;
 }
 
@@ -196,6 +213,15 @@ void AppendServiceMetricsProm(const ServiceMetrics::Snapshot& s,
       {"mgardp_service_noop_refinements_total", "counter",
        "Refinements satisfied by the reconstruction already in hand.",
        static_cast<double>(s.noop_refinements)},
+      {"mgardp_service_retries_total", "counter",
+       "Transient-fault segment read retries.",
+       static_cast<double>(s.retries_total)},
+      {"mgardp_service_failovers_total", "counter",
+       "Reads served by a non-primary replica.",
+       static_cast<double>(s.failovers_total)},
+      {"mgardp_service_replicas_lost_total", "counter",
+       "Reads that found no live replica (permanent loss).",
+       static_cast<double>(s.replicas_lost)},
       {"mgardp_service_requests_admitted_total", "counter",
        "Requests admitted by the scheduler.",
        static_cast<double>(s.requests_admitted)},
@@ -223,6 +249,8 @@ void AppendServiceMetricsProm(const ServiceMetrics::Snapshot& s,
        "90th-percentile request latency (ms).", s.latency_p90_ms},
       {"mgardp_service_request_latency_ms_p99", "gauge",
        "99th-percentile request latency (ms).", s.latency_p99_ms},
+      {"mgardp_service_request_latency_ms_p999", "gauge",
+       "99.9th-percentile request latency (ms).", s.latency_p999_ms},
       {"mgardp_service_request_latency_ms_max", "gauge",
        "Maximum request latency (ms).", s.latency_max_ms},
   };
@@ -247,6 +275,9 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   s.fetched_bytes = fetched_bytes_.load(kRelaxed);
   s.reused_bytes = reused_bytes_.load(kRelaxed);
   s.noop_refinements = noop_refinements_.load(kRelaxed);
+  s.retries_total = retries_total_.load(kRelaxed);
+  s.failovers_total = failovers_total_.load(kRelaxed);
+  s.replicas_lost = replicas_lost_.load(kRelaxed);
   s.requests_admitted = requests_admitted_.load(kRelaxed);
   s.requests_rejected = requests_rejected_.load(kRelaxed);
   s.requests_started = requests_started_.load(kRelaxed);
@@ -258,6 +289,7 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   s.latency_p50_ms = latency_ms_.Quantile(0.50);
   s.latency_p90_ms = latency_ms_.Quantile(0.90);
   s.latency_p99_ms = latency_ms_.Quantile(0.99);
+  s.latency_p999_ms = latency_ms_.Quantile(0.999);
   s.latency_max_ms = latency_ms_.max();
   return s;
 }
@@ -276,6 +308,9 @@ void ServiceMetrics::Reset() {
   fetched_bytes_ = 0;
   reused_bytes_ = 0;
   noop_refinements_ = 0;
+  retries_total_ = 0;
+  failovers_total_ = 0;
+  replicas_lost_ = 0;
   requests_admitted_ = 0;
   requests_rejected_ = 0;
   requests_started_ = 0;

@@ -45,6 +45,14 @@ class ServiceMetrics {
   void OnPlanesReused(int planes, std::size_t bytes);
   void OnNoopRefinement();
 
+  // -- storage resilience ---------------------------------------------
+  // `n` transient-fault retries were performed for one segment read.
+  void OnRetries(int n);
+  // A read was served by a replica other than the first candidate.
+  void OnFailover();
+  // A read found no live replica at all (permanent loss surfaced).
+  void OnReplicaLost();
+
   // -- scheduler -------------------------------------------------------
   void OnAdmitted(std::size_t queue_depth_now);
   void OnRejected();
@@ -71,6 +79,10 @@ class ServiceMetrics {
     std::uint64_t reused_bytes = 0;
     std::uint64_t noop_refinements = 0;
 
+    std::uint64_t retries_total = 0;
+    std::uint64_t failovers_total = 0;
+    std::uint64_t replicas_lost = 0;
+
     std::uint64_t requests_admitted = 0;
     std::uint64_t requests_rejected = 0;
     std::uint64_t requests_started = 0;
@@ -83,6 +95,7 @@ class ServiceMetrics {
     double latency_p50_ms = 0.0;
     double latency_p90_ms = 0.0;
     double latency_p99_ms = 0.0;
+    double latency_p999_ms = 0.0;
     double latency_max_ms = 0.0;
 
     // Hit fraction of all cache lookups that did not hit the backend
@@ -123,6 +136,10 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> fetched_bytes_{0};
   std::atomic<std::uint64_t> reused_bytes_{0};
   std::atomic<std::uint64_t> noop_refinements_{0};
+
+  std::atomic<std::uint64_t> retries_total_{0};
+  std::atomic<std::uint64_t> failovers_total_{0};
+  std::atomic<std::uint64_t> replicas_lost_{0};
 
   std::atomic<std::uint64_t> requests_admitted_{0};
   std::atomic<std::uint64_t> requests_rejected_{0};

@@ -15,7 +15,27 @@ std::uint64_t MixSeed(std::uint64_t seed, int level, int plane) {
   return h;
 }
 
+// SplitMix64 finalizer: a full-avalanche mix so adjacent node ids land on
+// unrelated seeds (a plain XOR would leave the per-key streams of nodes
+// 0 and 1 nearly aligned).
+std::uint64_t Avalanche(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
+
+FaultConfig FaultConfig::ForNode(int node_id) const {
+  FaultConfig derived = *this;
+  derived.seed =
+      Avalanche(seed ^ (0xA24BAED4963EE407ULL *
+                        (static_cast<std::uint64_t>(node_id) + 1)));
+  return derived;
+}
 
 FaultInjectingBackend::FaultInjectingBackend(StorageBackend* inner,
                                              FaultConfig config)
@@ -37,9 +57,20 @@ void FaultInjectingBackend::set_sleep(std::function<void(double)> sleep) {
   sleep_ = std::move(sleep);
 }
 
+int FaultInjectingBackend::num_gets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_gets_;
+}
+
 int FaultInjectingBackend::num_faults(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = fault_counts_.find(kind);
   return it == fault_counts_.end() ? 0 : it->second;
+}
+
+double FaultInjectingBackend::total_latency_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_latency_ms_;
 }
 
 void FaultInjectingBackend::RecordFault(FaultKind kind) {
@@ -74,39 +105,50 @@ FaultInjectingBackend::FaultRule FaultInjectingBackend::DecideFault(
 }
 
 Result<std::string> FaultInjectingBackend::Get(int level, int plane) {
-  ++num_gets_;
-  const int attempt = attempts_[{level, plane}]++;
-  const FaultRule rule = DecideFault(level, plane);
-  switch (rule.kind) {
-    case FaultKind::kMissing:
-      RecordFault(FaultKind::kMissing);
-      return Status::NotFound("segment " +
-                              container::KeyString(level, plane) +
-                              " [injected: missing]");
-    case FaultKind::kTransient:
-      if (rule.fail_attempts < 0 || attempt < rule.fail_attempts) {
-        RecordFault(FaultKind::kTransient);
-        return Status::IOError("segment " +
-                               container::KeyString(level, plane) +
-                               " [injected: transient, attempt " +
-                               std::to_string(attempt) + "]");
-      }
-      break;  // recovered; serve the real payload
-    case FaultKind::kLatency:
-      RecordFault(FaultKind::kLatency);
-      total_latency_ms_ += rule.latency_ms;
-      sleep_(rule.latency_ms);
-      break;
-    default:
-      break;
+  FaultRule rule;
+  bool slow = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++num_gets_;
+    const int attempt = attempts_[{level, plane}]++;
+    rule = DecideFault(level, plane);
+    switch (rule.kind) {
+      case FaultKind::kMissing:
+        RecordFault(FaultKind::kMissing);
+        return Status::NotFound("segment " +
+                                container::KeyString(level, plane) +
+                                " [injected: missing]");
+      case FaultKind::kTransient:
+        if (rule.fail_attempts < 0 || attempt < rule.fail_attempts) {
+          RecordFault(FaultKind::kTransient);
+          return Status::IOError("segment " +
+                                 container::KeyString(level, plane) +
+                                 " [injected: transient, attempt " +
+                                 std::to_string(attempt) + "]");
+        }
+        break;  // recovered; serve the real payload
+      case FaultKind::kLatency:
+        RecordFault(FaultKind::kLatency);
+        total_latency_ms_ += rule.latency_ms;
+        slow = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (slow) {
+    // Outside the lock: a real sleep hook must not stall concurrent Gets.
+    sleep_(rule.latency_ms);
   }
   MGARDP_ASSIGN_OR_RETURN(std::string payload, inner_->Get(level, plane));
   if (rule.kind == FaultKind::kBitFlip && !payload.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
     RecordFault(FaultKind::kBitFlip);
     Rng rng(MixSeed(config_.seed ^ 0xB17F11Bull, level, plane));
     const std::size_t byte = rng.NextBounded(payload.size());
     payload[byte] ^= static_cast<char>(1u << rng.NextBounded(8));
   } else if (rule.kind == FaultKind::kTruncate && !payload.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
     RecordFault(FaultKind::kTruncate);
     Rng rng(MixSeed(config_.seed ^ 0x7A61C473ull, level, plane));
     payload.resize(rng.NextBounded(payload.size()));

@@ -10,6 +10,12 @@
 //
 // Injected latency is recorded and reported through an injectable sleep
 // hook (default: no real sleeping), keeping fault-heavy test suites fast.
+//
+// Thread-safety: Get and the counter accessors are safe to call
+// concurrently (the attempt/ fault bookkeeping is internally locked), so a
+// fault-injecting node can sit under the cluster backend's concurrent read
+// path. SetFault/ClearFault(s)/set_sleep must still be serialized against
+// readers, like every other backend's write side.
 
 #ifndef MGARDP_STORAGE_FAULT_INJECTION_H_
 #define MGARDP_STORAGE_FAULT_INJECTION_H_
@@ -17,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,6 +54,13 @@ struct FaultConfig {
   double latency_prob = 0.0;
   double latency_ms = 0.0;       // injected when latency triggers
   int transient_failures = 1;    // attempts that fail before success
+
+  // The same mix with a seed derived from (seed, node_id): node i of a
+  // multi-node setup gets its own deterministic fault stream instead of
+  // every node injecting identical faults for identical keys. ForNode(i)
+  // is stable — calling it twice yields the same config — and distinct
+  // node ids yield distinct streams.
+  FaultConfig ForNode(int node_id) const;
 };
 
 class FaultInjectingBackend : public StorageBackend {
@@ -74,9 +88,9 @@ class FaultInjectingBackend : public StorageBackend {
 
   // Counters for assertions: total Gets, faults injected by kind, and the
   // latency that would have been experienced.
-  int num_gets() const { return num_gets_; }
+  int num_gets() const;
   int num_faults(FaultKind kind) const;
-  double total_latency_ms() const { return total_latency_ms_; }
+  double total_latency_ms() const;
 
   Result<std::string> Get(int level, int plane) override;
   Status Put(int level, int plane, std::string payload) override;
@@ -89,13 +103,16 @@ class FaultInjectingBackend : public StorageBackend {
   std::string name() const override { return "faulty+" + inner_->name(); }
 
  private:
-  // Fault decision for one key, derived deterministically.
+  // Fault decision for one key, derived deterministically. Caller holds mu_.
   FaultRule DecideFault(int level, int plane);
-  void RecordFault(FaultKind kind);
+  void RecordFault(FaultKind kind);  // caller holds mu_
 
   StorageBackend* inner_;
   FaultConfig config_;
   std::map<std::pair<int, int>, FaultRule> rules_;
+  // Guards the per-call bookkeeping below so concurrent Gets (the cluster
+  // read path) never race on the attempt counters.
+  mutable std::mutex mu_;
   std::map<std::pair<int, int>, int> attempts_;  // Gets seen per key
   std::map<FaultKind, int> fault_counts_;
   std::function<void(double)> sleep_;

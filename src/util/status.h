@@ -29,6 +29,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDataLoss,
+  kOverloaded,
 };
 
 // Returns a short human-readable name for `code` (e.g. "Invalid argument").
@@ -71,6 +72,13 @@ class Status {
   // write): unlike kIOError it is permanent, so retrying is pointless.
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  // The service shed this request at admission (queue full, tenant over
+  // quota). The work was never started; the client may back off and
+  // resubmit. Distinct from kFailedPrecondition so load shedding is
+  // machine-distinguishable from caller bugs.
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

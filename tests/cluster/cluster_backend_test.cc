@@ -1,0 +1,372 @@
+// Replicated cluster backend: placement, replication, failover reads,
+// health/eviction/probing, kill/revive, and scrub/repair.
+
+#include "cluster/cluster_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service_metrics.h"
+
+namespace mgardp {
+namespace {
+
+std::string Payload(int level, int plane) {
+  std::string p = "segment-";
+  p += std::to_string(level);
+  p += '-';
+  p += std::to_string(plane);
+  p.append(64, static_cast<char>('a' + (level + plane) % 26));
+  return p;
+}
+
+void FillCluster(ClusterBackend* cluster, const std::string& field,
+                 int levels, int planes) {
+  for (int l = 0; l < levels; ++l) {
+    for (int p = 0; p < planes; ++p) {
+      ASSERT_TRUE(cluster->PutSegment(field, l, p, Payload(l, p)).ok());
+    }
+  }
+}
+
+TEST(ClusterBackendTest, PutPlacesExactlyRReplicasOnRingOrder) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 2;
+  ClusterBackend cluster(options);
+  FillCluster(&cluster, "f", 3, 8);
+
+  for (int l = 0; l < 3; ++l) {
+    for (int p = 0; p < 8; ++p) {
+      const std::vector<int> expected = cluster.ReplicasFor("f", l, p);
+      ASSERT_EQ(expected.size(), 2u);
+      int copies = 0;
+      for (int node = 0; node < 4; ++node) {
+        if (cluster.NodeContains(node, "f", l, p)) {
+          ++copies;
+          EXPECT_NE(std::find(expected.begin(), expected.end(), node),
+                    expected.end())
+              << "copy on a node outside the replica set";
+        }
+      }
+      EXPECT_EQ(copies, 2);
+    }
+  }
+}
+
+TEST(ClusterBackendTest, GetRoundTripsEveryKey) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 2;
+  ClusterBackend cluster(options);
+  FillCluster(&cluster, "f", 3, 8);
+  for (int l = 0; l < 3; ++l) {
+    for (int p = 0; p < 8; ++p) {
+      auto got = cluster.GetSegment("f", l, p);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value(), Payload(l, p));
+    }
+  }
+  EXPECT_EQ(cluster.stats().failovers, 0u);
+  EXPECT_EQ(cluster.stats().replicas_lost, 0u);
+}
+
+TEST(ClusterBackendTest, UnknownKeyIsNotFoundNotDataLoss) {
+  ClusterBackend cluster;
+  const auto got = cluster.GetSegment("f", 9, 9);
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cluster.stats().replicas_lost, 0u);
+}
+
+TEST(ClusterBackendTest, KilledNodeFailsOverToSurvivingReplica) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 2;
+  ClusterBackend cluster(options);
+  ServiceMetrics metrics;
+  cluster.set_metrics(&metrics);
+  FillCluster(&cluster, "f", 3, 8);
+
+  cluster.KillNode(1);
+  EXPECT_EQ(cluster.node_health(1), NodeHealth::kKilled);
+  for (int l = 0; l < 3; ++l) {
+    for (int p = 0; p < 8; ++p) {
+      auto got = cluster.GetSegment("f", l, p);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value(), Payload(l, p));
+    }
+  }
+  // Node 1 was primary or replica for some keys; each such read failed over.
+  EXPECT_GT(cluster.stats().failovers, 0u);
+  EXPECT_EQ(cluster.stats().replicas_lost, 0u);
+  EXPECT_EQ(metrics.snapshot().failovers_total, cluster.stats().failovers);
+}
+
+TEST(ClusterBackendTest, ReplicationOneLosesKeysWithTheirOnlyNode) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 1;
+  ClusterBackend cluster(options);
+  ServiceMetrics metrics;
+  cluster.set_metrics(&metrics);
+  FillCluster(&cluster, "f", 3, 8);
+
+  // Find a key whose single copy lives on node 2, then kill node 2.
+  int victim_l = -1, victim_p = -1;
+  for (int l = 0; l < 3 && victim_l < 0; ++l) {
+    for (int p = 0; p < 8; ++p) {
+      if (cluster.NodeContains(2, "f", l, p)) {
+        victim_l = l;
+        victim_p = p;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(victim_l, 0) << "node 2 owns nothing; adjust the key range";
+  cluster.KillNode(2);
+
+  const auto got = cluster.GetSegment("f", victim_l, victim_p);
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  EXPECT_GT(cluster.stats().replicas_lost, 0u);
+  EXPECT_EQ(metrics.snapshot().replicas_lost, cluster.stats().replicas_lost);
+}
+
+TEST(ClusterBackendTest, CorruptReplicaFailsOverToCleanCopy) {
+  ClusterOptions options;
+  options.num_nodes = 2;
+  options.replication = 2;  // both nodes hold everything
+  options.inject_faults = true;  // wraps stores; no probabilistic faults
+  ClusterBackend cluster(options);
+  FillCluster(&cluster, "f", 1, 4);
+
+  const std::vector<int> replicas = cluster.ReplicasFor("f", 0, 0);
+  ASSERT_EQ(replicas.size(), 2u);
+  FaultInjectingBackend* primary_faults =
+      cluster.node_fault_backend(replicas[0], "f");
+  ASSERT_NE(primary_faults, nullptr);
+  FaultInjectingBackend::FaultRule rule;
+  rule.kind = FaultKind::kBitFlip;
+  primary_faults->SetFault(0, 0, rule);
+
+  auto got = cluster.GetSegment("f", 0, 0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), Payload(0, 0));  // the clean replica's copy
+  EXPECT_GT(cluster.stats().failovers, 0u);
+  // Corruption is a bad replica, not an unreachable node: no eviction.
+  EXPECT_EQ(cluster.node_health(replicas[0]), NodeHealth::kHealthy);
+}
+
+TEST(ClusterBackendTest, ConsecutiveFailuresEvictThenProbeRecovers) {
+  ClusterOptions options;
+  options.num_nodes = 2;
+  options.replication = 2;
+  options.inject_faults = true;
+  options.eviction_threshold = 3;
+  options.probe_after = 2;
+  options.retry.max_attempts = 2;
+  ClusterBackend cluster(options);
+  FillCluster(&cluster, "f", 1, 4);
+
+  const std::vector<int> replicas = cluster.ReplicasFor("f", 0, 0);
+  const int flaky = replicas[0];
+  FaultInjectingBackend* faults = cluster.node_fault_backend(flaky, "f");
+  ASSERT_NE(faults, nullptr);
+  FaultInjectingBackend::FaultRule rule;
+  rule.kind = FaultKind::kTransient;
+  rule.fail_attempts = -1;  // permanently flaky: every attempt IOErrors
+  faults->SetFault(0, 0, rule);
+
+  // Each read fails over; after eviction_threshold of them the node is
+  // evicted to kDown.
+  for (int i = 0; i < 3; ++i) {
+    auto got = cluster.GetSegment("f", 0, 0);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), Payload(0, 0));
+  }
+  EXPECT_EQ(cluster.node_health(flaky), NodeHealth::kDown);
+  EXPECT_GT(cluster.stats().evictions, 0u);
+  EXPECT_GT(cluster.stats().retries, 0u);
+
+  // The fault clears (cable reseated). The down node is skipped
+  // probe_after times, then probed back to health.
+  faults->ClearFault(0, 0);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.GetSegment("f", 0, 0).ok());
+    if (cluster.node_health(flaky) == NodeHealth::kHealthy) {
+      break;
+    }
+  }
+  EXPECT_EQ(cluster.node_health(flaky), NodeHealth::kHealthy);
+  EXPECT_GT(cluster.stats().probes, 0u);
+  EXPECT_GT(cluster.stats().recoveries, 0u);
+}
+
+TEST(ClusterBackendTest, ScrubRepairsWipedNodeBackToFullReplication) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 2;
+  ClusterBackend cluster(options);
+  FillCluster(&cluster, "f", 3, 8);
+
+  cluster.KillNode(0);
+  cluster.ReviveNode(0, /*wipe_data=*/true);
+
+  ClusterBackend::ScrubReport first = cluster.ScrubRepair();
+  EXPECT_EQ(first.segments, 24u);
+  EXPECT_GT(first.under_replicated, 0u);
+  EXPECT_GT(first.repaired, 0u);
+  EXPECT_EQ(first.lost, 0u);
+
+  // Converged: a second pass finds nothing to do, and every key again has
+  // exactly R verified copies on its current replica set.
+  ClusterBackend::ScrubReport second = cluster.ScrubRepair();
+  EXPECT_EQ(second.under_replicated, 0u);
+  EXPECT_EQ(second.repaired, 0u);
+  for (int l = 0; l < 3; ++l) {
+    for (int p = 0; p < 8; ++p) {
+      for (int node : cluster.ReplicasFor("f", l, p)) {
+        EXPECT_TRUE(cluster.NodeContains(node, "f", l, p));
+      }
+      auto got = cluster.GetSegment("f", l, p);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), Payload(l, p));
+    }
+  }
+}
+
+TEST(ClusterBackendTest, ScrubReportsUnrepairableLoss) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 1;
+  ClusterBackend cluster(options);
+  FillCluster(&cluster, "f", 3, 8);
+
+  cluster.KillNode(3);
+  cluster.ReviveNode(3, /*wipe_data=*/true);
+  const ClusterBackend::ScrubReport report = cluster.ScrubRepair();
+  EXPECT_EQ(report.segments, 24u);
+  // With R=1, every key homed on node 3 has no copy left anywhere.
+  EXPECT_GT(report.lost, 0u);
+  EXPECT_GT(cluster.stats().scrub_lost, 0u);
+}
+
+TEST(ClusterBackendTest, WritesAvoidDeadNodesAndReportUnderReplication) {
+  ClusterOptions options;
+  options.num_nodes = 2;
+  options.replication = 2;
+  ClusterBackend cluster(options);
+  cluster.KillNode(0);
+  ASSERT_TRUE(cluster.PutSegment("f", 0, 0, Payload(0, 0)).ok());
+  EXPECT_FALSE(cluster.NodeContains(0, "f", 0, 0));
+  EXPECT_TRUE(cluster.NodeContains(1, "f", 0, 0));
+  EXPECT_GT(cluster.stats().under_replicated_writes, 0u);
+
+  cluster.KillNode(1);
+  const Status st = cluster.PutSegment("f", 0, 1, Payload(0, 1));
+  EXPECT_EQ(st.code(), StatusCode::kIOError);  // nobody accepted the write
+}
+
+TEST(ClusterBackendTest, DefaultFieldStorageBackendInterface) {
+  ClusterBackend cluster;
+  ASSERT_TRUE(cluster.Put(0, 0, Payload(0, 0)).ok());
+  ASSERT_TRUE(cluster.Put(1, 2, Payload(1, 2)).ok());
+  EXPECT_TRUE(cluster.Contains(0, 0));
+  EXPECT_FALSE(cluster.Contains(5, 5));
+  auto got = cluster.Get(1, 2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), Payload(1, 2));
+  const auto keys = cluster.Keys();
+  EXPECT_EQ(keys.size(), 2u);
+
+  // A field view is disjoint from the default namespace.
+  ClusterFieldView view(&cluster, "other");
+  EXPECT_FALSE(view.Contains(0, 0));
+  ASSERT_TRUE(view.Put(0, 0, "other-payload").ok());
+  auto via_view = view.Get(0, 0);
+  ASSERT_TRUE(via_view.ok());
+  EXPECT_EQ(via_view.value(), "other-payload");
+  auto via_default = cluster.Get(0, 0);
+  ASSERT_TRUE(via_default.ok());
+  EXPECT_EQ(via_default.value(), Payload(0, 0));
+}
+
+TEST(ClusterBackendTest, FaultStreamsAreDeterministicAcrossRuns) {
+  auto run = [] {
+    ClusterOptions options;
+    options.num_nodes = 4;
+    options.replication = 2;
+    options.inject_faults = true;
+    options.fault.seed = 1234;
+    options.fault.transient_prob = 0.2;
+    options.fault.missing_prob = 0.05;
+    options.retry.max_attempts = 2;
+    ClusterBackend cluster(options);
+    for (int l = 0; l < 3; ++l) {
+      for (int p = 0; p < 8; ++p) {
+        EXPECT_TRUE(cluster.PutSegment("f", l, p, Payload(l, p)).ok());
+      }
+    }
+    for (int round = 0; round < 3; ++round) {
+      for (int l = 0; l < 3; ++l) {
+        for (int p = 0; p < 8; ++p) {
+          auto got = cluster.GetSegment("f", l, p);
+          if (got.ok()) {
+            EXPECT_EQ(got.value(), Payload(l, p));
+          }
+        }
+      }
+    }
+    return cluster.stats();
+  };
+  const ClusterBackend::Stats a = run();
+  const ClusterBackend::Stats b = run();
+  EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.replicas_lost, b.replicas_lost);
+  EXPECT_EQ(a.evictions, b.evictions);
+}
+
+TEST(ClusterBackendTest, BackgroundScrubRepairsWithoutExplicitCalls) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 2;
+  ClusterBackend cluster(options);
+  FillCluster(&cluster, "f", 2, 4);
+  cluster.KillNode(0);
+  cluster.ReviveNode(0, /*wipe_data=*/true);
+
+  cluster.StartBackgroundScrub(/*period_ms=*/1);
+  // Wait (bounded) until the background thread restores full replication,
+  // observing only node contents — no explicit ScrubRepair() calls.
+  auto fully_replicated = [&] {
+    for (int l = 0; l < 2; ++l) {
+      for (int p = 0; p < 4; ++p) {
+        for (int node : cluster.ReplicasFor("f", l, p)) {
+          if (!cluster.NodeContains(node, "f", l, p)) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  };
+  bool converged = false;
+  for (int i = 0; i < 5000 && !converged; ++i) {
+    converged = fully_replicated();
+    if (!converged) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  cluster.StopBackgroundScrub();
+  EXPECT_TRUE(converged);
+}
+
+}  // namespace
+}  // namespace mgardp

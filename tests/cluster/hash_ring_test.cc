@@ -1,0 +1,123 @@
+// Consistent-hash ring: determinism, full preference lists, balance, and
+// minimal movement when the cluster grows.
+
+#include "cluster/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mgardp {
+namespace {
+
+TEST(HashRingTest, WalkOrderIsAPermutationOfAllNodes) {
+  HashRing ring(5);
+  for (int level = 0; level < 4; ++level) {
+    for (int plane = 0; plane < 8; ++plane) {
+      const auto order =
+          ring.WalkOrder(HashRing::KeyHash("f", level, plane));
+      ASSERT_EQ(order.size(), 5u);
+      std::set<int> distinct(order.begin(), order.end());
+      EXPECT_EQ(distinct.size(), 5u);
+      for (int node : order) {
+        EXPECT_GE(node, 0);
+        EXPECT_LT(node, 5);
+      }
+    }
+  }
+}
+
+TEST(HashRingTest, DeterministicAcrossInstances) {
+  HashRing a(4);
+  HashRing b(4);
+  for (int level = 0; level < 6; ++level) {
+    for (int plane = 0; plane < 16; ++plane) {
+      const std::uint64_t h = HashRing::KeyHash("field", level, plane);
+      EXPECT_EQ(a.WalkOrder(h), b.WalkOrder(h));
+    }
+  }
+}
+
+TEST(HashRingTest, ReplicasAreAPrefixOfWalkOrder) {
+  HashRing ring(6);
+  const std::uint64_t h = HashRing::KeyHash("f", 2, 3);
+  const auto order = ring.WalkOrder(h);
+  for (int r = 0; r <= 6; ++r) {
+    const auto replicas = ring.Replicas(h, r);
+    ASSERT_EQ(replicas.size(), static_cast<std::size_t>(std::min(r, 6)));
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      EXPECT_EQ(replicas[i], order[i]);
+    }
+  }
+  EXPECT_EQ(ring.PrimaryFor(h), order.front());
+}
+
+TEST(HashRingTest, ReplicasBeyondClusterSizeClampToAllNodes) {
+  HashRing ring(3);
+  const auto replicas = ring.Replicas(HashRing::KeyHash("f", 0, 0), 10);
+  EXPECT_EQ(replicas.size(), 3u);
+}
+
+TEST(HashRingTest, PlacementIsRoughlyBalanced) {
+  constexpr int kNodes = 4;
+  constexpr int kKeys = 4000;
+  HashRing ring(kNodes);
+  std::vector<int> owned(kNodes, 0);
+  for (int k = 0; k < kKeys; ++k) {
+    ++owned[static_cast<std::size_t>(
+        ring.PrimaryFor(HashRing::KeyHash("f", k / 64, k % 64)))];
+  }
+  // Perfect balance is 1000 per node; 64 vnodes should keep every node
+  // within a factor ~2 of fair share.
+  for (int node = 0; node < kNodes; ++node) {
+    EXPECT_GT(owned[static_cast<std::size_t>(node)], kKeys / (2 * kNodes))
+        << "node " << node << " owns too little";
+    EXPECT_LT(owned[static_cast<std::size_t>(node)], kKeys / 2)
+        << "node " << node << " owns too much";
+  }
+}
+
+TEST(HashRingTest, GrowingTheClusterMovesOnlyAFractionOfKeys) {
+  HashRing small(4);
+  HashRing large(5);
+  constexpr int kKeys = 4000;
+  int moved = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    const std::uint64_t h = HashRing::KeyHash("f", k / 64, k % 64);
+    if (small.PrimaryFor(h) != large.PrimaryFor(h)) {
+      ++moved;
+    }
+  }
+  // Consistent hashing moves ~1/5 of the keys to the new node; a modulo
+  // placement would move ~4/5. Assert we are firmly on the right side.
+  EXPECT_LT(moved, kKeys * 2 / 5);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashRingTest, HashesPastTheLastPointWrapToTheRingStart) {
+  // A key hash above every vnode point must wrap around to the lowest
+  // point instead of walking off the end of the sorted array. KeyHash of
+  // ("ex", 1, 6) lands at 0xffd81c08656ed90f, above all 256 default
+  // points of a 4-node ring — the exact case that once read out of
+  // bounds — and the all-ones hash is the extreme of the same edge.
+  HashRing ring(4);
+  for (const std::uint64_t h :
+       {HashRing::KeyHash("ex", 1, 6), ~std::uint64_t{0}, std::uint64_t{0}}) {
+    const auto order = ring.WalkOrder(h);
+    ASSERT_EQ(order.size(), 4u);
+    std::set<int> distinct(order.begin(), order.end());
+    EXPECT_EQ(distinct.size(), 4u);
+  }
+}
+
+TEST(HashRingTest, KeyHashSeparatesFieldsAndKeys) {
+  EXPECT_NE(HashRing::KeyHash("a", 0, 0), HashRing::KeyHash("b", 0, 0));
+  EXPECT_NE(HashRing::KeyHash("a", 0, 0), HashRing::KeyHash("a", 0, 1));
+  EXPECT_NE(HashRing::KeyHash("a", 0, 0), HashRing::KeyHash("a", 1, 0));
+  EXPECT_EQ(HashRing::KeyHash("a", 3, 7), HashRing::KeyHash("a", 3, 7));
+}
+
+}  // namespace
+}  // namespace mgardp

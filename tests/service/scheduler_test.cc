@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "progressive/refactorer.h"
@@ -15,6 +18,7 @@
 #include "service/service_metrics.h"
 #include "sim/warpx.h"
 #include "storage/storage_backend.h"
+#include "util/parallel.h"
 
 namespace mgardp {
 namespace {
@@ -117,11 +121,12 @@ TEST_F(RetrievalSchedulerTest, RejectsWhenQueueIsFull) {
   RetrievalScheduler scheduler(&metrics, opts);
   auto session = NewSession(nullptr, &metrics);
 
-  const RetrievalScheduler::Request req{session.get(), 1e-2 * range_, 0.0};
+  const RetrievalScheduler::Request req{session.get(), 1e-2 * range_, 0.0,
+                                        ""};
   EXPECT_TRUE(scheduler.Submit(req, nullptr).ok());
   EXPECT_TRUE(scheduler.Submit(req, nullptr).ok());
   const Status rejected = scheduler.Submit(req, nullptr);
-  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rejected.code(), StatusCode::kOverloaded);
   EXPECT_EQ(scheduler.queue_depth(), 2u);
   EXPECT_EQ(metrics.snapshot().requests_admitted, 2u);
   EXPECT_EQ(metrics.snapshot().requests_rejected, 1u);
@@ -133,10 +138,65 @@ TEST_F(RetrievalSchedulerTest, RejectsWhenQueueIsFull) {
   scheduler.Drain();
 }
 
+TEST_F(RetrievalSchedulerTest, PerTenantQuotaShedsOnlyTheHog) {
+  ServiceMetrics metrics;
+  RetrievalScheduler::Options opts;
+  opts.queue_capacity = 16;
+  opts.per_tenant_capacity = 2;
+  RetrievalScheduler scheduler(&metrics, opts);
+  auto session = NewSession(nullptr, &metrics);
+
+  RetrievalScheduler::Request hog{session.get(), 1e-2 * range_, 0.0, "hog"};
+  EXPECT_TRUE(scheduler.Submit(hog, nullptr).ok());
+  EXPECT_TRUE(scheduler.Submit(hog, nullptr).ok());
+  const Status shed = scheduler.Submit(hog, nullptr);
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+  // The quota is per tenant: another tenant still gets in.
+  RetrievalScheduler::Request other{session.get(), 1e-2 * range_, 0.0,
+                                    "other"};
+  EXPECT_TRUE(scheduler.Submit(other, nullptr).ok());
+  EXPECT_EQ(scheduler.queue_depth(), 3u);
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+}
+
+TEST_F(RetrievalSchedulerTest, DrainInterleavesTenantsFairly) {
+  // A 1-thread pool executes a drained batch inline and in order, making
+  // the fair-dequeue assembly order directly observable.
+  const int prev_threads = GlobalThreadCount();
+  SetGlobalThreadCount(1);
+  ServiceMetrics metrics;
+  RetrievalScheduler scheduler(&metrics);
+  auto session = NewSession(nullptr, &metrics);
+
+  std::vector<std::string> order;
+  auto record = [&order](const std::string& tenant) {
+    return [&order, tenant](const RetrievalScheduler::Response&) {
+      order.push_back(tenant);
+    };
+  };
+  // Tenant "a" bursts 3 requests before tenant "b" submits one. A plain
+  // FIFO would run b last; the round-robin dequeue runs it second.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(scheduler
+                    .Submit({session.get(), 1e-2 * range_, 0.0, "a"},
+                            record("a"))
+                    .ok());
+  }
+  ASSERT_TRUE(scheduler
+                  .Submit({session.get(), 1e-2 * range_, 0.0, "b"},
+                          record("b"))
+                  .ok());
+  scheduler.Drain();
+  SetGlobalThreadCount(prev_threads);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "a", "a"}));
+}
+
 TEST_F(RetrievalSchedulerTest, SubmitRejectsNullSession) {
   RetrievalScheduler scheduler;
   EXPECT_FALSE(
-      scheduler.Submit({nullptr, 1e-2 * range_, 0.0}, nullptr).ok());
+      scheduler.Submit({nullptr, 1e-2 * range_, 0.0, ""}, nullptr).ok());
 }
 
 TEST_F(RetrievalSchedulerTest, DrainRunsEveryCallbackWithResults) {
@@ -152,7 +212,7 @@ TEST_F(RetrievalSchedulerTest, DrainRunsEveryCallbackWithResults) {
   std::atomic<int> called{0};
   for (int c = 0; c < kClients; ++c) {
     ASSERT_TRUE(scheduler
-                    .Submit({sessions[c].get(), 1e-3 * range_, 0.0},
+                    .Submit({sessions[c].get(), 1e-3 * range_, 0.0, ""},
                             [&called, this](
                                 const RetrievalScheduler::Response& resp) {
                               EXPECT_TRUE(resp.status.ok());
@@ -193,7 +253,7 @@ TEST_F(RetrievalSchedulerTest, CallbacksMaySubmitFollowUps) {
         // First round at 1e-2 chains a tighter follow-up request.
         if (resp.refinement.requested_bound > 1e-3 * range_) {
           ASSERT_TRUE(scheduler
-                          .Submit({session.get(), 1e-4 * range_, 0.0},
+                          .Submit({session.get(), 1e-4 * range_, 0.0, ""},
                                   [&completions](
                                       const RetrievalScheduler::Response& r) {
                                     EXPECT_TRUE(r.status.ok());
@@ -204,7 +264,7 @@ TEST_F(RetrievalSchedulerTest, CallbacksMaySubmitFollowUps) {
         }
       };
   ASSERT_TRUE(
-      scheduler.Submit({session.get(), 1e-2 * range_, 0.0}, tighten).ok());
+      scheduler.Submit({session.get(), 1e-2 * range_, 0.0, ""}, tighten).ok());
   scheduler.Drain();
   EXPECT_EQ(completions.load(), 2);
   EXPECT_LE(session->estimated_error(), 1e-4 * range_);
@@ -230,7 +290,7 @@ TEST_F(RetrievalSchedulerTest, StartedReconcilesWithAdmittedAndCompleted) {
   for (int c = 0; c < kClients; ++c) {
     sessions.push_back(NewSession(nullptr, &metrics));
     ASSERT_TRUE(scheduler
-                    .Submit({sessions.back().get(), 1e-2 * range_, 0.0},
+                    .Submit({sessions.back().get(), 1e-2 * range_, 0.0, ""},
                             nullptr)
                     .ok());
   }
@@ -254,7 +314,7 @@ TEST_F(RetrievalSchedulerTest, DeadlinedRequestsStillComplete) {
 
   std::atomic<bool> ok{false};
   ASSERT_TRUE(scheduler
-                  .Submit({session.get(), 1e-3 * range_, /*deadline_ms=*/1.0},
+                  .Submit({session.get(), 1e-3 * range_, /*deadline_ms=*/1.0, ""},
                           [&ok](const RetrievalScheduler::Response& resp) {
                             ok.store(resp.status.ok());
                           })

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "service/service_metrics.h"
+#include "storage/fault_injection.h"
+#include "storage/storage_backend.h"
 #include "util/status.h"
 
 namespace mgardp {
@@ -206,6 +208,49 @@ TEST(SegmentCacheTest, FailedSingleFlightPropagatesToWaiters) {
   EXPECT_EQ(failures.load(), kThreads);
   EXPECT_GE(fetches.load(), 1);
   EXPECT_FALSE(cache.Contains(K(0, 0)));
+}
+
+TEST(SegmentCacheTest, FailThenRecoverBackendIsNotNegativelyCached) {
+  // A transient backend fault must not poison the cache: the failed fill
+  // stays uncached, and once the backend recovers, concurrent callers all
+  // observe the retried success (one fill, shared by single-flight).
+  MemoryBackend memory;
+  ASSERT_TRUE(memory.Put(0, 0, "recovered-payload").ok());
+  FaultInjectingBackend flaky(&memory);
+  FaultInjectingBackend::FaultRule rule;
+  rule.kind = FaultKind::kTransient;
+  rule.fail_attempts = 1;  // first Get fails, then the backend recovers
+  flaky.SetFault(0, 0, rule);
+
+  SegmentCache cache;
+  auto fetch = [&flaky]() -> Result<std::string> { return flaky.Get(0, 0); };
+
+  auto first = cache.GetOrFetch(K(0, 0), fetch);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kIOError);
+  EXPECT_FALSE(cache.Contains(K(0, 0)));  // no negative caching
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto got = cache.GetOrFetch(K(0, 0), fetch);
+      if (got.ok() && got.value() == "recovered-payload") {
+        successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // The backend recovered after its single failure, so every concurrent
+  // caller saw the good payload — whether it ran the fill or joined it.
+  EXPECT_EQ(successes.load(), kThreads);
+  EXPECT_TRUE(cache.Contains(K(0, 0)));
+  // Exactly one attempt failed; the payload was fetched once after that.
+  EXPECT_EQ(flaky.num_faults(FaultKind::kTransient), 1);
+  EXPECT_EQ(flaky.num_gets(), 2);
 }
 
 }  // namespace

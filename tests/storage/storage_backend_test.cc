@@ -249,5 +249,56 @@ TEST(FaultInjectionTest, ProbabilisticFaultsReproducibleFromSeed) {
   EXPECT_NE(first, observe());
 }
 
+TEST(FaultInjectionTest, PerNodeConfigsDeriveDistinctDeterministicStreams) {
+  // Regression: multi-node setups used to share one seed verbatim, so
+  // every node injected identical faults for identical keys and replicated
+  // reads failed in lockstep — replication hid nothing. ForNode must hand
+  // each node its own stream, stably.
+  SegmentStore store;
+  for (int l = 0; l < 4; ++l) {
+    for (int p = 0; p < 16; ++p) {
+      store.Put(l, p, "payload-" + std::to_string(l * 16 + p));
+    }
+  }
+  FaultConfig base;
+  base.seed = 42;
+  base.corrupt_prob = 0.25;
+  base.missing_prob = 0.15;
+  base.transient_prob = 0.1;
+
+  auto observe = [&](const FaultConfig& config) {
+    MemoryBackend memory(&store);
+    FaultInjectingBackend faulty(&memory, config);
+    std::string trace;
+    for (const auto& [l, p] : store.Keys()) {
+      auto got = faulty.Get(l, p);
+      trace += got.ok() ? (got.value() == store.Get(l, p).value() ? 'c' : 'x')
+                        : 'm';
+    }
+    return trace;
+  };
+
+  // Stable per node: deriving twice gives the same config and stream.
+  EXPECT_EQ(base.ForNode(0).seed, base.ForNode(0).seed);
+  EXPECT_EQ(observe(base.ForNode(3)), observe(base.ForNode(3)));
+
+  // Distinct across nodes: no two of the first several nodes ever inject
+  // an identical fault sequence over this key set.
+  std::vector<std::string> traces;
+  for (int node = 0; node < 6; ++node) {
+    traces.push_back(observe(base.ForNode(node)));
+  }
+  for (std::size_t a = 0; a < traces.size(); ++a) {
+    for (std::size_t b = a + 1; b < traces.size(); ++b) {
+      EXPECT_NE(traces[a], traces[b])
+          << "nodes " << a << " and " << b << " share a fault stream";
+    }
+  }
+  // And each node's stream actually triggers faults at these rates.
+  for (const std::string& trace : traces) {
+    EXPECT_NE(trace.find_first_not_of('c'), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace mgardp

@@ -29,6 +29,15 @@ TEST(StatusTest, AllFactoryCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+}
+
+TEST(StatusTest, OverloadedIsDistinctAndPrintable) {
+  // Load shedding must be machine-distinguishable from caller bugs
+  // (kFailedPrecondition) so clients know a resubmit can succeed.
+  const Status s = Status::Overloaded("queue full");
+  EXPECT_NE(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(s.ToString(), "Overloaded: queue full");
 }
 
 TEST(StatusTest, Equality) {

@@ -91,6 +91,52 @@ if(NOT LAST_OUT MATCHES "DEGRADED")
                       "${LAST_OUT}")
 endif()
 
+# Replicated-cluster scrub drill: with R=2 the wiped node is repaired back
+# to full replication (exit 0); with R=1 the wiped node held the only copy
+# of some segments, and the documented exit code 3 reports the loss.
+run_cli(0 scrub --cluster --shards 4 --replicas 2 --dims 9,9,9 --planes 16)
+if(NOT LAST_OUT MATCHES "repaired")
+  message(FATAL_ERROR "cluster scrub did not report repairs:\n${LAST_OUT}")
+endif()
+run_cli(3 scrub --cluster --shards 4 --replicas 1 --dims 9,9,9 --planes 16)
+if(NOT LAST_OUT MATCHES "LOST")
+  message(FATAL_ERROR "R=1 cluster scrub did not report loss:\n${LAST_OUT}")
+endif()
+
+# Cluster chaos bench (default 17^3 corpus, 96 requests): kill a node
+# halfway through the request stream. Reads fail over to surviving
+# replicas (exit 0: nothing failed, nothing incorrect, failovers actually
+# happened) and the JSON report carries the tail-latency evidence.
+run_cli(0 serve-bench --shards 4 --replicas 2 --kill-node-at 50%
+        --json ${WORK}/bench_cluster.json)
+if(NOT EXISTS ${WORK}/bench_cluster.json)
+  message(FATAL_ERROR "cluster bench did not write its JSON report")
+endif()
+file(READ ${WORK}/bench_cluster.json cluster_json)
+if(NOT cluster_json MATCHES "\"failovers_total\":")
+  message(FATAL_ERROR "cluster bench JSON lacks failovers_total:\n"
+                      "${cluster_json}")
+endif()
+if(cluster_json MATCHES "\"failovers_total\":0[,}]")
+  message(FATAL_ERROR "node kill produced no failovers:\n${cluster_json}")
+endif()
+if(NOT cluster_json MATCHES "\"latency_p999_ms\":")
+  message(FATAL_ERROR "cluster bench JSON lacks latency_p999_ms:\n"
+                      "${cluster_json}")
+endif()
+if(NOT cluster_json MATCHES "\"incorrect\":0")
+  message(FATAL_ERROR "cluster bench reported incorrect reconstructions:\n"
+                      "${cluster_json}")
+endif()
+if(NOT cluster_json MATCHES "\"replicas_lost\":0")
+  message(FATAL_ERROR "R=2 cluster bench lost data:\n${cluster_json}")
+endif()
+
+# An unreplicated cluster degrades gracefully instead of crashing: failed
+# refinements fall back to honest degraded retrievals, exit stays 0.
+run_cli(0 serve-bench --shards 4 --replicas 1 --kill-node-at 50%
+        --requests 48 --clients 4)
+
 # Error-control audit: the baseline-only quick run prints the per-model
 # table, and --prom leaves a Prometheus exposition behind.
 run_cli(0 audit --app warpx --field J_x --dims 9,9,9 --timesteps 2
