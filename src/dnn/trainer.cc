@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <sstream>
 
 #include "dnn/optimizer.h"
 #include "obs/tracer.h"
@@ -128,8 +129,14 @@ Result<TrainReport> Train(Mlp* mlp, const Matrix& features,
     }
 
     if (config.log_every > 0 && (epoch + 1) % config.log_every == 0) {
-      std::cerr << "epoch " << (epoch + 1) << "/" << config.epochs
-                << " loss=" << epoch_loss << std::endl;
+      std::ostringstream line;
+      line << "epoch " << (epoch + 1) << "/" << config.epochs
+           << " loss=" << epoch_loss;
+      if (config.log_fn) {
+        config.log_fn(line.str());
+      } else {
+        std::cerr << line.str() << std::endl;
+      }
     }
   }
 

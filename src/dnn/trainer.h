@@ -4,6 +4,7 @@
 #ifndef MGARDP_DNN_TRAINER_H_
 #define MGARDP_DNN_TRAINER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,11 @@ struct TrainConfig {
   std::string loss = "huber";  // "huber" | "mse" | "mae"
   std::string optimizer = "adam";  // "adam" | "sgd"
   std::uint64_t seed = 1;
-  // Optional console progress every N epochs (0 = silent).
+  // Optional progress report every N epochs (0 = silent). Lines go to
+  // `log_fn` when set, else to stderr — background trainers pass their own
+  // sink so progress never interleaves with serve-bench output.
   int log_every = 0;
+  std::function<void(const std::string&)> log_fn;
   // Early stopping: hold out this fraction of rows (shuffled, seeded) as a
   // validation set (0 disables). Training stops once the validation loss
   // has not improved for `patience` epochs, and the best-validation weights

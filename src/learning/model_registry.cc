@@ -1,0 +1,344 @@
+#include "learning/model_registry.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "obs/tracer.h"
+#include "util/crc32c.h"
+#include "util/io.h"
+
+namespace mgardp {
+namespace learning {
+
+namespace {
+
+constexpr std::uint32_t kDMgardMagic = 0x444D4752u;  // "DMGR"
+constexpr std::uint32_t kEMgardMagic = 0x454D4752u;  // "EMGR"
+constexpr std::uint32_t kIndexMagic = 0x4D524547u;   // "MREG"
+constexpr std::uint32_t kIndexVersion = 1;
+
+std::string BlobFileName(const std::string& model_id, int version) {
+  std::ostringstream os;
+  os << model_id << "_v" << version << ".bin";
+  return os.str();
+}
+
+}  // namespace
+
+const char* ModelKindName(ModelKind kind) {
+  return kind == ModelKind::kDMgard ? "dmgard" : "emgard";
+}
+
+const char* VersionStateName(VersionState state) {
+  switch (state) {
+    case VersionState::kCandidate:
+      return "candidate";
+    case VersionState::kServing:
+      return "serving";
+    case VersionState::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+Result<std::shared_ptr<const ModelVersion>> MakeModelVersion(
+    const std::string& model_id, int version, std::string blob) {
+  if (blob.size() < sizeof(std::uint32_t)) {
+    return Status::Invalid("model blob: too short for a magic");
+  }
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, blob.data(), sizeof(magic));
+  auto mv = std::make_shared<ModelVersion>();
+  mv->model_id = model_id;
+  mv->version = version;
+  mv->crc32c = Crc32c(blob.data(), blob.size());
+  if (magic == kDMgardMagic) {
+    mv->kind = ModelKind::kDMgard;
+    MGARDP_ASSIGN_OR_RETURN(DMgardModel model, DMgardModel::Deserialize(blob));
+    mv->dmgard = std::make_shared<const DMgardModel>(std::move(model));
+  } else if (magic == kEMgardMagic) {
+    mv->kind = ModelKind::kEMgard;
+    MGARDP_ASSIGN_OR_RETURN(EMgardModel model, EMgardModel::Deserialize(blob));
+    mv->emgard = std::make_shared<const EMgardModel>(std::move(model));
+  } else {
+    return Status::Invalid("model blob: unrecognized magic");
+  }
+  mv->blob = std::move(blob);
+  return std::shared_ptr<const ModelVersion>(std::move(mv));
+}
+
+ModelRegistry::ModelSlot* ModelRegistry::GetOrCreateSlot(
+    const std::string& model_id) {
+  auto it = slots_.find(model_id);
+  if (it == slots_.end()) {
+    it = slots_.emplace(model_id, std::make_unique<ModelSlot>()).first;
+  }
+  return it->second.get();
+}
+
+int ModelRegistry::IndexOf(const ModelSlot& slot, int version) {
+  for (std::size_t i = 0; i < slot.versions.size(); ++i) {
+    if (slot.versions[i]->version == version) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Result<int> ModelRegistry::Publish(const std::string& model_id,
+                                   std::string blob) {
+  MGARDP_TRACE_SPAN("learning/publish", "learning");
+  if (model_id.empty()) {
+    return Status::Invalid("registry: empty model id");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ModelSlot* slot = GetOrCreateSlot(model_id);
+  const int version = slot->versions.empty()
+                          ? 1
+                          : slot->versions.back()->version + 1;
+  MGARDP_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ModelVersion> mv,
+      MakeModelVersion(model_id, version, std::move(blob)));
+  slot->versions.push_back(std::move(mv));
+  slot->states.push_back(VersionState::kCandidate);
+  return version;
+}
+
+Status ModelRegistry::PromoteLocked(const std::string& model_id,
+                                    ModelSlot* slot, int version) {
+  const int idx = IndexOf(*slot, version);
+  if (idx < 0) {
+    std::ostringstream os;
+    os << "registry: " << model_id << " has no version " << version;
+    return Status::NotFound(os.str());
+  }
+  if (slot->serving == version) {
+    return Status::OK();
+  }
+  MGARDP_TRACE_SPAN("learning/swap", "learning");
+  if (slot->serving != 0) {
+    const int old = IndexOf(*slot, slot->serving);
+    if (old >= 0) {
+      slot->states[old] = VersionState::kRetired;
+    }
+    slot->previous = slot->serving;
+  }
+  slot->serving = version;
+  slot->states[idx] = VersionState::kServing;
+  // The swap: one atomic store. In-flight readers keep the shared_ptr
+  // they loaded earlier; its refcount is their epoch.
+  slot->current.store(slot->versions[idx], std::memory_order_release);
+  return Status::OK();
+}
+
+Status ModelRegistry::Promote(const std::string& model_id, int version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(model_id);
+  if (it == slots_.end()) {
+    return Status::NotFound("registry: unknown model id " + model_id);
+  }
+  return PromoteLocked(model_id, it->second.get(), version);
+}
+
+Status ModelRegistry::Pin(const std::string& model_id, int version) {
+  return Promote(model_id, version);
+}
+
+Status ModelRegistry::Rollback(const std::string& model_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(model_id);
+  if (it == slots_.end()) {
+    return Status::NotFound("registry: unknown model id " + model_id);
+  }
+  ModelSlot* slot = it->second.get();
+  if (slot->previous == 0) {
+    return Status::Invalid("registry: " + model_id +
+                           " has no previous serving version");
+  }
+  return PromoteLocked(model_id, slot, slot->previous);
+}
+
+Status ModelRegistry::Retire(const std::string& model_id, int version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(model_id);
+  if (it == slots_.end()) {
+    return Status::NotFound("registry: unknown model id " + model_id);
+  }
+  ModelSlot* slot = it->second.get();
+  const int idx = IndexOf(*slot, version);
+  if (idx < 0) {
+    return Status::NotFound("registry: no such version");
+  }
+  if (slot->serving == version) {
+    return Status::Invalid("registry: cannot retire the serving version");
+  }
+  slot->states[idx] = VersionState::kRetired;
+  return Status::OK();
+}
+
+ServingHandle ModelRegistry::Handle(const std::string& model_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ServingHandle(&GetOrCreateSlot(model_id)->current);
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::Serving(
+    const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(model_id);
+  return it == slots_.end()
+             ? nullptr
+             : it->second->current.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::Get(
+    const std::string& model_id, int version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(model_id);
+  if (it == slots_.end()) {
+    return nullptr;
+  }
+  const int idx = IndexOf(*it->second, version);
+  return idx < 0 ? nullptr : it->second->versions[idx];
+}
+
+int ModelRegistry::serving_version(const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(model_id);
+  return it == slots_.end() ? 0 : it->second->serving;
+}
+
+std::vector<ModelRegistry::Entry> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> entries;
+  for (const auto& [id, slot] : slots_) {
+    for (std::size_t i = 0; i < slot->versions.size(); ++i) {
+      const ModelVersion& mv = *slot->versions[i];
+      Entry e;
+      e.model_id = id;
+      e.version = mv.version;
+      e.kind = mv.kind;
+      e.state = slot->states[i];
+      e.crc32c = mv.crc32c;
+      e.blob_bytes = mv.blob.size();
+      entries.push_back(std::move(e));
+    }
+  }
+  return entries;
+}
+
+Status ModelRegistry::SaveToDirectory(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("registry: cannot create " + dir + ": " +
+                           ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryWriter idx;
+  idx.Put<std::uint32_t>(kIndexMagic);
+  idx.Put<std::uint32_t>(kIndexVersion);
+  std::uint64_t total = 0;
+  for (const auto& [id, slot] : slots_) {
+    total += slot->versions.size();
+  }
+  idx.Put<std::uint64_t>(total);
+  for (const auto& [id, slot] : slots_) {
+    for (std::size_t i = 0; i < slot->versions.size(); ++i) {
+      const ModelVersion& mv = *slot->versions[i];
+      idx.PutString(id);
+      idx.Put<std::int32_t>(mv.version);
+      idx.Put<std::uint8_t>(static_cast<std::uint8_t>(slot->states[i]));
+      idx.Put<std::uint32_t>(mv.crc32c);
+      idx.Put<std::int32_t>(slot->serving);
+      idx.Put<std::int32_t>(slot->previous);
+      MGARDP_RETURN_NOT_OK(WriteFile(
+          dir + "/" + BlobFileName(id, mv.version), mv.blob));
+    }
+  }
+  std::string bytes = idx.TakeBuffer();
+  const std::uint32_t crc = Crc32c(bytes.data(), bytes.size());
+  char trailer[sizeof(crc)];
+  std::memcpy(trailer, &crc, sizeof(crc));
+  bytes.append(trailer, sizeof(crc));
+  return WriteFile(dir + "/registry.idx", bytes);
+}
+
+Status ModelRegistry::LoadFromDirectory(const std::string& dir) {
+  MGARDP_ASSIGN_OR_RETURN(std::string bytes,
+                          ReadFileToString(dir + "/registry.idx"));
+  if (bytes.size() < sizeof(std::uint32_t) * 3) {
+    return Status::DataLoss("registry index: truncated");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (Crc32c(bytes.data(), bytes.size() - sizeof(stored_crc)) != stored_crc) {
+    return Status::DataLoss("registry index: CRC mismatch");
+  }
+  BinaryReader reader(bytes.data(), bytes.size() - sizeof(stored_crc));
+  std::uint32_t magic = 0, version = 0;
+  MGARDP_RETURN_NOT_OK(reader.Get(&magic));
+  MGARDP_RETURN_NOT_OK(reader.Get(&version));
+  if (magic != kIndexMagic || version != kIndexVersion) {
+    return Status::DataLoss("registry index: bad magic/version");
+  }
+  std::uint64_t total = 0;
+  MGARDP_RETURN_NOT_OK(reader.Get(&total));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    std::string id;
+    std::int32_t mv_version = 0, serving = 0, previous = 0;
+    std::uint8_t state = 0;
+    std::uint32_t crc = 0;
+    MGARDP_RETURN_NOT_OK(reader.GetString(&id));
+    MGARDP_RETURN_NOT_OK(reader.Get(&mv_version));
+    MGARDP_RETURN_NOT_OK(reader.Get(&state));
+    MGARDP_RETURN_NOT_OK(reader.Get(&crc));
+    MGARDP_RETURN_NOT_OK(reader.Get(&serving));
+    MGARDP_RETURN_NOT_OK(reader.Get(&previous));
+    MGARDP_ASSIGN_OR_RETURN(
+        std::string blob,
+        ReadFileToString(dir + "/" + BlobFileName(id, mv_version)));
+    if (Crc32c(blob.data(), blob.size()) != crc) {
+      return Status::DataLoss("registry: blob CRC mismatch for " + id +
+                              " v" + std::to_string(mv_version));
+    }
+    MGARDP_ASSIGN_OR_RETURN(
+        std::shared_ptr<const ModelVersion> mv,
+        MakeModelVersion(id, mv_version, std::move(blob)));
+    ModelSlot* slot = GetOrCreateSlot(id);
+    slot->versions.push_back(std::move(mv));
+    slot->states.push_back(static_cast<VersionState>(state));
+    slot->serving = serving;
+    slot->previous = previous;
+    if (static_cast<VersionState>(state) == VersionState::kServing) {
+      slot->current.store(slot->versions.back(), std::memory_order_release);
+    }
+  }
+  // Keep versions ordered so the next Publish numbers correctly.
+  for (auto& [id, slot] : slots_) {
+    std::vector<std::size_t> order(slot->versions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return slot->versions[a]->version < slot->versions[b]->version;
+    });
+    std::vector<std::shared_ptr<const ModelVersion>> versions;
+    std::vector<VersionState> states;
+    for (const std::size_t i : order) {
+      versions.push_back(std::move(slot->versions[i]));
+      states.push_back(slot->states[i]);
+    }
+    slot->versions = std::move(versions);
+    slot->states = std::move(states);
+  }
+  return Status::OK();
+}
+
+}  // namespace learning
+}  // namespace mgardp

@@ -1,0 +1,156 @@
+// Versioned, checksummed model store with lock-free hot swap.
+//
+// Every published weight blob becomes an immutable ModelVersion: the raw
+// serialized bytes, their CRC-32C, and the deserialized network (the blob's
+// magic routes DMGR vs EMGR). Versions number from 1 per model id and are
+// never mutated after Publish — promotion, pinning, and rollback only move
+// the serving designation.
+//
+// Swap mechanics: each model id owns one std::atomic<std::shared_ptr<const
+// ModelVersion>> slot. Promote stores the new version into the slot;
+// readers obtained the previous shared_ptr earlier and keep it alive for
+// as long as they hold it — that shared_ptr *is* the epoch. An in-flight
+// session that pinned v3 at its first refinement keeps predicting with v3
+// until it drops the handle, while new sessions pick up v4; no reader ever
+// observes a torn or freed model. The read path (ServingHandle::load) is a
+// single atomic shared_ptr load and never touches the registry mutex.
+//
+// Persistence: SaveToDirectory writes one blob file per version plus a
+// CRC-trailed index naming versions/states/checksums; LoadFromDirectory
+// verifies every checksum and rejects corruption as kDataLoss.
+
+#ifndef MGARDP_LEARNING_MODEL_REGISTRY_H_
+#define MGARDP_LEARNING_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "models/dmgard.h"
+#include "models/emgard.h"
+#include "util/status.h"
+
+namespace mgardp {
+namespace learning {
+
+enum class ModelKind { kDMgard, kEMgard };
+enum class VersionState { kCandidate, kServing, kRetired };
+
+const char* ModelKindName(ModelKind kind);
+const char* VersionStateName(VersionState state);
+
+// Immutable after Publish.
+struct ModelVersion {
+  std::string model_id;
+  int version = 0;
+  ModelKind kind = ModelKind::kDMgard;
+  std::uint32_t crc32c = 0;
+  std::string blob;
+  // Exactly one is set, matching `kind`.
+  std::shared_ptr<const DMgardModel> dmgard;
+  std::shared_ptr<const EMgardModel> emgard;
+};
+
+// Lock-free read handle bound to one model id's serving slot. Obtain once
+// from ModelRegistry::Handle (that takes the registry mutex), then load()
+// per request. The registry must outlive all handles; slots are never
+// deallocated.
+class ServingHandle {
+ public:
+  ServingHandle() = default;
+
+  // nullptr when nothing serves the id yet (or the handle is empty).
+  std::shared_ptr<const ModelVersion> load() const {
+    return slot_ == nullptr
+               ? nullptr
+               : slot_->load(std::memory_order_acquire);
+  }
+  bool valid() const { return slot_ != nullptr; }
+
+ private:
+  friend class ModelRegistry;
+  using Slot = std::atomic<std::shared_ptr<const ModelVersion>>;
+  explicit ServingHandle(const Slot* slot) : slot_(slot) {}
+  const Slot* slot_ = nullptr;
+};
+
+class ModelRegistry {
+ public:
+  struct Entry {
+    std::string model_id;
+    int version = 0;
+    ModelKind kind = ModelKind::kDMgard;
+    VersionState state = VersionState::kCandidate;
+    std::uint32_t crc32c = 0;
+    std::size_t blob_bytes = 0;
+  };
+
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // Validates the blob (magic routes the kind, the weights must
+  // deserialize), checksums it, and stores it as a candidate. Returns the
+  // assigned version number (1-based, monotonic per model id).
+  Result<int> Publish(const std::string& model_id, std::string blob);
+
+  // Makes `version` the serving one (atomic slot store); the previously
+  // serving version retires and is remembered for Rollback. Promoting the
+  // already-serving version is a no-op.
+  Status Promote(const std::string& model_id, int version);
+  // Operator override: same swap, any existing version. (Promote and Pin
+  // are the same state transition; the two names document intent.)
+  Status Pin(const std::string& model_id, int version);
+  // Re-serves the version that was serving before the current one.
+  Status Rollback(const std::string& model_id);
+  // Marks a candidate as retired (shadow evaluation rejected it).
+  Status Retire(const std::string& model_id, int version);
+
+  // Lock-free slot handle; creates the (empty) slot if the id is new.
+  ServingHandle Handle(const std::string& model_id);
+
+  // Convenience lookups (these take the registry mutex; use Handle on
+  // serving hot paths).
+  std::shared_ptr<const ModelVersion> Serving(
+      const std::string& model_id) const;
+  std::shared_ptr<const ModelVersion> Get(const std::string& model_id,
+                                          int version) const;
+  int serving_version(const std::string& model_id) const;  // 0 = none
+  std::vector<Entry> List() const;
+
+  // Directory persistence for the CLI: <model>_v<N>.bin blobs plus a
+  // CRC-trailed registry.idx. Load verifies every blob checksum.
+  Status SaveToDirectory(const std::string& dir) const;
+  Status LoadFromDirectory(const std::string& dir);
+
+ private:
+  struct ModelSlot {
+    std::vector<std::shared_ptr<const ModelVersion>> versions;
+    std::vector<VersionState> states;  // parallel to versions
+    int serving = 0;                   // version number, 0 = none
+    int previous = 0;                  // for Rollback
+    ServingHandle::Slot current{nullptr};
+  };
+
+  ModelSlot* GetOrCreateSlot(const std::string& model_id);
+  static int IndexOf(const ModelSlot& slot, int version);
+  Status PromoteLocked(const std::string& model_id, ModelSlot* slot,
+                       int version);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ModelSlot>> slots_;
+};
+
+// Builds a ModelVersion from a weight blob: sniffs the DMGR/EMGR magic,
+// deserializes, checksums. Shared by Publish and LoadFromDirectory.
+Result<std::shared_ptr<const ModelVersion>> MakeModelVersion(
+    const std::string& model_id, int version, std::string blob);
+
+}  // namespace learning
+}  // namespace mgardp
+
+#endif  // MGARDP_LEARNING_MODEL_REGISTRY_H_

@@ -1,0 +1,188 @@
+#include "learning/shadow.h"
+
+#include <algorithm>
+
+#include "obs/tracer.h"
+#include "service/service_metrics.h"
+
+namespace mgardp {
+namespace learning {
+
+ShadowEvaluator::ShadowEvaluator(ModelRegistry* registry,
+                                 ServiceMetrics* metrics, Options options)
+    : registry_(registry), metrics_(metrics), options_(options) {
+  if (options_.window == 0) {
+    options_.window = 1;
+  }
+  if (options_.probation_window == 0) {
+    options_.probation_window = 1;
+  }
+}
+
+Status ShadowEvaluator::StartShadow(const std::string& model_id,
+                                    int version) {
+  std::shared_ptr<const ModelVersion> candidate =
+      registry_->Get(model_id, version);
+  if (candidate == nullptr) {
+    return Status::NotFound("shadow: no such candidate version");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Track& t = tracks_[model_id];
+  if (t.state != State::kIdle) {
+    return Status::FailedPrecondition(
+        "shadow: evaluation already in progress for " + model_id);
+  }
+  t = Track{};
+  t.state = State::kShadowing;
+  t.candidate = version;
+  t.candidate_model = std::move(candidate);
+  return Status::OK();
+}
+
+ShadowEvaluator::State ShadowEvaluator::state(
+    const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tracks_.find(model_id);
+  return it == tracks_.end() ? State::kIdle : it->second.state;
+}
+
+int ShadowEvaluator::candidate_version(const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tracks_.find(model_id);
+  return it == tracks_.end() || it->second.state != State::kShadowing
+             ? 0
+             : it->second.candidate;
+}
+
+std::shared_ptr<const ModelVersion> ShadowEvaluator::Candidate(
+    const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tracks_.find(model_id);
+  return it == tracks_.end() || it->second.state != State::kShadowing
+             ? nullptr
+             : it->second.candidate_model;
+}
+
+ShadowEvaluator::Action ShadowEvaluator::Verdict(const std::string& model_id,
+                                                 Track* t) {
+  const double n = static_cast<double>(t->pairs);
+  const double cand_rate =
+      static_cast<double>(t->candidate_violations) / n;
+  const double inc_rate =
+      static_cast<double>(t->incumbent_violations) / n;
+  const double cand_bytes = t->candidate_bytes / n;
+  const double inc_bytes = t->incumbent_bytes / n;
+  const bool honest = cand_rate <= inc_rate + options_.violation_epsilon;
+  const bool frugal =
+      inc_bytes <= 0.0 ||
+      cand_bytes <= inc_bytes * options_.overfetch_slack;
+  if (honest && frugal) {
+    MGARDP_TRACE_SPAN("learning/promote", "learning");
+    const Status promoted = registry_->Promote(model_id, t->candidate);
+    if (!promoted.ok()) {
+      // The version vanished (e.g. operator retired it); drop the run.
+      t->state = State::kIdle;
+      return Action::kRejected;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->OnModelPromoted();
+    }
+    ++stats_.promotions;
+    t->state = State::kProbation;
+    t->shadow_violation_rate = cand_rate;
+    t->probation_seen = 0;
+    t->probation_violations = 0;
+    t->candidate_model = nullptr;
+    return Action::kPromoted;
+  }
+  {
+    const Status retired = registry_->Retire(model_id, t->candidate);
+    (void)retired;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->OnCandidateRejected();
+  }
+  ++stats_.rejections;
+  *t = Track{};
+  return Action::kRejected;
+}
+
+ShadowEvaluator::Action ShadowEvaluator::ObservePair(
+    const std::string& model_id, const ShadowScore& incumbent,
+    const ShadowScore& candidate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tracks_.find(model_id);
+  if (it == tracks_.end() || it->second.state != State::kShadowing) {
+    return Action::kNone;
+  }
+  Track& t = it->second;
+  // Only ground-truthed pairs can speak to bound honesty; estimate-only
+  // traffic would count every request as satisfied for both sides.
+  if (!incumbent.has_actual || !candidate.has_actual) {
+    return Action::kNone;
+  }
+  ++t.pairs;
+  ++stats_.shadow_pairs;
+  t.incumbent_violations += incumbent.violation ? 1 : 0;
+  t.candidate_violations += candidate.violation ? 1 : 0;
+  t.incumbent_bytes += static_cast<double>(incumbent.bytes);
+  t.candidate_bytes += static_cast<double>(candidate.bytes);
+  if (metrics_ != nullptr) {
+    metrics_->OnShadowPair(
+        incumbent.bytes == 0
+            ? 0.0
+            : static_cast<double>(candidate.bytes) /
+                  static_cast<double>(incumbent.bytes));
+  }
+  if (t.pairs < options_.window) {
+    return Action::kNone;
+  }
+  return Verdict(model_id, &t);
+}
+
+ShadowEvaluator::Action ShadowEvaluator::ObserveServing(
+    const std::string& model_id, const ShadowScore& serving) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tracks_.find(model_id);
+  if (it == tracks_.end() || it->second.state != State::kProbation) {
+    return Action::kNone;
+  }
+  Track& t = it->second;
+  if (!serving.has_actual) {
+    return Action::kNone;
+  }
+  ++t.probation_seen;
+  t.probation_violations += serving.violation ? 1 : 0;
+  if (t.probation_seen < options_.probation_window) {
+    return Action::kNone;
+  }
+  const double rate = static_cast<double>(t.probation_violations) /
+                      static_cast<double>(t.probation_seen);
+  const double threshold =
+      std::max(options_.rollback_floor,
+               options_.rollback_factor * t.shadow_violation_rate);
+  if (rate > threshold) {
+    MGARDP_TRACE_SPAN("learning/rollback", "learning");
+    {
+      const Status rolled = registry_->Rollback(model_id);
+      (void)rolled;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->OnModelRolledBack();
+    }
+    ++stats_.rollbacks;
+    t = Track{};
+    return Action::kRolledBack;
+  }
+  // Probation served clean; the promotion sticks.
+  t = Track{};
+  return Action::kNone;
+}
+
+ShadowEvaluator::Stats ShadowEvaluator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace learning
+}  // namespace mgardp

@@ -1,0 +1,139 @@
+// Shadow A/B evaluation and the promotion state machine.
+//
+// A freshly retrained candidate must earn the serving slot on live
+// traffic. While a candidate shadows, the serving path scores every
+// request under both models (the candidate predicts but never serves) and
+// feeds the paired outcomes here. After `window` pairs the verdict is
+// mechanical:
+//
+//       promote  iff  candidate violations <= incumbent violations
+//                       + violation_epsilon * window
+//                and  candidate mean bytes <= incumbent mean bytes
+//                       * overfetch_slack
+//
+// i.e. the candidate must not be worse on bound honesty and must not pay
+// for it with a fetch blow-up. A losing candidate is retired in the
+// registry and never serves.
+//
+// Promotion is not the end: the state machine enters probation and keeps
+// watching the (now serving) version for `probation_window` requests. If
+// its violation rate regresses past rollback_factor x the rate the
+// candidate showed during shadowing (with an absolute floor so a single
+// unlucky request cannot trip it), the registry rolls back to the prior
+// version automatically.
+//
+//   kIdle -> StartShadow -> kShadowing -> promote -> kProbation -> kIdle
+//                               |                        |
+//                               +-> reject (retire)      +-> rollback
+//
+// All transitions are serialized per model id; scoring calls are cheap
+// (counter updates) and safe from concurrent serving threads.
+
+#ifndef MGARDP_LEARNING_SHADOW_H_
+#define MGARDP_LEARNING_SHADOW_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "learning/model_registry.h"
+#include "util/status.h"
+
+namespace mgardp {
+
+class ServiceMetrics;
+
+namespace learning {
+
+// One request scored under one model.
+struct ShadowScore {
+  bool has_actual = false;  // ground truth was available
+  bool violation = false;   // actual error exceeded the tolerance
+  std::size_t bytes = 0;    // bytes the model's plan fetched
+};
+
+class ShadowEvaluator {
+ public:
+  struct Options {
+    std::size_t window = 24;          // paired requests before a verdict
+    double violation_epsilon = 0.0;   // allowed candidate excess rate
+    double overfetch_slack = 1.15;    // candidate mean-bytes leash
+    std::size_t probation_window = 24;
+    double rollback_factor = 1.5;     // regression multiple triggering it
+    double rollback_floor = 0.10;     // minimum absolute regressed rate
+  };
+
+  enum class State { kIdle, kShadowing, kProbation };
+  enum class Action { kNone, kPromoted, kRejected, kRolledBack };
+
+  struct Stats {
+    std::uint64_t shadow_pairs = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rejections = 0;
+    std::uint64_t rollbacks = 0;
+  };
+
+  // `registry` must outlive the evaluator; `metrics` may be null.
+  ShadowEvaluator(ModelRegistry* registry, ServiceMetrics* metrics)
+      : ShadowEvaluator(registry, metrics, Options()) {}
+  ShadowEvaluator(ModelRegistry* registry, ServiceMetrics* metrics,
+                  Options options);
+
+  // Enters kShadowing for `model_id` with published candidate `version`.
+  // Fails if a shadow run or probation is already in progress for the id,
+  // or the version does not exist.
+  Status StartShadow(const std::string& model_id, int version);
+
+  State state(const std::string& model_id) const;
+  int candidate_version(const std::string& model_id) const;  // 0 = none
+  // The candidate model for the serving path to score against (nullptr
+  // when not shadowing).
+  std::shared_ptr<const ModelVersion> Candidate(
+      const std::string& model_id) const;
+
+  // One live request scored under both models. Returns the transition the
+  // pair caused (promotion happens inside, via the registry).
+  Action ObservePair(const std::string& model_id,
+                     const ShadowScore& incumbent,
+                     const ShadowScore& candidate);
+
+  // One serving-path request observed during probation (call it on every
+  // request; outside probation it is a cheap no-op). May roll back.
+  Action ObserveServing(const std::string& model_id,
+                        const ShadowScore& serving);
+
+  Stats stats() const;
+
+ private:
+  struct Track {
+    State state = State::kIdle;
+    int candidate = 0;
+    std::shared_ptr<const ModelVersion> candidate_model;
+    // Shadow-window accumulators (ground-truthed pairs only).
+    std::uint64_t pairs = 0;
+    std::uint64_t incumbent_violations = 0;
+    std::uint64_t candidate_violations = 0;
+    double incumbent_bytes = 0.0;
+    double candidate_bytes = 0.0;
+    // Probation accumulators.
+    double shadow_violation_rate = 0.0;  // candidate's rate when promoted
+    std::uint64_t probation_seen = 0;
+    std::uint64_t probation_violations = 0;
+  };
+
+  Action Verdict(const std::string& model_id, Track* t);
+
+  ModelRegistry* registry_;
+  ServiceMetrics* metrics_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Track> tracks_;
+  Stats stats_;
+};
+
+}  // namespace learning
+}  // namespace mgardp
+
+#endif  // MGARDP_LEARNING_SHADOW_H_

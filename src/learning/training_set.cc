@@ -1,0 +1,269 @@
+#include "learning/training_set.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "models/features.h"
+#include "util/crc32c.h"
+#include "util/io.h"
+
+namespace mgardp {
+namespace learning {
+
+namespace {
+
+// "MPTS" — mgardp training set.
+constexpr std::uint32_t kTrainingSetMagic = 0x4D505453u;
+constexpr std::uint32_t kTrainingSetVersion = 1;
+
+// Stable 64-bit key hash (FNV-1a) for deriving per-bucket RNG seeds.
+std::uint64_t HashKey(const std::string& model, std::size_t levels) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : model) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  h = (h ^ levels) * 1099511628211ull;
+  return h;
+}
+
+}  // namespace
+
+std::string BaseModelId(const std::string& model_id) {
+  const std::size_t at = model_id.rfind("@v");
+  if (at == std::string::npos) {
+    return model_id;
+  }
+  // Only strip a real version suffix ("@v" followed by digits).
+  for (std::size_t i = at + 2; i < model_id.size(); ++i) {
+    if (model_id[i] < '0' || model_id[i] > '9') {
+      return model_id;
+    }
+  }
+  return at + 2 < model_id.size() ? model_id.substr(0, at) : model_id;
+}
+
+TrainingSetCollector::TrainingSetCollector(Options options)
+    : options_(options) {
+  if (options_.capacity == 0) {
+    options_.capacity = 1;
+  }
+}
+
+void TrainingSetCollector::OnRecord(const obs::AuditRecord& record) {
+  if (!record.has_examples() ||
+      (options_.require_actual && !record.has_actual()) ||
+      record.predicted_prefix.empty() ||
+      record.level_errors.size() != record.predicted_prefix.size() ||
+      record.sketches.size() != record.predicted_prefix.size()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++skipped_;
+    return;
+  }
+
+  RetrievalRecord row;
+  row.requested_abs_error = record.requested_tolerance;
+  const double range = record.summary.range();
+  row.requested_rel_error =
+      range > 0.0 ? record.requested_tolerance / range : 0.0;
+  row.achieved_error = record.actual_error;
+  row.estimated_error = record.predicted_error;
+  row.total_bytes = record.bytes_fetched;
+  row.bitplanes = record.predicted_prefix;
+  row.level_errors = record.level_errors;
+  row.features = ExtractDataFeatures(record.summary);
+  row.sketches = record.sketches;
+  row.is_ladder = false;
+
+  const std::string model = BaseModelId(record.model);
+  const std::pair<std::string, std::size_t> key{
+      model, record.predicted_prefix.size()};
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // A per-collector sequence number stands in for the timestep: DMgard's
+  // trainer dedups rows by (timestep, prefix), and live traffic carries no
+  // frame identity — distinct requests must stay distinct rows.
+  row.timestep = static_cast<int>(++sequence_);
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(key, std::make_unique<Reservoir>(
+                               options_.seed ^ HashKey(model, key.second)))
+             .first;
+  }
+  Reservoir& r = *it->second;
+  ++r.seen;
+  ++accepted_[model];
+  if (r.rows.size() < options_.capacity) {
+    r.rows.push_back(std::move(row));
+  } else {
+    // Algorithm R: replace a uniform victim with probability capacity/seen.
+    const std::uint64_t j = r.rng.NextBounded(r.seen);
+    if (j < options_.capacity) {
+      r.rows[j] = std::move(row);
+    }
+  }
+}
+
+std::vector<RetrievalRecord> TrainingSetCollector::Rows(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Reservoir* best = nullptr;
+  for (const auto& [key, r] : buckets_) {
+    if (key.first != model) {
+      continue;
+    }
+    if (best == nullptr || r->rows.size() > best->rows.size()) {
+      best = r.get();
+    }
+  }
+  return best != nullptr ? best->rows : std::vector<RetrievalRecord>{};
+}
+
+std::size_t TrainingSetCollector::RowCount(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t largest = 0;
+  for (const auto& [key, r] : buckets_) {
+    if (key.first == model) {
+      largest = std::max(largest, r->rows.size());
+    }
+  }
+  return largest;
+}
+
+std::uint64_t TrainingSetCollector::accepted(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = accepted_.find(model);
+  return it == accepted_.end() ? 0 : it->second;
+}
+
+std::uint64_t TrainingSetCollector::total_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [model, n] : accepted_) {
+    total += n;
+  }
+  return total;
+}
+
+std::uint64_t TrainingSetCollector::skipped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skipped_;
+}
+
+void TrainingSetCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  accepted_.clear();
+  skipped_ = 0;
+}
+
+std::string SerializeTrainingSet(const std::string& model,
+                                 const std::vector<RetrievalRecord>& rows) {
+  BinaryWriter w;
+  w.Put<std::uint32_t>(kTrainingSetMagic);
+  w.Put<std::uint32_t>(kTrainingSetVersion);
+  w.PutString(model);
+  w.Put<std::uint64_t>(rows.size());
+  for (const RetrievalRecord& r : rows) {
+    w.Put<std::int32_t>(r.timestep);
+    w.Put<double>(r.requested_rel_error);
+    w.Put<double>(r.requested_abs_error);
+    w.Put<double>(r.achieved_error);
+    w.Put<double>(r.estimated_error);
+    w.Put<std::uint64_t>(r.total_bytes);
+    w.PutVector(r.bitplanes);
+    w.PutVector(r.level_errors);
+    w.PutVector(r.features);
+    w.Put<std::uint64_t>(r.sketches.size());
+    for (const auto& sketch : r.sketches) {
+      w.PutVector(sketch);
+    }
+    w.Put<std::uint8_t>(r.is_ladder ? 1 : 0);
+  }
+  std::string out = w.TakeBuffer();
+  const std::uint32_t crc = Crc32c(out.data(), out.size());
+  char trailer[sizeof(crc)];
+  std::memcpy(trailer, &crc, sizeof(crc));
+  out.append(trailer, sizeof(crc));
+  return out;
+}
+
+Result<std::vector<RetrievalRecord>> ParseTrainingSet(
+    const std::string& bytes, std::string* model_out) {
+  if (bytes.size() < sizeof(std::uint32_t) * 3) {
+    return Status::DataLoss("training set: truncated container");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const std::uint32_t crc =
+      Crc32c(bytes.data(), bytes.size() - sizeof(stored_crc));
+  if (crc != stored_crc) {
+    return Status::DataLoss("training set: CRC mismatch (corrupt snapshot)");
+  }
+  BinaryReader reader(bytes.data(), bytes.size() - sizeof(stored_crc));
+  std::uint32_t magic = 0, version = 0;
+  MGARDP_RETURN_NOT_OK(reader.Get(&magic));
+  if (magic != kTrainingSetMagic) {
+    return Status::DataLoss("training set: bad magic");
+  }
+  MGARDP_RETURN_NOT_OK(reader.Get(&version));
+  if (version != kTrainingSetVersion) {
+    return Status::Invalid("training set: unsupported version");
+  }
+  std::string model;
+  MGARDP_RETURN_NOT_OK(reader.GetString(&model));
+  if (model_out != nullptr) {
+    *model_out = model;
+  }
+  std::uint64_t n = 0;
+  MGARDP_RETURN_NOT_OK(reader.Get(&n));
+  std::vector<RetrievalRecord> rows;
+  rows.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RetrievalRecord r;
+    std::int32_t timestep = 0;
+    MGARDP_RETURN_NOT_OK(reader.Get(&timestep));
+    r.timestep = timestep;
+    MGARDP_RETURN_NOT_OK(reader.Get(&r.requested_rel_error));
+    MGARDP_RETURN_NOT_OK(reader.Get(&r.requested_abs_error));
+    MGARDP_RETURN_NOT_OK(reader.Get(&r.achieved_error));
+    MGARDP_RETURN_NOT_OK(reader.Get(&r.estimated_error));
+    std::uint64_t total_bytes = 0;
+    MGARDP_RETURN_NOT_OK(reader.Get(&total_bytes));
+    r.total_bytes = total_bytes;
+    MGARDP_RETURN_NOT_OK(reader.GetVector(&r.bitplanes));
+    MGARDP_RETURN_NOT_OK(reader.GetVector(&r.level_errors));
+    MGARDP_RETURN_NOT_OK(reader.GetVector(&r.features));
+    std::uint64_t n_sketches = 0;
+    MGARDP_RETURN_NOT_OK(reader.Get(&n_sketches));
+    r.sketches.resize(n_sketches);
+    for (auto& sketch : r.sketches) {
+      MGARDP_RETURN_NOT_OK(reader.GetVector(&sketch));
+    }
+    std::uint8_t ladder = 0;
+    MGARDP_RETURN_NOT_OK(reader.Get(&ladder));
+    r.is_ladder = ladder != 0;
+    rows.push_back(std::move(r));
+  }
+  if (!reader.exhausted()) {
+    return Status::DataLoss("training set: trailing bytes");
+  }
+  return rows;
+}
+
+Status TrainingSetCollector::SaveSnapshot(const std::string& path,
+                                          const std::string& model) const {
+  return WriteFile(path, SerializeTrainingSet(model, Rows(model)));
+}
+
+Result<std::vector<RetrievalRecord>> TrainingSetCollector::LoadSnapshot(
+    const std::string& path, std::string* model_out) {
+  MGARDP_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return ParseTrainingSet(bytes, model_out);
+}
+
+}  // namespace learning
+}  // namespace mgardp

@@ -129,6 +129,35 @@ void ErrorControlAuditor::Record(const AuditRecord& record) {
       }
     }
   }
+  if (sink_count_.load(std::memory_order_acquire) > 0) {
+    std::shared_lock<std::shared_mutex> lock(sinks_mu_);
+    for (AuditSink* sink : sinks_) {
+      sink->OnRecord(record);
+    }
+  }
+}
+
+void ErrorControlAuditor::AddSink(AuditSink* sink) {
+  if (sink == nullptr) {
+    return;
+  }
+  std::unique_lock<std::shared_mutex> lock(sinks_mu_);
+  for (AuditSink* s : sinks_) {
+    if (s == sink) {
+      return;
+    }
+  }
+  sinks_.push_back(sink);
+  sink_count_.store(static_cast<int>(sinks_.size()),
+                    std::memory_order_release);
+}
+
+void ErrorControlAuditor::RemoveSink(AuditSink* sink) {
+  std::unique_lock<std::shared_mutex> lock(sinks_mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+               sinks_.end());
+  sink_count_.store(static_cast<int>(sinks_.size()),
+                    std::memory_order_release);
 }
 
 ErrorControlAuditor::Snapshot ErrorControlAuditor::snapshot() const {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/stats.h"
 
 namespace mgardp {
 namespace obs {
@@ -73,7 +74,31 @@ struct AuditRecord {
   std::vector<int> predicted_prefix;
   std::vector<int> oracle_prefix;
 
+  // Optional training-example payload, populated by the retrieval paths
+  // only when the auditor has sinks registered (wants_examples()): the
+  // field summary the models derive data features from, the per-level
+  // coefficient sketches, and the per-level error-matrix values at the
+  // fetched prefix. Aggregation ignores these; they exist so AuditSink
+  // subscribers (the learning subsystem's TrainingSetCollector) can
+  // rebuild training rows without re-touching field data. sketches being
+  // non-empty marks a record that carries examples.
+  FieldSummary summary;
+  std::vector<std::vector<double>> sketches;
+  std::vector<double> level_errors;
+
+  bool has_examples() const { return !sketches.empty(); }
+
   bool has_actual() const { return !std::isnan(actual_error); }
+};
+
+// Push-based subscription to audit records. Implementations must be
+// thread-safe: OnRecord is invoked from whatever thread called
+// ErrorControlAuditor::Record, potentially concurrently. Keep it cheap —
+// it sits on the retrieval path.
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  virtual void OnRecord(const AuditRecord& record) = 0;
 };
 
 class ErrorControlAuditor {
@@ -151,8 +176,22 @@ class ErrorControlAuditor {
 
   const Options& options() const { return options_; }
 
-  // Thread-safe; see the cost contract above.
+  // Thread-safe; see the cost contract above. Registered sinks are
+  // invoked after aggregation, on the caller's thread.
   void Record(const AuditRecord& record);
+
+  // Sink registration. The auditor does not own sinks; callers must
+  // RemoveSink before destroying one. Both take an exclusive lock — they
+  // are setup/teardown operations, not steady-path ones.
+  void AddSink(AuditSink* sink);
+  void RemoveSink(AuditSink* sink);
+
+  // True when at least one sink is registered. Retrieval paths use this
+  // to decide whether paying for AuditRecord's example payload (feature/
+  // sketch copies) buys anything.
+  bool wants_examples() const {
+    return sink_count_.load(std::memory_order_acquire) > 0;
+  }
 
   Snapshot snapshot() const;
   std::string ToJson() const { return snapshot().ToJson(); }
@@ -197,6 +236,10 @@ class ErrorControlAuditor {
   Options options_;
   mutable std::shared_mutex mu_;  // guards the models_ vector itself
   std::vector<std::unique_ptr<ModelStats>> models_;
+
+  mutable std::shared_mutex sinks_mu_;  // guards sinks_
+  std::vector<AuditSink*> sinks_;
+  std::atomic<int> sink_count_{0};  // fast-path gate for wants_examples()
 };
 
 // The process-wide auditor every retrieval path feeds by default. Never

@@ -444,6 +444,8 @@ void AuditRetrieval(const RefactoredField& field, const std::string& model,
                     const Array3Dd* ground_truth,
                     const Array3Dd* reconstructed, bool degraded,
                     obs::ErrorControlAuditor* auditor) {
+  obs::ErrorControlAuditor& target =
+      (auditor != nullptr ? *auditor : obs::GlobalAuditor());
   obs::AuditRecord record;
   record.model = model;
   record.requested_tolerance = tolerance;
@@ -451,6 +453,22 @@ void AuditRetrieval(const RefactoredField& field, const std::string& model,
   record.degraded = degraded;
   record.bytes_fetched = plan.total_bytes;
   record.predicted_prefix = plan.prefix;
+  if (target.wants_examples()) {
+    // A training-set collector is listening: carry what it needs to turn
+    // this request into a RetrievalRecord without re-touching field data.
+    record.summary = field.data_summary;
+    record.sketches = field.level_sketches;
+    record.level_errors.resize(field.num_levels());
+    for (int l = 0; l < field.num_levels(); ++l) {
+      const auto& max_abs = field.level_errors[l].max_abs;
+      const int b =
+          std::clamp(l < static_cast<int>(plan.prefix.size())
+                         ? plan.prefix[l]
+                         : 0,
+                     0, static_cast<int>(max_abs.size()) - 1);
+      record.level_errors[l] = max_abs[b];
+    }
+  }
   if (auto oracle = OracleMinPlan(field, tolerance); oracle.ok()) {
     record.oracle_bytes = oracle.value().total_bytes;
     record.oracle_prefix = std::move(oracle.value().prefix);
@@ -460,7 +478,7 @@ void AuditRetrieval(const RefactoredField& field, const std::string& model,
     record.actual_error =
         MaxAbsError(ground_truth->vector(), reconstructed->vector());
   }
-  (auditor != nullptr ? *auditor : obs::GlobalAuditor()).Record(record);
+  target.Record(record);
 }
 
 }  // namespace mgardp

@@ -81,7 +81,15 @@ Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
     return &*data_;
   }
 
-  Reconstructor rec(estimator_);
+  // Pin the model version for this session's lifetime on first use; later
+  // hot swaps in the registry do not affect an in-flight session.
+  if (estimator_provider_ && lease_.estimator == nullptr) {
+    lease_ = estimator_provider_();
+  }
+  const ErrorEstimator* estimator =
+      lease_.estimator != nullptr ? lease_.estimator.get() : estimator_;
+
+  Reconstructor rec(estimator);
   Result<RetrievalPlan> planned = Status::Internal("unplanned");
   {
     MGARDP_TRACE_SPAN("session/plan", "service");
@@ -155,8 +163,11 @@ Result<const Array3Dd*> RetrievalSession::Refine(double error_bound,
   audited.prefix = have_;
   audited.total_bytes = sizes.TotalBytes(have_);
   audited.estimated_error = estimate_;
-  AuditRetrieval(*field_, AuditModelId(estimator_->name()), error_bound,
-                 audited, truth_, &*data_, /*degraded=*/false, auditor_);
+  const std::string audit_id = !lease_.audit_model_id.empty()
+                                   ? lease_.audit_model_id
+                                   : AuditModelId(estimator->name());
+  AuditRetrieval(*field_, audit_id, error_bound, audited, truth_, &*data_,
+                 /*degraded=*/false, auditor_);
   if (metrics_ != nullptr) {
     metrics_->OnPlanesFetched(ref.planes_fetched, ref.fetched_bytes);
     metrics_->OnPlanesReused(ref.planes_reused + ref.planes_cached,
@@ -176,6 +187,11 @@ void RetrievalSession::set_ground_truth(const Array3Dd* truth) {
 void RetrievalSession::set_auditor(obs::ErrorControlAuditor* auditor) {
   std::lock_guard<std::mutex> lock(mu_);
   auditor_ = auditor;
+}
+
+void RetrievalSession::set_estimator_provider(EstimatorProvider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  estimator_provider_ = std::move(provider);
 }
 
 std::vector<int> RetrievalSession::prefix() const {

@@ -21,7 +21,10 @@ void AtomicPeak(std::atomic<std::uint64_t>* peak, std::uint64_t value) {
 
 ServiceMetrics::ServiceMetrics()
     // Latencies from microseconds to ~20 minutes at 25% resolution.
-    : latency_ms_(Histogram::Options{1e-3, 1.25, 96}) {}
+    : latency_ms_(Histogram::Options{1e-3, 1.25, 96}),
+      // Candidate/incumbent byte ratios cluster around 1; 10% geometric
+      // buckets over [0.01, ~2e3] match the audit ratio histograms.
+      shadow_byte_ratio_(Histogram::Options{1e-2, 1.1, 128}) {}
 
 void ServiceMetrics::OnCacheHit(std::size_t bytes) {
   cache_hits_.fetch_add(1, kRelaxed);
@@ -69,6 +72,27 @@ void ServiceMetrics::OnReplicaLost() {
   replicas_lost_.fetch_add(1, kRelaxed);
 }
 
+void ServiceMetrics::OnRetrain() { retrains_total_.fetch_add(1, kRelaxed); }
+
+void ServiceMetrics::OnModelPromoted() {
+  model_promotions_.fetch_add(1, kRelaxed);
+}
+
+void ServiceMetrics::OnCandidateRejected() {
+  candidate_rejections_.fetch_add(1, kRelaxed);
+}
+
+void ServiceMetrics::OnModelRolledBack() {
+  model_rollbacks_.fetch_add(1, kRelaxed);
+}
+
+void ServiceMetrics::OnShadowPair(double byte_ratio) {
+  shadow_pairs_.fetch_add(1, kRelaxed);
+  if (byte_ratio > 0.0) {
+    shadow_byte_ratio_.Record(byte_ratio);
+  }
+}
+
 void ServiceMetrics::OnAdmitted(std::size_t queue_depth_now) {
   requests_admitted_.fetch_add(1, kRelaxed);
   queue_depth_.store(queue_depth_now, kRelaxed);
@@ -99,7 +123,7 @@ double ServiceMetrics::Snapshot::cache_hit_rate() const {
 }
 
 std::string ServiceMetrics::Snapshot::ToJson() const {
-  char buf[2048];
+  char buf[3072];
   std::snprintf(
       buf, sizeof(buf),
       "{\"cache_hits\":%llu,\"cache_misses\":%llu,"
@@ -112,6 +136,10 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
       "\"noop_refinements\":%llu,"
       "\"retries_total\":%llu,\"failovers_total\":%llu,"
       "\"replicas_lost\":%llu,"
+      "\"retrains_total\":%llu,\"model_promotions\":%llu,"
+      "\"candidate_rejections\":%llu,\"model_rollbacks\":%llu,"
+      "\"shadow_pairs\":%llu,\"shadow_byte_ratio_p50\":%.6f,"
+      "\"shadow_byte_ratio_p90\":%.6f,\"shadow_byte_ratio_mean\":%.6f,"
       "\"requests_admitted\":%llu,\"requests_rejected\":%llu,"
       "\"requests_started\":%llu,"
       "\"requests_completed\":%llu,\"requests_failed\":%llu,"
@@ -136,6 +164,12 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
       static_cast<unsigned long long>(retries_total),
       static_cast<unsigned long long>(failovers_total),
       static_cast<unsigned long long>(replicas_lost),
+      static_cast<unsigned long long>(retrains_total),
+      static_cast<unsigned long long>(model_promotions),
+      static_cast<unsigned long long>(candidate_rejections),
+      static_cast<unsigned long long>(model_rollbacks),
+      static_cast<unsigned long long>(shadow_pairs),
+      shadow_byte_ratio_p50, shadow_byte_ratio_p90, shadow_byte_ratio_mean,
       static_cast<unsigned long long>(requests_admitted),
       static_cast<unsigned long long>(requests_rejected),
       static_cast<unsigned long long>(requests_started),
@@ -222,6 +256,27 @@ void AppendServiceMetricsProm(const ServiceMetrics::Snapshot& s,
       {"mgardp_service_replicas_lost_total", "counter",
        "Reads that found no live replica (permanent loss).",
        static_cast<double>(s.replicas_lost)},
+      {"mgardp_service_retrains_total", "counter",
+       "Background model refits that published a candidate.",
+       static_cast<double>(s.retrains_total)},
+      {"mgardp_service_model_promotions_total", "counter",
+       "Shadow-winning candidates promoted to serving.",
+       static_cast<double>(s.model_promotions)},
+      {"mgardp_service_candidate_rejections_total", "counter",
+       "Shadow-losing candidates retired without serving.",
+       static_cast<double>(s.candidate_rejections)},
+      {"mgardp_service_model_rollbacks_total", "counter",
+       "Automatic rollbacks after post-promotion regression.",
+       static_cast<double>(s.model_rollbacks)},
+      {"mgardp_service_shadow_pairs_total", "counter",
+       "Live requests scored under both incumbent and candidate.",
+       static_cast<double>(s.shadow_pairs)},
+      {"mgardp_service_shadow_byte_ratio_p50", "gauge",
+       "Median candidate/incumbent fetched-byte ratio while shadowing.",
+       s.shadow_byte_ratio_p50},
+      {"mgardp_service_shadow_byte_ratio_p90", "gauge",
+       "90th-percentile candidate/incumbent fetched-byte ratio.",
+       s.shadow_byte_ratio_p90},
       {"mgardp_service_requests_admitted_total", "counter",
        "Requests admitted by the scheduler.",
        static_cast<double>(s.requests_admitted)},
@@ -278,6 +333,18 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   s.retries_total = retries_total_.load(kRelaxed);
   s.failovers_total = failovers_total_.load(kRelaxed);
   s.replicas_lost = replicas_lost_.load(kRelaxed);
+  s.retrains_total = retrains_total_.load(kRelaxed);
+  s.model_promotions = model_promotions_.load(kRelaxed);
+  s.candidate_rejections = candidate_rejections_.load(kRelaxed);
+  s.model_rollbacks = model_rollbacks_.load(kRelaxed);
+  s.shadow_pairs = shadow_pairs_.load(kRelaxed);
+  s.shadow_byte_ratio_p50 = shadow_byte_ratio_.Quantile(0.50);
+  s.shadow_byte_ratio_p90 = shadow_byte_ratio_.Quantile(0.90);
+  s.shadow_byte_ratio_mean =
+      shadow_byte_ratio_.count() == 0
+          ? 0.0
+          : shadow_byte_ratio_.sum() /
+                static_cast<double>(shadow_byte_ratio_.count());
   s.requests_admitted = requests_admitted_.load(kRelaxed);
   s.requests_rejected = requests_rejected_.load(kRelaxed);
   s.requests_started = requests_started_.load(kRelaxed);
@@ -311,6 +378,12 @@ void ServiceMetrics::Reset() {
   retries_total_ = 0;
   failovers_total_ = 0;
   replicas_lost_ = 0;
+  retrains_total_ = 0;
+  model_promotions_ = 0;
+  candidate_rejections_ = 0;
+  model_rollbacks_ = 0;
+  shadow_pairs_ = 0;
+  shadow_byte_ratio_.Reset();
   requests_admitted_ = 0;
   requests_rejected_ = 0;
   requests_started_ = 0;

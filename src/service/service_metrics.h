@@ -53,6 +53,19 @@ class ServiceMetrics {
   // A read found no live replica at all (permanent loss surfaced).
   void OnReplicaLost();
 
+  // -- online learning -------------------------------------------------
+  // A background refit completed and published a candidate.
+  void OnRetrain();
+  // A shadow-winning candidate became the serving version.
+  void OnModelPromoted();
+  // A shadow-losing candidate was retired without serving.
+  void OnCandidateRejected();
+  // Post-promotion regression rolled the serving version back.
+  void OnModelRolledBack();
+  // One paired shadow observation; `byte_ratio` is candidate bytes over
+  // incumbent bytes for the same request (the shadow-delta histogram).
+  void OnShadowPair(double byte_ratio);
+
   // -- scheduler -------------------------------------------------------
   void OnAdmitted(std::size_t queue_depth_now);
   void OnRejected();
@@ -82,6 +95,15 @@ class ServiceMetrics {
     std::uint64_t retries_total = 0;
     std::uint64_t failovers_total = 0;
     std::uint64_t replicas_lost = 0;
+
+    std::uint64_t retrains_total = 0;
+    std::uint64_t model_promotions = 0;
+    std::uint64_t candidate_rejections = 0;
+    std::uint64_t model_rollbacks = 0;
+    std::uint64_t shadow_pairs = 0;
+    double shadow_byte_ratio_p50 = 0.0;
+    double shadow_byte_ratio_p90 = 0.0;
+    double shadow_byte_ratio_mean = 0.0;
 
     std::uint64_t requests_admitted = 0;
     std::uint64_t requests_rejected = 0;
@@ -140,6 +162,13 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> retries_total_{0};
   std::atomic<std::uint64_t> failovers_total_{0};
   std::atomic<std::uint64_t> replicas_lost_{0};
+
+  std::atomic<std::uint64_t> retrains_total_{0};
+  std::atomic<std::uint64_t> model_promotions_{0};
+  std::atomic<std::uint64_t> candidate_rejections_{0};
+  std::atomic<std::uint64_t> model_rollbacks_{0};
+  std::atomic<std::uint64_t> shadow_pairs_{0};
+  Histogram shadow_byte_ratio_;
 
   std::atomic<std::uint64_t> requests_admitted_{0};
   std::atomic<std::uint64_t> requests_rejected_{0};

@@ -1,0 +1,201 @@
+// ShadowEvaluator: the promotion state machine. A better candidate gets
+// promoted after the shadow window, a worse one is retired without ever
+// serving, and a promotion that regresses during probation rolls back.
+
+#include "learning/shadow.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "models/training_data.h"
+#include "service/service_metrics.h"
+#include "sim/dataset.h"
+
+namespace mgardp {
+namespace learning {
+namespace {
+
+using Action = ShadowEvaluator::Action;
+using State = ShadowEvaluator::State;
+
+ShadowScore Score(bool violation, std::size_t bytes = 1000) {
+  ShadowScore s;
+  s.has_actual = true;
+  s.violation = violation;
+  s.bytes = bytes;
+  return s;
+}
+
+class ShadowTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WarpXDatasetOptions opts;
+    opts.dims = Dims3{17, 17, 17};
+    opts.num_timesteps = 3;
+    FieldSeries series = GenerateWarpX(opts, WarpXField::kJx);
+    CollectOptions copts;
+    copts.rel_bounds = SubsampledRelativeErrorBounds(1);
+    auto records = CollectRecords(series, {0, 1, 2}, copts);
+    records.status().Abort("collect");
+    DMgardConfig config;
+    config.train.epochs = 2;
+    auto model = DMgardModel::TrainModel(records.value(), config);
+    model.status().Abort("train");
+    blob_ = new std::string(model.value().Serialize());
+  }
+
+  static void TearDownTestSuite() { delete blob_; }
+
+  void SetUp() override {
+    ASSERT_TRUE(registry_.Publish("dmgard", *blob_).ok());  // v1
+    ASSERT_TRUE(registry_.Publish("dmgard", *blob_).ok());  // v2
+    ASSERT_TRUE(registry_.Promote("dmgard", 1).ok());
+  }
+
+  static std::string* blob_;
+  ModelRegistry registry_;
+  ServiceMetrics metrics_;
+};
+
+std::string* ShadowTest::blob_ = nullptr;
+
+TEST_F(ShadowTest, BetterCandidateIsPromotedThenSurvivesProbation) {
+  ShadowEvaluator::Options options;
+  options.window = 8;
+  options.probation_window = 8;
+  ShadowEvaluator shadow(&registry_, &metrics_, options);
+
+  ASSERT_TRUE(shadow.StartShadow("dmgard", 2).ok());
+  EXPECT_EQ(shadow.state("dmgard"), State::kShadowing);
+  EXPECT_EQ(shadow.candidate_version("dmgard"), 2);
+  ASSERT_NE(shadow.Candidate("dmgard"), nullptr);
+
+  // Candidate never violates, incumbent does half the time; same bytes.
+  Action last = Action::kNone;
+  for (int i = 0; i < 8; ++i) {
+    last = shadow.ObservePair("dmgard", Score(i % 2 == 0), Score(false));
+  }
+  EXPECT_EQ(last, Action::kPromoted);
+  EXPECT_EQ(registry_.serving_version("dmgard"), 2);
+  EXPECT_EQ(shadow.state("dmgard"), State::kProbation);
+
+  // Clean probation: the promotion sticks and the track goes idle.
+  for (int i = 0; i < 8; ++i) {
+    last = shadow.ObserveServing("dmgard", Score(false));
+  }
+  EXPECT_EQ(last, Action::kNone);
+  EXPECT_EQ(shadow.state("dmgard"), State::kIdle);
+  EXPECT_EQ(registry_.serving_version("dmgard"), 2);
+  EXPECT_EQ(shadow.stats().promotions, 1u);
+  EXPECT_EQ(metrics_.snapshot().model_promotions, 1u);
+}
+
+TEST_F(ShadowTest, LosingCandidateIsRetiredNotPromoted) {
+  ShadowEvaluator::Options options;
+  options.window = 8;
+  ShadowEvaluator shadow(&registry_, &metrics_, options);
+  ASSERT_TRUE(shadow.StartShadow("dmgard", 2).ok());
+
+  // Candidate violates more than the incumbent: must never serve.
+  Action last = Action::kNone;
+  for (int i = 0; i < 8; ++i) {
+    last = shadow.ObservePair("dmgard", Score(false), Score(i % 2 == 0));
+  }
+  EXPECT_EQ(last, Action::kRejected);
+  EXPECT_EQ(registry_.serving_version("dmgard"), 1);
+  EXPECT_EQ(shadow.state("dmgard"), State::kIdle);
+  EXPECT_EQ(shadow.stats().rejections, 1u);
+  EXPECT_EQ(metrics_.snapshot().candidate_rejections, 1u);
+  for (const auto& entry : registry_.List()) {
+    if (entry.version == 2) {
+      EXPECT_EQ(entry.state, VersionState::kRetired);
+    }
+  }
+}
+
+TEST_F(ShadowTest, OverfetchingCandidateIsRejectedEvenWhenHonest) {
+  ShadowEvaluator::Options options;
+  options.window = 8;
+  options.overfetch_slack = 1.15;
+  ShadowEvaluator shadow(&registry_, &metrics_, options);
+  ASSERT_TRUE(shadow.StartShadow("dmgard", 2).ok());
+
+  // Candidate is honest but fetches 2x the bytes — a model can trivially
+  // stop violating by always over-fetching; the leash catches that.
+  Action last = Action::kNone;
+  for (int i = 0; i < 8; ++i) {
+    last = shadow.ObservePair("dmgard", Score(false, 1000),
+                              Score(false, 2000));
+  }
+  EXPECT_EQ(last, Action::kRejected);
+  EXPECT_EQ(registry_.serving_version("dmgard"), 1);
+}
+
+TEST_F(ShadowTest, ProbationRegressionRollsBack) {
+  ShadowEvaluator::Options options;
+  options.window = 4;
+  options.probation_window = 8;
+  options.rollback_floor = 0.10;
+  ShadowEvaluator shadow(&registry_, &metrics_, options);
+  ASSERT_TRUE(shadow.StartShadow("dmgard", 2).ok());
+
+  for (int i = 0; i < 4; ++i) {
+    shadow.ObservePair("dmgard", Score(true), Score(false));
+  }
+  ASSERT_EQ(registry_.serving_version("dmgard"), 2);
+  ASSERT_EQ(shadow.state("dmgard"), State::kProbation);
+
+  // The promoted version falls apart on live traffic.
+  Action last = Action::kNone;
+  for (int i = 0; i < 8; ++i) {
+    last = shadow.ObserveServing("dmgard", Score(i % 2 == 0));
+  }
+  EXPECT_EQ(last, Action::kRolledBack);
+  EXPECT_EQ(registry_.serving_version("dmgard"), 1);
+  EXPECT_EQ(shadow.state("dmgard"), State::kIdle);
+  EXPECT_EQ(shadow.stats().rollbacks, 1u);
+  EXPECT_EQ(metrics_.snapshot().model_rollbacks, 1u);
+}
+
+TEST_F(ShadowTest, EstimateOnlyTrafficDoesNotCount) {
+  ShadowEvaluator::Options options;
+  options.window = 2;
+  ShadowEvaluator shadow(&registry_, &metrics_, options);
+  ASSERT_TRUE(shadow.StartShadow("dmgard", 2).ok());
+
+  ShadowScore blind;  // has_actual = false
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(shadow.ObservePair("dmgard", blind, blind), Action::kNone);
+  }
+  EXPECT_EQ(shadow.state("dmgard"), State::kShadowing);
+  EXPECT_EQ(shadow.stats().shadow_pairs, 0u);
+}
+
+TEST_F(ShadowTest, SecondShadowWhileBusyIsRejected) {
+  ShadowEvaluator shadow(&registry_, &metrics_);
+  ASSERT_TRUE(shadow.StartShadow("dmgard", 2).ok());
+  EXPECT_FALSE(shadow.StartShadow("dmgard", 2).ok());
+  EXPECT_FALSE(shadow.StartShadow("dmgard", 9).ok());  // and no such version
+  // Pairs and verdicts for untracked ids are no-ops.
+  EXPECT_EQ(shadow.ObservePair("other", Score(false), Score(false)),
+            Action::kNone);
+  EXPECT_EQ(shadow.ObserveServing("other", Score(false)), Action::kNone);
+}
+
+TEST_F(ShadowTest, ShadowPairsFeedByteRatioHistogram) {
+  ShadowEvaluator::Options options;
+  options.window = 100;  // no verdict during this test
+  ShadowEvaluator shadow(&registry_, &metrics_, options);
+  ASSERT_TRUE(shadow.StartShadow("dmgard", 2).ok());
+  for (int i = 0; i < 10; ++i) {
+    shadow.ObservePair("dmgard", Score(false, 1000), Score(false, 900));
+  }
+  const ServiceMetrics::Snapshot snap = metrics_.snapshot();
+  EXPECT_EQ(snap.shadow_pairs, 10u);
+  EXPECT_NEAR(snap.shadow_byte_ratio_p50, 0.9, 0.05);
+}
+
+}  // namespace
+}  // namespace learning
+}  // namespace mgardp

@@ -1,0 +1,220 @@
+// TrainingSetCollector: audit-record conversion, reservoir bounds and
+// determinism, model-id normalization, and the snapshot container's
+// corruption contract (every flipped byte loads back as kDataLoss).
+
+#include "learning/training_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/audit.h"
+#include "util/stats.h"
+
+namespace mgardp {
+namespace learning {
+namespace {
+
+obs::AuditRecord ExampleRecord(const std::string& model, int levels,
+                               double actual = 0.5) {
+  obs::AuditRecord r;
+  r.model = model;
+  r.requested_tolerance = 1.0;
+  r.predicted_error = 0.8;
+  r.actual_error = actual;
+  r.bytes_fetched = 4096;
+  r.predicted_prefix.assign(levels, 7);
+  r.summary = Summarize({0.0, 1.0, 2.0, 3.0});
+  r.level_errors.assign(levels, 0.25);
+  r.sketches.assign(levels, std::vector<double>{1.0, 0.5, 0.25});
+  return r;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BaseModelIdTest, StripsOnlyRealVersionSuffixes) {
+  EXPECT_EQ(BaseModelId("dmgard"), "dmgard");
+  EXPECT_EQ(BaseModelId("dmgard@v3"), "dmgard");
+  EXPECT_EQ(BaseModelId("emgard@v12"), "emgard");
+  EXPECT_EQ(BaseModelId("weird@vX"), "weird@vX");
+  EXPECT_EQ(BaseModelId("weird@v"), "weird@v");
+  EXPECT_EQ(BaseModelId("a@v1b"), "a@v1b");
+}
+
+TEST(TrainingSetCollectorTest, ConvertsAuditRecordsToRows) {
+  TrainingSetCollector collector;
+  collector.OnRecord(ExampleRecord("dmgard@v2", 4));
+  ASSERT_EQ(collector.RowCount("dmgard"), 1u);
+  const std::vector<RetrievalRecord> rows = collector.Rows("dmgard");
+  const RetrievalRecord& row = rows[0];
+  EXPECT_EQ(row.bitplanes, std::vector<int>(4, 7));
+  EXPECT_DOUBLE_EQ(row.achieved_error, 0.5);
+  EXPECT_DOUBLE_EQ(row.estimated_error, 0.8);
+  EXPECT_DOUBLE_EQ(row.requested_abs_error, 1.0);
+  EXPECT_DOUBLE_EQ(row.requested_rel_error, 1.0 / 3.0);  // range() == 3
+  EXPECT_EQ(row.total_bytes, 4096u);
+  EXPECT_EQ(row.level_errors.size(), 4u);
+  EXPECT_EQ(row.sketches.size(), 4u);
+  EXPECT_FALSE(row.is_ladder);
+  EXPECT_FALSE(row.features.empty());
+}
+
+TEST(TrainingSetCollectorTest, DistinctRequestsGetDistinctTimesteps) {
+  // DMgard's trainer dedups rows by (timestep, prefix); two identical live
+  // requests must survive as two rows.
+  TrainingSetCollector collector;
+  collector.OnRecord(ExampleRecord("dmgard", 3));
+  collector.OnRecord(ExampleRecord("dmgard", 3));
+  const std::vector<RetrievalRecord> rows = collector.Rows("dmgard");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NE(rows[0].timestep, rows[1].timestep);
+}
+
+TEST(TrainingSetCollectorTest, SkipsRecordsWithoutExamplesOrGroundTruth) {
+  TrainingSetCollector collector;
+  obs::AuditRecord no_examples;
+  no_examples.model = "dmgard";
+  no_examples.actual_error = 0.5;
+  collector.OnRecord(no_examples);
+
+  obs::AuditRecord no_truth = ExampleRecord("dmgard", 3);
+  no_truth.actual_error = std::numeric_limits<double>::quiet_NaN();
+  collector.OnRecord(no_truth);
+
+  obs::AuditRecord mismatched = ExampleRecord("dmgard", 3);
+  mismatched.level_errors.pop_back();
+  collector.OnRecord(mismatched);
+
+  EXPECT_EQ(collector.RowCount("dmgard"), 0u);
+  EXPECT_EQ(collector.skipped(), 3u);
+  EXPECT_EQ(collector.total_accepted(), 0u);
+}
+
+TEST(TrainingSetCollectorTest, EstimateOnlyAcceptedWhenNotRequiringActual) {
+  TrainingSetCollector::Options options;
+  options.require_actual = false;
+  TrainingSetCollector collector(options);
+  obs::AuditRecord r = ExampleRecord("emgard", 3);
+  r.actual_error = std::numeric_limits<double>::quiet_NaN();
+  collector.OnRecord(r);
+  EXPECT_EQ(collector.RowCount("emgard"), 1u);
+}
+
+TEST(TrainingSetCollectorTest, ReservoirStaysBoundedAndCountsLifetime) {
+  TrainingSetCollector::Options options;
+  options.capacity = 16;
+  options.seed = 7;
+  TrainingSetCollector collector(options);
+  for (int i = 0; i < 200; ++i) {
+    collector.OnRecord(ExampleRecord("dmgard", 3, 0.1 + i * 0.001));
+  }
+  EXPECT_EQ(collector.RowCount("dmgard"), 16u);
+  EXPECT_EQ(collector.accepted("dmgard"), 200u);
+  EXPECT_EQ(collector.total_accepted(), 200u);
+}
+
+TEST(TrainingSetCollectorTest, ReservoirIsDeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    TrainingSetCollector::Options options;
+    options.capacity = 8;
+    options.seed = seed;
+    TrainingSetCollector collector(options);
+    for (int i = 0; i < 100; ++i) {
+      collector.OnRecord(ExampleRecord("dmgard", 3, 0.1 + i));
+    }
+    std::vector<double> achieved;
+    for (const RetrievalRecord& r : collector.Rows("dmgard")) {
+      achieved.push_back(r.achieved_error);
+    }
+    return achieved;
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+TEST(TrainingSetCollectorTest, BucketsByLevelCountAndServesLargest) {
+  TrainingSetCollector collector;
+  collector.OnRecord(ExampleRecord("dmgard", 3));
+  collector.OnRecord(ExampleRecord("dmgard", 5));
+  collector.OnRecord(ExampleRecord("dmgard", 5));
+  const std::vector<RetrievalRecord> rows = collector.Rows("dmgard");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].bitplanes.size(), 5u);
+}
+
+TEST(TrainingSetSnapshotTest, RoundTripsRows) {
+  TrainingSetCollector collector;
+  for (int i = 0; i < 5; ++i) {
+    collector.OnRecord(ExampleRecord("emgard@v1", 4, 0.2 + i * 0.1));
+  }
+  const std::string path = TempPath("snapshot_roundtrip.mpts");
+  ASSERT_TRUE(collector.SaveSnapshot(path, "emgard").ok());
+
+  std::string model;
+  auto loaded = TrainingSetCollector::LoadSnapshot(path, &model);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(model, "emgard");
+  const std::vector<RetrievalRecord> original = collector.Rows("emgard");
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].timestep, original[i].timestep);
+    EXPECT_DOUBLE_EQ(loaded.value()[i].achieved_error,
+                     original[i].achieved_error);
+    EXPECT_EQ(loaded.value()[i].bitplanes, original[i].bitplanes);
+    EXPECT_EQ(loaded.value()[i].sketches, original[i].sketches);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrainingSetSnapshotTest, EveryFlippedByteIsDataLoss) {
+  TrainingSetCollector collector;
+  collector.OnRecord(ExampleRecord("dmgard", 3));
+  const std::string bytes =
+      SerializeTrainingSet("dmgard", collector.Rows("dmgard"));
+  ASSERT_TRUE(ParseTrainingSet(bytes).ok());
+
+  // Flip one byte at a sweep of offsets (body, header, and trailer): the
+  // CRC trailer must catch all of them as kDataLoss, never a crash or a
+  // silently different training set.
+  for (std::size_t pos = 0; pos < bytes.size();
+       pos += std::max<std::size_t>(1, bytes.size() / 64)) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    auto parsed = ParseTrainingSet(corrupt);
+    ASSERT_FALSE(parsed.ok()) << "offset " << pos;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+        << "offset " << pos << ": " << parsed.status().ToString();
+  }
+}
+
+TEST(TrainingSetSnapshotTest, TruncationAndTrailingBytesAreDataLoss) {
+  TrainingSetCollector collector;
+  collector.OnRecord(ExampleRecord("dmgard", 3));
+  const std::string bytes =
+      SerializeTrainingSet("dmgard", collector.Rows("dmgard"));
+
+  auto truncated = ParseTrainingSet(bytes.substr(0, bytes.size() / 2));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+
+  auto tiny = ParseTrainingSet("xy");
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_EQ(tiny.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TrainingSetSnapshotTest, MissingFileIsNotDataLoss) {
+  auto missing =
+      TrainingSetCollector::LoadSnapshot(TempPath("does_not_exist.mpts"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace learning
+}  // namespace mgardp

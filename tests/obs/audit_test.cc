@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -259,6 +261,88 @@ TEST(AuditTest, ConcurrentRecordsReconcile) {
   EXPECT_EQ(records,
             static_cast<std::uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(auditor.total_records(), records);
+}
+
+class CountingSink : public AuditSink {
+ public:
+  void OnRecord(const AuditRecord& record) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    if (record.has_actual()) {
+      checked_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t count() const { return count_.load(); }
+  std::uint64_t checked() const { return checked_.load(); }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> checked_{0};
+};
+
+TEST(AuditSinkTest, GatesExamplePayloadOnRegistration) {
+  ErrorControlAuditor auditor;
+  EXPECT_FALSE(auditor.wants_examples());
+  CountingSink sink;
+  auditor.AddSink(&sink);
+  EXPECT_TRUE(auditor.wants_examples());
+  auditor.AddSink(&sink);  // duplicate registration is a no-op
+  auditor.Record(Checked("m", 1.0, 0.8, 0.5));
+  EXPECT_EQ(sink.count(), 1u);  // not 2: the duplicate was not added
+  auditor.RemoveSink(&sink);
+  EXPECT_FALSE(auditor.wants_examples());
+  auditor.Record(Checked("m", 1.0, 0.8, 0.5));
+  EXPECT_EQ(sink.count(), 1u);  // no delivery after removal
+}
+
+TEST(AuditSinkTest, DeliversEveryRecordUnderConcurrentRecordCalls) {
+  ErrorControlAuditor auditor;
+  CountingSink sink;
+  auditor.AddSink(&sink);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&auditor, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Alternate checked and estimate-only records across two models so
+        // delivery is exercised together with per-model aggregation.
+        if (i % 2 == 0) {
+          auditor.Record(Checked(t % 2 == 0 ? "a" : "b", 1.0, 0.8, 0.5));
+        } else {
+          auditor.Record(EstimateOnly("a", 1.0, 0.7));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(sink.count(), total);
+  EXPECT_EQ(sink.checked(), total / 2);
+  EXPECT_EQ(auditor.total_records(), total);
+  auditor.RemoveSink(&sink);
+}
+
+TEST(AuditSinkTest, MultipleSinksEachSeeEveryRecord) {
+  ErrorControlAuditor auditor;
+  CountingSink a;
+  CountingSink b;
+  auditor.AddSink(&a);
+  auditor.AddSink(&b);
+  for (int i = 0; i < 10; ++i) {
+    auditor.Record(Checked("m", 1.0, 0.8, 0.5));
+  }
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_EQ(b.count(), 10u);
+  auditor.RemoveSink(&a);
+  auditor.Record(Checked("m", 1.0, 0.8, 0.5));
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_EQ(b.count(), 11u);
+  auditor.RemoveSink(&b);
 }
 
 }  // namespace

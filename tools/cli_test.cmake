@@ -152,6 +152,39 @@ if(NOT prom_text MATCHES "# TYPE mgardp_audit_records_total counter")
   message(FATAL_ERROR "prom exposition malformed:\n${prom_text}")
 endif()
 
+# Model registry admin: train a small D-MGARD blob, publish it into a fresh
+# registry, list it, publish a second version and pin back and forth. The
+# registry survives the round trips on disk.
+run_cli(0 train --model dmgard --app warpx --field J_x --dims 17,17,17
+        --timesteps 4 --epochs 3 --bounds-per-decade 1
+        --out ${WORK}/dmgard.bin)
+run_cli(0 models publish --dir ${WORK}/reg --model dmgard
+        --blob ${WORK}/dmgard.bin --serve)
+run_cli(0 models list --dir ${WORK}/reg)
+if(NOT LAST_OUT MATCHES "dmgard +1 +dmgard +serving")
+  message(FATAL_ERROR "models list missing serving v1:\n${LAST_OUT}")
+endif()
+run_cli(0 models publish --dir ${WORK}/reg --model dmgard
+        --blob ${WORK}/dmgard.bin)
+run_cli(0 models pin --dir ${WORK}/reg --model dmgard --version 2)
+run_cli(0 models rollback --dir ${WORK}/reg --model dmgard)
+run_cli(0 models list --dir ${WORK}/reg)
+if(NOT LAST_OUT MATCHES "dmgard +1 +dmgard +serving")
+  message(FATAL_ERROR "rollback did not restore v1 as serving:\n${LAST_OUT}")
+endif()
+
+# Registry error paths: usage errors exit 1, runtime errors 2, and a
+# corrupted stored blob is detected by its checksum and exits 3.
+run_cli(1 models list)                                        # no --dir
+run_cli(1 models)                                             # no action
+run_cli(1 models frobnicate --dir ${WORK}/reg)                # bad action
+run_cli(2 models pin --dir ${WORK}/reg --model dmgard --version 99)
+run_cli(2 models list --dir ${WORK}/no_such_reg)
+file(SIZE ${WORK}/reg/dmgard_v1.bin blob_size)
+string(REPEAT "x" ${blob_size} blob_garbage)
+file(WRITE ${WORK}/reg/dmgard_v1.bin "${blob_garbage}")
+run_cli(3 models list --dir ${WORK}/reg)
+
 # Error paths return the documented exit codes.
 run_cli(1 retrieve --dir ${WORK}/art2 --out ${WORK}/x.f64)    # no bound
 run_cli(1 refactor --out ${WORK}/nope)                        # missing args

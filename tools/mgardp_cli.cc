@@ -64,6 +64,21 @@
 //             cluster and scrub-repair it back to full replication.
 //             Exits 0 when repaired, 3 when segments were lost (R=1).
 //
+//   serve-bench  with --retrain runs the online-retraining drill: serve a
+//             Gray-Scott-trained model, shift the traffic to WarpX J_x
+//             mid-run, and let the audit-fed drift trigger refit, shadow,
+//             and promote a replacement without a restart. Emits the
+//             per-phase violation rates (and a junk-candidate rejection
+//             proof) to --json; --registry DIR persists the final
+//             registry for `models list`.
+//
+//   models    <list|publish|pin|rollback> --dir REGISTRY_DIR
+//             Administers the versioned model registry: list versions and
+//             serving state, publish a trained blob (--blob MODEL.bin,
+//             --serve to promote immediately), pin a specific version, or
+//             roll back to the previously serving one. Exits 3 when any
+//             stored blob or the index fails its CRC-32C.
+//
 //   retrieve and serve-bench accept --threads N (otherwise the
 //   MGARDP_THREADS environment variable, then hardware concurrency).
 //
@@ -86,6 +101,11 @@
 #include <vector>
 
 #include "cluster/cluster_backend.h"
+#include "learning/background_trainer.h"
+#include "learning/model_registry.h"
+#include "learning/serving.h"
+#include "learning/shadow.h"
+#include "learning/training_set.h"
 #include "lossless/codec.h"
 #include "models/dmgard.h"
 #include "models/emgard.h"
@@ -1155,7 +1175,12 @@ int CmdServeBenchCluster(const Flags& flags) {
   return (hard_failures.load() > 0 || incorrect.load() > 0) ? 2 : 0;
 }
 
+int CmdServeBenchRetrain(const Flags& flags);  // defined below
+
 int CmdServeBench(const Flags& flags) {
+  if (flags.Has("retrain")) {
+    return CmdServeBenchRetrain(flags);
+  }
   if (flags.Has("shards")) {
     return CmdServeBenchCluster(flags);
   }
@@ -1449,6 +1474,421 @@ int CmdTrain(const Flags& flags) {
   return 0;
 }
 
+// ---- models: registry administration ---------------------------------------
+
+// Corruption (checksum mismatches anywhere in the registry) exits 3, the
+// same convention as verify/scrub; other failures exit 2.
+int RegistryFail(const Status& status) {
+  if (status.code() == StatusCode::kDataLoss) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 3;
+  }
+  return Fail(status);
+}
+
+int CmdModels(const std::string& action, const Flags& flags) {
+  const std::string dir = flags.GetString("dir");
+  if (dir.empty()) {
+    return Usage("models needs --dir REGISTRY_DIR");
+  }
+  if (action != "list" && action != "publish" && action != "pin" &&
+      action != "rollback") {
+    return Usage("models actions: list | publish | pin | rollback");
+  }
+
+  learning::ModelRegistry registry;
+  const bool exists = std::filesystem::exists(dir + "/registry.idx");
+  if (exists) {
+    if (const Status st = registry.LoadFromDirectory(dir); !st.ok()) {
+      return RegistryFail(st);
+    }
+  } else if (action != "publish") {
+    return Fail(Status::NotFound("no registry at " + dir));
+  }
+
+  if (action == "list") {
+    const auto entries = registry.List();
+    std::printf("%-12s %4s  %-7s %-9s %10s %10s\n", "model", "ver", "kind",
+                "state", "crc32c", "bytes");
+    for (const auto& e : entries) {
+      std::printf("%-12s %4d  %-7s %-9s   %08x %10zu\n", e.model_id.c_str(),
+                  e.version, learning::ModelKindName(e.kind),
+                  learning::VersionStateName(e.state), e.crc32c,
+                  e.blob_bytes);
+    }
+    std::printf("%zu version(s)\n", entries.size());
+    return 0;
+  }
+
+  const std::string model = flags.GetString("model");
+  if (model.empty()) {
+    return Usage("models needs --model ID");
+  }
+
+  if (action == "publish") {
+    const std::string blob_path = flags.GetString("blob");
+    if (blob_path.empty()) {
+      return Usage("models publish needs --blob MODEL.bin");
+    }
+    auto blob = ReadFileToString(blob_path);
+    if (!blob.ok()) {
+      return Fail(blob.status());
+    }
+    auto version = registry.Publish(model, std::move(blob).value());
+    if (!version.ok()) {
+      return Fail(version.status());
+    }
+    // --serve promotes the fresh version immediately (bootstrap a registry
+    // from an offline-trained model); otherwise it stays a candidate.
+    if (flags.Has("serve")) {
+      if (const Status st = registry.Promote(model, version.value());
+          !st.ok()) {
+        return Fail(st);
+      }
+    }
+    if (const Status st = registry.SaveToDirectory(dir); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("published %s v%d%s in %s\n", model.c_str(), version.value(),
+                flags.Has("serve") ? " (serving)" : "", dir.c_str());
+    return 0;
+  }
+
+  if (action == "pin") {
+    const int version = flags.GetInt("version", 0);
+    if (version <= 0) {
+      return Usage("models pin needs --version N");
+    }
+    if (const Status st = registry.Pin(model, version); !st.ok()) {
+      return Fail(st);
+    }
+    if (const Status st = registry.SaveToDirectory(dir); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("pinned %s v%d as serving\n", model.c_str(), version);
+    return 0;
+  }
+
+  // rollback
+  const int before = registry.serving_version(model);
+  if (const Status st = registry.Rollback(model); !st.ok()) {
+    return Fail(st);
+  }
+  if (const Status st = registry.SaveToDirectory(dir); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("rolled back %s v%d -> v%d\n", model.c_str(), before,
+              registry.serving_version(model));
+  return 0;
+}
+
+// ---- serve-bench --retrain: drift injection + online recovery --------------
+
+// One serving request of the retrain bench: plan with the registry's
+// current serving version, reconstruct, audit (feeding the collector), and
+// run the shadow/trainer machinery. Returns whether the bound was violated.
+struct RetrainBenchLoop {
+  learning::ModelRegistry* registry;
+  learning::ServingHandle handle;
+  obs::ErrorControlAuditor* auditor;
+  learning::TrainingSetCollector* collector;
+  learning::ShadowEvaluator* shadow;
+  learning::BackgroundTrainer* trainer;
+
+  Result<bool> Serve(const RefactoredField& field, const Array3Dd& truth,
+                     double rel_bound) {
+    const double bound = rel_bound * field.data_summary.range();
+    auto version = handle.load();
+    if (version == nullptr) {
+      return Status::FailedPrecondition("retrain bench: nothing serving");
+    }
+    MGARDP_ASSIGN_OR_RETURN(
+        RetrievalPlan plan,
+        learning::PlanWithModelVersion(field, bound, *version));
+    MGARDP_ASSIGN_OR_RETURN(Array3Dd data,
+                            ReconstructFromPrefix(field, plan.prefix));
+    AuditRetrieval(field, learning::VersionAuditId(*version), bound, plan,
+                   &truth, &data, /*degraded=*/false, auditor);
+    const double actual = MaxAbsError(truth.vector(), data.vector());
+    const bool violation = actual > bound;
+
+    using State = learning::ShadowEvaluator::State;
+    if (shadow->state("dmgard") == State::kShadowing) {
+      auto candidate = shadow->Candidate("dmgard");
+      if (candidate != nullptr) {
+        MGARDP_ASSIGN_OR_RETURN(
+            RetrievalPlan cplan,
+            learning::PlanWithModelVersion(field, bound, *candidate));
+        MGARDP_ASSIGN_OR_RETURN(Array3Dd cdata,
+                                ReconstructFromPrefix(field, cplan.prefix));
+        const double cactual = MaxAbsError(truth.vector(), cdata.vector());
+        shadow->ObservePair(
+            "dmgard", learning::ShadowScore{true, violation, plan.total_bytes},
+            learning::ShadowScore{true, cactual > bound, cplan.total_bytes});
+      }
+    } else if (shadow->state("dmgard") == State::kProbation) {
+      shadow->ObserveServing(
+          "dmgard", learning::ShadowScore{true, violation, plan.total_bytes});
+    }
+    MGARDP_RETURN_NOT_OK(trainer->RunOnce().status());
+    return violation;
+  }
+
+  // Violation rate over `requests` against the corpus, cycling frames and
+  // relative bounds.
+  Result<double> Phase(const std::vector<RefactoredField>& fields,
+                       const std::vector<Array3Dd>& truths, int requests,
+                       const std::vector<double>& rel_bounds) {
+    int violations = 0;
+    for (int i = 0; i < requests; ++i) {
+      const std::size_t f = i % fields.size();
+      MGARDP_ASSIGN_OR_RETURN(
+          const bool violated,
+          Serve(fields[f], truths[f], rel_bounds[i % rel_bounds.size()]));
+      violations += violated ? 1 : 0;
+    }
+    return static_cast<double>(violations) / requests;
+  }
+};
+
+int CmdServeBenchRetrain(const Flags& flags) {
+  if (int rc = ApplyThreadsFlag(flags); rc != 0) {
+    return rc;
+  }
+  Dims3 dims;
+  if (!ParseDims(flags.GetString("dims", "17,17,17"), &dims)) {
+    return Usage("bad --dims");
+  }
+  const int frames = flags.GetInt("frames", 6);
+  const int baseline_requests = flags.GetInt("baseline-requests", 48);
+  const int drift_requests = flags.GetInt("drift-requests", 160);
+  const int recovery_requests = flags.GetInt("recovery-requests", 96);
+  const int epochs = flags.GetInt("epochs", 120);
+  if (frames <= 0 || baseline_requests <= 0 || drift_requests <= 0 ||
+      recovery_requests <= 0) {
+    return Usage("--frames and per-phase request counts must be positive");
+  }
+  const std::vector<double> rel_bounds{1e-2, 3e-3, 1e-3, 3e-4};
+
+  // Pre-shift traffic: Gray-Scott; the distribution shift: WarpX J_x.
+  auto smooth = GenerateSeries("gray-scott", "D_u", dims, frames);
+  if (!smooth.ok()) {
+    return Fail(smooth.status());
+  }
+  auto shifted = GenerateSeries("warpx", "J_x", dims, frames);
+  if (!shifted.ok()) {
+    return Fail(shifted.status());
+  }
+
+  auto refactor_all = [](const FieldSeries& series,
+                         std::vector<RefactoredField>* fields) -> Status {
+    Refactorer refactorer;
+    for (const Array3Dd& frame : series.frames) {
+      MGARDP_ASSIGN_OR_RETURN(RefactoredField f, refactorer.Refactor(frame));
+      fields->push_back(std::move(f));
+    }
+    return Status::OK();
+  };
+  std::vector<RefactoredField> smooth_fields, shifted_fields;
+  if (const Status st = refactor_all(smooth.value(), &smooth_fields);
+      !st.ok()) {
+    return Fail(st);
+  }
+  if (const Status st = refactor_all(shifted.value(), &shifted_fields);
+      !st.ok()) {
+    return Fail(st);
+  }
+
+  // The incumbent: D-MGARD trained offline on the pre-shift distribution.
+  std::printf("retrain-bench: training incumbent on gray-scott/D_u %s...\n",
+              dims.ToString().c_str());
+  CollectOptions copts;
+  copts.rel_bounds = SubsampledRelativeErrorBounds(2);
+  std::vector<int> all_steps(frames);
+  for (int t = 0; t < frames; ++t) {
+    all_steps[t] = t;
+  }
+  auto records = CollectRecords(smooth.value(), all_steps, copts);
+  if (!records.ok()) {
+    return Fail(records.status());
+  }
+  DMgardConfig train_config;
+  train_config.train.epochs = epochs;
+  train_config.train.batch_size = 32;
+  train_config.train.learning_rate = 1e-3;
+  auto incumbent = DMgardModel::TrainModel(records.value(), train_config);
+  if (!incumbent.ok()) {
+    return Fail(incumbent.status());
+  }
+
+  // The online loop: registry + collector + shadow + trainer.
+  learning::ModelRegistry registry;
+  ServiceMetrics metrics;
+  obs::ErrorControlAuditor auditor(
+      obs::ErrorControlAuditor::Options{.drift_window = 32,
+                                        .drift_alert_planes = 2.0});
+  learning::TrainingSetCollector collector;
+  auditor.AddSink(&collector);
+
+  learning::ShadowEvaluator::Options shadow_options;
+  shadow_options.window = 16;
+  shadow_options.probation_window = 16;
+  shadow_options.overfetch_slack = 1.25;
+  learning::ShadowEvaluator shadow(&registry, &metrics, shadow_options);
+
+  learning::BackgroundTrainer::Options trainer_options;
+  trainer_options.model_id = "dmgard";
+  trainer_options.min_rows = 48;
+  trainer_options.watermark = 0;  // drift-triggered only
+  trainer_options.drift_cooldown_rows = 48;
+  trainer_options.dmgard = train_config;
+  trainer_options.log_fn = [](const std::string& line) {
+    std::printf("  [trainer] %s\n", line.c_str());
+  };
+  learning::BackgroundTrainer trainer(&collector, &registry, &shadow,
+                                      &auditor, &metrics, trainer_options);
+
+  auto v1 = registry.Publish("dmgard", incumbent.value().Serialize());
+  if (!v1.ok()) {
+    return Fail(v1.status());
+  }
+  if (const Status st = registry.Promote("dmgard", v1.value()); !st.ok()) {
+    return Fail(st);
+  }
+
+  RetrainBenchLoop loop{&registry, registry.Handle("dmgard"), &auditor,
+                        &collector, &shadow, &trainer};
+
+  auto run_phase = [&](const char* name,
+                       const std::vector<RefactoredField>& fields,
+                       const std::vector<Array3Dd>& truths,
+                       int requests) -> Result<double> {
+    MGARDP_ASSIGN_OR_RETURN(const double rate,
+                            loop.Phase(fields, truths, requests, rel_bounds));
+    std::printf("  phase %-10s %4d requests  violation-rate %5.1f%%  "
+                "serving v%d  retrains %llu\n",
+                name, requests, 100.0 * rate,
+                registry.serving_version("dmgard"),
+                static_cast<unsigned long long>(trainer.retrains()));
+    return rate;
+  };
+
+  auto pre = run_phase("baseline", smooth_fields, smooth.value().frames,
+                       baseline_requests);
+  if (!pre.ok()) {
+    return Fail(pre.status());
+  }
+  auto shift = run_phase("drift", shifted_fields, shifted.value().frames,
+                         drift_requests);
+  if (!shift.ok()) {
+    return Fail(shift.status());
+  }
+  auto post = run_phase("recovered", shifted_fields, shifted.value().frames,
+                        recovery_requests);
+  if (!post.ok()) {
+    return Fail(post.status());
+  }
+
+  // The other half of the promotion contract: a junk candidate (trained on
+  // only the loosest bound, so it always under-fetches) must lose its
+  // shadow run and never serve.
+  CollectOptions junk_opts;
+  junk_opts.rel_bounds = {0.5};
+  junk_opts.ladder_points = 0;
+  auto junk_records = CollectRecords(smooth.value(), {0, 1, 2}, junk_opts);
+  if (!junk_records.ok()) {
+    return Fail(junk_records.status());
+  }
+  DMgardConfig junk_config;
+  junk_config.train.epochs = 2;
+  auto junk = DMgardModel::TrainModel(junk_records.value(), junk_config);
+  if (!junk.ok()) {
+    return Fail(junk.status());
+  }
+  const int serving_before_junk = registry.serving_version("dmgard");
+  const std::uint64_t rejections_before = shadow.stats().rejections;
+  auto junk_version = registry.Publish("dmgard", junk.value().Serialize());
+  if (!junk_version.ok()) {
+    return Fail(junk_version.status());
+  }
+  bool junk_rejected = false;
+  if (shadow.StartShadow("dmgard", junk_version.value()).ok()) {
+    auto rate = loop.Phase(shifted_fields, shifted.value().frames,
+                           2 * static_cast<int>(shadow_options.window),
+                           {1e-4, 3e-5});
+    if (!rate.ok()) {
+      return Fail(rate.status());
+    }
+    junk_rejected = shadow.stats().rejections > rejections_before &&
+                    registry.serving_version("dmgard") == serving_before_junk;
+  }
+  std::printf("  junk candidate v%d: %s\n", junk_version.value(),
+              junk_rejected ? "rejected (never served)" : "NOT REJECTED");
+
+  const double recovery_ratio =
+      pre.value() > 0.0 ? post.value() / pre.value() : 0.0;
+  std::printf("retrain-bench: violation rate %.1f%% -> %.1f%% -> %.1f%% "
+              "(recovery ratio %.2f, no restart)\n",
+              100.0 * pre.value(), 100.0 * shift.value(),
+              100.0 * post.value(), recovery_ratio);
+
+  // Persist the final registry so `mgardp models list --dir` can inspect
+  // what the run produced.
+  const std::string registry_dir = flags.GetString("registry");
+  if (!registry_dir.empty()) {
+    if (const Status st = registry.SaveToDirectory(registry_dir); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("saved registry to %s\n", registry_dir.c_str());
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    const learning::ShadowEvaluator::Stats sstats = shadow.stats();
+    const ServiceMetrics::Snapshot msnap = metrics.snapshot();
+    std::ostringstream os;
+    os << "{\"benchmark\":\"retrain\",\"dims\":\"" << dims.ToString()
+       << "\",\"frames\":" << frames
+       << ",\"app_baseline\":\"gray-scott\",\"app_shift\":\"warpx\""
+       << ",\"phases\":["
+       << "{\"name\":\"baseline\",\"requests\":" << baseline_requests
+       << ",\"violation_rate\":" << pre.value() << "},"
+       << "{\"name\":\"drift\",\"requests\":" << drift_requests
+       << ",\"violation_rate\":" << shift.value() << "},"
+       << "{\"name\":\"recovered\",\"requests\":" << recovery_requests
+       << ",\"violation_rate\":" << post.value() << "}]"
+       << ",\"recovery_ratio\":" << recovery_ratio
+       << ",\"serving_version\":" << registry.serving_version("dmgard")
+       << ",\"retrains\":" << trainer.retrains()
+       << ",\"shadow\":{\"pairs\":" << sstats.shadow_pairs
+       << ",\"promotions\":" << sstats.promotions
+       << ",\"rejections\":" << sstats.rejections
+       << ",\"rollbacks\":" << sstats.rollbacks << "}"
+       << ",\"junk_candidate\":{\"version\":" << junk_version.value()
+       << ",\"promoted\":false,\"rejected\":"
+       << (junk_rejected ? "true" : "false") << "}"
+       << ",\"service_metrics\":" << msnap.ToJson()
+       << ",\"audit\":" << auditor.ToJson() << "}\n";
+    if (const Status st = WriteFile(json_path, os.str()); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  auditor.RemoveSink(&collector);
+  // Recovery within 1.5x of the pre-shift rate (absolute floor 10%) and a
+  // demonstrably unpromoted junk candidate are the bench's pass criteria.
+  const bool recovered =
+      post.value() <= std::max(1.5 * pre.value(), 0.10);
+  if (!recovered || !junk_rejected) {
+    std::fprintf(stderr, "retrain-bench: FAILED (%s)\n",
+                 !recovered ? "violation rate did not recover"
+                            : "junk candidate was not rejected");
+    return 2;
+  }
+  return 0;
+}
+
 // Scrubs one artifact directory, printing one line per unhealthy segment.
 // Returns the number of bad segments, or -1 when the container itself is
 // unreadable (missing or unparseable index).
@@ -1677,6 +2117,14 @@ void PrintHelp() {
       "            [--dims NX[,NY[,NZ]]] [--planes B]\n"
       "            (wipe-a-node repair drill on a simulated cluster; exits\n"
       "            0 once re-replicated, 3 when segments were lost)\n"
+      "  serve-bench  --retrain [--dims NX[,NY[,NZ]]] [--frames F]\n"
+      "            [--baseline-requests N] [--drift-requests N]\n"
+      "            [--recovery-requests N] [--epochs E] [--json FILE]\n"
+      "            [--registry DIR]\n"
+      "            (online-retraining drill: inject a distribution shift\n"
+      "            mid-run and show the bound-violation rate recovering via\n"
+      "            drift-triggered refit + shadow promotion, no restart;\n"
+      "            also proves a junk candidate is never promoted)\n"
       "  audit     --app APP --field NAME --dims NX[,NY[,NZ]]\n"
       "            [--timesteps T] [--repo ROOT] [--dmgard MODEL.bin]\n"
       "            [--emgard MODEL.bin] [--bounds-per-decade N]\n"
@@ -1684,6 +2132,13 @@ void PrintHelp() {
       "            (replay the dataset against every available model and\n"
       "            report bound-violation rate, overfetch vs the matrix-\n"
       "            oracle floor, estimator tightness, and prefix drift)\n"
+      "  models <action> --dir REGISTRY_DIR\n"
+      "            list                      show every version + state\n"
+      "            publish --model ID --blob MODEL.bin [--serve]\n"
+      "            pin     --model ID --version N\n"
+      "            rollback --model ID\n"
+      "            (versioned model registry admin; exits 3 when a stored\n"
+      "            blob or the index fails its checksum)\n"
       "\n"
       "retrieve also accepts --original FILE.f64: audit the retrieval\n"
       "against ground truth and print the actual achieved error.\n"
@@ -1745,7 +2200,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
-  Flags flags(argc, argv, 2);
+  // `models` takes a positional action (list/publish/pin/rollback) before
+  // its flags; everything else is pure --flag.
+  int flags_from = 2;
+  std::string models_action;
+  if (cmd == "models") {
+    if (argc < 3 || argv[2][0] == '-') {
+      return Usage("models needs an action: list | publish | pin | rollback");
+    }
+    models_action = argv[2];
+    flags_from = 3;
+  }
+  Flags flags(argc, argv, flags_from);
   if (!flags.ok()) {
     return Usage(flags.error().c_str());
   }
@@ -1760,7 +2226,8 @@ int main(int argc, char** argv) {
   if (flags.Has("prom") && prom_path.empty()) {
     return Usage("--prom needs an output file path");
   }
-  const int rc = Dispatch(cmd, flags);
+  const int rc = cmd == "models" ? CmdModels(models_action, flags)
+                                 : Dispatch(cmd, flags);
   if (!prom_path.empty() && !g_prom_handled) {
     const Status st = obs::WritePromFile(
         prom_path, obs::RenderAuditPrometheus(obs::GlobalAuditor()));

@@ -9,8 +9,8 @@
 # BENCH_bitplane.json, BENCH_lossless.json, BENCH_obs.json, and
 # BENCH_serve.json there. Additional suites can be selected via
 # MGARDP_BENCH_SUITES, a space-separated subset of: pipeline bitplane
-# decompose dnn lossless storage obs serve cluster audit. The `serve`
-# suite drives
+# decompose dnn lossless storage obs serve cluster audit retrain. The
+# `serve` suite drives
 # the in-process retrieval service through the CLI (throughput and cache
 # hit rate at 1/8/64 concurrent clients) instead of a google-benchmark
 # binary; it runs traced (--trace), so BENCH_serve.json carries a
@@ -23,7 +23,12 @@
 # accounting. The `cluster` suite runs the kill-a-node chaos benchmark
 # (replicated sharded backend, open-loop arrivals, one node killed at 50%
 # of the request stream) and writes BENCH_cluster.json with failover,
-# degradation, and p50/p99/p999 latency accounting.
+# degradation, and p50/p99/p999 latency accounting. The `retrain` suite
+# runs the online-retraining drill (`mgardp serve-bench --retrain`): a
+# Gray-Scott-trained model is hit with WarpX traffic mid-run, the audit
+# drift trigger refits and shadow-promotes a replacement without a
+# restart, and BENCH_retrain.json records the per-phase violation rates,
+# retrain/promotion counters, and the junk-candidate rejection proof.
 
 set -euo pipefail
 
@@ -71,6 +76,21 @@ for suite in ${suites}; do
       --kill-node-at "${MGARDP_BENCH_CLUSTER_KILL_AT:-50%}" \
       --requests "${MGARDP_BENCH_CLUSTER_REQUESTS:-96}" \
       --clients "${MGARDP_BENCH_CLUSTER_CLIENTS:-8}" \
+      --json "${out}"
+    continue
+  fi
+  if [[ "${suite}" == "retrain" ]]; then
+    cli="${build_dir}/tools/mgardp"
+    if [[ ! -x "${cli}" ]]; then
+      echo "error: CLI binary '${cli}' not built" >&2
+      exit 1
+    fi
+    out="${out_dir}/BENCH_retrain.json"
+    echo "== online-retraining drill -> ${out}"
+    "${cli}" serve-bench --retrain \
+      --dims "${MGARDP_BENCH_RETRAIN_DIMS:-17,17,17}" \
+      --frames "${MGARDP_BENCH_RETRAIN_FRAMES:-6}" \
+      --epochs "${MGARDP_BENCH_RETRAIN_EPOCHS:-120}" \
       --json "${out}"
     continue
   fi
