@@ -1,0 +1,271 @@
+#include "dnn/batcher.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "obs/tracer.h"
+
+namespace mgardp {
+namespace dnn {
+
+namespace {
+
+BatchClock* SharedRealClock() {
+  static RealBatchClock clock;
+  return &clock;
+}
+
+// The current thread's inference-delay budget. Static over a scope rather
+// than counting down: it bounds the *scale* of delay a request may donate
+// to batch formation, which is what the deadline trade-off needs.
+thread_local double t_inference_budget_ms =
+    std::numeric_limits<double>::infinity();
+
+std::chrono::steady_clock::duration MsDuration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+ScopedInferenceDeadline::ScopedInferenceDeadline(double budget_ms) {
+  if (budget_ms <= 0.0) {
+    return;  // no deadline
+  }
+  engaged_ = true;
+  previous_ = t_inference_budget_ms;
+  // Nested scopes keep the tighter budget.
+  t_inference_budget_ms = std::min(previous_, budget_ms);
+}
+
+ScopedInferenceDeadline::~ScopedInferenceDeadline() {
+  if (engaged_) {
+    t_inference_budget_ms = previous_;
+  }
+}
+
+double ScopedInferenceDeadline::BudgetMs() { return t_inference_budget_ms; }
+
+struct InferenceBatcher::BatchState {
+  std::string key;
+  Kernel kernel;
+  std::vector<double> rows;  // row-major, num_rows x width
+  std::size_t width = 0;
+  std::size_t num_rows = 0;
+  std::chrono::steady_clock::time_point created;
+  // The flush deadline as a steady_clock tick count. Written under the
+  // batcher lock (creation, deadline tightening); read lock-free by the
+  // polling waiters' fast path, which only takes the lock once the
+  // deadline has passed.
+  std::atomic<std::chrono::steady_clock::rep> flush_at_ticks{0};
+  // Detached from forming_ and owned by an executing thread. Set under the
+  // batcher lock exactly once, by whichever thread takes the batch; read
+  // lock-free by pollers to skip the lock while the leader executes.
+  std::atomic<bool> claimed{false};
+  // Published (release) after status/out are final; waiters poll it with
+  // acquire loads and may then read the results without the lock.
+  std::atomic<bool> done{false};
+  Status status = Status::OK();
+  Matrix out;
+};
+
+InferenceBatcher::InferenceBatcher() : InferenceBatcher(Options()) {}
+
+InferenceBatcher::InferenceBatcher(Options options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : SharedRealClock()) {
+  MGARDP_CHECK_GT(options_.max_batch, 0u);
+}
+
+InferenceBatcher::~InferenceBatcher() { Drain(""); }
+
+InferenceBatcher::Ticket InferenceBatcher::SubmitAsync(
+    const std::string& key, std::vector<double> row, Kernel kernel) {
+  MGARDP_CHECK(!row.empty());
+  std::shared_ptr<BatchState> to_run;
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<BatchState>& slot = forming_[key];
+    const double budget = ScopedInferenceDeadline::BudgetMs();
+    if (slot == nullptr) {
+      slot = std::make_shared<BatchState>();
+      slot->key = key;
+      slot->kernel = std::move(kernel);
+      slot->width = row.size();
+      slot->created = clock_->Now();
+      slot->flush_at_ticks.store(
+          (slot->created + MsDuration(std::min(options_.max_delay_ms, budget)))
+              .time_since_epoch()
+              .count(),
+          std::memory_order_relaxed);
+    } else {
+      MGARDP_CHECK_EQ(row.size(), slot->width)
+          << "inference batcher: row width changed under key " << key;
+      if (std::isfinite(budget)) {
+        // A tighter-deadline joiner pulls the whole batch forward; waiting
+        // past its budget to serve earlier rows would invert priorities.
+        // Waiters re-read the deadline every poll, so the earlier time
+        // takes effect without a wakeup.
+        const auto clamped =
+            (clock_->Now() + MsDuration(budget)).time_since_epoch().count();
+        if (clamped < slot->flush_at_ticks.load(std::memory_order_relaxed)) {
+          slot->flush_at_ticks.store(clamped, std::memory_order_relaxed);
+        }
+      }
+    }
+    ticket.batch_ = slot;
+    ticket.row_ = slot->num_rows;
+    slot->rows.insert(slot->rows.end(), row.begin(), row.end());
+    ++slot->num_rows;
+    ++stats_.rows;
+    if (slot->num_rows >= options_.max_batch) {
+      // Full: the filling submitter executes inline — no wakeup latency.
+      slot->claimed.store(true, std::memory_order_relaxed);
+      to_run = slot;
+      forming_.erase(key);
+    }
+  }
+  if (to_run != nullptr) {
+    Execute(to_run);
+  }
+  return ticket;
+}
+
+Result<std::vector<double>> InferenceBatcher::Wait(const Ticket& ticket) {
+  MGARDP_CHECK(ticket.valid());
+  const std::shared_ptr<BatchState>& batch = ticket.batch_;
+  // Two-phase wait. While the batch is still forming, poll with yields:
+  // each yield cedes the core to submitters who may fill the batch, and
+  // after claim_after_yields of them this waiter claims the batch itself
+  // (every runnable submitter had its chance). Once some thread has
+  // claimed the batch there is nothing to poll for — this waiter parks on
+  // the done flag (futex) and wakes exactly once, when the leader
+  // publishes. Yielding through an execution instead would make the
+  // scheduler bounce every waiter through a no-op poll per slice, burning
+  // context switches comparable to the batch compute itself.
+  std::size_t yields = 0;
+  while (!batch->done.load(std::memory_order_acquire)) {
+    if (batch->claimed.load(std::memory_order_relaxed)) {
+      // Executing elsewhere: sleep until the leader notifies. wait()
+      // returns immediately if done flipped between the loads.
+      batch->done.wait(false, std::memory_order_acquire);
+      continue;
+    }
+    // Forming: bounded yield-poll, then claim. The lock is only taken to
+    // claim the batch.
+    if (yields < options_.claim_after_yields &&
+        clock_->Now().time_since_epoch().count() <
+            batch->flush_at_ticks.load(std::memory_order_relaxed)) {
+      ++yields;
+      std::this_thread::yield();
+      continue;
+    }
+    bool run = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!batch->claimed.load(std::memory_order_relaxed)) {
+        // Either the delay expired or this waiter has ceded the core
+        // claim_after_yields times — every runnable submitter had its
+        // chance to join, so more waiting only buys latency. This waiter
+        // becomes the leader, claims the batch, and runs it. An unclaimed
+        // batch is by construction still the forming batch for its key.
+        batch->claimed.store(true, std::memory_order_relaxed);
+        forming_.erase(batch->key);
+        run = true;
+      }
+    }
+    if (run) {
+      Execute(batch);
+      break;
+    }
+    std::this_thread::yield();
+  }
+  // done was published with release ordering after the results were
+  // written; the acquire loads above make the lock-free reads here safe.
+  if (!batch->status.ok()) {
+    return batch->status;
+  }
+  std::vector<double> out(batch->out.cols());
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c] = batch->out(ticket.row_, c);
+  }
+  return out;
+}
+
+Result<std::vector<double>> InferenceBatcher::Submit(const std::string& key,
+                                                     std::vector<double> row,
+                                                     Kernel kernel) {
+  return Wait(SubmitAsync(key, std::move(row), std::move(kernel)));
+}
+
+void InferenceBatcher::Execute(const std::shared_ptr<BatchState>& batch) {
+  MGARDP_TRACE_SPAN("dnn/batch_infer", "dnn");
+  const double delay_ms =
+      std::chrono::duration<double, std::milli>(clock_->Now() -
+                                                batch->created)
+          .count();
+  Matrix in(batch->num_rows, batch->width, std::move(batch->rows));
+  Result<Matrix> result = batch->kernel(in);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok() && result.value().rows() != batch->num_rows) {
+      batch->status = Status::Internal(
+          "inference batcher: kernel for key '" + batch->key + "' returned " +
+          std::to_string(result.value().rows()) + " rows for " +
+          std::to_string(batch->num_rows) + " inputs");
+    } else if (result.ok()) {
+      batch->out = std::move(result).value();
+    } else {
+      batch->status = result.status();
+    }
+    batch->done.store(true, std::memory_order_release);
+    ++stats_.batches;
+    stats_.max_batch_rows =
+        std::max<std::uint64_t>(stats_.max_batch_rows, batch->num_rows);
+  }
+  batch->done.notify_all();  // wake waiters parked on the done futex
+  if (options_.observer) {
+    options_.observer(batch->num_rows, delay_ms);
+  }
+}
+
+void InferenceBatcher::Drain(const std::string& prefix) {
+  std::vector<std::shared_ptr<BatchState>> claimed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = forming_.begin(); it != forming_.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        it->second->claimed.store(true, std::memory_order_relaxed);
+        claimed.push_back(it->second);
+        it = forming_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::shared_ptr<BatchState>& batch : claimed) {
+    Execute(batch);
+  }
+}
+
+std::size_t InferenceBatcher::pending_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, batch] : forming_) {
+    n += batch->num_rows;
+  }
+  return n;
+}
+
+InferenceBatcher::Stats InferenceBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dnn
+}  // namespace mgardp

@@ -1,0 +1,219 @@
+// Cross-request inference batching.
+//
+// Under concurrent serving load every in-flight session runs its own
+// per-level MLP forward passes, and those multiplies are far below the
+// thread pool's parallelism threshold — concurrent load degenerates to one
+// tiny scalar GEMM per caller, each paying full allocation and dispatch
+// overhead for a few thousand MACs. InferenceBatcher coalesces the feature
+// rows of concurrent callers into one N-row matrix per key and runs a
+// single cache-blocked GEMM over it, amortizing every fixed cost across
+// the batch.
+//
+// Keys partition the queue: rows only ever batch with rows submitted under
+// the same key, and the serving layer keys by (model id, version, level) —
+// so a registry hot swap can never mix versions inside one batch, and the
+// old version's leftover rows flush through their own kernel.
+//
+// Flush policy: a batch executes the moment it reaches max_batch rows (the
+// filling submitter runs it inline — no handoff latency), when
+// max_delay_ms has elapsed since its first row, or when a waiter has
+// ceded the core claim_after_yields times (every runnable submitter had
+// its chance to join) — in the latter two cases the waiter claims the
+// batch and runs it itself (leader/follower). Waits are two-phase: a
+// bounded yield-poll while the batch is forming (yields hand the core
+// straight to submitters), then a single futex park on the done flag once
+// some thread is executing — no condition variable, no per-poll lock. A
+// thread-local ScopedInferenceDeadline (set by the scheduler around
+// request processing) clamps the delay, so a request on a tight deadline
+// never donates more latency to batch formation than its deadline
+// affords.
+//
+// Determinism: results are bit-identical to unbatched prediction whenever
+// the kernel's per-row math is row-independent (true of the scaler + MLP
+// forward stack: every per-element accumulation order is row-local), and
+// the clock is injectable so tests drive the delay path manually.
+
+#ifndef MGARDP_DNN_BATCHER_H_
+#define MGARDP_DNN_BATCHER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dnn/matrix.h"
+#include "util/status.h"
+
+namespace mgardp {
+namespace dnn {
+
+// Time source for batch-delay decisions. Waiters poll Now() between
+// yields, so a clock only needs to answer "what time is it" — injectable
+// so tests drive the timeout flush deterministically instead of sleeping.
+class BatchClock {
+ public:
+  virtual ~BatchClock() = default;
+  virtual std::chrono::steady_clock::time_point Now() const = 0;
+};
+
+// Wall-clock implementation used in production.
+class RealBatchClock : public BatchClock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override {
+    return std::chrono::steady_clock::now();
+  }
+};
+
+// Test clock: Now() only moves when Advance() is called. Since waiters
+// poll, flush outcomes are a pure function of the advanced time, never of
+// scheduling.
+class ManualBatchClock : public BatchClock {
+ public:
+  explicit ManualBatchClock(
+      std::chrono::steady_clock::time_point start =
+          std::chrono::steady_clock::time_point{})
+      : now_(start) {}
+
+  std::chrono::steady_clock::time_point Now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  void Advance(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point now_;
+};
+
+// Declares, for the current thread, how much wall time the enclosing
+// request can still afford; the batcher clamps its batching delay to the
+// remaining budget. The scheduler installs one around request processing
+// with the request's deadline. Nesting keeps the tighter budget. A budget
+// <= 0 means "no deadline" and installs nothing.
+class ScopedInferenceDeadline {
+ public:
+  explicit ScopedInferenceDeadline(double budget_ms);
+  ~ScopedInferenceDeadline();
+
+  ScopedInferenceDeadline(const ScopedInferenceDeadline&) = delete;
+  ScopedInferenceDeadline& operator=(const ScopedInferenceDeadline&) = delete;
+
+  // The current thread's remaining budget in ms; +infinity when no
+  // deadline is installed.
+  static double BudgetMs();
+
+ private:
+  bool engaged_ = false;
+  double previous_ = 0.0;
+};
+
+// Coalesces same-key feature rows from concurrent threads into single
+// multi-row kernel calls. Thread-safe; one instance serves every model
+// version (keys keep them apart).
+class InferenceBatcher {
+ private:
+  struct BatchState;  // one forming/executing batch (defined in batcher.cc)
+
+ public:
+  // N stacked input rows -> one output row per input row (any width).
+  // Must be row-independent for batching to be exact; called with no
+  // batcher lock held, possibly from several threads for different keys.
+  using Kernel = std::function<Result<Matrix>(const Matrix&)>;
+
+  struct Options {
+    // Rows that trigger an immediate inline flush by the submitter.
+    std::size_t max_batch = 16;
+    // How long the first row of a batch may wait for company.
+    double max_delay_ms = 0.2;
+    // Adaptive early flush: a waiter that has ceded the core this many
+    // times claims its batch without waiting out max_delay — each yield
+    // already gave every runnable submitter a chance to join, so further
+    // waiting only buys latency. Set to SIZE_MAX for strict timer-only
+    // flushing (what the deterministic clock tests exercise). max_delay
+    // stays the upper bound either way.
+    std::size_t claim_after_yields = 2;
+    // Time source; nullptr uses a process-wide RealBatchClock.
+    BatchClock* clock = nullptr;
+    // Called once per executed batch with (rows, queue delay in ms of the
+    // oldest row). Runs outside the batcher lock.
+    std::function<void(std::size_t, double)> observer;
+  };
+
+  struct Stats {
+    std::uint64_t rows = 0;      // rows submitted
+    std::uint64_t batches = 0;   // kernel invocations
+    std::uint64_t max_batch_rows = 0;
+  };
+
+  InferenceBatcher();  // default Options
+  explicit InferenceBatcher(Options options);
+  // Flushes everything still queued so no ticket is left hanging.
+  ~InferenceBatcher();
+
+  InferenceBatcher(const InferenceBatcher&) = delete;
+  InferenceBatcher& operator=(const InferenceBatcher&) = delete;
+
+  class Ticket {
+   public:
+    Ticket() = default;
+    bool valid() const { return batch_ != nullptr; }
+
+   private:
+    friend class InferenceBatcher;
+    std::shared_ptr<BatchState> batch_;
+    std::size_t row_ = 0;
+  };
+
+  // Queues one feature row under `key`. Every row submitted under one key
+  // must use a kernel that accepts the same row width (the first row's
+  // kernel runs the whole batch). May execute the batch inline when this
+  // row fills it. The returned ticket must be passed to Wait exactly once.
+  Ticket SubmitAsync(const std::string& key, std::vector<double> row,
+                     Kernel kernel);
+
+  // Blocks until the ticket's batch has executed (claiming and running it
+  // on this thread if its delay expires first) and returns the output row,
+  // or the kernel's error Status for every row of the failed batch.
+  Result<std::vector<double>> Wait(const Ticket& ticket);
+
+  // SubmitAsync + Wait.
+  Result<std::vector<double>> Submit(const std::string& key,
+                                     std::vector<double> row, Kernel kernel);
+
+  // Immediately executes every queued batch whose key starts with
+  // `prefix` ("" = all). Used when a model version is swapped out: the
+  // outgoing version's rows flush through their own kernel now instead of
+  // waiting out their delay.
+  void Drain(const std::string& prefix = "");
+
+  // Rows currently queued (all keys).
+  std::size_t pending_rows() const;
+  Stats stats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  // Runs `batch` (already detached from forming_) and publishes results.
+  void Execute(const std::shared_ptr<BatchState>& batch);
+
+  Options options_;
+  BatchClock* clock_;  // options_.clock or the shared real clock
+
+  mutable std::mutex mu_;
+  // Forming (not yet executing) batch per key.
+  std::map<std::string, std::shared_ptr<BatchState>> forming_;
+  Stats stats_;
+};
+
+}  // namespace dnn
+}  // namespace mgardp
+
+#endif  // MGARDP_DNN_BATCHER_H_

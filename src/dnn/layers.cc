@@ -33,6 +33,13 @@ Matrix Linear::Forward(const Matrix& x) {
   return out;
 }
 
+Matrix Linear::Infer(const Matrix& x) const {
+  MGARDP_CHECK_EQ(x.cols(), weight_.rows());
+  // Fused matmul+bias matches Forward's two-pass arithmetic bit for bit;
+  // no cached_input_ write, so concurrent callers never race.
+  return x.MatMulAddBias(weight_, bias_);
+}
+
 Matrix Linear::Backward(const Matrix& grad_out) {
   MGARDP_CHECK_EQ(grad_out.cols(), weight_.cols());
   MGARDP_CHECK_EQ(grad_out.rows(), cached_input_.rows());
@@ -51,6 +58,16 @@ Matrix Linear::Backward(const Matrix& grad_out) {
 
 Matrix LeakyRelu::Forward(const Matrix& x) {
   cached_input_ = x;
+  Matrix out = x;
+  for (double& v : out.vector()) {
+    if (v < 0.0) {
+      v *= slope_;
+    }
+  }
+  return out;
+}
+
+Matrix LeakyRelu::Infer(const Matrix& x) const {
   Matrix out = x;
   for (double& v : out.vector()) {
     if (v < 0.0) {

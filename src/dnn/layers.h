@@ -26,6 +26,12 @@ class Layer {
   // cache activations for the subsequent Backward.
   virtual Matrix Forward(const Matrix& x) = 0;
 
+  // Inference-only forward: no activation caching, no training behaviour
+  // (dropout is identity), no state writes at all — safe to call
+  // concurrently on a shared const model, which Forward is not (its
+  // activation caches are written on every call).
+  virtual Matrix Infer(const Matrix& x) const = 0;
+
   // grad_out is dLoss/dOutput; returns dLoss/dInput and accumulates
   // parameter gradients (callers zero them via ZeroGrad between steps).
   virtual Matrix Backward(const Matrix& grad_out) = 0;
@@ -56,6 +62,7 @@ class Linear : public Layer {
   Linear(std::size_t in_features, std::size_t out_features);
 
   Matrix Forward(const Matrix& x) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::vector<Matrix*> Params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> Grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -79,6 +86,7 @@ class LeakyRelu : public Layer {
       : slope_(negative_slope) {}
 
   Matrix Forward(const Matrix& x) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string Kind() const override { return "leaky_relu"; }
 
@@ -98,6 +106,8 @@ class Dropout : public Layer {
   Dropout(double rate, Rng* rng);
 
   Matrix Forward(const Matrix& x) override;
+  // Identity: inference is deterministic regardless of the rate.
+  Matrix Infer(const Matrix& x) const override { return x; }
   Matrix Backward(const Matrix& grad_out) override;
   std::string Kind() const override { return "dropout"; }
   void SetTraining(bool training) override { training_ = training; }

@@ -49,6 +49,39 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   return out;
 }
 
+Matrix Matrix::MatMulAddBias(const Matrix& other, const Matrix& bias) const {
+  MGARDP_CHECK_EQ(cols_, other.rows_);
+  MGARDP_CHECK_EQ(bias.rows(), 1u);
+  MGARDP_CHECK_EQ(bias.cols(), other.cols_);
+  Matrix out(rows_, other.cols_);
+  const std::size_t n = other.cols_;
+  // Same blocked i-k-j kernel as MatMul; the bias joins each j block only
+  // after its k loop finishes, preserving MatMul's accumulation order
+  // exactly (sum of products first, bias last — as the two-pass form).
+  ParallelFor(0, rows_, RowGrain(cols_ * n),
+              [&](std::size_t r_lo, std::size_t r_hi) {
+    for (std::size_t i = r_lo; i < r_hi; ++i) {
+      const double* a_row = data_.data() + i * cols_;
+      double* o_row = out.data() + i * n;
+      for (std::size_t jb = 0; jb < n; jb += kColBlock) {
+        const std::size_t je = std::min(jb + kColBlock, n);
+        for (std::size_t k = 0; k < cols_; ++k) {
+          const double a = a_row[k];
+          const double* b_row = other.data() + k * n;
+          for (std::size_t j = jb; j < je; ++j) {
+            o_row[j] += a * b_row[j];
+          }
+        }
+        const double* b = bias.data();
+        for (std::size_t j = jb; j < je; ++j) {
+          o_row[j] += b[j];
+        }
+      }
+    }
+  });
+  return out;
+}
+
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
   MGARDP_CHECK_EQ(rows_, other.rows_);
   Matrix out(cols_, other.cols_);

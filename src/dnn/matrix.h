@@ -43,6 +43,11 @@ class Matrix {
 
   // this (m x k) times other (k x n) -> (m x n).
   Matrix MatMul(const Matrix& other) const;
+  // MatMul(other) with `bias` (1 x n) added to every output row. The bias
+  // lands after each element's full k-accumulation, so the result is
+  // bit-identical to MatMul followed by a separate bias loop — this is the
+  // inference fast path (one pass over the output instead of two).
+  Matrix MatMulAddBias(const Matrix& other, const Matrix& bias) const;
   // this^T (k x m -> m x k view) times other (k x n) -> (m x n).
   Matrix TransposedMatMul(const Matrix& other) const;
   // this (m x k) times other^T (n x k -> k x n view) -> (m x n).

@@ -61,9 +61,21 @@ void Mlp::Build(Rng* rng) {
 Matrix Mlp::Forward(const Matrix& x) {
   MGARDP_TRACE_SPAN("dnn/forward", "dnn");
   MGARDP_CHECK(initialized());
-  Matrix h = x;
-  for (auto& layer : layers_) {
-    h = layer->Forward(h);
+  // The first layer consumes `x` directly: the old `Matrix h = x;` warmup
+  // paid one full input copy per call on the inference hot path.
+  Matrix h = layers_.front()->Forward(x);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+  }
+  return h;
+}
+
+Matrix Mlp::Predict(const Matrix& x) const {
+  MGARDP_TRACE_SPAN("dnn/predict", "dnn");
+  MGARDP_CHECK(initialized());
+  Matrix h = layers_.front()->Infer(x);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    h = layers_[i]->Infer(h);
   }
   return h;
 }

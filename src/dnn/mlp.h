@@ -46,6 +46,12 @@ class Mlp {
   const MlpConfig& config() const { return config_; }
 
   Matrix Forward(const Matrix& x);
+  // Inference-only forward over any number of rows: no activation caches,
+  // no dropout, no writes — bit-identical to an eval-mode Forward and safe
+  // to call concurrently on a shared const network. Batching rows through
+  // one Predict is bit-identical to row-by-row calls (every per-element
+  // accumulation order is row-local).
+  Matrix Predict(const Matrix& x) const;
   // Switches training-time behaviour (dropout) on or off for all layers.
   void SetTraining(bool training);
   // Backpropagates dLoss/dOutput; parameter gradients accumulate in layers.

@@ -38,8 +38,20 @@ void StandardScaler::Fit(const Matrix& data) {
   }
 }
 
-Matrix StandardScaler::Transform(const Matrix& data) const {
-  MGARDP_CHECK_EQ(data.cols(), mean_.size());
+namespace {
+
+Status WidthMismatch(const char* op, std::size_t got, std::size_t fitted) {
+  return Status::Invalid("scaler: " + std::string(op) + " width " +
+                         std::to_string(got) + " != fitted width " +
+                         std::to_string(fitted));
+}
+
+}  // namespace
+
+Result<Matrix> StandardScaler::Transform(const Matrix& data) const {
+  if (data.cols() != mean_.size()) {
+    return WidthMismatch("Transform", data.cols(), mean_.size());
+  }
   Matrix out = data;
   for (std::size_t r = 0; r < out.rows(); ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) {
@@ -49,8 +61,10 @@ Matrix StandardScaler::Transform(const Matrix& data) const {
   return out;
 }
 
-Matrix StandardScaler::InverseTransform(const Matrix& data) const {
-  MGARDP_CHECK_EQ(data.cols(), mean_.size());
+Result<Matrix> StandardScaler::InverseTransform(const Matrix& data) const {
+  if (data.cols() != mean_.size()) {
+    return WidthMismatch("InverseTransform", data.cols(), mean_.size());
+  }
   Matrix out = data;
   for (std::size_t r = 0; r < out.rows(); ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) {
@@ -60,13 +74,23 @@ Matrix StandardScaler::InverseTransform(const Matrix& data) const {
   return out;
 }
 
-double StandardScaler::TransformValue(std::size_t col, double v) const {
-  MGARDP_CHECK_LT(col, mean_.size());
+Result<double> StandardScaler::TransformValue(std::size_t col,
+                                              double v) const {
+  if (col >= mean_.size()) {
+    return Status::Invalid("scaler: column " + std::to_string(col) +
+                           " out of range for " +
+                           std::to_string(mean_.size()) + " fitted columns");
+  }
   return frozen_[col] ? 0.0 : (v - mean_[col]) / std_[col];
 }
 
-double StandardScaler::InverseTransformValue(std::size_t col, double v) const {
-  MGARDP_CHECK_LT(col, mean_.size());
+Result<double> StandardScaler::InverseTransformValue(std::size_t col,
+                                                     double v) const {
+  if (col >= mean_.size()) {
+    return Status::Invalid("scaler: column " + std::to_string(col) +
+                           " out of range for " +
+                           std::to_string(mean_.size()) + " fitted columns");
+  }
   return v * std_[col] + mean_[col];
 }
 

@@ -28,14 +28,17 @@ class StandardScaler {
   bool fitted() const { return !mean_.empty(); }
   std::size_t num_features() const { return mean_.size(); }
 
-  // (x - mean) / std, column-wise.
-  Matrix Transform(const Matrix& data) const;
-  // x * std + mean.
-  Matrix InverseTransform(const Matrix& data) const;
+  // (x - mean) / std, column-wise. Status::Invalid when `data`'s width
+  // differs from the fitted width — a mismatched feature vector would
+  // otherwise silently pair values with the wrong column statistics.
+  Result<Matrix> Transform(const Matrix& data) const;
+  // x * std + mean; same width validation.
+  Result<Matrix> InverseTransform(const Matrix& data) const;
 
-  // Single-column helpers for target scaling.
-  double TransformValue(std::size_t col, double v) const;
-  double InverseTransformValue(std::size_t col, double v) const;
+  // Single-column helpers for target scaling; Status::Invalid when `col`
+  // is outside the fitted columns.
+  Result<double> TransformValue(std::size_t col, double v) const;
+  Result<double> InverseTransformValue(std::size_t col, double v) const;
 
   void Serialize(BinaryWriter* w) const;
   Status Deserialize(BinaryReader* r);

@@ -1,0 +1,234 @@
+#include "learning/batched_serving.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mgardp {
+namespace learning {
+
+BatchedConstantsEstimator::BatchedConstantsEstimator(
+    std::shared_ptr<const ModelVersion> version,
+    dnn::InferenceBatcher* batcher, ServiceMetrics* metrics)
+    : version_(std::move(version)), batcher_(batcher), metrics_(metrics) {
+  MGARDP_CHECK(version_ != nullptr);
+  MGARDP_CHECK(version_->kind == ModelKind::kEMgard);
+  MGARDP_CHECK(version_->emgard != nullptr);
+  const std::string prefix = KeyPrefix(*version_);
+  level_keys_.reserve(
+      static_cast<std::size_t>(version_->emgard->num_levels()));
+  for (int l = 0; l < version_->emgard->num_levels(); ++l) {
+    level_keys_.push_back(prefix + "/L" + std::to_string(l));
+  }
+}
+
+std::string BatchedConstantsEstimator::KeyPrefix(
+    const ModelVersion& version) {
+  return VersionAuditId(version);  // "emgard@v<N>"
+}
+
+std::string BatchedConstantsEstimator::name() const {
+  return "e-mgard@v" + std::to_string(version_->version);
+}
+
+Result<double> BatchedConstantsEstimator::TryEstimate(
+    const RefactoredField& field, const std::vector<int>& prefix) const {
+  MGARDP_CHECK_EQ(prefix.size(),
+                  static_cast<std::size_t>(field.num_levels()));
+  const EMgardModel& model = *version_->emgard;
+  const int L = std::min(field.num_levels(), model.num_levels());
+
+  // Same level selection and skip rule as LearnedConstantsEstimator; the
+  // only difference is that all surviving levels' rows are in flight at
+  // once (and, through the batcher, may share their forward pass with
+  // rows from other sessions on the same key).
+  struct InFlight {
+    double level_err = 0.0;
+    dnn::InferenceBatcher::Ticket ticket;
+    double constant = 0.0;  // direct mode resolves immediately
+  };
+  std::vector<InFlight> in_flight;
+  in_flight.reserve(static_cast<std::size_t>(L));
+  Status submit_error;  // direct mode: first kernel failure
+  for (int l = 0; l < L; ++l) {
+    const auto& max_abs = field.level_errors[l].max_abs;
+    const int b =
+        std::clamp(prefix[l], 0, static_cast<int>(max_abs.size()) - 1);
+    const double level_err = max_abs[b];
+    if (level_err <= 0.0) {
+      continue;
+    }
+    std::vector<double> row =
+        model.BuildConstantInput(field.level_sketches[l], level_err, b);
+    InFlight entry;
+    entry.level_err = level_err;
+    if (batcher_ != nullptr) {
+      // The kernel captures the pinned version: a batch that flushes after
+      // a hot swap still runs on the weights its rows were built for.
+      std::shared_ptr<const ModelVersion> version = version_;
+      entry.ticket = batcher_->SubmitAsync(
+          level_keys_[static_cast<std::size_t>(l)], std::move(row),
+          [version, l](const dnn::Matrix& inputs) {
+            return version->emgard->PredictConstantKernel(l, inputs);
+          });
+    } else {
+      const std::size_t width = row.size();  // before the move: evaluation
+                                             // order of ctor args is
+                                             // unspecified
+      dnn::Matrix x(1, width, std::move(row));
+      Result<dnn::Matrix> constants = model.PredictConstantKernel(l, x);
+      if (!constants.ok()) {
+        submit_error = constants.status();
+        break;
+      }
+      entry.constant = constants.value()(0, 0);
+    }
+    in_flight.push_back(std::move(entry));
+  }
+
+  if (metrics_ != nullptr && !in_flight.empty()) {
+    metrics_->OnInferenceRows(in_flight.size());
+  }
+
+  double est = 0.0;
+  Status first_error = submit_error;
+  for (InFlight& entry : in_flight) {
+    if (batcher_ != nullptr) {
+      Result<std::vector<double>> out = batcher_->Wait(entry.ticket);
+      if (!out.ok()) {
+        // Keep waiting out the remaining tickets (each must be consumed
+        // exactly once) but report the first failure.
+        if (first_error.ok()) {
+          first_error = out.status();
+        }
+        continue;
+      }
+      entry.constant = out.value().front();
+    }
+    est += entry.constant * entry.level_err;
+  }
+  MGARDP_RETURN_NOT_OK(first_error);
+  return est * model.safety_margin();
+}
+
+Result<std::vector<double>> BatchedConstantsEstimator::TryEstimateMany(
+    const RefactoredField& field,
+    const std::vector<std::vector<int>>& prefixes) const {
+  std::vector<double> out(prefixes.size(), 0.0);
+  if (batcher_ == nullptr) {
+    // Direct mode keeps the pre-batching shape: one candidate at a time,
+    // one single-row forward per surviving level.
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      MGARDP_ASSIGN_OR_RETURN(out[i], TryEstimate(field, prefixes[i]));
+    }
+    return out;
+  }
+  const EMgardModel& model = *version_->emgard;
+  const int L = std::min(field.num_levels(), model.num_levels());
+  // Submit every candidate's rows before awaiting any result: candidate i
+  // and candidate j contribute rows to the same per-level keys, so the
+  // burst fills batches without waiting on other sessions.
+  struct InFlight {
+    double level_err = 0.0;
+    dnn::InferenceBatcher::Ticket ticket;
+  };
+  std::vector<std::vector<InFlight>> in_flight(prefixes.size());
+  std::size_t total_rows = 0;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    const std::vector<int>& prefix = prefixes[i];
+    MGARDP_CHECK_EQ(prefix.size(),
+                    static_cast<std::size_t>(field.num_levels()));
+    in_flight[i].reserve(static_cast<std::size_t>(L));
+    for (int l = 0; l < L; ++l) {
+      const auto& max_abs = field.level_errors[l].max_abs;
+      const int b =
+          std::clamp(prefix[l], 0, static_cast<int>(max_abs.size()) - 1);
+      const double level_err = max_abs[b];
+      if (level_err <= 0.0) {
+        continue;
+      }
+      InFlight entry;
+      entry.level_err = level_err;
+      std::shared_ptr<const ModelVersion> version = version_;
+      entry.ticket = batcher_->SubmitAsync(
+          level_keys_[static_cast<std::size_t>(l)],
+          model.BuildConstantInput(field.level_sketches[l], level_err, b),
+          [version, l](const dnn::Matrix& inputs) {
+            return version->emgard->PredictConstantKernel(l, inputs);
+          });
+      in_flight[i].push_back(std::move(entry));
+      ++total_rows;
+    }
+  }
+  if (metrics_ != nullptr && total_rows > 0) {
+    metrics_->OnInferenceRows(total_rows);
+  }
+  Status first_error;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    double est = 0.0;
+    for (InFlight& entry : in_flight[i]) {
+      Result<std::vector<double>> row = batcher_->Wait(entry.ticket);
+      if (!row.ok()) {
+        if (first_error.ok()) {
+          first_error = row.status();
+        }
+        continue;  // every ticket must still be consumed exactly once
+      }
+      est += row.value().front() * entry.level_err;
+    }
+    out[i] = est * model.safety_margin();
+  }
+  MGARDP_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+double BatchedConstantsEstimator::Estimate(
+    const RefactoredField& field, const std::vector<int>& prefix) const {
+  auto result = TryEstimate(field, prefix);
+  return result.ok() ? result.value()
+                     : std::numeric_limits<double>::infinity();
+}
+
+EstimatorProvider MakeBatchedRegistryEstimatorProvider(
+    ModelRegistry* registry, const std::string& model_id,
+    dnn::InferenceBatcher* batcher, ServiceMetrics* metrics) {
+  MGARDP_CHECK(batcher != nullptr);
+  ServingHandle handle = registry->Handle(model_id);
+  // Swap detection shared across all leases from this provider: whichever
+  // lease first sees a new serving version flushes the old version's
+  // queued rows (on their own pinned kernel).
+  struct SwapWatch {
+    std::mutex mu;
+    int last_version = 0;
+  };
+  auto watch = std::make_shared<SwapWatch>();
+  return [handle, batcher, metrics, watch]() -> EstimatorLease {
+    std::shared_ptr<const ModelVersion> version = handle.load();
+    if (version == nullptr || version->kind != ModelKind::kEMgard ||
+        version->emgard == nullptr) {
+      return EstimatorLease{};
+    }
+    int outgoing = 0;
+    {
+      std::lock_guard<std::mutex> lock(watch->mu);
+      if (watch->last_version != 0 &&
+          watch->last_version != version->version) {
+        outgoing = watch->last_version;
+      }
+      watch->last_version = version->version;
+    }
+    if (outgoing != 0) {
+      batcher->Drain("emgard@v" + std::to_string(outgoing));
+    }
+    EstimatorLease lease;
+    lease.estimator = std::make_shared<BatchedConstantsEstimator>(
+        version, batcher, metrics);
+    lease.audit_model_id = VersionAuditId(*version);
+    return lease;
+  };
+}
+
+}  // namespace learning
+}  // namespace mgardp

@@ -1,0 +1,94 @@
+// Batched serving of the learned error estimator.
+//
+// BatchedConstantsEstimator scores Equation 7 exactly like
+// LearnedConstantsEstimator — same inputs, same per-level constants, same
+// safety margin — but routes every per-level network evaluation through an
+// InferenceBatcher, so rows from concurrent sessions coalesce into one
+// multi-row forward pass per (model version, level). Results are
+// bit-identical to the unbatched path: both run the same
+// EMgardModel::PredictConstantKernel, whose math is row-independent.
+//
+// Version pinning: the batch key embeds the model version
+// ("emgard@v<N>/L<level>"), so a registry hot swap can never mix two
+// versions' rows in one batch, and each estimator holds its version's
+// shared_ptr — queued rows of a swapped-out version still execute against
+// the weights they were built for. The batched provider additionally
+// drains the outgoing version's queue the moment it observes a swap, so
+// stale rows flush immediately instead of waiting out their delay.
+
+#ifndef MGARDP_LEARNING_BATCHED_SERVING_H_
+#define MGARDP_LEARNING_BATCHED_SERVING_H_
+
+#include <memory>
+#include <string>
+
+#include "dnn/batcher.h"
+#include "learning/model_registry.h"
+#include "learning/serving.h"
+#include "progressive/error_estimator.h"
+#include "service/retrieval_session.h"
+#include "service/service_metrics.h"
+
+namespace mgardp {
+namespace learning {
+
+// ErrorEstimator over one pinned E-MGARD ModelVersion whose network calls
+// go through `batcher` (cross-request coalescing), or run directly when
+// `batcher` is nullptr — the instrumented unbatched baseline. Safe to
+// share across threads. Requires version->kind == kEMgard.
+class BatchedConstantsEstimator : public ErrorEstimator {
+ public:
+  // `batcher` and `metrics` may each be nullptr and must outlive the
+  // estimator when set.
+  BatchedConstantsEstimator(std::shared_ptr<const ModelVersion> version,
+                            dnn::InferenceBatcher* batcher,
+                            ServiceMetrics* metrics = nullptr);
+
+  double Estimate(const RefactoredField& field,
+                  const std::vector<int>& prefix) const override;
+  Result<double> TryEstimate(const RefactoredField& field,
+                             const std::vector<int>& prefix) const override;
+  // Scores a burst of candidate prefixes (one greedy planner step scores
+  // num_levels of them; see Reconstructor::GreedyStep). With a batcher,
+  // every candidate's rows are submitted before any result is awaited, so
+  // one session fills per-level batches by itself — coalescing without
+  // cross-session formation delay. Without a batcher, candidates are
+  // scored sequentially (the pre-batching behavior). Element i is
+  // TryEstimate(field, prefixes[i]) bit-identically.
+  Result<std::vector<double>> TryEstimateMany(
+      const RefactoredField& field,
+      const std::vector<std::vector<int>>& prefixes) const;
+  // "e-mgard@v<N>" — the batching layer changes scheduling, not results,
+  // so the estimator identifies as its version.
+  std::string name() const override;
+
+  int version() const { return version_->version; }
+
+  // The batch-key prefix of every row this version submits
+  // ("emgard@v<N>"); Drain(KeyPrefix(v)) flushes exactly v's queue.
+  static std::string KeyPrefix(const ModelVersion& version);
+
+ private:
+  std::shared_ptr<const ModelVersion> version_;
+  dnn::InferenceBatcher* batcher_;  // nullptr: direct (unbatched) scoring
+  ServiceMetrics* metrics_;         // nullptr: no accounting
+  // "emgard@v<N>/L<l>" per model level, built once — key construction is
+  // on the per-row submit path.
+  std::vector<std::string> level_keys_;
+};
+
+// Session wiring, the batched counterpart of
+// MakeRegistryEstimatorProvider: each new session pins the serving
+// version and scores through `batcher`. When a provider call observes a
+// version change, the outgoing version's queued rows are drained (on
+// their own kernel) before the new lease is handed out. `registry`,
+// `batcher`, and (when set) `metrics` must outlive every session using
+// the provider.
+EstimatorProvider MakeBatchedRegistryEstimatorProvider(
+    ModelRegistry* registry, const std::string& model_id,
+    dnn::InferenceBatcher* batcher, ServiceMetrics* metrics = nullptr);
+
+}  // namespace learning
+}  // namespace mgardp
+
+#endif  // MGARDP_LEARNING_BATCHED_SERVING_H_

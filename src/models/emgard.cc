@@ -107,9 +107,11 @@ Result<EMgardModel> EMgardModel::TrainModel(
       y(r, 0) = targets[r];
     }
     model.scalers_[level].Fit(x);
-    dnn::Matrix xs = model.scalers_[level].Transform(x);
+    MGARDP_ASSIGN_OR_RETURN(dnn::Matrix xs,
+                            model.scalers_[level].Transform(x));
     model.target_scalers_[level].Fit(y);
-    dnn::Matrix ys = model.target_scalers_[level].Transform(y);
+    MGARDP_ASSIGN_OR_RETURN(dnn::Matrix ys,
+                            model.target_scalers_[level].Transform(y));
 
     Rng rng(config.train.seed + static_cast<std::uint64_t>(level) * 211);
     model.models_[level] =
@@ -149,26 +151,78 @@ Result<EMgardModel> EMgardModel::TrainModel(
   return model;
 }
 
-Result<double> EMgardModel::PredictConstant(int level,
-                                            const std::vector<double>& sketch,
-                                            double level_error,
-                                            int bitplanes) const {
+std::vector<double> EMgardModel::BuildConstantInput(
+    const std::vector<double>& sketch, double level_error,
+    int bitplanes) const {
+  return LevelInput(sketch, level_error, bitplanes);
+}
+
+Result<dnn::Matrix> EMgardModel::PredictConstantKernel(
+    int level, const dnn::Matrix& inputs) const {
   if (models_.empty()) {
     return Status::FailedPrecondition("E-MGARD: model not trained");
   }
   if (level < 0 || level >= num_levels()) {
     return Status::OutOfRange("E-MGARD: level out of range");
   }
-  const std::vector<double> in = LevelInput(sketch, level_error, bitplanes);
-  if (in.size() != scalers_[level].num_features()) {
+  if (inputs.cols() != scalers_[level].num_features()) {
     return Status::Invalid("E-MGARD: sketch size differs from training");
   }
-  dnn::Matrix x(1, in.size(), in);
-  dnn::Matrix xs = scalers_[level].Transform(x);
-  const double log_c = target_scalers_[level].InverseTransformValue(
-      0, models_[level].Forward(xs)(0, 0));
-  return std::clamp(std::pow(10.0, log_c), config_.min_constant,
-                    config_.max_constant);
+  MGARDP_ASSIGN_OR_RETURN(dnn::Matrix xs, scalers_[level].Transform(inputs));
+  const dnn::Matrix out = models_[level].Predict(xs);
+  dnn::Matrix constants(out.rows(), 1);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    MGARDP_ASSIGN_OR_RETURN(
+        const double log_c,
+        target_scalers_[level].InverseTransformValue(0, out(r, 0)));
+    constants(r, 0) = std::clamp(std::pow(10.0, log_c),
+                                 config_.min_constant, config_.max_constant);
+  }
+  return constants;
+}
+
+Result<std::vector<double>> EMgardModel::PredictConstantBatch(
+    int level, const std::vector<ConstantRequest>& requests) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("E-MGARD: model not trained");
+  }
+  if (level < 0 || level >= num_levels()) {
+    return Status::OutOfRange("E-MGARD: level out of range");
+  }
+  const std::size_t n = requests.size();
+  const std::size_t dim = scalers_[level].num_features();
+  dnn::Matrix x(n, dim);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (requests[r].sketch == nullptr) {
+      return Status::Invalid("E-MGARD: batch request missing sketch");
+    }
+    const std::vector<double> in = LevelInput(
+        *requests[r].sketch, requests[r].level_error, requests[r].bitplanes);
+    if (in.size() != dim) {
+      return Status::Invalid("E-MGARD: sketch size differs from training");
+    }
+    for (std::size_t c = 0; c < dim; ++c) {
+      x(r, c) = in[c];
+    }
+  }
+  MGARDP_ASSIGN_OR_RETURN(dnn::Matrix constants,
+                          PredictConstantKernel(level, x));
+  std::vector<double> out(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r] = constants(r, 0);
+  }
+  return out;
+}
+
+Result<double> EMgardModel::PredictConstant(int level,
+                                            const std::vector<double>& sketch,
+                                            double level_error,
+                                            int bitplanes) const {
+  MGARDP_ASSIGN_OR_RETURN(
+      std::vector<double> out,
+      PredictConstantBatch(level,
+                           {ConstantRequest{&sketch, level_error, bitplanes}}));
+  return out.front();
 }
 
 std::string EMgardModel::Serialize() const {

@@ -63,6 +63,34 @@ class EMgardModel {
                                  const std::vector<double>& sketch,
                                  double level_error, int bitplanes) const;
 
+  // One retrieval state to score for a level; the sketch must outlive the
+  // batch call.
+  struct ConstantRequest {
+    const std::vector<double>* sketch = nullptr;
+    double level_error = 0.0;
+    int bitplanes = 0;
+  };
+
+  // Batched constant prediction: one multi-row forward pass per call. Row
+  // r is bit-identical to PredictConstant on request r alone.
+  Result<std::vector<double>> PredictConstantBatch(
+      int level, const std::vector<ConstantRequest>& requests) const;
+
+  // The raw (unscaled) network input row for one retrieval state — what
+  // the inference batcher queues. Feed rows back through
+  // PredictConstantKernel to score them.
+  std::vector<double> BuildConstantInput(const std::vector<double>& sketch,
+                                         double level_error,
+                                         int bitplanes) const;
+
+  // Scores N stacked BuildConstantInput rows with level `level`'s network
+  // in one forward pass; returns an N x 1 matrix of clamped constants.
+  // This is the batch kernel shared by every prediction surface, so every
+  // path — single, batched, cross-request coalesced — runs the identical
+  // math. Thread-safe: no model state is written.
+  Result<dnn::Matrix> PredictConstantKernel(int level,
+                                            const dnn::Matrix& inputs) const;
+
   // Calibrated multiplier applied to the summed estimate. The greedy search
   // stops at the first state whose estimate meets the bound, which is
   // biased toward states the model is optimistic about (winner's curse);
@@ -79,7 +107,9 @@ class EMgardModel {
   // Targets (log10 C_l) are standardized so training converges from a
   // zero-centered start at any epoch budget.
   std::vector<dnn::StandardScaler> target_scalers_;
-  mutable std::vector<dnn::Mlp> models_;
+  // Inference uses the cache-free Mlp::Predict; sharing a const model
+  // across concurrent sessions is safe.
+  std::vector<dnn::Mlp> models_;
   double safety_margin_ = 1.0;
 
   std::vector<double> LevelInput(const std::vector<double>& sketch,

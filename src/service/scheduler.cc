@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "dnn/batcher.h"
 #include "obs/tracer.h"
 #include "util/parallel.h"
 
@@ -97,6 +98,11 @@ void RetrievalScheduler::Process(Item* item) const {
   const double deadline =
       req.deadline_ms > 0.0 ? req.deadline_ms : options_.default_deadline_ms;
   RetryPolicy retry(ClampRetryToDeadline(options_.retry, deadline));
+  // Any inference batching under this request may not donate more delay to
+  // batch formation than the request's deadline affords (no deadline: no
+  // clamp). Mirrors ClampRetryToDeadline — retries and batching both trade
+  // throughput against the same latency budget.
+  dnn::ScopedInferenceDeadline inference_deadline(deadline);
 
   Response response;
   RetrievalSession::Refinement refinement;

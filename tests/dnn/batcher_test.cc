@@ -1,0 +1,284 @@
+// InferenceBatcher: fill/delay/early-claim flush paths (driven
+// deterministically through ManualBatchClock), key partitioning, error
+// propagation, prefix drains, the ScopedInferenceDeadline clamp, and a
+// concurrent hammer proving batched results stay bit-identical to the
+// per-row kernel.
+
+#include "dnn/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mgardp {
+namespace dnn {
+namespace {
+
+// Kernel that doubles every element — row-independent, so any batching is
+// exact, and each output row identifies its input row.
+InferenceBatcher::Kernel Doubler() {
+  return [](const Matrix& in) -> Result<Matrix> {
+    Matrix out(in.rows(), in.cols());
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+      for (std::size_t c = 0; c < in.cols(); ++c) {
+        out(r, c) = 2.0 * in(r, c);
+      }
+    }
+    return out;
+  };
+}
+
+// Timer-only options: flushes happen on max_batch or the (manual) clock,
+// never on the yield heuristic — what deterministic tests need.
+InferenceBatcher::Options TimerOnly(ManualBatchClock* clock,
+                                    std::size_t max_batch,
+                                    double max_delay_ms) {
+  InferenceBatcher::Options options;
+  options.max_batch = max_batch;
+  options.max_delay_ms = max_delay_ms;
+  options.claim_after_yields = std::numeric_limits<std::size_t>::max();
+  options.clock = clock;
+  return options;
+}
+
+TEST(InferenceBatcherTest, FillingSubmitterExecutesInline) {
+  ManualBatchClock clock;
+  InferenceBatcher batcher(TimerOnly(&clock, 3, 1000.0));
+  auto t1 = batcher.SubmitAsync("k", {1.0, 2.0}, Doubler());
+  auto t2 = batcher.SubmitAsync("k", {3.0, 4.0}, Doubler());
+  EXPECT_EQ(batcher.pending_rows(), 2u);
+  // The third row fills the batch; the submitting call runs the kernel.
+  auto t3 = batcher.SubmitAsync("k", {5.0, 6.0}, Doubler());
+  EXPECT_EQ(batcher.pending_rows(), 0u);
+  EXPECT_EQ(batcher.stats().batches, 1u);
+  EXPECT_EQ(batcher.stats().rows, 3u);
+  EXPECT_EQ(batcher.stats().max_batch_rows, 3u);
+
+  // The clock never advanced: results must already be published.
+  auto r1 = batcher.Wait(t1);
+  auto r2 = batcher.Wait(t2);
+  auto r3 = batcher.Wait(t3);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r1.value(), (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(r2.value(), (std::vector<double>{6.0, 8.0}));
+  EXPECT_EQ(r3.value(), (std::vector<double>{10.0, 12.0}));
+}
+
+TEST(InferenceBatcherTest, DelayExpiryLetsWaiterClaimShortBatch) {
+  ManualBatchClock clock;
+  InferenceBatcher batcher(TimerOnly(&clock, 8, 0.5));
+  auto t1 = batcher.SubmitAsync("k", {1.0}, Doubler());
+  auto t2 = batcher.SubmitAsync("k", {2.0}, Doubler());
+  EXPECT_EQ(batcher.pending_rows(), 2u);
+  // Past the delay, Wait itself claims and executes the 2-row batch.
+  clock.Advance(0.6);
+  auto r1 = batcher.Wait(t1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value(), (std::vector<double>{2.0}));
+  EXPECT_EQ(batcher.stats().batches, 1u);
+  EXPECT_EQ(batcher.stats().max_batch_rows, 2u);
+  auto r2 = batcher.Wait(t2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), (std::vector<double>{4.0}));
+}
+
+TEST(InferenceBatcherTest, WaiterBlocksUntilClockAdvances) {
+  ManualBatchClock clock;
+  InferenceBatcher batcher(TimerOnly(&clock, 8, 1.0));
+  auto ticket = batcher.SubmitAsync("k", {7.0}, Doubler());
+  std::atomic<bool> finished{false};
+  std::thread waiter([&] {
+    auto r = batcher.Wait(ticket);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), (std::vector<double>{14.0}));
+    finished.store(true);
+  });
+  // With the manual clock frozen inside the delay window the waiter can
+  // only yield; give it real time to prove it does not complete.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(finished.load());
+  EXPECT_EQ(batcher.pending_rows(), 1u);
+  clock.Advance(1.5);
+  waiter.join();
+  EXPECT_TRUE(finished.load());
+  EXPECT_EQ(batcher.pending_rows(), 0u);
+}
+
+TEST(InferenceBatcherTest, ClaimAfterYieldsFlushesWithoutClockAdvance) {
+  ManualBatchClock clock;  // never advanced
+  InferenceBatcher::Options options;
+  options.max_batch = 8;
+  options.max_delay_ms = 1e6;
+  options.claim_after_yields = 0;  // claim on the first pass
+  options.clock = &clock;
+  InferenceBatcher batcher(options);
+  auto r = batcher.Submit("k", {3.0}, Doubler());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{6.0}));
+  EXPECT_EQ(batcher.stats().batches, 1u);
+}
+
+TEST(InferenceBatcherTest, KernelErrorReachesEveryTicketOfTheBatch) {
+  ManualBatchClock clock;
+  InferenceBatcher batcher(TimerOnly(&clock, 2, 1000.0));
+  auto fail = [](const Matrix&) -> Result<Matrix> {
+    return Status::Internal("kernel exploded");
+  };
+  auto t1 = batcher.SubmitAsync("k", {1.0}, fail);
+  auto t2 = batcher.SubmitAsync("k", {2.0}, fail);  // fills -> executes
+  auto r1 = batcher.Wait(t1);
+  auto r2 = batcher.Wait(t2);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r1.status().ToString(), r2.status().ToString());
+}
+
+TEST(InferenceBatcherTest, WrongKernelRowCountIsInternalError) {
+  ManualBatchClock clock;
+  InferenceBatcher batcher(TimerOnly(&clock, 2, 1000.0));
+  auto shrink = [](const Matrix& in) -> Result<Matrix> {
+    return Matrix(in.rows() - 1, in.cols());
+  };
+  auto t1 = batcher.SubmitAsync("k", {1.0}, shrink);
+  auto t2 = batcher.SubmitAsync("k", {2.0}, shrink);
+  EXPECT_FALSE(batcher.Wait(t1).ok());
+  EXPECT_FALSE(batcher.Wait(t2).ok());
+}
+
+TEST(InferenceBatcherTest, KeysPartitionBatchesAndDrainFlushesByPrefix) {
+  ManualBatchClock clock;
+  InferenceBatcher batcher(TimerOnly(&clock, 2, 1000.0));
+  auto a1 = batcher.SubmitAsync("m@v1/L0", {1.0}, Doubler());
+  auto b1 = batcher.SubmitAsync("m@v2/L0", {10.0}, Doubler());
+  auto a2 = batcher.SubmitAsync("m@v1/L0", {2.0}, Doubler());  // fills v1
+  EXPECT_EQ(batcher.stats().batches, 1u);  // only the v1 batch executed
+  EXPECT_EQ(batcher.pending_rows(), 1u);   // v2 row still queued
+
+  // Draining v1 again is a no-op; draining v2 flushes its short batch.
+  batcher.Drain("m@v1");
+  EXPECT_EQ(batcher.pending_rows(), 1u);
+  batcher.Drain("m@v2");
+  EXPECT_EQ(batcher.pending_rows(), 0u);
+  EXPECT_EQ(batcher.stats().batches, 2u);
+
+  for (auto* t : {&a1, &a2, &b1}) {
+    ASSERT_TRUE(batcher.Wait(*t).ok());
+  }
+  EXPECT_EQ(batcher.Wait(b1).value(), (std::vector<double>{20.0}));
+}
+
+TEST(InferenceBatcherTest, ScopedDeadlineNestingKeepsTighterBudget) {
+  EXPECT_EQ(ScopedInferenceDeadline::BudgetMs(),
+            std::numeric_limits<double>::infinity());
+  {
+    ScopedInferenceDeadline outer(5.0);
+    EXPECT_DOUBLE_EQ(ScopedInferenceDeadline::BudgetMs(), 5.0);
+    {
+      ScopedInferenceDeadline inner(2.0);
+      EXPECT_DOUBLE_EQ(ScopedInferenceDeadline::BudgetMs(), 2.0);
+      {
+        ScopedInferenceDeadline looser(9.0);  // must not widen
+        EXPECT_DOUBLE_EQ(ScopedInferenceDeadline::BudgetMs(), 2.0);
+      }
+    }
+    EXPECT_DOUBLE_EQ(ScopedInferenceDeadline::BudgetMs(), 5.0);
+    ScopedInferenceDeadline ignored(0.0);  // <= 0 installs nothing
+    EXPECT_DOUBLE_EQ(ScopedInferenceDeadline::BudgetMs(), 5.0);
+  }
+  EXPECT_EQ(ScopedInferenceDeadline::BudgetMs(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(InferenceBatcherTest, DeadlineBudgetClampsBatchDelay) {
+  ManualBatchClock clock;
+  InferenceBatcher batcher(TimerOnly(&clock, 8, 1000.0));
+  InferenceBatcher::Ticket ticket;
+  {
+    ScopedInferenceDeadline deadline(0.25);
+    ticket = batcher.SubmitAsync("k", {1.0}, Doubler());
+  }
+  // Far less than max_delay, past the submitter's budget: flushable.
+  clock.Advance(0.3);
+  ASSERT_TRUE(batcher.Wait(ticket).ok());
+  EXPECT_EQ(batcher.stats().batches, 1u);
+}
+
+TEST(InferenceBatcherTest, TighterJoinerPullsFlushDeadlineEarlier) {
+  ManualBatchClock clock;
+  InferenceBatcher batcher(TimerOnly(&clock, 8, 1000.0));
+  auto first = batcher.SubmitAsync("k", {1.0}, Doubler());  // full delay
+  InferenceBatcher::Ticket second;
+  {
+    ScopedInferenceDeadline deadline(0.25);
+    second = batcher.SubmitAsync("k", {2.0}, Doubler());
+  }
+  // The joiner's budget re-times the whole batch: both rows flush at the
+  // earlier deadline.
+  clock.Advance(0.3);
+  ASSERT_TRUE(batcher.Wait(first).ok());
+  ASSERT_TRUE(batcher.Wait(second).ok());
+  EXPECT_EQ(batcher.stats().batches, 1u);
+  EXPECT_EQ(batcher.stats().max_batch_rows, 2u);
+}
+
+TEST(InferenceBatcherTest, DestructorDrainsQueuedRows) {
+  ManualBatchClock clock;
+  std::size_t observed_batches = 0;
+  InferenceBatcher::Options options = TimerOnly(&clock, 8, 1000.0);
+  options.observer = [&](std::size_t, double) { ++observed_batches; };
+  {
+    InferenceBatcher batcher(options);
+    (void)batcher.SubmitAsync("k", {1.0}, Doubler());
+    EXPECT_EQ(batcher.pending_rows(), 1u);
+  }
+  EXPECT_EQ(observed_batches, 1u);
+}
+
+// Real-clock hammer: many threads, several keys, randomized interleaving.
+// Every ticket must come back with exactly its own doubled row — proving
+// gather/scatter indexing, claim arbitration, and publication ordering
+// under genuine concurrency.
+TEST(InferenceBatcherTest, ConcurrentHammerReturnsEachRowExactly) {
+  InferenceBatcher::Options options;
+  options.max_batch = 4;
+  options.max_delay_ms = 0.05;
+  InferenceBatcher batcher(options);
+  constexpr int kThreads = 8;
+  constexpr int kRowsPerThread = 200;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRowsPerThread; ++i) {
+        const double v = t * 1000.0 + i;
+        const std::string key = "k" + std::to_string(i % 3);
+        auto r = batcher.Submit(key, {v, -v}, Doubler());
+        if (!r.ok() || r.value() != std::vector<double>({2.0 * v, -2.0 * v})) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(batcher.stats().rows,
+            static_cast<std::uint64_t>(kThreads) * kRowsPerThread);
+  EXPECT_EQ(batcher.pending_rows(), 0u);
+  EXPECT_GE(batcher.stats().max_batch_rows, 1u);
+  EXPECT_LE(batcher.stats().max_batch_rows, 4u);
+}
+
+}  // namespace
+}  // namespace dnn
+}  // namespace mgardp

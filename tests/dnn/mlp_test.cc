@@ -116,6 +116,43 @@ TEST(MlpTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(mlp.Deserialize(&r).ok());
 }
 
+// The const inference path must be bit-identical to an eval-mode Forward
+// (no dropout active), and row-batched Predict must equal row-by-row
+// Predict exactly — every per-element accumulation is row-local.
+TEST(MlpTest, PredictMatchesEvalForwardAndBatchesExactly) {
+  Rng rng(13);
+  MlpConfig config = MlpConfig::EMgardDefault(10);
+  config.dropout = 0.5;  // present but inert outside training mode
+  Mlp mlp(config, &rng);
+  mlp.SetTraining(false);
+
+  Rng data_rng(29);
+  Matrix x(9, 10);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.vector()[i] = data_rng.NextGaussian();
+  }
+
+  Matrix predicted = mlp.Predict(x);
+  Matrix forwarded = mlp.Forward(x);
+  ASSERT_EQ(predicted.rows(), forwarded.rows());
+  ASSERT_EQ(predicted.cols(), forwarded.cols());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    EXPECT_EQ(predicted.vector()[i], forwarded.vector()[i]);
+  }
+
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    Matrix row(1, x.cols());
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row(0, c) = x(r, c);
+    }
+    Matrix one = mlp.Predict(row);
+    ASSERT_EQ(one.cols(), predicted.cols());
+    for (std::size_t c = 0; c < one.cols(); ++c) {
+      EXPECT_EQ(one(0, c), predicted(r, c)) << "row " << r;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dnn
 }  // namespace mgardp

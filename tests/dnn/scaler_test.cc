@@ -10,6 +10,13 @@ namespace mgardp {
 namespace dnn {
 namespace {
 
+// Unwraps a Result in tests where the call is expected to succeed.
+template <typename T>
+T Unwrap(Result<T> result) {
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
 TEST(ScalerTest, TransformStandardizesColumns) {
   Rng rng(4);
   Matrix data(500, 3);
@@ -20,7 +27,7 @@ TEST(ScalerTest, TransformStandardizesColumns) {
   }
   StandardScaler scaler;
   scaler.Fit(data);
-  Matrix t = scaler.Transform(data);
+  Matrix t = Unwrap(scaler.Transform(data));
   for (std::size_t c = 0; c < 3; ++c) {
     double mean = 0.0, var = 0.0;
     for (std::size_t r = 0; r < t.rows(); ++r) {
@@ -44,7 +51,8 @@ TEST(ScalerTest, InverseTransformRecovers) {
   }
   StandardScaler scaler;
   scaler.Fit(data);
-  Matrix recovered = scaler.InverseTransform(scaler.Transform(data));
+  Matrix recovered =
+      Unwrap(scaler.InverseTransform(Unwrap(scaler.Transform(data))));
   for (std::size_t i = 0; i < data.size(); ++i) {
     EXPECT_NEAR(recovered.vector()[i], data.vector()[i], 1e-9);
   }
@@ -54,11 +62,11 @@ TEST(ScalerTest, ConstantColumnHandled) {
   Matrix data(10, 1, 7.0);
   StandardScaler scaler;
   scaler.Fit(data);
-  Matrix t = scaler.Transform(data);
+  Matrix t = Unwrap(scaler.Transform(data));
   for (double v : t.vector()) {
     EXPECT_EQ(v, 0.0);
   }
-  Matrix back = scaler.InverseTransform(t);
+  Matrix back = Unwrap(scaler.InverseTransform(t));
   for (double v : back.vector()) {
     EXPECT_EQ(v, 7.0);
   }
@@ -68,9 +76,36 @@ TEST(ScalerTest, ValueHelpersMatchMatrixPath) {
   Matrix data(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
   StandardScaler scaler;
   scaler.Fit(data);
-  Matrix t = scaler.Transform(data);
-  EXPECT_NEAR(scaler.TransformValue(0, 3.0), t(2, 0), 1e-12);
-  EXPECT_NEAR(scaler.InverseTransformValue(1, t(1, 1)), 20.0, 1e-12);
+  Matrix t = Unwrap(scaler.Transform(data));
+  EXPECT_NEAR(Unwrap(scaler.TransformValue(0, 3.0)), t(2, 0), 1e-12);
+  EXPECT_NEAR(Unwrap(scaler.InverseTransformValue(1, t(1, 1))), 20.0, 1e-12);
+}
+
+TEST(ScalerTest, WidthMismatchIsInvalidNotFatal) {
+  Matrix data(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
+  StandardScaler scaler;
+  scaler.Fit(data);
+  // Fitted on 2 columns; a 3-column matrix is malformed input the serving
+  // path must be able to reject without crashing the process.
+  Matrix wide(1, 3, {1.0, 2.0, 3.0});
+  Result<Matrix> t = scaler.Transform(wide);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  Result<Matrix> inv = scaler.InverseTransform(wide);
+  ASSERT_FALSE(inv.ok());
+  EXPECT_EQ(inv.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScalerTest, ValueHelpersRejectOutOfRangeColumn) {
+  Matrix data(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
+  StandardScaler scaler;
+  scaler.Fit(data);
+  Result<double> t = scaler.TransformValue(2, 1.0);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  Result<double> inv = scaler.InverseTransformValue(7, 1.0);
+  ASSERT_FALSE(inv.ok());
+  EXPECT_EQ(inv.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ScalerTest, SerializationRoundTrip) {
@@ -82,8 +117,8 @@ TEST(ScalerTest, SerializationRoundTrip) {
   BinaryReader r(w.buffer());
   StandardScaler restored;
   ASSERT_TRUE(restored.Deserialize(&r).ok());
-  Matrix a = scaler.Transform(data);
-  Matrix b = restored.Transform(data);
+  Matrix a = Unwrap(scaler.Transform(data));
+  Matrix b = Unwrap(restored.Transform(data));
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.vector()[i], b.vector()[i]);
   }
@@ -102,10 +137,10 @@ TEST(ScalerTest, FrozenColumnsIgnoreInferenceShifts) {
   StandardScaler scaler;
   scaler.Fit(data);
   Matrix probe(1, 2, {99.0, 0.5});
-  Matrix t = scaler.Transform(probe);
+  Matrix t = Unwrap(scaler.Transform(probe));
   EXPECT_EQ(t(0, 0), 0.0);
   EXPECT_NE(t(0, 1), 0.0);
-  EXPECT_EQ(scaler.TransformValue(0, -123.0), 0.0);
+  EXPECT_EQ(Unwrap(scaler.TransformValue(0, -123.0)), 0.0);
 }
 
 TEST(ScalerTest, FrozenFlagSurvivesSerialization) {
@@ -122,7 +157,7 @@ TEST(ScalerTest, FrozenFlagSurvivesSerialization) {
   StandardScaler restored;
   ASSERT_TRUE(restored.Deserialize(&r).ok());
   Matrix probe(1, 2, {100.0, 3.0});
-  EXPECT_EQ(restored.Transform(probe)(0, 0), 0.0);
+  EXPECT_EQ(Unwrap(restored.Transform(probe))(0, 0), 0.0);
 }
 
 }  // namespace

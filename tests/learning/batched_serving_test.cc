@@ -1,0 +1,270 @@
+// BatchedConstantsEstimator + the batched registry provider: batched
+// estimates bit-identical to direct ones under randomized concurrent
+// sessions, burst scoring identical to sequential scoring, and a hot swap
+// landing mid-batch — queued rows of the outgoing version must flush on
+// their own version's weights while new leases serve the incoming one.
+
+#include "learning/batched_serving.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "learning/model_registry.h"
+#include "models/emgard.h"
+#include "models/training_data.h"
+#include "progressive/refactorer.h"
+#include "sim/dataset.h"
+#include "util/rng.h"
+
+namespace mgardp {
+namespace learning {
+namespace {
+
+class BatchedServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WarpXDatasetOptions opts;
+    opts.dims = Dims3{17, 17, 17};
+    opts.num_timesteps = 3;
+    FieldSeries series = GenerateWarpX(opts, WarpXField::kJx);
+    CollectOptions copts;
+    copts.rel_bounds = SubsampledRelativeErrorBounds(1);
+    auto records = CollectRecords(series, {0, 1, 2}, copts);
+    records.status().Abort("collect");
+
+    EMgardConfig config_a;
+    config_a.train.epochs = 2;
+    auto model_a = EMgardModel::TrainModel(records.value(), config_a);
+    model_a.status().Abort("train emgard a");
+    blob_a_ = new std::string(model_a.value().Serialize());
+
+    // A second, differently-trained model so the two versions' weights —
+    // and therefore their estimates — genuinely differ.
+    EMgardConfig config_b;
+    config_b.train.epochs = 3;
+    config_b.train.seed = 71;
+    auto model_b = EMgardModel::TrainModel(records.value(), config_b);
+    model_b.status().Abort("train emgard b");
+    blob_b_ = new std::string(model_b.value().Serialize());
+
+    Refactorer refactorer;
+    auto artifact = refactorer.Refactor(series.frames[0]);
+    artifact.status().Abort("refactor");
+    field_ = new RefactoredField(std::move(artifact).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete blob_a_;
+    delete blob_b_;
+    delete field_;
+  }
+
+  // A deterministic per-level bit-plane prefix for the shared field.
+  static std::vector<int> RandomPrefix(Rng* rng) {
+    std::vector<int> prefix(field_->num_levels());
+    for (int& b : prefix) {
+      b = static_cast<int>(
+          rng->NextUint64() %
+          static_cast<std::uint64_t>(field_->num_planes + 1));
+    }
+    return prefix;
+  }
+
+  static std::string* blob_a_;
+  static std::string* blob_b_;
+  static RefactoredField* field_;
+};
+
+std::string* BatchedServingTest::blob_a_ = nullptr;
+std::string* BatchedServingTest::blob_b_ = nullptr;
+RefactoredField* BatchedServingTest::field_ = nullptr;
+
+TEST_F(BatchedServingTest, ConcurrentBatchedEstimatesBitIdenticalToDirect) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("emgard", *blob_a_).ok());
+  ASSERT_TRUE(registry.Promote("emgard", 1).ok());
+  auto version = registry.Handle("emgard").load();
+  ASSERT_NE(version, nullptr);
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 30;
+  std::vector<std::vector<std::vector<int>>> prefixes(kThreads);
+  std::vector<std::vector<double>> expected(kThreads);
+  BatchedConstantsEstimator direct(version, /*batcher=*/nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(1000 + 17 * t);
+    for (int r = 0; r < kRequests; ++r) {
+      prefixes[t].push_back(RandomPrefix(&rng));
+      expected[t].push_back(direct.Estimate(*field_, prefixes[t].back()));
+    }
+  }
+
+  dnn::InferenceBatcher::Options options;
+  options.max_batch = 16;
+  options.max_delay_ms = 0.05;
+  dnn::InferenceBatcher batcher(options);
+  BatchedConstantsEstimator batched(version, &batcher);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRequests; ++r) {
+        // Exact comparison on purpose: batching must change scheduling,
+        // never arithmetic.
+        if (batched.Estimate(*field_, prefixes[t][r]) != expected[t][r]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(batcher.stats().batches, 0u);
+  EXPECT_EQ(batcher.pending_rows(), 0u);
+}
+
+TEST_F(BatchedServingTest, BurstScoringMatchesSequentialExactly) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("emgard", *blob_a_).ok());
+  ASSERT_TRUE(registry.Promote("emgard", 1).ok());
+  auto version = registry.Handle("emgard").load();
+  ASSERT_NE(version, nullptr);
+
+  Rng rng(7);
+  std::vector<std::vector<int>> candidates;
+  for (int k = 0; k < 6; ++k) {
+    candidates.push_back(RandomPrefix(&rng));
+  }
+
+  BatchedConstantsEstimator direct(version, nullptr);
+  auto direct_many = direct.TryEstimateMany(*field_, candidates);
+  ASSERT_TRUE(direct_many.ok());
+
+  dnn::InferenceBatcher batcher;
+  BatchedConstantsEstimator batched(version, &batcher);
+  auto batched_many = batched.TryEstimateMany(*field_, candidates);
+  ASSERT_TRUE(batched_many.ok());
+
+  ASSERT_EQ(direct_many.value().size(), candidates.size());
+  ASSERT_EQ(batched_many.value().size(), candidates.size());
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const double one = direct.Estimate(*field_, candidates[k]);
+    EXPECT_EQ(direct_many.value()[k], one);
+    EXPECT_EQ(batched_many.value()[k], one);
+  }
+}
+
+TEST_F(BatchedServingTest, HotSwapMidBatchKeepsVersionsUnmixed) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("emgard", *blob_a_).ok());
+  ASSERT_TRUE(registry.Promote("emgard", 1).ok());
+  auto version1 = registry.Handle("emgard").load();
+  ASSERT_NE(version1, nullptr);
+
+  // Timer-only manual clock: queued rows cannot flush until drained.
+  dnn::ManualBatchClock clock;
+  dnn::InferenceBatcher::Options options;
+  options.max_batch = 64;
+  options.max_delay_ms = 1e6;
+  options.claim_after_yields = std::numeric_limits<std::size_t>::max();
+  options.clock = &clock;
+  dnn::InferenceBatcher batcher(options);
+
+  EstimatorProvider provider =
+      MakeBatchedRegistryEstimatorProvider(&registry, "emgard", &batcher);
+  EstimatorLease lease1 = provider();
+  ASSERT_NE(lease1.estimator, nullptr);
+  EXPECT_EQ(lease1.audit_model_id, "emgard@v1");
+
+  Rng rng(11);
+  const std::vector<int> prefix = RandomPrefix(&rng);
+  // How many rows an estimate against `version` queues: one per level with
+  // signal (the same skip rule TryEstimate applies).
+  auto expected_rows = [&](const ModelVersion& version) {
+    std::size_t rows = 0;
+    const int levels =
+        std::min(field_->num_levels(), version.emgard->num_levels());
+    for (int l = 0; l < levels; ++l) {
+      const auto& max_abs = field_->level_errors[l].max_abs;
+      const int b = std::clamp(prefix[static_cast<std::size_t>(l)], 0,
+                               static_cast<int>(max_abs.size()) - 1);
+      if (max_abs[static_cast<std::size_t>(b)] > 0.0) {
+        ++rows;
+      }
+    }
+    return rows;
+  };
+  const std::size_t expect_rows = expected_rows(*version1);
+  ASSERT_GT(expect_rows, 0u);
+
+  double swapped_result = 0.0;
+  std::thread session([&] {
+    // Blocks: its batches are forming and the clock never advances.
+    swapped_result = lease1.estimator->Estimate(*field_, prefix);
+  });
+  while (batcher.pending_rows() < expect_rows) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Hot swap mid-batch. The next lease observes v2 and drains v1's queue,
+  // releasing the blocked session.
+  ASSERT_TRUE(registry.Publish("emgard", *blob_b_).ok());
+  ASSERT_TRUE(registry.Promote("emgard", 2).ok());
+  EstimatorLease lease2 = provider();
+  ASSERT_NE(lease2.estimator, nullptr);
+  EXPECT_EQ(lease2.audit_model_id, "emgard@v2");
+  session.join();
+  EXPECT_EQ(batcher.pending_rows(), 0u);
+
+  // The drained rows ran on the weights they were built for: the result
+  // is exactly the v1 estimate, not v2's.
+  auto version2 = registry.Handle("emgard").load();
+  ASSERT_NE(version2, nullptr);
+  BatchedConstantsEstimator direct_v1(version1, nullptr);
+  BatchedConstantsEstimator direct_v2(version2, nullptr);
+  const double v1_expected = direct_v1.Estimate(*field_, prefix);
+  const double v2_expected = direct_v2.Estimate(*field_, prefix);
+  EXPECT_EQ(swapped_result, v1_expected);
+  EXPECT_NE(v1_expected, v2_expected);  // differently-trained weights
+
+  // And the new lease scores on v2, bit-identically to direct v2. Its rows
+  // queue under the frozen clock too, so run it blocked and drain the v2
+  // keys once every row is in.
+  double lease2_result = 0.0;
+  std::thread session2([&] {
+    lease2_result = lease2.estimator->Estimate(*field_, prefix);
+  });
+  const std::size_t expect_rows2 = expected_rows(*version2);
+  while (batcher.pending_rows() < expect_rows2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  batcher.Drain("emgard@v2");
+  session2.join();
+  EXPECT_EQ(lease2_result, v2_expected);
+}
+
+TEST_F(BatchedServingTest, ProviderHandsOutEmptyLeaseUntilPromotion) {
+  ModelRegistry registry;
+  dnn::InferenceBatcher batcher;
+  EstimatorProvider provider =
+      MakeBatchedRegistryEstimatorProvider(&registry, "emgard", &batcher);
+  EXPECT_EQ(provider().estimator, nullptr);
+  ASSERT_TRUE(registry.Publish("emgard", *blob_a_).ok());
+  EXPECT_EQ(provider().estimator, nullptr);  // candidate, not serving
+  ASSERT_TRUE(registry.Promote("emgard", 1).ok());
+  EXPECT_NE(provider().estimator, nullptr);
+}
+
+}  // namespace
+}  // namespace learning
+}  // namespace mgardp

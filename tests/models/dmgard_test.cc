@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace mgardp {
@@ -113,6 +114,57 @@ TEST_F(DMgardTest, SerializationPreservesPredictions) {
 TEST_F(DMgardTest, RejectsWrongFeatureCount) {
   EXPECT_FALSE(
       model_->Predict({1.0, 2.0}, records_->front().sketches, 1e-3).ok());
+}
+
+// Regression for the deduplicated chained-inference loop: Predict must be
+// exactly round+clamp of PredictRaw — a single chain drives both, so the
+// rounded counts fed forward through the levels cannot drift between the
+// two surfaces.
+TEST_F(DMgardTest, PredictIsRoundClampOfPredictRaw) {
+  const double planes = static_cast<double>(model_->config().num_planes);
+  for (const RetrievalRecord& r : *records_) {
+    auto raw = model_->PredictRaw(r.features, r.sketches, r.achieved_error);
+    auto rounded = model_->Predict(r.features, r.sketches, r.achieved_error);
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(rounded.ok());
+    ASSERT_EQ(raw.value().size(), rounded.value().size());
+    for (std::size_t l = 0; l < raw.value().size(); ++l) {
+      const int expected = static_cast<int>(
+          std::clamp(std::round(raw.value()[l]), 0.0, planes));
+      EXPECT_EQ(rounded.value()[l], expected);
+    }
+  }
+}
+
+// Batched chained inference must be bit-identical to one-at-a-time calls:
+// each row advances through the level chain with the same scaler + network
+// math and the same rounded feedback.
+TEST_F(DMgardTest, BatchPredictionMatchesSequentialExactly) {
+  std::vector<DMgardModel::BatchRequest> requests;
+  for (const RetrievalRecord& r : *records_) {
+    requests.push_back({&r.features, &r.sketches, r.achieved_error});
+    if (requests.size() == 7) {  // odd size: exercises a partial tail too
+      break;
+    }
+  }
+  auto batch_raw = model_->PredictRawBatch(requests);
+  auto batch_int = model_->PredictBatch(requests);
+  ASSERT_TRUE(batch_raw.ok());
+  ASSERT_TRUE(batch_int.ok());
+  ASSERT_EQ(batch_raw.value().size(), requests.size());
+  ASSERT_EQ(batch_int.value().size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto raw = model_->PredictRaw(*requests[i].features,
+                                  *requests[i].sketches,
+                                  requests[i].target_abs_error);
+    auto rounded = model_->Predict(*requests[i].features,
+                                   *requests[i].sketches,
+                                   requests[i].target_abs_error);
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(rounded.ok());
+    EXPECT_EQ(batch_raw.value()[i], raw.value());  // exact, not approximate
+    EXPECT_EQ(batch_int.value()[i], rounded.value());
+  }
 }
 
 TEST(DMgardValidationTest, RejectsEmptyRecords) {

@@ -72,6 +72,14 @@
 //             proof) to --json; --registry DIR persists the final
 //             registry for `models list`.
 //
+//   serve-bench  with --batch-inference runs the inference-throughput
+//             bench: train a small E-MGARD estimator, publish it through
+//             the model registry, and score an identical randomized
+//             prefix workload from --clients concurrent threads twice —
+//             per-caller (unbatched) and through the cross-request
+//             InferenceBatcher — reporting predictions/sec and request
+//             latency for both plus a batched==direct bit-identity check.
+//
 //   models    <list|publish|pin|rollback> --dir REGISTRY_DIR
 //             Administers the versioned model registry: list versions and
 //             serving state, publish a trained blob (--blob MODEL.bin,
@@ -101,7 +109,9 @@
 #include <vector>
 
 #include "cluster/cluster_backend.h"
+#include "dnn/batcher.h"
 #include "learning/background_trainer.h"
+#include "learning/batched_serving.h"
 #include "learning/model_registry.h"
 #include "learning/serving.h"
 #include "learning/shadow.h"
@@ -1176,8 +1186,12 @@ int CmdServeBenchCluster(const Flags& flags) {
 }
 
 int CmdServeBenchRetrain(const Flags& flags);  // defined below
+int CmdServeBenchInfer(const Flags& flags);    // defined below
 
 int CmdServeBench(const Flags& flags) {
+  if (flags.Has("batch-inference")) {
+    return CmdServeBenchInfer(flags);
+  }
   if (flags.Has("retrain")) {
     return CmdServeBenchRetrain(flags);
   }
@@ -1889,6 +1903,390 @@ int CmdServeBenchRetrain(const Flags& flags) {
   return 0;
 }
 
+// ---- serve-bench --batch-inference: estimator inference throughput ---------
+
+// One measured mode (batched or direct) of the inference bench. Repeats
+// of the same mode accumulate into one of these (modes are interleaved
+// A/B/A/B so machine noise averages into both) and Finalize() derives the
+// rates and quantiles.
+struct InferBenchMode {
+  double seconds = 0.0;
+  std::uint64_t rows = 0;  // prediction rows — the predictions/sec numerator
+  std::size_t requests = 0;   // planner-step bursts (the latency unit)
+  std::size_t estimates = 0;  // candidate prefixes scored
+  std::size_t failures = 0;
+  std::vector<double> latencies;  // per-request ms, all repeats
+  double predictions_per_sec = 0.0;
+  double estimates_per_sec = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  // Batched mode only.
+  std::uint64_t batches = 0;
+  std::uint64_t batch_rows = 0;  // rows through executed batches
+  double batch_rows_mean = 0.0;
+  double queue_delay_p50_ms = 0.0;  // worst repeat
+  double queue_delay_p99_ms = 0.0;
+};
+
+double SortedQuantile(std::vector<double>* values, double q) {
+  if (values->empty()) {
+    return 0.0;
+  }
+  std::sort(values->begin(), values->end());
+  const std::size_t idx = std::min(
+      values->size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(values->size())));
+  return (*values)[idx];
+}
+
+// Per client, per request: the burst of candidate prefixes one planner
+// step scores (see Reconstructor::GreedyStep — one candidate per level,
+// all independent).
+using PrefixBursts = std::vector<std::vector<std::vector<int>>>;
+
+// Runs `clients` threads, each scoring its precomputed candidate bursts
+// against its field through one shared estimator, accumulating into
+// `agg`. `batcher` nullptr is the direct (unbatched) baseline —
+// candidates scored one at a time, the pre-batching behavior; with a
+// batcher each burst's rows are in flight together. Both modes run the
+// identical workload.
+void RunInferBenchMode(
+    const std::shared_ptr<const learning::ModelVersion>& version,
+    const std::vector<RefactoredField>& fields,
+    const std::vector<int>& field_of,
+    const std::vector<PrefixBursts>& bursts,
+    dnn::InferenceBatcher* batcher, ServiceMetrics* metrics,
+    InferBenchMode* agg) {
+  const std::size_t clients = field_of.size();
+  learning::BatchedConstantsEstimator estimator(version, batcher, metrics);
+
+  // Untimed warmup (thread pool spin-up, allocator steady state), then
+  // reset the row counters so predictions/sec covers the timed window only.
+  const std::size_t warmup = std::min<std::size_t>(8, bursts[0].size());
+  for (std::size_t r = 0; r < warmup; ++r) {
+    auto ignored = estimator.TryEstimateMany(fields[field_of[0]], bursts[0][r]);
+    (void)ignored;
+  }
+  metrics->Reset();
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> failures{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const RefactoredField& field = fields[field_of[c]];
+      std::vector<double>& lat = latencies[c];
+      lat.reserve(bursts[c].size());
+      for (const std::vector<std::vector<int>>& burst : bursts[c]) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto estimates = estimator.TryEstimateMany(field, burst);
+        lat.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+        if (!estimates.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (double estimate : estimates.value()) {
+          if (!std::isfinite(estimate)) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : workers) {
+    t.join();
+  }
+
+  agg->seconds += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  for (std::size_t c = 0; c < clients; ++c) {
+    agg->latencies.insert(agg->latencies.end(), latencies[c].begin(),
+                          latencies[c].end());
+    agg->requests += latencies[c].size();
+    for (const std::vector<std::vector<int>>& burst : bursts[c]) {
+      agg->estimates += burst.size();
+    }
+  }
+  agg->failures += failures.load();
+  const ServiceMetrics::Snapshot snap = metrics->snapshot();
+  agg->rows += snap.inference_rows;
+  agg->batches += snap.inference_batches;
+  agg->batch_rows += static_cast<std::uint64_t>(
+      snap.inference_batch_rows_mean *
+      static_cast<double>(snap.inference_batches));
+  agg->queue_delay_p50_ms =
+      std::max(agg->queue_delay_p50_ms, snap.inference_queue_delay_p50_ms);
+  agg->queue_delay_p99_ms =
+      std::max(agg->queue_delay_p99_ms, snap.inference_queue_delay_p99_ms);
+}
+
+// Derives rates and latency quantiles once every repeat has accumulated.
+void FinalizeInferBenchMode(InferBenchMode* m) {
+  if (m->seconds > 0.0) {
+    m->predictions_per_sec = static_cast<double>(m->rows) / m->seconds;
+    m->estimates_per_sec = static_cast<double>(m->estimates) / m->seconds;
+  }
+  if (m->batches > 0) {
+    m->batch_rows_mean = static_cast<double>(m->batch_rows) /
+                         static_cast<double>(m->batches);
+  }
+  m->latency_p99_ms = SortedQuantile(&m->latencies, 0.99);
+  m->latency_p50_ms = SortedQuantile(&m->latencies, 0.50);
+}
+
+// Closed-loop inference benchmark: train a small E-MGARD estimator
+// in-process, publish + promote it through the model registry, then score
+// the same randomized workload from `--clients` concurrent threads twice —
+// once per-caller (direct) and once through the InferenceBatcher — and
+// report predictions/sec and request latency for both. A request is one
+// planner-step burst of `--burst` candidate prefixes (GreedyStep scores
+// one candidate per level, all independent), so batched mode coalesces a
+// session's own burst as well as concurrent sessions' rows. Finishes with
+// a bit-identity cross-check: batched and direct estimates for the same
+// inputs must match exactly, not approximately.
+int CmdServeBenchInfer(const Flags& flags) {
+  if (int rc = ApplyThreadsFlag(flags); rc != 0) {
+    return rc;
+  }
+  Dims3 dims;
+  if (!ParseDims(flags.GetString("dims", "17,17,17"), &dims)) {
+    return Usage("bad --dims");
+  }
+  const int frames = flags.GetInt("frames", 2);
+  const int clients = flags.GetInt("clients", 16);
+  const int requests = flags.GetInt("requests", 80);
+  const int burst = flags.GetInt("burst", 4);
+  const int repeat = flags.GetInt("repeat", 3);
+  const int epochs = flags.GetInt("epochs", 40);
+  const double max_delay_ms = flags.GetDouble("max-delay-ms", 0.3);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  if (frames <= 0 || clients <= 0 || requests <= 0 || burst <= 0 ||
+      repeat <= 0 || epochs <= 0) {
+    return Usage("--frames, --clients, --requests, --burst, --repeat and "
+                 "--epochs must be positive");
+  }
+  // Default max-batch: four planner bursts — wide enough that several
+  // sessions coalesce (and park while a leader computes, which is what
+  // collapses the oversubscribed tail), small enough to fill within
+  // max-delay under moderate load.
+  const std::size_t max_batch =
+      static_cast<std::size_t>(flags.GetInt("max-batch", 4 * burst));
+  if (max_batch == 0 || max_delay_ms < 0.0) {
+    return Usage("--max-batch must be positive, --max-delay-ms >= 0");
+  }
+
+  auto series = GenerateSeries(flags.GetString("app", "gray-scott"),
+                               flags.GetString("field", "D_u"), dims, frames);
+  if (!series.ok()) {
+    return Usage(series.status().message().c_str());
+  }
+  Refactorer refactorer;
+  std::vector<RefactoredField> fields;
+  fields.reserve(frames);
+  for (const Array3Dd& frame : series.value().frames) {
+    auto artifact = refactorer.Refactor(frame);
+    if (!artifact.ok()) {
+      return Fail(artifact.status());
+    }
+    fields.push_back(std::move(artifact).value());
+  }
+
+  std::printf("infer-bench: training e-mgard on %s/%s %s (%d epochs)...\n",
+              flags.GetString("app", "gray-scott").c_str(),
+              flags.GetString("field", "D_u").c_str(),
+              dims.ToString().c_str(), epochs);
+  CollectOptions copts;
+  copts.rel_bounds = SubsampledRelativeErrorBounds(2);
+  std::vector<int> all_steps(frames);
+  for (int t = 0; t < frames; ++t) {
+    all_steps[t] = t;
+  }
+  auto records = CollectRecords(series.value(), all_steps, copts);
+  if (!records.ok()) {
+    return Fail(records.status());
+  }
+  EMgardConfig econfig;
+  econfig.train.epochs = epochs;
+  auto model = EMgardModel::TrainModel(records.value(), econfig);
+  if (!model.ok()) {
+    return Fail(model.status());
+  }
+
+  // Through the registry, exactly as production serving would see it.
+  learning::ModelRegistry registry;
+  auto published = registry.Publish("emgard", model.value().Serialize());
+  if (!published.ok()) {
+    return Fail(published.status());
+  }
+  if (const Status st = registry.Promote("emgard", published.value());
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::shared_ptr<const learning::ModelVersion> version =
+      registry.Handle("emgard").load();
+  if (version == nullptr) {
+    return Fail(Status::Internal("nothing serving after promote"));
+  }
+
+  // Identical randomized workload for both modes: per client, a field and
+  // `requests` planner-step bursts of `burst` random per-level bit-plane
+  // prefixes each.
+  std::vector<int> field_of(clients);
+  std::vector<PrefixBursts> bursts(clients);
+  for (int c = 0; c < clients; ++c) {
+    field_of[c] = c % frames;
+    const RefactoredField& field = fields[field_of[c]];
+    Rng rng(seed + 7919ULL * static_cast<std::uint64_t>(c));
+    bursts[c].reserve(requests);
+    for (int r = 0; r < requests; ++r) {
+      std::vector<std::vector<int>> candidates;
+      candidates.reserve(burst);
+      for (int k = 0; k < burst; ++k) {
+        std::vector<int> prefix(field.num_levels());
+        for (int& b : prefix) {
+          b = static_cast<int>(
+              rng.NextUint64() %
+              static_cast<std::uint64_t>(field.num_planes + 1));
+        }
+        candidates.push_back(std::move(prefix));
+      }
+      bursts[c].push_back(std::move(candidates));
+    }
+  }
+
+  ServiceMetrics metrics;
+  dnn::InferenceBatcher::Options bopts;
+  bopts.max_batch = max_batch;
+  bopts.max_delay_ms = max_delay_ms;
+  bopts.observer = [&metrics](std::size_t rows, double delay_ms) {
+    metrics.OnInferenceBatch(rows, delay_ms);
+  };
+  dnn::InferenceBatcher batcher(bopts);
+
+  // Interleave the modes A/B/A/B across `repeat` rounds: run-to-run
+  // machine noise then averages into both sides instead of skewing the
+  // ratio toward whichever mode hit the quiet window.
+  InferBenchMode direct;
+  InferBenchMode batched;
+  for (int r = 0; r < repeat; ++r) {
+    RunInferBenchMode(version, fields, field_of, bursts, /*batcher=*/nullptr,
+                      &metrics, &direct);
+    RunInferBenchMode(version, fields, field_of, bursts, &batcher, &metrics,
+                      &batched);
+  }
+  FinalizeInferBenchMode(&direct);
+  FinalizeInferBenchMode(&batched);
+
+  // Bit-identity spot check across the workload: batching changes
+  // scheduling, never arithmetic, so == is the right comparison — every
+  // candidate of a batched burst must match its one-at-a-time estimate.
+  learning::BatchedConstantsEstimator direct_est(version, nullptr);
+  learning::BatchedConstantsEstimator batched_est(version, &batcher);
+  bool bit_identical = true;
+  for (int c = 0; c < clients && bit_identical; ++c) {
+    const RefactoredField& field = fields[field_of[c]];
+    for (int r = 0; r < std::min(requests, 4) && bit_identical; ++r) {
+      auto many = batched_est.TryEstimateMany(field, bursts[c][r]);
+      if (!many.ok()) {
+        bit_identical = false;
+        break;
+      }
+      for (std::size_t k = 0; k < bursts[c][r].size(); ++k) {
+        if (many.value()[k] != direct_est.Estimate(field, bursts[c][r][k])) {
+          bit_identical = false;
+          break;
+        }
+      }
+    }
+  }
+
+  auto print_mode = [](const char* name, const InferBenchMode& m) {
+    std::printf("  %-9s %7.0f predictions/s  %7.0f estimates/s  "
+                "p50 %.3f ms  p99 %.3f ms",
+                name, m.predictions_per_sec, m.estimates_per_sec,
+                m.latency_p50_ms, m.latency_p99_ms);
+    if (m.batches > 0) {
+      std::printf("  (%llu batches, %.1f rows/batch)",
+                  static_cast<unsigned long long>(m.batches),
+                  m.batch_rows_mean);
+    }
+    std::printf("\n");
+  };
+  std::printf("infer-bench: %d clients x %d requests x %d candidates, "
+              "%d interleaved repeats, max-batch %zu, max-delay %.3f ms\n",
+              clients, requests, burst, repeat, max_batch, max_delay_ms);
+  print_mode("unbatched", direct);
+  print_mode("batched", batched);
+  const double speedup =
+      direct.predictions_per_sec > 0.0
+          ? batched.predictions_per_sec / direct.predictions_per_sec
+          : 0.0;
+  std::printf("infer-bench: speedup %.2fx, p99 %.3f -> %.3f ms, "
+              "bit-identical %s\n",
+              speedup, direct.latency_p99_ms, batched.latency_p99_ms,
+              bit_identical ? "yes" : "NO");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    auto mode_json = [](const InferBenchMode& m, bool with_batches) {
+      std::ostringstream os;
+      os << "{\"seconds\":" << m.seconds << ",\"rows\":" << m.rows
+         << ",\"requests\":" << m.requests
+         << ",\"estimates\":" << m.estimates
+         << ",\"failures\":" << m.failures
+         << ",\"predictions_per_sec\":" << m.predictions_per_sec
+         << ",\"estimates_per_sec\":" << m.estimates_per_sec
+         << ",\"latency_p50_ms\":" << m.latency_p50_ms
+         << ",\"latency_p99_ms\":" << m.latency_p99_ms;
+      if (with_batches) {
+        os << ",\"batches\":" << m.batches
+           << ",\"batch_rows_mean\":" << m.batch_rows_mean
+           << ",\"queue_delay_p50_ms\":" << m.queue_delay_p50_ms
+           << ",\"queue_delay_p99_ms\":" << m.queue_delay_p99_ms;
+      }
+      os << "}";
+      return os.str();
+    };
+    std::ostringstream os;
+    os << "{\"benchmark\":\"infer\",\"dims\":\"" << dims.ToString()
+       << "\",\"frames\":" << frames << ",\"clients\":" << clients
+       << ",\"requests_per_client\":" << requests
+       << ",\"candidates_per_request\":" << burst
+       << ",\"repeats\":" << repeat
+       << ",\"max_batch\":" << max_batch
+       << ",\"max_delay_ms\":" << max_delay_ms
+       << ",\"model_version\":" << version->version
+       << ",\"unbatched\":" << mode_json(direct, false)
+       << ",\"batched\":" << mode_json(batched, true)
+       << ",\"speedup\":" << speedup
+       << ",\"bit_identical\":" << (bit_identical ? "true" : "false")
+       << "}\n";
+    if (const Status st = WriteFile(json_path, os.str()); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!bit_identical || direct.failures > 0 || batched.failures > 0) {
+    std::fprintf(stderr, "infer-bench: FAILED (%s)\n",
+                 !bit_identical ? "batched estimate != direct estimate"
+                                : "estimator failures");
+    return 2;
+  }
+  return 0;
+}
+
 // Scrubs one artifact directory, printing one line per unhealthy segment.
 // Returns the number of bad segments, or -1 when the container itself is
 // unreadable (missing or unparseable index).
@@ -2125,6 +2523,15 @@ void PrintHelp() {
       "            mid-run and show the bound-violation rate recovering via\n"
       "            drift-triggered refit + shadow promotion, no restart;\n"
       "            also proves a junk candidate is never promoted)\n"
+      "  serve-bench  --batch-inference [--dims NX[,NY[,NZ]]] [--frames F]\n"
+      "            [--clients C] [--requests N] [--burst K] [--repeat R]\n"
+      "            [--epochs E] [--max-batch M] [--max-delay-ms D]\n"
+      "            [--json FILE]\n"
+      "            (inference-throughput bench: planner-step bursts of K\n"
+      "            candidate estimates scored unbatched and through the\n"
+      "            cross-request batcher, modes interleaved over R repeats;\n"
+      "            reports predictions/sec + latency and exits 2 unless\n"
+      "            batched estimates are bit-identical to direct ones)\n"
       "  audit     --app APP --field NAME --dims NX[,NY[,NZ]]\n"
       "            [--timesteps T] [--repo ROOT] [--dmgard MODEL.bin]\n"
       "            [--emgard MODEL.bin] [--bounds-per-decade N]\n"
