@@ -15,6 +15,8 @@
 #include <chrono>
 
 #include "obs/audit.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "obs/tracer.h"
 #include "progressive/reconstructor.h"
 #include "progressive/refactorer.h"
@@ -109,6 +111,75 @@ void BM_PipelineTraceOn(benchmark::State& state) {
   tracer.Clear();
 }
 BENCHMARK(BM_PipelineTraceOn);
+
+// Per-span cost with REQUEST mode on and a context installed: the span
+// forwards into the request's bounded buffer instead of the timeline.
+void BM_SpanRequestMode(benchmark::State& state) {
+  obs::Tracer& tracer = obs::GlobalTracer();
+  tracer.set_request_tracing(true);
+  obs::RequestTraceRecorder recorder;
+  auto ctx = recorder.StartRequest("bench", 0.0, "");
+  obs::ScopedRequestContext scope(ctx);
+  double x = 1.0;
+  for (auto _ : state) {
+    MGARDP_TRACE_SPAN("bench/span_req", "bench");
+    x = Work(x);
+    benchmark::DoNotOptimize(x);
+  }
+  tracer.set_request_tracing(false);
+  tracer.Clear();
+}
+BENCHMARK(BM_SpanRequestMode);
+
+// The full round trip with request tracing ON: mint a context, run under
+// its scope (every pipeline span forwards to its flight recorder), apply
+// the tail sampler. Against BM_PipelineTraceOff this is the total
+// per-request tax of --trace-requests; the OFF number is still the one
+// relaxed load and must stay within noise of the pre-instrumentation
+// pipeline.
+void BM_PipelineRequestTraceOn(benchmark::State& state) {
+  obs::Tracer& tracer = obs::GlobalTracer();
+  tracer.set_request_tracing(true);
+  obs::RequestTraceRecorder recorder;
+  const Array3Dd data = TestData(17);
+  for (auto _ : state) {
+    auto ctx = recorder.StartRequest("bench", 0.0, "");
+    obs::ScopedRequestContext scope(ctx);
+    PipelineRoundTrip(data);
+    recorder.FinishRequest(ctx, Status::OK(), 1.0);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+  tracer.set_request_tracing(false);
+  tracer.Clear();
+}
+BENCHMARK(BM_PipelineRequestTraceOn);
+
+// The flight recorder alone: mint + tail-sample-and-drop per request
+// (what every fast, successful request pays beyond its spans).
+void BM_RequestStartFinish(benchmark::State& state) {
+  obs::RequestTraceRecorder recorder;
+  for (auto _ : state) {
+    auto ctx = recorder.StartRequest("bench", 0.0, "");
+    recorder.FinishRequest(ctx, Status::OK(), 1.0);
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestStartFinish);
+
+// One SLO observation: a ring advance plus two bucket increments under a
+// short mutex hold — the per-completion cost of the burn-rate monitors.
+void BM_SloRecord(benchmark::State& state) {
+  obs::SloTracker tracker;
+  bool good = true;
+  for (auto _ : state) {
+    tracker.Record(good);
+    good = !good;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SloRecord);
 
 // The audit layer's always-on cost: one estimate-only Record() (the shape
 // every production retrieval pays when no ground truth is attached) —

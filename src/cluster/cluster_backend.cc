@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/tracer.h"
 #include "storage/container_format.h"
 #include "storage/segment_store.h"
 
@@ -165,10 +166,31 @@ bool ClusterBackend::LookupChecksum(const std::string& field_id, int level,
 
 Result<std::string> ClusterBackend::GetSegment(const std::string& field_id,
                                                int level, int plane) {
+  MGARDP_TRACE_SPAN("cluster/get", "cluster");
   gets_.fetch_add(1, kRelaxed);
   const std::uint64_t hash = HashRing::KeyHash(field_id, level, plane);
   std::uint32_t expected_crc = 0;
   const bool known = LookupChecksum(field_id, level, plane, &expected_crc);
+
+  // The failover walk is only visible as a whole: each replica attempt is
+  // its own span below, and when the first candidate did not serve, the
+  // full walk is recorded as an externally-timed "cluster/failover_walk"
+  // interval — a retained request trace then shows exactly how long the
+  // request spent walking dead or corrupt replicas.
+  obs::Tracer& tracer = obs::GlobalTracer();
+  const bool walk_traced = tracer.enabled();
+  const auto walk_start = walk_traced ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
+  const auto record_failover_walk = [&] {
+    if (!walk_traced) {
+      return;
+    }
+    static obs::StageStats* const walk_stage =
+        obs::GlobalTracer().GetOrCreateStage("cluster/failover_walk",
+                                             "cluster");
+    tracer.RecordInterval(walk_stage, walk_start,
+                          std::chrono::steady_clock::now());
+  };
 
   // Candidates passed over before the one that finally served: skipped
   // (killed/down), answered without the payload, or failed. Success with
@@ -183,9 +205,12 @@ Result<std::string> ClusterBackend::GetSegment(const std::string& field_id,
     }
     (void)probing;  // the probe itself is counted inside ShouldAttempt
     int retries = 0;
-    auto outcome = retry_.Run(
-        [&] { return NodeGet(node, field_id, level, plane); },
-        hash ^ static_cast<std::uint64_t>(node_id), &retries);
+    Result<std::string> outcome = [&] {
+      MGARDP_TRACE_SPAN("cluster/replica_read", "cluster");
+      return retry_.Run(
+          [&] { return NodeGet(node, field_id, level, plane); },
+          hash ^ static_cast<std::uint64_t>(node_id), &retries);
+    }();
     if (retries > 0) {
       retries_.fetch_add(static_cast<std::uint64_t>(retries), kRelaxed);
       if (metrics_ != nullptr) {
@@ -206,6 +231,7 @@ Result<std::string> ClusterBackend::GetSegment(const std::string& field_id,
         if (metrics_ != nullptr) {
           metrics_->OnFailover();
         }
+        record_failover_walk();
       }
       return outcome;
     }
@@ -226,6 +252,7 @@ Result<std::string> ClusterBackend::GetSegment(const std::string& field_id,
     if (metrics_ != nullptr) {
       metrics_->OnReplicaLost();
     }
+    record_failover_walk();
     return Status::DataLoss("all replicas of segment " +
                             SegmentName(field_id, level, plane) + " lost");
   }
@@ -235,6 +262,7 @@ Result<std::string> ClusterBackend::GetSegment(const std::string& field_id,
 
 Status ClusterBackend::PutSegment(const std::string& field_id, int level,
                                   int plane, std::string payload) {
+  MGARDP_TRACE_SPAN("cluster/put", "cluster");
   puts_.fetch_add(1, kRelaxed);
   {
     std::unique_lock<std::shared_mutex> lock(checksums_mu_);
@@ -314,6 +342,7 @@ NodeHealth ClusterBackend::node_health(int node_id) const {
 }
 
 ClusterBackend::ScrubReport ClusterBackend::ScrubRepair() {
+  MGARDP_TRACE_SPAN("cluster/scrub", "cluster");
   ScrubReport report;
   // Snapshot the catalog; repairs below take per-node locks one at a time.
   std::vector<std::pair<std::tuple<std::string, int, int>, std::uint32_t>>

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/request_trace.h"
 #include "obs/tracer.h"
 
 namespace mgardp {
@@ -71,6 +72,13 @@ struct InferenceBatcher::BatchState {
   std::atomic<bool> done{false};
   Status status = Status::OK();
   Matrix out;
+  // Request contexts of submitters that carried one (request tracing on).
+  // Appended under the batcher lock while forming; read by the executor
+  // after detach, when no further joiner can arrive. The executed batch
+  // span is appended to EVERY joiner with the full set of joined trace
+  // ids as span links — the per-request lanes then show exactly which
+  // strangers shared the kernel call.
+  std::vector<std::shared_ptr<obs::RequestContext>> joiners;
 };
 
 InferenceBatcher::InferenceBatcher() : InferenceBatcher(Options()) {}
@@ -120,6 +128,13 @@ InferenceBatcher::Ticket InferenceBatcher::SubmitAsync(
     }
     ticket.batch_ = slot;
     ticket.row_ = slot->num_rows;
+    if (obs::GlobalTracer().request_tracing_enabled()) {
+      std::shared_ptr<obs::RequestContext> ctx =
+          obs::ScopedRequestContext::CurrentShared();
+      if (ctx != nullptr) {
+        slot->joiners.push_back(std::move(ctx));
+      }
+    }
     slot->rows.insert(slot->rows.end(), row.begin(), row.end());
     ++slot->num_rows;
     ++stats_.rows;
@@ -209,8 +224,34 @@ void InferenceBatcher::Execute(const std::shared_ptr<BatchState>& batch) {
       std::chrono::duration<double, std::milli>(clock_->Now() -
                                                 batch->created)
           .count();
+  const bool link_joiners = !batch->joiners.empty();
+  const auto kernel_start = link_joiners
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
   Matrix in(batch->num_rows, batch->width, std::move(batch->rows));
   Result<Matrix> result = batch->kernel(in);
+  if (link_joiners) {
+    // Stamp the shared kernel call into every joiner's flight record, each
+    // carrying the trace ids of all peers as span links.
+    const auto kernel_end = std::chrono::steady_clock::now();
+    obs::Tracer& tracer = obs::GlobalTracer();
+    obs::TraceEvent ev;
+    ev.name = "dnn/batch_infer";
+    ev.category = "dnn";
+    ev.ts_us = tracer.ToMicros(kernel_start);
+    ev.dur_us = std::chrono::duration<double, std::micro>(kernel_end -
+                                                          kernel_start)
+                    .count();
+    ev.tid = obs::CurrentThreadId();
+    std::vector<std::uint64_t> links;
+    links.reserve(batch->joiners.size());
+    for (const auto& joiner : batch->joiners) {
+      links.push_back(joiner->trace_id());
+    }
+    for (const auto& joiner : batch->joiners) {
+      joiner->AppendBatchSpan(ev, links, batch->num_rows);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (result.ok() && result.value().rows() != batch->num_rows) {

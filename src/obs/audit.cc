@@ -89,6 +89,9 @@ void ErrorControlAuditor::Record(const AuditRecord& record) {
       m->satisfied.fetch_add(1, kRelaxed);
     } else {
       m->violations.fetch_add(1, kRelaxed);
+      if (record.trace_id != 0) {
+        m->last_violation_trace_id.store(record.trace_id, kRelaxed);
+      }
     }
     if (record.requested_tolerance > 0.0) {
       m->violation_magnitude.Record(record.actual_error /
@@ -172,6 +175,7 @@ ErrorControlAuditor::Snapshot ErrorControlAuditor::snapshot() const {
     ms.satisfied = m->satisfied.load(kRelaxed);
     ms.estimate_only = m->estimate_only.load(kRelaxed);
     ms.degraded = m->degraded.load(kRelaxed);
+    ms.last_violation_trace_id = m->last_violation_trace_id.load(kRelaxed);
     ms.violation_magnitude = SummarizeRatio(m->violation_magnitude);
     ms.overfetch = SummarizeRatio(m->overfetch);
     ms.tightness = SummarizeRatio(m->tightness);
@@ -227,6 +231,7 @@ void ErrorControlAuditor::Reset() {
     m->satisfied.store(0, kRelaxed);
     m->estimate_only.store(0, kRelaxed);
     m->degraded.store(0, kRelaxed);
+    m->last_violation_trace_id.store(0, kRelaxed);
     m->violation_magnitude.Reset();
     m->overfetch.Reset();
     m->tightness.Reset();
@@ -243,11 +248,12 @@ std::string ErrorControlAuditor::Snapshot::ToJson() const {
     if (i > 0) {
       os << ",";
     }
-    char head[512];
+    char head[640];
     std::snprintf(head, sizeof(head),
                   "{\"model\":\"%s\",\"records\":%llu,\"violations\":%llu,"
                   "\"satisfied\":%llu,\"estimate_only\":%llu,"
                   "\"degraded\":%llu,\"violation_rate\":%.6f,"
+                  "\"last_violation_trace\":\"0x%llx\","
                   "\"drift_alert\":%s,",
                   m.model.c_str(),
                   static_cast<unsigned long long>(m.records),
@@ -255,7 +261,9 @@ std::string ErrorControlAuditor::Snapshot::ToJson() const {
                   static_cast<unsigned long long>(m.satisfied),
                   static_cast<unsigned long long>(m.estimate_only),
                   static_cast<unsigned long long>(m.degraded),
-                  m.violation_rate(), m.drift_alert() ? "true" : "false");
+                  m.violation_rate(),
+                  static_cast<unsigned long long>(m.last_violation_trace_id),
+                  m.drift_alert() ? "true" : "false");
     os << head;
     AppendRatioJson(&os, "violation_magnitude", m.violation_magnitude);
     os << ",";

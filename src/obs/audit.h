@@ -58,6 +58,11 @@ class PromWriter;
 // One audited retrieval request.
 struct AuditRecord {
   std::string model;  // "baseline", "dmgard", "emgard", "hybrid", ...
+  // Trace id of the request this retrieval served (0 when it ran outside
+  // any traced request). Joins `mgardp audit` violations to the flight
+  // recorder's retained lanes: a violated bound names the exact request
+  // trace to pull up.
+  std::uint64_t trace_id = 0;
   double requested_tolerance = 0.0;
   // What the estimator/model claimed the error would be at the fetched
   // prefix (for D-MGARD, the tolerance it aimed its prediction at).
@@ -139,6 +144,9 @@ class ErrorControlAuditor {
     std::uint64_t satisfied = 0;      // actual <= requested
     std::uint64_t estimate_only = 0;  // no ground truth supplied
     std::uint64_t degraded = 0;
+    // Trace id of the most recent bound violation (0: none yet, or the
+    // violating request was not traced).
+    std::uint64_t last_violation_trace_id = 0;
     RatioSummary violation_magnitude;  // actual / requested
     RatioSummary overfetch;            // bytes fetched / oracle bytes
     RatioSummary tightness;            // predicted / actual
@@ -223,6 +231,7 @@ class ErrorControlAuditor {
     std::atomic<std::uint64_t> satisfied{0};
     std::atomic<std::uint64_t> estimate_only{0};
     std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> last_violation_trace_id{0};
     Histogram violation_magnitude;
     Histogram overfetch;
     Histogram tightness;

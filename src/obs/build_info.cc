@@ -1,0 +1,58 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+
+#include "obs/prom_export.h"
+
+#ifndef MGARDP_VERSION
+#define MGARDP_VERSION "0.10.0"
+#endif
+#ifndef MGARDP_GIT_DESCRIBE
+#define MGARDP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mgardp {
+namespace obs {
+
+namespace {
+
+// Captured by static initialization, i.e. before main().
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+const char* BuildVersion() { return MGARDP_VERSION; }
+
+const char* BuildGitDescribe() { return MGARDP_GIT_DESCRIBE; }
+
+const char* BuildCompiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+void AppendBuildInfoMetrics(PromWriter* writer) {
+  writer->Family("mgardp_build_info", "gauge",
+                 "Build identity; the value is always 1.");
+  writer->Sample({{"version", BuildVersion()},
+                  {"git", BuildGitDescribe()},
+                  {"compiler", BuildCompiler()}},
+                 1.0);
+  writer->Family("mgardp_process_uptime_seconds", "counter",
+                 "Seconds since process start.");
+  writer->Sample({}, ProcessUptimeSeconds());
+}
+
+}  // namespace obs
+}  // namespace mgardp

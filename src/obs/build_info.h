@@ -1,0 +1,32 @@
+// Build identity and process uptime for the Prometheus exposition.
+//
+// The conventional `*_build_info` pattern: one gauge fixed at 1 whose
+// labels carry the version, git describe (injected by CMake via the
+// MGARDP_GIT_DESCRIBE compile definition; "unknown" outside a git
+// checkout), and compiler string — so dashboards can correlate a metric
+// regression with the exact build that introduced it. The uptime counter
+// measures from the first obs symbol load (static initialization), which
+// for the CLI is process start for all practical purposes.
+
+#ifndef MGARDP_OBS_BUILD_INFO_H_
+#define MGARDP_OBS_BUILD_INFO_H_
+
+namespace mgardp {
+namespace obs {
+
+class PromWriter;
+
+const char* BuildVersion();
+const char* BuildGitDescribe();
+const char* BuildCompiler();
+double ProcessUptimeSeconds();
+
+// Appends:
+//   mgardp_build_info{version=...,git=...,compiler=...} 1   gauge
+//   mgardp_process_uptime_seconds                           counter
+void AppendBuildInfoMetrics(PromWriter* writer);
+
+}  // namespace obs
+}  // namespace mgardp
+
+#endif  // MGARDP_OBS_BUILD_INFO_H_

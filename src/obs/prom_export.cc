@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/audit.h"
+#include "obs/build_info.h"
 #include "util/histogram.h"
 #include "util/logging.h"
 
@@ -233,6 +234,7 @@ void AppendAuditMetrics(const ErrorControlAuditor& auditor,
 
 std::string RenderAuditPrometheus(const ErrorControlAuditor& auditor) {
   PromWriter writer;
+  AppendBuildInfoMetrics(&writer);
   AppendAuditMetrics(auditor, &writer);
   return writer.str();
 }

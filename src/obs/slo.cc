@@ -1,0 +1,284 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/prom_export.h"
+#include "util/logging.h"
+
+namespace mgardp {
+namespace obs {
+
+namespace {
+
+std::size_t RingBuckets(const SloTracker::Options& o) {
+  // Enough buckets to cover the slow window plus the in-progress bucket.
+  const double span = std::max(o.slow_window_s, o.fast_window_s);
+  return static_cast<std::size_t>(std::ceil(span / o.bucket_s)) + 1;
+}
+
+// Sums a window of `ticks` buckets ending at the cursor (inclusive).
+void SumWindow(const std::vector<std::uint64_t>& total,
+               const std::vector<std::uint64_t>& bad,
+               std::int64_t cursor_tick, std::int64_t ticks,
+               std::uint64_t* out_total, std::uint64_t* out_bad) {
+  const std::int64_t n = static_cast<std::int64_t>(total.size());
+  *out_total = 0;
+  *out_bad = 0;
+  for (std::int64_t t = 0; t < std::min(ticks, n); ++t) {
+    const std::int64_t tick = cursor_tick - t;
+    if (tick < 0) {
+      break;
+    }
+    const std::size_t slot = static_cast<std::size_t>(tick % n);
+    *out_total += total[slot];
+    *out_bad += bad[slot];
+  }
+}
+
+double Burn(std::uint64_t total, std::uint64_t bad, double objective,
+            double* error_rate) {
+  *error_rate =
+      total == 0 ? 0.0
+                 : static_cast<double>(bad) / static_cast<double>(total);
+  const double budget = 1.0 - objective;
+  return budget <= 0.0 ? (*error_rate > 0.0 ? INFINITY : 0.0)
+                       : *error_rate / budget;
+}
+
+}  // namespace
+
+SloTracker::SloTracker() : SloTracker(Options()) {}
+
+SloTracker::SloTracker(Options options)
+    : options_(std::move(options)),
+      num_buckets_(RingBuckets(options_)),
+      epoch_(options_.now ? options_.now()
+                          : std::chrono::steady_clock::now()),
+      bucket_total_(num_buckets_, 0),
+      bucket_bad_(num_buckets_, 0) {
+  MGARDP_CHECK(options_.bucket_s > 0.0);
+}
+
+std::int64_t SloTracker::TickNow() const {
+  const auto now =
+      options_.now ? options_.now() : std::chrono::steady_clock::now();
+  const double elapsed_s =
+      std::chrono::duration<double>(now - epoch_).count();
+  return static_cast<std::int64_t>(elapsed_s / options_.bucket_s);
+}
+
+void SloTracker::AdvanceTo(std::int64_t tick) const {
+  const std::int64_t n = static_cast<std::int64_t>(num_buckets_);
+  if (tick <= cursor_tick_) {
+    return;  // steady_clock never goes backwards; manual clocks might
+  }
+  // Zero every bucket the cursor skips; a jump past a full ring wipe
+  // clears everything in one bounded pass.
+  const std::int64_t steps = std::min(tick - cursor_tick_, n);
+  for (std::int64_t s = 1; s <= steps; ++s) {
+    const std::size_t slot =
+        static_cast<std::size_t>((cursor_tick_ + s) % n);
+    bucket_total_[slot] = 0;
+    bucket_bad_[slot] = 0;
+  }
+  cursor_tick_ = tick;
+}
+
+void SloTracker::Record(bool good) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceTo(TickNow());
+  const std::size_t slot =
+      static_cast<std::size_t>(cursor_tick_ % static_cast<std::int64_t>(
+                                                  num_buckets_));
+  ++bucket_total_[slot];
+  ++total_;
+  if (!good) {
+    ++bucket_bad_[slot];
+    ++bad_;
+  }
+}
+
+SloTracker::Snapshot SloTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceTo(TickNow());
+  Snapshot s;
+  s.objective = options_.objective;
+  s.total = total_;
+  s.bad = bad_;
+  const std::int64_t fast_ticks = static_cast<std::int64_t>(
+      std::ceil(options_.fast_window_s / options_.bucket_s));
+  const std::int64_t slow_ticks = static_cast<std::int64_t>(
+      std::ceil(options_.slow_window_s / options_.bucket_s));
+  SumWindow(bucket_total_, bucket_bad_, cursor_tick_, fast_ticks,
+            &s.fast_total, &s.fast_bad);
+  SumWindow(bucket_total_, bucket_bad_, cursor_tick_, slow_ticks,
+            &s.slow_total, &s.slow_bad);
+  s.fast_burn =
+      Burn(s.fast_total, s.fast_bad, s.objective, &s.fast_error_rate);
+  s.slow_burn =
+      Burn(s.slow_total, s.slow_bad, s.objective, &s.slow_error_rate);
+  s.alerting = s.fast_burn >= options_.alert_burn &&
+               s.slow_burn >= options_.alert_burn &&
+               (s.fast_bad > 0 || s.slow_bad > 0);
+  return s;
+}
+
+void SloTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(bucket_total_.begin(), bucket_total_.end(), 0);
+  std::fill(bucket_bad_.begin(), bucket_bad_.end(), 0);
+  total_ = 0;
+  bad_ = 0;
+}
+
+SloMonitor::SloMonitor() : SloMonitor(Options()) {}
+
+SloMonitor::SloMonitor(Options options)
+    : options_(std::move(options)), sink_(this) {
+  if (options_.tiers.empty()) {
+    options_.tiers.push_back({"all", 0.0, 250.0});
+  }
+  std::sort(options_.tiers.begin(), options_.tiers.end(),
+            [](const LatencyTier& a, const LatencyTier& b) {
+              return a.min_bound > b.min_bound;
+            });
+  for (std::size_t i = 0; i < options_.tiers.size(); ++i) {
+    SloTracker::Options w = options_.window;
+    w.objective = options_.latency_objective;
+    tier_trackers_.push_back(std::make_unique<SloTracker>(w));
+  }
+  SloTracker::Options w = options_.window;
+  w.objective = options_.violation_objective;
+  violation_tracker_ = std::make_unique<SloTracker>(w);
+}
+
+SloMonitor::~SloMonitor() = default;
+
+std::size_t SloMonitor::TierFor(double error_bound) const {
+  // Tiers are sorted by descending min_bound; the last tier (smallest
+  // min_bound, typically 0) catches everything.
+  for (std::size_t i = 0; i + 1 < options_.tiers.size(); ++i) {
+    if (error_bound >= options_.tiers[i].min_bound) {
+      return i;
+    }
+  }
+  return options_.tiers.size() - 1;
+}
+
+void SloMonitor::OnRequest(double error_bound, bool ok, double latency_ms) {
+  const std::size_t tier = TierFor(error_bound);
+  tier_trackers_[tier]->Record(
+      ok && latency_ms <= options_.tiers[tier].threshold_ms);
+}
+
+void SloMonitor::OnShed(double error_bound) {
+  tier_trackers_[TierFor(error_bound)]->Record(false);
+}
+
+void SloMonitor::OnAuditRecord(const AuditRecord& record) {
+  if (!record.has_actual()) {
+    return;  // no evidence either way
+  }
+  violation_tracker_->Record(record.actual_error <=
+                             record.requested_tolerance);
+}
+
+bool SloMonitor::has_data() const {
+  for (const auto& t : tier_trackers_) {
+    if (t->snapshot().total > 0) {
+      return true;
+    }
+  }
+  return violation_tracker_->snapshot().total > 0;
+}
+
+std::vector<SloMonitor::ObjectiveSnapshot> SloMonitor::snapshot() const {
+  std::vector<ObjectiveSnapshot> out;
+  for (std::size_t i = 0; i < options_.tiers.size(); ++i) {
+    out.push_back(
+        {"latency:" + options_.tiers[i].name, tier_trackers_[i]->snapshot()});
+  }
+  out.push_back({"error_control", violation_tracker_->snapshot()});
+  return out;
+}
+
+std::string SloMonitor::ToJson() const {
+  std::ostringstream os;
+  os << "{\"objectives\":[";
+  const std::vector<ObjectiveSnapshot> objectives = snapshot();
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    const SloTracker::Snapshot& s = objectives[i].slo;
+    if (i > 0) {
+      os << ",";
+    }
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"objective\":%.6f,\"total\":%llu,\"bad\":%llu,"
+        "\"fast_error_rate\":%.6f,\"slow_error_rate\":%.6f,"
+        "\"fast_burn\":%.3f,\"slow_burn\":%.3f,\"alerting\":%s}",
+        objectives[i].name.c_str(), s.objective,
+        static_cast<unsigned long long>(s.total),
+        static_cast<unsigned long long>(s.bad), s.fast_error_rate,
+        s.slow_error_rate, std::isinf(s.fast_burn) ? 1e9 : s.fast_burn,
+        std::isinf(s.slow_burn) ? 1e9 : s.slow_burn,
+        s.alerting ? "true" : "false");
+    os << buf;
+  }
+  os << "]}";
+  return os.str();
+}
+
+void SloMonitor::Reset() {
+  for (const auto& t : tier_trackers_) {
+    t->Reset();
+  }
+  violation_tracker_->Reset();
+}
+
+void AppendSloMetrics(const SloMonitor& monitor, PromWriter* writer) {
+  const std::vector<SloMonitor::ObjectiveSnapshot> objectives =
+      monitor.snapshot();
+  writer->Family("mgardp_slo_objective", "gauge",
+                 "Target good fraction per objective.");
+  for (const auto& o : objectives) {
+    writer->Sample({{"slo", o.name}}, o.slo.objective);
+  }
+  writer->Family("mgardp_slo_events_total", "counter",
+                 "Lifetime events per objective.");
+  for (const auto& o : objectives) {
+    writer->Sample({{"slo", o.name}}, static_cast<double>(o.slo.total));
+  }
+  writer->Family("mgardp_slo_bad_events_total", "counter",
+                 "Lifetime budget-consuming events per objective.");
+  for (const auto& o : objectives) {
+    writer->Sample({{"slo", o.name}}, static_cast<double>(o.slo.bad));
+  }
+  writer->Family("mgardp_slo_error_rate", "gauge",
+                 "Windowed bad-event fraction per objective.");
+  for (const auto& o : objectives) {
+    writer->Sample({{"slo", o.name}, {"window", "fast"}},
+                   o.slo.fast_error_rate);
+    writer->Sample({{"slo", o.name}, {"window", "slow"}},
+                   o.slo.slow_error_rate);
+  }
+  writer->Family("mgardp_slo_burn_rate", "gauge",
+                 "Windowed error-budget burn rate (1.0 = budget spent "
+                 "exactly as fast as it accrues).");
+  for (const auto& o : objectives) {
+    writer->Sample({{"slo", o.name}, {"window", "fast"}}, o.slo.fast_burn);
+    writer->Sample({{"slo", o.name}, {"window", "slow"}}, o.slo.slow_burn);
+  }
+  writer->Family("mgardp_slo_alerting", "gauge",
+                 "1 when both windows burn beyond the alert threshold.");
+  for (const auto& o : objectives) {
+    writer->Sample({{"slo", o.name}}, o.slo.alerting ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace obs
+}  // namespace mgardp

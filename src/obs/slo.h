@@ -1,0 +1,187 @@
+// Rolling-window SLO monitors with multi-window burn rates.
+//
+// An SloTracker owns one objective (e.g. "99.9% of tight-bound requests
+// finish under 50 ms") and two rolling time windows — a fast one (default
+// 5 minutes) and a slow one (default 1 hour) — implemented as a ring of
+// fixed-width time buckets holding good/bad event counts. The burn rate
+// over a window is the window's error rate divided by the objective's
+// error budget (1 - objective): burn 1.0 means the budget is being spent
+// exactly as fast as it accrues; burn 10 means a tenth of the window
+// exhausts it. The standard multi-window alert rule — page only when BOTH
+// windows burn hot, so a brief blip (fast window only) and a long-ago
+// incident (slow window only) both stay quiet — is exposed as
+// Snapshot::alerting against a configurable threshold.
+//
+// SloMonitor aggregates the service's objectives:
+//   * one latency objective per error-bound tier (requests are routed to
+//     the tier whose min_bound they meet; each tier has its own latency
+//     threshold, so "loose bound, fast answer" and "tight bound, slower
+//     answer" are separate promises);
+//   * one violation-rate objective fed from the audit layer (an AuditSink
+//     adapter counts ground-truthed bound violations; estimate-only
+//     records carry no evidence either way and are skipped).
+// Shed requests (kOverloaded) count against their tier's availability.
+//
+// Surfaces: SloMonitor::ToJson() (spliced into ServiceMetrics::
+// SnapshotJson under "slo"), AppendSloMetrics (mgardp_slo_* Prometheus
+// families), and serve-bench's end-of-run report.
+
+#ifndef MGARDP_OBS_SLO_H_
+#define MGARDP_OBS_SLO_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/audit.h"
+
+namespace mgardp {
+namespace obs {
+
+class PromWriter;
+
+class SloTracker {
+ public:
+  struct Options {
+    double objective = 0.999;       // target good fraction
+    double fast_window_s = 300.0;   // 5 m
+    double slow_window_s = 3600.0;  // 1 h
+    double bucket_s = 5.0;          // ring resolution
+    double alert_burn = 1.0;        // alert when BOTH windows burn >= this
+    // Injectable clock for tests; null uses steady_clock.
+    std::function<std::chrono::steady_clock::time_point()> now;
+  };
+
+  struct Snapshot {
+    double objective = 0.0;
+    std::uint64_t total = 0;  // lifetime events
+    std::uint64_t bad = 0;    // lifetime bad events
+    std::uint64_t fast_total = 0;
+    std::uint64_t fast_bad = 0;
+    std::uint64_t slow_total = 0;
+    std::uint64_t slow_bad = 0;
+    double fast_error_rate = 0.0;
+    double slow_error_rate = 0.0;
+    double fast_burn = 0.0;  // error rate / (1 - objective)
+    double slow_burn = 0.0;
+    bool alerting = false;
+  };
+
+  SloTracker();
+  explicit SloTracker(Options options);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  // Thread-safe: one short mutex hold (the ring advance is O(buckets
+  // skipped), bounded by the ring size).
+  void Record(bool good);
+
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  // Advances the ring to `tick`, zeroing skipped buckets. Caller holds mu_.
+  void AdvanceTo(std::int64_t tick) const;
+  std::int64_t TickNow() const;
+
+  const Options options_;
+  const std::size_t num_buckets_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<std::uint64_t> bucket_total_;
+  mutable std::vector<std::uint64_t> bucket_bad_;
+  mutable std::int64_t cursor_tick_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t bad_ = 0;
+};
+
+class SloMonitor {
+ public:
+  // Requests route to the first tier (in descending min_bound order) whose
+  // min_bound the request's error bound meets; a request is "good" when it
+  // succeeded within the tier's latency threshold.
+  struct LatencyTier {
+    std::string name;
+    double min_bound = 0.0;
+    double threshold_ms = 250.0;
+  };
+
+  struct Options {
+    std::vector<LatencyTier> tiers;  // default: one "all" tier, 250 ms
+    double latency_objective = 0.999;
+    double violation_objective = 0.99;  // <=1% audited bound violations
+    SloTracker::Options window;         // shared window/clock config
+  };
+
+  struct ObjectiveSnapshot {
+    std::string name;  // "latency:<tier>" or "error_control"
+    SloTracker::Snapshot slo;
+  };
+
+  SloMonitor();
+  explicit SloMonitor(Options options);
+  ~SloMonitor();
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  // A completed request: good iff it succeeded within its tier's latency
+  // threshold.
+  void OnRequest(double error_bound, bool ok, double latency_ms);
+  // A request shed at admission; always bad for its tier.
+  void OnShed(double error_bound);
+
+  // The audit feed: ground-truthed records count violation vs satisfied;
+  // estimate-only records are skipped. Exposed directly for tests; the
+  // sink below is what registers with an ErrorControlAuditor.
+  void OnAuditRecord(const AuditRecord& record);
+  // Non-owning adapter, valid for the monitor's lifetime. Register with
+  // auditor.AddSink(monitor.audit_sink()) and RemoveSink before the
+  // monitor dies.
+  AuditSink* audit_sink() { return &sink_; }
+
+  bool has_data() const;
+  std::vector<ObjectiveSnapshot> snapshot() const;
+  // {"objectives":[{...}]}; stable order: latency tiers then error_control.
+  std::string ToJson() const;
+  void Reset();
+
+ private:
+  class Sink : public AuditSink {
+   public:
+    explicit Sink(SloMonitor* monitor) : monitor_(monitor) {}
+    void OnRecord(const AuditRecord& record) override {
+      monitor_->OnAuditRecord(record);
+    }
+
+   private:
+    SloMonitor* monitor_;
+  };
+
+  std::size_t TierFor(double error_bound) const;
+
+  Options options_;  // tiers sorted by descending min_bound
+  std::vector<std::unique_ptr<SloTracker>> tier_trackers_;
+  std::unique_ptr<SloTracker> violation_tracker_;
+  Sink sink_;
+};
+
+// Renders `monitor` as mgardp_slo_* families:
+//   mgardp_slo_objective{slo=...}                       gauge
+//   mgardp_slo_events_total{slo=...}                    counter
+//   mgardp_slo_bad_events_total{slo=...}                counter
+//   mgardp_slo_error_rate{slo=...,window="fast"|"slow"} gauge
+//   mgardp_slo_burn_rate{slo=...,window="fast"|"slow"}  gauge
+//   mgardp_slo_alerting{slo=...}                        gauge
+void AppendSloMetrics(const SloMonitor& monitor, PromWriter* writer);
+
+}  // namespace obs
+}  // namespace mgardp
+
+#endif  // MGARDP_OBS_SLO_H_

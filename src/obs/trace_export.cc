@@ -1,10 +1,12 @@
 #include "obs/trace_export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
 #include "obs/tracer.h"
 #include "util/io.h"
+#include "util/logging.h"
 
 namespace mgardp {
 namespace obs {
@@ -26,6 +28,31 @@ void AppendEscaped(std::ostringstream* os, const char* s) {
       *os << c;
     }
   }
+}
+
+std::string HexTraceId(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+// One "X" span line for a request lane (no trailing separator).
+void AppendLaneSpan(std::ostringstream* os, int pid, const TraceEvent& ev,
+                    const std::string& extra_args) {
+  *os << "{\"name\":\"";
+  AppendEscaped(os, ev.name);
+  *os << "\",\"cat\":\"";
+  AppendEscaped(os, ev.category);
+  *os << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << ev.tid;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", ev.ts_us,
+                ev.dur_us);
+  *os << buf;
+  if (!extra_args.empty()) {
+    *os << ",\"args\":{" << extra_args << "}";
+  }
+  *os << "}";
 }
 
 }  // namespace
@@ -53,7 +80,160 @@ std::string ToChromeTraceJson(const std::vector<TraceEvent>& events) {
 }
 
 Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
-  return WriteFile(path, ToChromeTraceJson(tracer.events()));
+  return WriteFileAtomic(path, ToChromeTraceJson(tracer.events()));
+}
+
+std::string ToChromeRequestLanesJson(
+    const std::vector<RequestTraceRecorder::Retained>& retained) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    const RequestTraceRecorder::Retained& r = retained[i];
+    if (r.ctx == nullptr) {
+      continue;
+    }
+    const int pid = static_cast<int>(i) + 1;
+    const std::string trace = HexTraceId(r.ctx->trace_id());
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    // The lane's metadata event doubles as the machine-readable request
+    // summary: trace-report parses these args back out line by line.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"req " << trace << " ";
+    AppendEscaped(&os, r.ctx->tenant().c_str());
+    os << " [" << r.reason << "]\",\"trace\":\"" << trace
+       << "\",\"tenant\":\"";
+    AppendEscaped(&os, r.ctx->tenant().c_str());
+    os << "\",\"reason\":\"" << r.reason << "\",\"status\":\"";
+    AppendEscaped(&os, StatusCodeToString(r.code));
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"latency_ms\":%.3f,\"deadline_ms\":%.3f,"
+                  "\"spans_dropped\":%llu",
+                  r.latency_ms, r.ctx->deadline_ms(),
+                  static_cast<unsigned long long>(r.ctx->spans_dropped()));
+    os << buf;
+    if (!r.ctx->baggage().empty()) {
+      os << ",\"baggage\":\"";
+      AppendEscaped(&os, r.ctx->baggage().c_str());
+      os << "\"";
+    }
+    os << "}}";
+
+    std::vector<TraceEvent> spans = r.ctx->spans();
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.tid != b.tid ? a.tid < b.tid : a.ts_us < b.ts_us;
+              });
+    for (const TraceEvent& ev : spans) {
+      os << ",\n";
+      AppendLaneSpan(&os, pid, ev, "");
+    }
+    for (const BatchLinkSpan& batch : r.ctx->batch_spans()) {
+      std::ostringstream args;
+      args << "\"links\":\"";
+      for (std::size_t l = 0; l < batch.linked_trace_ids.size(); ++l) {
+        if (l > 0) {
+          args << ",";
+        }
+        args << HexTraceId(batch.linked_trace_ids[l]);
+      }
+      args << "\",\"rows\":" << batch.rows;
+      os << ",\n";
+      AppendLaneSpan(&os, pid, batch.event, args.str());
+    }
+  }
+  os << "]\n";
+  return os.str();
+}
+
+Status WriteRequestTraces(const RequestTraceRecorder& recorder,
+                          const std::string& path) {
+  return WriteFileAtomic(path, ToChromeRequestLanesJson(recorder.retained()));
+}
+
+PeriodicTraceFlusher::PeriodicTraceFlusher(const Tracer* tracer,
+                                           std::string path)
+    : PeriodicTraceFlusher(tracer, std::move(path), Options()) {}
+
+PeriodicTraceFlusher::PeriodicTraceFlusher(const Tracer* tracer,
+                                           std::string path, Options options)
+    : tracer_(tracer), path_(std::move(path)), options_(options) {
+  MGARDP_CHECK(tracer_ != nullptr);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicTraceFlusher::~PeriodicTraceFlusher() {
+  const Status st = Stop();
+  (void)st;
+}
+
+void PeriodicTraceFlusher::Loop() {
+  auto last_flush = std::chrono::steady_clock::now();
+  std::uint64_t events_at_last_flush = tracer_->num_events();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.poll, [this] { return stop_; })) {
+      break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t events = tracer_->num_events();
+    const bool interval_due = now - last_flush >= options_.interval;
+    const bool size_due =
+        options_.flush_event_delta > 0 &&
+        events - events_at_last_flush >= options_.flush_event_delta;
+    if (!interval_due && !size_due) {
+      continue;
+    }
+    lock.unlock();
+    const Status st = FlushOnce();
+    lock.lock();
+    last_flush = now;
+    events_at_last_flush = events;
+    ++flushes_;
+    if (!st.ok() && last_error_.ok()) {
+      last_error_ = st;
+    }
+  }
+}
+
+Status PeriodicTraceFlusher::FlushOnce() {
+  return WriteChromeTrace(*tracer_, path_);
+}
+
+Status PeriodicTraceFlusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return last_error_;
+    }
+    stopped_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  const Status st = FlushOnce();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++flushes_;
+  if (!st.ok() && last_error_.ok()) {
+    last_error_ = st;
+  }
+  return last_error_;
+}
+
+std::uint64_t PeriodicTraceFlusher::flushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushes_;
+}
+
+Status PeriodicTraceFlusher::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
 }
 
 }  // namespace obs

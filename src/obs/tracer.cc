@@ -6,6 +6,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/request_trace.h"
 #include "obs/trace_export.h"
 
 namespace mgardp {
@@ -74,21 +75,30 @@ Tracer::Stripe& Tracer::StripeForThisThread() const {
 void Tracer::RecordInterval(StageStats* stage,
                             std::chrono::steady_clock::time_point start,
                             std::chrono::steady_clock::time_point end) {
+  const unsigned mode = mode_.load(std::memory_order_relaxed);
   const double dur_us =
       std::chrono::duration<double, std::micro>(end - start).count();
   stage->RecordMs(dur_us / 1000.0);
-  if (num_events_.fetch_add(1, std::memory_order_relaxed) >=
-      options_.max_events) {
-    num_events_.fetch_sub(1, std::memory_order_relaxed);
-    events_dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
   TraceEvent ev;
   ev.name = stage->name();
   ev.category = stage->category();
   ev.ts_us = ToUs(start);
   ev.dur_us = dur_us;
   ev.tid = CurrentThreadId();
+  // Request mode: the span also belongs to whichever request this thread
+  // is currently serving (no-op when none is installed).
+  if ((mode & kRequestMode) != 0u) {
+    AppendSpanToCurrentRequest(ev);
+  }
+  if ((mode & kTimelineMode) == 0u) {
+    return;
+  }
+  if (num_events_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_events) {
+    num_events_.fetch_sub(1, std::memory_order_relaxed);
+    events_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Stripe& stripe = StripeForThisThread();
   std::lock_guard<std::mutex> lock(stripe.mu);
   stripe.events.push_back(ev);

@@ -88,10 +88,41 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  // The one branch on the disabled hot path.
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  // Two independent capture modes share the one enable word, so the
+  // disabled hot path stays a single relaxed load no matter how many
+  // consumers exist:
+  //   * timeline mode (set_enabled / --trace): spans append to the global
+  //     striped event buffer for whole-process Chrome export;
+  //   * request mode (set_request_tracing / --trace-requests): spans
+  //     forward to the calling thread's current RequestContext flight
+  //     recorder (obs/request_trace.h).
+  // Stage histograms record in either mode.
+  static constexpr unsigned kTimelineMode = 1u;
+  static constexpr unsigned kRequestMode = 2u;
+
+  // The one branch on the disabled hot path: true when ANY mode is on.
+  bool enabled() const {
+    return mode_.load(std::memory_order_relaxed) != 0u;
+  }
+  bool timeline_enabled() const {
+    return (mode_.load(std::memory_order_relaxed) & kTimelineMode) != 0u;
+  }
+  bool request_tracing_enabled() const {
+    return (mode_.load(std::memory_order_relaxed) & kRequestMode) != 0u;
+  }
   void set_enabled(bool on) {
-    enabled_.store(on, std::memory_order_relaxed);
+    if (on) {
+      mode_.fetch_or(kTimelineMode, std::memory_order_relaxed);
+    } else {
+      mode_.fetch_and(~kTimelineMode, std::memory_order_relaxed);
+    }
+  }
+  void set_request_tracing(bool on) {
+    if (on) {
+      mode_.fetch_or(kRequestMode, std::memory_order_relaxed);
+    } else {
+      mode_.fetch_and(~kRequestMode, std::memory_order_relaxed);
+    }
   }
 
   // Registers (or finds) the stage named `name`. Idempotent and
@@ -112,6 +143,17 @@ class Tracer {
   std::vector<TraceEvent> events() const;
   std::uint64_t events_dropped() const {
     return events_dropped_.load(std::memory_order_relaxed);
+  }
+  // Timeline events currently buffered (kept events only, not drops);
+  // the periodic trace flusher uses the delta as its size trigger.
+  std::uint64_t num_events() const {
+    return num_events_.load(std::memory_order_relaxed);
+  }
+
+  // Microseconds since the tracer's epoch; lets externally-timed spans
+  // (the batcher's shared forward pass) stamp events on the same axis.
+  double ToMicros(std::chrono::steady_clock::time_point t) const {
+    return ToUs(t);
   }
 
   struct StageSummary {
@@ -144,7 +186,7 @@ class Tracer {
   }
 
   Options options_;
-  std::atomic<bool> enabled_{false};
+  std::atomic<unsigned> mode_{0};
   std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex stages_mu_;

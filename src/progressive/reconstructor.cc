@@ -7,6 +7,7 @@
 #include "decompose/interleaver.h"
 #include "encode/bitplane.h"
 #include "lossless/codec.h"
+#include "obs/request_trace.h"
 #include "obs/tracer.h"
 #include "progressive/padding.h"
 #include "util/parallel.h"
@@ -448,6 +449,10 @@ void AuditRetrieval(const RefactoredField& field, const std::string& model,
       (auditor != nullptr ? *auditor : obs::GlobalAuditor());
   obs::AuditRecord record;
   record.model = model;
+  // Joins this audit record to the serving layer's flight recorder: when
+  // the retrieval ran under a traced request, a bound violation names the
+  // exact lane to pull up.
+  record.trace_id = obs::ScopedRequestContext::CurrentTraceId();
   record.requested_tolerance = tolerance;
   record.predicted_error = plan.estimated_error;
   record.degraded = degraded;

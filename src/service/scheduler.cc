@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "dnn/batcher.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "obs/tracer.h"
 #include "util/parallel.h"
 
@@ -56,6 +58,12 @@ Status RetrievalScheduler::Submit(const Request& request, Callback done) {
       if (metrics_ != nullptr) {
         metrics_->OnRejected();
       }
+      if (options_.flight_recorder != nullptr) {
+        options_.flight_recorder->RecordShed(request.tenant, request.baggage);
+      }
+      if (options_.slo != nullptr) {
+        options_.slo->OnShed(request.error_bound);
+      }
       return Status::Overloaded(
           "retrieval queue full (" +
           std::to_string(options_.queue_capacity) + " requests)");
@@ -66,12 +74,25 @@ Status RetrievalScheduler::Submit(const Request& request, Callback done) {
       if (metrics_ != nullptr) {
         metrics_->OnRejected();
       }
+      if (options_.flight_recorder != nullptr) {
+        options_.flight_recorder->RecordShed(request.tenant, request.baggage);
+      }
+      if (options_.slo != nullptr) {
+        options_.slo->OnShed(request.error_bound);
+      }
       return Status::Overloaded(
           "tenant '" + request.tenant + "' over quota (" +
           std::to_string(options_.per_tenant_capacity) + " queued requests)");
     }
-    tenant_queue.push_back(
-        Item{request, std::move(done), std::chrono::steady_clock::now()});
+    Item item{request, std::move(done), std::chrono::steady_clock::now(), {}};
+    if (options_.flight_recorder != nullptr) {
+      const double deadline = request.deadline_ms > 0.0
+                                  ? request.deadline_ms
+                                  : options_.default_deadline_ms;
+      item.ctx = options_.flight_recorder->StartRequest(
+          request.tenant, deadline, request.baggage);
+    }
+    tenant_queue.push_back(std::move(item));
     ++queued_total_;
     depth = queued_total_;
   }
@@ -83,6 +104,9 @@ Status RetrievalScheduler::Submit(const Request& request, Callback done) {
 
 void RetrievalScheduler::Process(Item* item) const {
   const auto start = std::chrono::steady_clock::now();
+  // Install the request context before the first span records, so even the
+  // queue-wait interval lands on the request's flight record.
+  obs::ScopedRequestContext request_scope(item->ctx);
   // Queue wait and service time are recorded as separate stages: the wait
   // interval started back at Submit() on another thread, so it cannot be
   // a scoped span here.
@@ -117,6 +141,14 @@ void RetrievalScheduler::Process(Item* item) const {
           .count();
   if (metrics_ != nullptr) {
     metrics_->OnCompleted(response.status.ok(), response.latency_ms);
+  }
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->FinishRequest(item->ctx, response.status,
+                                            response.latency_ms);
+  }
+  if (options_.slo != nullptr) {
+    options_.slo->OnRequest(req.error_bound, response.status.ok(),
+                            response.latency_ms);
   }
   if (item->done) {
     item->done(response);

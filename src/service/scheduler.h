@@ -35,6 +35,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -43,6 +44,12 @@
 #include "util/retry.h"
 
 namespace mgardp {
+
+namespace obs {
+class RequestContext;
+class RequestTraceRecorder;
+class SloMonitor;
+}  // namespace obs
 
 // Truncates `base`'s backoff schedule to fit a deadline: the delay ceiling
 // drops to the deadline and max_attempts shrinks until the worst-case
@@ -59,6 +66,13 @@ class RetrievalScheduler {
     RetryPolicy::Options retry;        // base policy, clamped per request
     // Per-tenant admission cap; 0 means only the total cap applies.
     std::size_t per_tenant_capacity = 0;
+    // Non-owning observability hooks, both optional. The flight recorder
+    // mints a RequestContext per admitted request (propagated through the
+    // pool and batcher via ScopedRequestContext) and tail-samples the
+    // outcome; the SLO monitor counts every completion and shed against
+    // its objectives.
+    obs::RequestTraceRecorder* flight_recorder = nullptr;
+    obs::SloMonitor* slo = nullptr;
   };
 
   struct Request {
@@ -66,6 +80,9 @@ class RetrievalScheduler {
     double error_bound = 0.0;
     double deadline_ms = 0.0;   // 0: use the scheduler default
     std::string tenant;         // "" is itself a (shared) tenant
+    // Opaque caller annotation carried on the request's trace (e.g. a
+    // client-side correlation key); empty stays off the wire.
+    std::string baggage;
   };
 
   struct Response {
@@ -104,6 +121,9 @@ class RetrievalScheduler {
     // Admission time, so the tracer can split time-in-queue from service
     // time ("sched/queue_wait" vs "sched/service" spans).
     std::chrono::steady_clock::time_point submitted;
+    // Set iff Options::flight_recorder is; kept alive through Process() so
+    // batch spans appended by peers after completion still land somewhere.
+    std::shared_ptr<obs::RequestContext> ctx;
   };
 
   void Process(Item* item) const;

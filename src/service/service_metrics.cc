@@ -5,6 +5,7 @@
 
 #include "obs/audit.h"
 #include "obs/prom_export.h"
+#include "obs/slo.h"
 #include "obs/tracer.h"
 
 namespace mgardp {
@@ -207,8 +208,9 @@ std::string ServiceMetrics::Snapshot::ToJson() const {
   return buf;
 }
 
-std::string ServiceMetrics::SnapshotJson(
-    const obs::Tracer* tracer, const obs::ErrorControlAuditor* auditor) const {
+std::string ServiceMetrics::SnapshotJson(const obs::Tracer* tracer,
+                                         const obs::ErrorControlAuditor* auditor,
+                                         const obs::SloMonitor* slo) const {
   std::string json = ToJson();
   if (tracer != nullptr) {
     const std::string stages = tracer->SummaryJson();
@@ -228,6 +230,12 @@ std::string ServiceMetrics::SnapshotJson(
       json += audit;
       json += "}";
     }
+  }
+  if (slo != nullptr && slo->has_data()) {
+    json.pop_back();
+    json += ",\"slo\":";
+    json += slo->ToJson();
+    json += "}";
   }
   return json;
 }

@@ -23,6 +23,7 @@ namespace mgardp {
 namespace obs {
 class ErrorControlAuditor;
 class PromWriter;
+class SloMonitor;
 class Tracer;
 }  // namespace obs
 
@@ -148,14 +149,15 @@ class ServiceMetrics {
   std::string ToJson() const { return snapshot().ToJson(); }
 
   // The counter snapshot with the tracer's per-stage profile merged in as
-  // a "stages" array (span name -> count/total/min/max/quantiles) and the
-  // auditor's per-model error-control accounting as an "audit" array, so
-  // one JSON object answers "how much", "where the time went", and
-  // "did the error control hold". Passing nullptr (or a tracer/auditor
+  // a "stages" array (span name -> count/total/min/max/quantiles), the
+  // auditor's per-model error-control accounting as an "audit" array, and
+  // the SLO monitor's burn rates as an "slo" object, so one JSON object
+  // answers "how much", "where the time went", "did the error control
+  // hold", and "are the promises holding". Passing nullptr (or a source
   // with nothing recorded) omits the corresponding section.
   std::string SnapshotJson(const obs::Tracer* tracer = nullptr,
-                           const obs::ErrorControlAuditor* auditor =
-                               nullptr) const;
+                           const obs::ErrorControlAuditor* auditor = nullptr,
+                           const obs::SloMonitor* slo = nullptr) const;
 
   void Reset();
 

@@ -18,6 +18,19 @@ Status WriteFile(const std::string& path, const std::string& contents) {
   return Status::OK();
 }
 
+Status WriteFileAtomic(const std::string& path,
+                       const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  MGARDP_RETURN_NOT_OK(WriteFile(tmp, contents));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot rename " + tmp + " into " + path);
+  }
+  return Status::OK();
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {

@@ -127,6 +127,11 @@ class BinaryReader {
 // Writes `contents` to `path`, replacing any existing file.
 Status WriteFile(const std::string& path, const std::string& contents);
 
+// Writes `contents` to `path` atomically (temp file + rename), so a
+// concurrent reader never observes a half-written file. Used by the
+// Prometheus and Chrome-trace periodic flushers.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
 // Reads the entire file at `path`.
 Result<std::string> ReadFileToString(const std::string& path);
 

@@ -11,6 +11,34 @@ namespace {
 
 thread_local bool tls_in_parallel_region = false;
 
+// Function pointers (not std::function) so the unregistered path costs
+// two raw loads. Written once during static initialization of the obs
+// layer, read on every Run; relaxed is fine because registration happens
+// before any propagated context can exist.
+std::atomic<void* (*)()> g_ctx_capture{nullptr};
+std::atomic<void* (*)(void*)> g_ctx_exchange{nullptr};
+
+// Installs `context` on the current thread for the guard's lifetime via
+// the registered exchange hook; no-op when no propagator is registered.
+class AmbientContextGuard {
+ public:
+  explicit AmbientContextGuard(void* context)
+      : exchange_(g_ctx_exchange.load(std::memory_order_relaxed)) {
+    if (exchange_ != nullptr) {
+      prev_ = exchange_(context);
+    }
+  }
+  ~AmbientContextGuard() {
+    if (exchange_ != nullptr) {
+      exchange_(prev_);
+    }
+  }
+
+ private:
+  void* (*exchange_)(void*);
+  void* prev_ = nullptr;
+};
+
 // Marks the current thread as inside a chunk for the guard's lifetime.
 class ParallelRegionGuard {
  public:
@@ -68,9 +96,16 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
 
+void ThreadPool::SetContextPropagator(const ContextPropagator& propagator) {
+  g_ctx_capture.store(propagator.capture, std::memory_order_relaxed);
+  g_ctx_exchange.store(propagator.exchange, std::memory_order_relaxed);
+}
+
 void ThreadPool::RunStripe(int stripe, std::size_t num_chunks,
-                           const std::function<void(std::size_t)>& fn) {
+                           const std::function<void(std::size_t)>& fn,
+                           void* context) {
   ParallelRegionGuard guard;
+  AmbientContextGuard context_guard(context);
   try {
     for (std::size_t c = static_cast<std::size_t>(stripe); c < num_chunks;
          c += static_cast<std::size_t>(num_threads_)) {
@@ -89,6 +124,7 @@ void ThreadPool::WorkerLoop(int worker_id) {
   while (true) {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t num_chunks = 0;
+    void* context = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
@@ -98,8 +134,9 @@ void ThreadPool::WorkerLoop(int worker_id) {
       seen_epoch = epoch_;
       fn = job_;
       num_chunks = num_chunks_;
+      context = job_context_;
     }
-    RunStripe(worker_id, num_chunks, *fn);
+    RunStripe(worker_id, num_chunks, *fn, context);
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (++workers_done_ == static_cast<int>(workers_.size())) {
@@ -123,17 +160,25 @@ void ThreadPool::Run(std::size_t num_chunks,
     }
     return;
   }
+  // Capture the submitting thread's ambient context (request context)
+  // before fanning out, so worker stripes attribute their spans to the
+  // same request. The caller's own stripe keeps its TLS naturally.
+  void* context = nullptr;
+  if (void* (*capture)() = g_ctx_capture.load(std::memory_order_relaxed)) {
+    context = capture();
+  }
   std::lock_guard<std::mutex> run_lk(run_mu_);
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &fn;
     num_chunks_ = num_chunks;
+    job_context_ = context;
     workers_done_ = 0;
     ++epoch_;
   }
   cv_start_.notify_all();
   // The caller works the last stripe while the workers take the others.
-  RunStripe(num_threads_ - 1, num_chunks, fn);
+  RunStripe(num_threads_ - 1, num_chunks, fn, context);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lk(mu_);

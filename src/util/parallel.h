@@ -56,10 +56,25 @@ class ThreadPool {
   // True while the current thread is executing inside a Run() chunk.
   static bool InParallelRegion();
 
+  // Cross-thread ambient-context propagation. Run() calls capture() on the
+  // submitting thread and workers bracket each stripe with
+  // exchange(captured) / exchange(previous), so thread-local request
+  // context (obs/request_trace.h) follows the work onto pool threads. The
+  // captured pointer stays valid because Run() blocks until every stripe
+  // finishes — the submitting scope cannot unwind underneath a worker.
+  // Registration is process-wide, idempotent, and must happen before the
+  // contexts being propagated exist; plain function pointers keep the
+  // no-propagator path at two raw loads per Run.
+  struct ContextPropagator {
+    void* (*capture)() = nullptr;         // on the submitting thread
+    void* (*exchange)(void*) = nullptr;   // on a worker; returns previous
+  };
+  static void SetContextPropagator(const ContextPropagator& propagator);
+
  private:
   void WorkerLoop(int worker_id);
   void RunStripe(int stripe, std::size_t num_chunks,
-                 const std::function<void(std::size_t)>& fn);
+                 const std::function<void(std::size_t)>& fn, void* context);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -70,6 +85,7 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;
   std::size_t num_chunks_ = 0;
   const std::function<void(std::size_t)>* job_ = nullptr;
+  void* job_context_ = nullptr;  // captured ambient context for this job
   int workers_done_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_error_;

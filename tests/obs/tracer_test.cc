@@ -220,6 +220,63 @@ TEST(TracerTest, ConcurrentStageRegistrationYieldsOnePointer) {
   }
 }
 
+TEST(TracerTest, ModeBitsAreIndependent) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+
+  tracer.set_request_tracing(true);
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_TRUE(tracer.request_tracing_enabled());
+  EXPECT_FALSE(tracer.timeline_enabled());
+
+  tracer.set_enabled(true);
+  EXPECT_TRUE(tracer.timeline_enabled());
+  EXPECT_TRUE(tracer.request_tracing_enabled());
+
+  // Dropping one mode leaves the other untouched.
+  tracer.set_request_tracing(false);
+  EXPECT_TRUE(tracer.timeline_enabled());
+  EXPECT_FALSE(tracer.request_tracing_enabled());
+  EXPECT_TRUE(tracer.enabled());
+
+  tracer.set_enabled(false);
+  EXPECT_FALSE(tracer.enabled());
+}
+
+// Hammer the event cap from many threads: kept + dropped must account for
+// every span exactly, and the buffer must land exactly on the cap.
+TEST(TracerTest, ConcurrentCapAccountsEveryEventExactly) {
+  Tracer::Options opts;
+  opts.max_events = 256;
+  Tracer tracer(opts);
+  tracer.set_enabled(true);
+  StageStats* stage = tracer.GetOrCreateStage("t/cap_hammer", "test");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &ready, stage] {
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (ready.load(std::memory_order_relaxed) < kThreads) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.RecordInterval(stage, At(i), At(i + 1));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(tracer.events().size(), 256u);
+  EXPECT_EQ(tracer.num_events(), 256u);
+  EXPECT_EQ(tracer.events_dropped(), kTotal - 256u);
+  EXPECT_EQ(stage->durations_ms().count(), kTotal);
+}
+
 TEST(TracerMacroTest, GlobalSpanRespectsEnableFlag) {
   Tracer& tracer = GlobalTracer();
   const bool was_enabled = tracer.enabled();

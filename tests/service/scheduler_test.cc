@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "progressive/refactorer.h"
 #include "service/retrieval_session.h"
 #include "service/segment_cache.h"
@@ -321,6 +323,55 @@ TEST_F(RetrievalSchedulerTest, DeadlinedRequestsStillComplete) {
                   .ok());
   scheduler.Drain();
   EXPECT_TRUE(ok.load());
+}
+
+TEST_F(RetrievalSchedulerTest, FlightRecorderAndSloObserveAdmissionAndShed) {
+  ServiceMetrics metrics;
+  obs::RequestTraceRecorder::Options ropts;
+  ropts.slow_threshold_ms = 1e9;  // nothing is "slow"
+  ropts.head_sample_every = 1;    // ...but every completion is head-kept
+  obs::RequestTraceRecorder recorder(ropts);
+  obs::SloMonitor slo;
+
+  RetrievalScheduler::Options opts;
+  opts.queue_capacity = 2;
+  opts.flight_recorder = &recorder;
+  opts.slo = &slo;
+  RetrievalScheduler scheduler(&metrics, opts);
+  auto session = NewSession(nullptr, &metrics);
+
+  RetrievalScheduler::Request req{session.get(), 1e-2 * range_, 0.0, "t"};
+  req.baggage = "client=7";
+  ASSERT_TRUE(scheduler.Submit(req, nullptr).ok());
+  ASSERT_TRUE(scheduler.Submit(req, nullptr).ok());
+  // The third is shed: the recorder must retain it without it ever running.
+  EXPECT_EQ(scheduler.Submit(req, nullptr).code(), StatusCode::kOverloaded);
+  scheduler.Drain();
+
+  // RecordShed counts as a started+finished request too (3 = 2 admitted
+  // plus the shed one).
+  const obs::RequestTraceRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.started, 3u);
+  EXPECT_EQ(stats.finished, 3u);
+  EXPECT_EQ(stats.kept_shed, 1u);
+  EXPECT_EQ(stats.kept_head, 2u);
+  const auto retained = recorder.retained();
+  ASSERT_EQ(retained.size(), 3u);
+  // The shed record carries the request's tenant and baggage; the admitted
+  // ones carry distinct trace ids.
+  EXPECT_STREQ(retained[0].reason, "shed");
+  EXPECT_EQ(retained[0].ctx->tenant(), "t");
+  EXPECT_EQ(retained[0].ctx->baggage(), "client=7");
+  EXPECT_NE(retained[1].ctx->trace_id(), retained[2].ctx->trace_id());
+
+  // The SLO monitor counted all three: two completions plus one shed
+  // (always bad) against the default "all" tier.
+  ASSERT_TRUE(slo.has_data());
+  const auto objectives = slo.snapshot();
+  ASSERT_FALSE(objectives.empty());
+  EXPECT_EQ(objectives[0].name, "latency:all");
+  EXPECT_EQ(objectives[0].slo.total, 3u);
+  EXPECT_GE(objectives[0].slo.bad, 1u);
 }
 
 }  // namespace

@@ -137,6 +137,37 @@ endif()
 run_cli(0 serve-bench --shards 4 --replicas 1 --kill-node-at 50%
         --requests 48 --clients 4)
 
+# Request-scoped tracing through the chaos bench: --trace-requests retains
+# per-request lanes (the explicit slow threshold plus head sampling
+# guarantee a fast run still keeps some), the end-of-run output carries the
+# SLO burn report, and trace-report ranks the retained requests.
+run_cli(0 serve-bench --shards 4 --replicas 2 --kill-node-at 50%
+        --requests 48 --clients 4
+        --trace-requests ${WORK}/lanes.json --slow-ms 0.5 --head-sample 8)
+if(NOT LAST_OUT MATCHES "latency:")
+  message(FATAL_ERROR "chaos bench printed no SLO burn report:\n${LAST_OUT}")
+endif()
+if(NOT LAST_OUT MATCHES "lanes:")
+  message(FATAL_ERROR "chaos bench reported no retained lanes:\n${LAST_OUT}")
+endif()
+if(NOT EXISTS ${WORK}/lanes.json)
+  message(FATAL_ERROR "--trace-requests did not write ${WORK}/lanes.json")
+endif()
+run_cli(0 trace-report --input ${WORK}/lanes.json --top 5)
+if(NOT LAST_OUT MATCHES "retained requests in")
+  message(FATAL_ERROR "trace-report missing its header:\n${LAST_OUT}")
+endif()
+if(NOT LAST_OUT MATCHES "per-stage totals across retained requests")
+  message(FATAL_ERROR "trace-report missing stage attribution:\n${LAST_OUT}")
+endif()
+
+# trace-report exit codes: missing --input is a usage error (1); an
+# unreadable lanes file is a runtime error (2). A bare --trace-requests
+# flag (no path) is a usage error before any bench work starts.
+run_cli(1 trace-report)
+run_cli(2 trace-report --input ${WORK}/no_such_lanes.json)
+run_cli(1 serve-bench --trace-requests)
+
 # Batched-inference bench smoke: a tiny closed loop must finish, write its
 # JSON report, and prove batched == unbatched bit-identity (exit 2 if not).
 run_cli(0 serve-bench --batch-inference --dims 9,9,9 --frames 1 --epochs 2

@@ -93,10 +93,12 @@
 // Exit status is 0 on success, 1 on usage errors, 2 on runtime failures,
 // 3 when verify/scrub found corrupt segments.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -122,7 +124,10 @@
 #include "models/features.h"
 #include "models/hybrid.h"
 #include "obs/audit.h"
+#include "obs/build_info.h"
 #include "obs/prom_export.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "obs/trace_export.h"
 #include "obs/tracer.h"
 #include "progressive/fault_tolerant.h"
@@ -902,6 +907,318 @@ double ParseKillFraction(const Flags& flags) {
 // refinements (e.g. --replicas 1 losing a segment with its node) fall back
 // to the fault-tolerant reconstructor and count as honest degradations
 // rather than crashes.
+// ---- serve-bench observability (flight recorder + SLO) ---------------------
+
+// Per-run request-tracing and SLO wiring shared by the serve-bench modes.
+// The recorder only exists when --trace-requests=FILE asked for it; the
+// SLO monitor always runs (it is a handful of counters) so every bench
+// ends with a burn-rate report.
+struct ServeObs {
+  std::unique_ptr<obs::RequestTraceRecorder> recorder;
+  std::unique_ptr<obs::SloMonitor> slo;
+  std::string trace_path;
+};
+
+// `loose_bound_cut`: error bounds at or above it route to the "loose"
+// latency tier (which promises --slo-latency-ms); tighter bounds get 4x
+// the budget — a tight-bound refinement legitimately fetches more planes.
+ServeObs MakeServeObs(const Flags& flags, double loose_bound_cut) {
+  ServeObs o;
+  o.trace_path = flags.GetString("trace-requests");
+  if (!o.trace_path.empty()) {
+    obs::RequestTraceRecorder::Options ro;
+    ro.slow_threshold_ms = flags.GetDouble("slow-ms", 0.0);
+    ro.head_sample_every = static_cast<std::uint64_t>(
+        flags.GetInt("head-sample", 0));
+    ro.max_retained = static_cast<std::size_t>(
+        flags.GetInt("max-retained", 256));
+    o.recorder = std::make_unique<obs::RequestTraceRecorder>(ro);
+    obs::GlobalTracer().set_request_tracing(true);
+  }
+  const double slo_ms = flags.GetDouble("slo-latency-ms", 250.0);
+  obs::SloMonitor::Options so;
+  so.tiers.push_back({"loose", loose_bound_cut, slo_ms});
+  so.tiers.push_back({"tight", 0.0, 4.0 * slo_ms});
+  so.latency_objective = flags.GetDouble("slo-objective", 0.999);
+  o.slo = std::make_unique<obs::SloMonitor>(so);
+  return o;
+}
+
+void PrintSloReport(const obs::SloMonitor& slo) {
+  if (!slo.has_data()) {
+    return;
+  }
+  std::printf("  slo burn rates (fast 5m / slow 1h windows):\n");
+  for (const obs::SloMonitor::ObjectiveSnapshot& o : slo.snapshot()) {
+    const obs::SloTracker::Snapshot& s = o.slo;
+    if (s.total == 0) {
+      continue;
+    }
+    std::printf("    %-16s objective=%.4f events=%llu bad=%llu "
+                "burn=%.2f/%.2f%s\n",
+                o.name.c_str(), s.objective,
+                static_cast<unsigned long long>(s.total),
+                static_cast<unsigned long long>(s.bad), s.fast_burn,
+                s.slow_burn, s.alerting ? "  ALERTING" : "");
+  }
+}
+
+// Registers the monitor's audit sink on the global auditor for the
+// enclosing scope, so audited bound violations feed the error_control
+// objective. Declare AFTER the ServeObs so it unregisters first.
+class AuditSinkGuard {
+ public:
+  explicit AuditSinkGuard(obs::AuditSink* sink) : sink_(sink) {
+    obs::GlobalAuditor().AddSink(sink_);
+  }
+  ~AuditSinkGuard() { obs::GlobalAuditor().RemoveSink(sink_); }
+
+  AuditSinkGuard(const AuditSinkGuard&) = delete;
+  AuditSinkGuard& operator=(const AuditSinkGuard&) = delete;
+
+ private:
+  obs::AuditSink* sink_;
+};
+
+// Writes the retained lanes and prints the tail-sampling accounting.
+// Returns non-OK only on write failure.
+Status FinishRequestTraces(const ServeObs& o) {
+  if (o.recorder == nullptr) {
+    return Status::OK();
+  }
+  MGARDP_RETURN_NOT_OK(
+      obs::WriteRequestTraces(*o.recorder, o.trace_path));
+  const obs::RequestTraceRecorder::Stats s = o.recorder->stats();
+  std::printf(
+      "wrote %s (%zu lanes: %llu slow, %llu error, %llu degraded, "
+      "%llu shed, %llu head; %llu finished, %llu evicted)\n",
+      o.trace_path.c_str(), o.recorder->retained().size(),
+      static_cast<unsigned long long>(s.kept_slow),
+      static_cast<unsigned long long>(s.kept_error),
+      static_cast<unsigned long long>(s.kept_degraded),
+      static_cast<unsigned long long>(s.kept_shed),
+      static_cast<unsigned long long>(s.kept_head),
+      static_cast<unsigned long long>(s.finished),
+      static_cast<unsigned long long>(s.evicted));
+  return Status::OK();
+}
+
+// ---- trace-report ----------------------------------------------------------
+
+// Minimal per-line field extractors for the one-event-per-line lanes file
+// the exporter writes (NOT a general JSON parser). JsonStr unescapes
+// backslash escapes; JsonNum skips string-valued occurrences of the key so
+// `"rows":3` is found even when some other key holds "rows" in a string.
+std::string JsonStr(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) {
+    return "";
+  }
+  std::string out;
+  for (std::size_t i = at + pat.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      out += line[++i];
+      continue;
+    }
+    if (c == '"') {
+      break;
+    }
+    out += c;
+  }
+  return out;
+}
+
+double JsonNum(const std::string& line, const std::string& key,
+               double fallback) {
+  const std::string pat = "\"" + key + "\":";
+  std::size_t at = line.find(pat);
+  while (at != std::string::npos) {
+    const std::size_t v = at + pat.size();
+    if (v < line.size() && line[v] != '"') {
+      return std::strtod(line.c_str() + v, nullptr);
+    }
+    at = line.find(pat, v);
+  }
+  return fallback;
+}
+
+int CmdTraceReport(const Flags& flags) {
+  const std::string input = flags.GetString("input");
+  if (input.empty()) {
+    return Usage("trace-report needs --input=FILE (a --trace-requests lanes "
+                 "file)");
+  }
+  const int top = flags.GetInt("top", 10);
+  auto blob = ReadFileToString(input);
+  if (!blob.ok()) {
+    return Fail(blob.status());
+  }
+
+  struct StageAgg {
+    double total_ms = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct Req {
+    std::string trace;
+    std::string tenant;
+    std::string reason;
+    std::string status;
+    std::string baggage;
+    double latency_ms = 0.0;
+    double deadline_ms = 0.0;
+    std::uint64_t spans_dropped = 0;
+    std::vector<std::pair<std::string, StageAgg>> stages;  // insertion order
+    std::uint64_t batch_spans = 0;
+    std::uint64_t batch_rows = 0;
+    std::uint64_t batch_links = 0;  // ids linked across this lane's batches
+  };
+  std::map<int, Req> lanes;  // keyed by pid
+
+  // One event object per line; strip the array punctuation and dispatch on
+  // the "ph" phase.
+  std::istringstream in(blob.value());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.front() == '[') {
+      line.erase(0, 1);
+    }
+    if (line.empty() || line == "]") {
+      continue;
+    }
+    const int pid = static_cast<int>(JsonNum(line, "pid", 0.0));
+    if (pid <= 0) {
+      continue;
+    }
+    const std::string ph = JsonStr(line, "ph");
+    if (ph == "M") {
+      Req& r = lanes[pid];
+      r.trace = JsonStr(line, "trace");
+      r.tenant = JsonStr(line, "tenant");
+      r.reason = JsonStr(line, "reason");
+      r.status = JsonStr(line, "status");
+      r.baggage = JsonStr(line, "baggage");
+      r.latency_ms = JsonNum(line, "latency_ms", 0.0);
+      r.deadline_ms = JsonNum(line, "deadline_ms", 0.0);
+      r.spans_dropped =
+          static_cast<std::uint64_t>(JsonNum(line, "spans_dropped", 0.0));
+    } else if (ph == "X") {
+      Req& r = lanes[pid];
+      const std::string name = JsonStr(line, "name");
+      const double dur_ms = JsonNum(line, "dur", 0.0) / 1000.0;
+      const std::string links = JsonStr(line, "links");
+      if (!links.empty()) {
+        ++r.batch_spans;
+        r.batch_rows += static_cast<std::uint64_t>(JsonNum(line, "rows", 0.0));
+        r.batch_links += static_cast<std::uint64_t>(
+            std::count(links.begin(), links.end(), ',') + 1);
+      }
+      auto it = std::find_if(
+          r.stages.begin(), r.stages.end(),
+          [&name](const std::pair<std::string, StageAgg>& s) {
+            return s.first == name;
+          });
+      if (it == r.stages.end()) {
+        r.stages.push_back({name, {}});
+        it = std::prev(r.stages.end());
+      }
+      it->second.total_ms += dur_ms;
+      ++it->second.count;
+    }
+  }
+  if (lanes.empty()) {
+    std::printf("trace-report: no retained requests in %s\n", input.c_str());
+    return 0;
+  }
+
+  std::vector<const Req*> ranked;
+  ranked.reserve(lanes.size());
+  for (const auto& [pid, r] : lanes) {
+    (void)pid;
+    ranked.push_back(&r);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Req* a, const Req* b) {
+    return a->latency_ms > b->latency_ms;
+  });
+
+  std::printf("trace-report: %zu retained requests in %s\n", ranked.size(),
+              input.c_str());
+  std::printf("%-4s %-18s %-10s %-9s %-14s %10s %10s\n", "rank", "trace",
+              "tenant", "reason", "status", "latency_ms", "deadline");
+  const std::size_t limit =
+      top > 0 ? std::min(ranked.size(), static_cast<std::size_t>(top))
+              : ranked.size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Req& r = *ranked[i];
+    std::printf("%-4zu %-18s %-10s %-9s %-14s %10.3f %10.1f\n", i + 1,
+                r.trace.c_str(), r.tenant.c_str(), r.reason.c_str(),
+                r.status.c_str(), r.latency_ms, r.deadline_ms);
+    if (!r.stages.empty()) {
+      // Per-stage breakdown, heaviest first.
+      std::vector<std::pair<std::string, StageAgg>> by_time = r.stages;
+      std::sort(by_time.begin(), by_time.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second.total_ms > b.second.total_ms;
+                });
+      std::printf("     stages:");
+      for (const auto& [name, agg] : by_time) {
+        std::printf(" %s=%.3fms/%llu", name.c_str(), agg.total_ms,
+                    static_cast<unsigned long long>(agg.count));
+      }
+      std::printf("\n");
+    }
+    if (r.batch_spans > 0) {
+      std::printf("     batches: %llu shared (%llu rows, %llu linked ids)\n",
+                  static_cast<unsigned long long>(r.batch_spans),
+                  static_cast<unsigned long long>(r.batch_rows),
+                  static_cast<unsigned long long>(r.batch_links));
+    }
+    if (r.spans_dropped > 0) {
+      std::printf("     spans dropped: %llu\n",
+                  static_cast<unsigned long long>(r.spans_dropped));
+    }
+    if (!r.baggage.empty()) {
+      std::printf("     baggage: %s\n", r.baggage.c_str());
+    }
+  }
+
+  // Fleet-wide attribution: where retained requests spent their time, and
+  // how much shared batch work they rode.
+  std::vector<std::pair<std::string, StageAgg>> fleet;
+  std::uint64_t fleet_batches = 0, fleet_rows = 0;
+  for (const Req* r : ranked) {
+    fleet_batches += r->batch_spans;
+    fleet_rows += r->batch_rows;
+    for (const auto& [name, agg] : r->stages) {
+      auto it = std::find_if(fleet.begin(), fleet.end(),
+                             [&name](const auto& s) { return s.first == name; });
+      if (it == fleet.end()) {
+        fleet.push_back({name, {}});
+        it = std::prev(fleet.end());
+      }
+      it->second.total_ms += agg.total_ms;
+      it->second.count += agg.count;
+    }
+  }
+  std::sort(fleet.begin(), fleet.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ms > b.second.total_ms;
+  });
+  if (!fleet.empty()) {
+    std::printf("per-stage totals across retained requests:\n");
+    for (const auto& [name, agg] : fleet) {
+      std::printf("  %-28s %10.3f ms  %8llu spans\n", name.c_str(),
+                  agg.total_ms, static_cast<unsigned long long>(agg.count));
+    }
+  }
+  if (fleet_batches > 0) {
+    std::printf("shared batch spans: %llu (%llu rows) attributed via links\n",
+                static_cast<unsigned long long>(fleet_batches),
+                static_cast<unsigned long long>(fleet_rows));
+  }
+  return 0;
+}
+
 int CmdServeBenchCluster(const Flags& flags) {
   if (int rc = ApplyThreadsFlag(flags); rc != 0) {
     return rc;
@@ -1013,10 +1330,19 @@ int CmdServeBenchCluster(const Flags& flags) {
     sessions.back()->set_ground_truth(&series.value().frames[idx]);
   }
 
+  // Loose/tight SLO tiers split at the midpoint (in log space) of the
+  // bench's rel-bound ladder, scaled by the first field's range.
+  ServeObs obs_run =
+      MakeServeObs(flags, 3.16e-3 * fields[0].data_summary.range());
+  AuditSinkGuard sink_guard(obs_run.slo->audit_sink());
+
   RetrievalScheduler::Options sopts;
   sopts.queue_capacity = static_cast<std::size_t>(flags.GetInt("queue", 4096));
   sopts.per_tenant_capacity =
       static_cast<std::size_t>(flags.GetInt("tenant-quota", 0));
+  sopts.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  sopts.flight_recorder = obs_run.recorder.get();
+  sopts.slo = obs_run.slo.get();
   RetrievalScheduler scheduler(&metrics, sopts);
 
   // Background scrub is opt-in for the bench: the periodic thread repairs
@@ -1071,7 +1397,8 @@ int CmdServeBenchCluster(const Flags& flags) {
     const double bound = rel * jitter.Uniform(0.7, 1.0) *
                          fields[field_of[c]].data_summary.range();
     const Status admitted = scheduler.Submit(
-        {sessions[c].get(), bound, 0.0, "tenant" + std::to_string(c % 2)},
+        {sessions[c].get(), bound, 0.0, "tenant" + std::to_string(c % 2),
+         "client=" + std::to_string(c) + ";round=" + std::to_string(round)},
         [&, c, bound](const RetrievalScheduler::Response& resp) {
           if (!resp.status.ok()) {
             failed.fetch_add(1, std::memory_order_relaxed);
@@ -1145,6 +1472,10 @@ int CmdServeBenchCluster(const Flags& flags) {
   if (!last_degraded_report.empty()) {
     std::printf("  last degraded retrieval:\n%s", last_degraded_report.c_str());
   }
+  PrintSloReport(*obs_run.slo);
+  if (const Status st = FinishRequestTraces(obs_run); !st.ok()) {
+    return Fail(st);
+  }
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
@@ -1175,7 +1506,8 @@ int CmdServeBenchCluster(const Flags& flags) {
        << ",\"latency_p50_ms\":" << m.latency_p50_ms
        << ",\"latency_p99_ms\":" << m.latency_p99_ms
        << ",\"latency_p999_ms\":" << m.latency_p999_ms
-       << ",\"metrics\":" << m.ToJson() << "}\n";
+       << ",\"metrics\":"
+       << metrics.SnapshotJson(nullptr, nullptr, obs_run.slo.get()) << "}\n";
     Status st = WriteFile(json_path, os.str());
     if (!st.ok()) {
       return Fail(st);
@@ -1248,9 +1580,17 @@ int CmdServeBench(const Flags& flags) {
   TheoryEstimator estimator;
   const bool with_truth = flags.Has("ground-truth");
 
+  // Flight recorder + SLO monitor shared across every client count (the
+  // lanes file and burn report cover the whole run). Declared before the
+  // prom flusher so the flusher thread stops before they die.
+  ServeObs obs_run =
+      MakeServeObs(flags, 3.16e-3 * fields[0].data_summary.range());
+  AuditSinkGuard sink_guard(obs_run.slo->audit_sink());
+
   // Live Prometheus export: a background flusher rewrites --prom=FILE
-  // every second with the audit families plus the current run's service
-  // metrics; Stop() below guarantees one final flush with the end state.
+  // every second with the build-info, audit, and SLO families plus the
+  // current run's service metrics; Stop() below guarantees one final flush
+  // with the end state.
   const std::string prom_path = flags.GetString("prom");
   std::mutex prom_mu;
   ServiceMetrics* prom_metrics = nullptr;              // guarded by prom_mu
@@ -1260,7 +1600,11 @@ int CmdServeBench(const Flags& flags) {
     prom_flusher = std::make_unique<obs::PeriodicPromFlusher>(
         prom_path, std::chrono::milliseconds(1000), [&] {
           obs::PromWriter writer;
+          obs::AppendBuildInfoMetrics(&writer);
           AppendAuditMetrics(obs::GlobalAuditor(), &writer);
+          if (obs_run.slo->has_data()) {
+            obs::AppendSloMetrics(*obs_run.slo, &writer);
+          }
           std::lock_guard<std::mutex> lock(prom_mu);
           if (prom_metrics != nullptr) {
             AppendServiceMetricsProm(prom_metrics->snapshot(), &writer);
@@ -1298,6 +1642,9 @@ int CmdServeBench(const Flags& flags) {
     RetrievalScheduler::Options sopts;
     sopts.queue_capacity =
         static_cast<std::size_t>(flags.GetInt("queue", 4096));
+    sopts.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+    sopts.flight_recorder = obs_run.recorder.get();
+    sopts.slo = obs_run.slo.get();
     RetrievalScheduler scheduler(&metrics, sopts);
     if (prom_flusher != nullptr) {
       std::lock_guard<std::mutex> lock(prom_mu);
@@ -1335,7 +1682,9 @@ int CmdServeBench(const Flags& flags) {
         const double bound = rel * jitter.Uniform(0.7, 1.0) *
                              fields[field_of[c]].data_summary.range();
         const Status admitted = scheduler.Submit(
-            {sessions[c].get(), bound, 0.0, ""},
+            {sessions[c].get(), bound, 0.0, "",
+             "client=" + std::to_string(c) + ";round=" +
+                 std::to_string(round)},
             [&failed](const RetrievalScheduler::Response& resp) {
               if (!resp.status.ok()) {
                 failed.fetch_add(1, std::memory_order_relaxed);
@@ -1390,6 +1739,10 @@ int CmdServeBench(const Flags& flags) {
     std::printf("wrote %s (%llu flushes)\n", prom_path.c_str(),
                 static_cast<unsigned long long>(prom_flusher->flushes()));
   }
+  PrintSloReport(*obs_run.slo);
+  if (const Status st = FinishRequestTraces(obs_run); !st.ok()) {
+    return Fail(st);
+  }
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
@@ -1413,8 +1766,11 @@ int CmdServeBench(const Flags& flags) {
     }
     os << "]";
     // Whole-run per-stage profile (all client counts pooled) when tracing.
-    if (obs::GlobalTracer().enabled()) {
+    if (obs::GlobalTracer().timeline_enabled()) {
       os << ",\"stages\":" << obs::GlobalTracer().SummaryJson();
+    }
+    if (obs_run.slo->has_data()) {
+      os << ",\"slo\":" << obs_run.slo->ToJson();
     }
     os << "}\n";
     Status st = WriteFile(json_path, os.str());
@@ -1956,7 +2312,7 @@ void RunInferBenchMode(
     const std::vector<int>& field_of,
     const std::vector<PrefixBursts>& bursts,
     dnn::InferenceBatcher* batcher, ServiceMetrics* metrics,
-    InferBenchMode* agg) {
+    obs::RequestTraceRecorder* recorder, InferBenchMode* agg) {
   const std::size_t clients = field_of.size();
   learning::BatchedConstantsEstimator estimator(version, batcher, metrics);
 
@@ -1983,11 +2339,25 @@ void RunInferBenchMode(
       std::vector<double>& lat = latencies[c];
       lat.reserve(bursts[c].size());
       for (const std::vector<std::vector<int>>& burst : bursts[c]) {
+        // One planner-step burst is the request unit: each gets its own
+        // trace so the batcher's shared forward pass links every burst
+        // that rode it.
+        std::shared_ptr<obs::RequestContext> ctx;
+        if (recorder != nullptr) {
+          ctx = recorder->StartRequest("infer-c" + std::to_string(c), 0.0,
+                                       "");
+        }
+        obs::ScopedRequestContext scope(ctx);
         const auto t0 = std::chrono::steady_clock::now();
         auto estimates = estimator.TryEstimateMany(field, burst);
-        lat.push_back(std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count());
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        lat.push_back(ms);
+        if (recorder != nullptr) {
+          recorder->FinishRequest(
+              ctx, estimates.ok() ? Status::OK() : estimates.status(), ms);
+        }
         if (!estimates.ok()) {
           failures.fetch_add(1, std::memory_order_relaxed);
           continue;
@@ -2179,11 +2549,15 @@ int CmdServeBenchInfer(const Flags& flags) {
   // ratio toward whichever mode hit the quiet window.
   InferBenchMode direct;
   InferBenchMode batched;
+  // The flight recorder rides the batched side only, so retained lanes
+  // demonstrate the batcher's span links (the direct baseline stays
+  // instrumentation-free for the comparison).
+  ServeObs obs_run = MakeServeObs(flags, 0.0);
   for (int r = 0; r < repeat; ++r) {
     RunInferBenchMode(version, fields, field_of, bursts, /*batcher=*/nullptr,
-                      &metrics, &direct);
+                      &metrics, /*recorder=*/nullptr, &direct);
     RunInferBenchMode(version, fields, field_of, bursts, &batcher, &metrics,
-                      &batched);
+                      obs_run.recorder.get(), &batched);
   }
   FinalizeInferBenchMode(&direct);
   FinalizeInferBenchMode(&batched);
@@ -2276,6 +2650,10 @@ int CmdServeBenchInfer(const Flags& flags) {
       return Fail(st);
     }
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (const Status st = FinishRequestTraces(obs_run); !st.ok()) {
+    return Fail(st);
   }
 
   if (!bit_identical || direct.failures > 0 || batched.failures > 0) {
@@ -2546,6 +2924,10 @@ void PrintHelp() {
       "            rollback --model ID\n"
       "            (versioned model registry admin; exits 3 when a stored\n"
       "            blob or the index fails its checksum)\n"
+      "  trace-report --input LANES.json [--top N]\n"
+      "            (rank a --trace-requests lanes file: slowest retained\n"
+      "            requests, per-stage time breakdown, and shared-batch\n"
+      "            attribution via span links)\n"
       "\n"
       "retrieve also accepts --original FILE.f64: audit the retrieval\n"
       "against ground truth and print the actual achieved error.\n"
@@ -2555,9 +2937,16 @@ void PrintHelp() {
       "hardware)\n"
       "\n"
       "every subcommand accepts --trace FILE (or --trace=FILE): record\n"
-      "per-stage spans and write a Chrome trace (chrome://tracing or\n"
-      "Perfetto) on exit; MGARDP_TRACE=FILE does the same for any run.\n"
-      "serve-bench --json output gains a \"stages\" profile when tracing.\n"
+      "per-stage spans and keep a Chrome trace (chrome://tracing or\n"
+      "Perfetto) refreshed in the background and flushed on exit;\n"
+      "MGARDP_TRACE=FILE does the same for any run. serve-bench --json\n"
+      "output gains a \"stages\" profile when tracing.\n"
+      "serve-bench modes accept --trace-requests FILE: tail-sampled\n"
+      "per-request flight recording (slow/errored/degraded/shed requests\n"
+      "kept as their own Chrome-trace lanes; tune with --slow-ms,\n"
+      "--head-sample, --max-retained), plus --slo-latency-ms and\n"
+      "--slo-objective for the burn-rate report (also under \"slo\" in\n"
+      "--json and as mgardp_slo_* in --prom).\n"
       "every subcommand accepts --prom FILE: write the error-control audit\n"
       "as a Prometheus text exposition on exit.\n",
       GlobalThreadCount());
@@ -2595,6 +2984,9 @@ int Dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "audit") {
     return CmdAudit(flags);
   }
+  if (cmd == "trace-report") {
+    return CmdTraceReport(flags);
+  }
   PrintHelp();
   return 1;
 }
@@ -2623,11 +3015,25 @@ int main(int argc, char** argv) {
     return Usage(flags.error().c_str());
   }
   const std::string trace_path = flags.GetString("trace");
+  std::unique_ptr<obs::PeriodicTraceFlusher> trace_flusher;
   if (flags.Has("trace")) {
     if (trace_path.empty()) {
       return Usage("--trace needs an output file path");
     }
     obs::GlobalTracer().set_enabled(true);
+    // Background flush: the timeline is rewritten atomically on an
+    // interval (and on event-count bursts), so a long run killed mid-way
+    // still leaves a loadable trace instead of nothing.
+    trace_flusher = std::make_unique<obs::PeriodicTraceFlusher>(
+        &obs::GlobalTracer(), trace_path);
+  }
+  if (flags.Has("trace-requests")) {
+    if (flags.GetString("trace-requests").empty()) {
+      return Usage("--trace-requests needs an output file path");
+    }
+    // The flight recorder itself lives in the serving commands; the mode
+    // bit is global so span capture starts before any recorder exists.
+    obs::GlobalTracer().set_request_tracing(true);
   }
   const std::string prom_path = flags.GetString("prom");
   if (flags.Has("prom") && prom_path.empty()) {
@@ -2645,17 +3051,18 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", prom_path.c_str());
   }
-  if (!trace_path.empty()) {
-    const Status st = obs::WriteChromeTrace(obs::GlobalTracer(), trace_path);
+  if (trace_flusher != nullptr) {
+    const Status st = trace_flusher->Stop();  // final flush included
     if (!st.ok()) {
       std::fprintf(stderr, "error writing trace: %s\n",
                    st.ToString().c_str());
       return rc != 0 ? rc : 2;
     }
-    std::printf("wrote trace %s (%zu events, %llu dropped)\n",
+    std::printf("wrote trace %s (%zu events, %llu dropped, %llu flushes)\n",
                 trace_path.c_str(), obs::GlobalTracer().events().size(),
                 static_cast<unsigned long long>(
-                    obs::GlobalTracer().events_dropped()));
+                    obs::GlobalTracer().events_dropped()),
+                static_cast<unsigned long long>(trace_flusher->flushes()));
   }
   return rc;
 }

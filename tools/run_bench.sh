@@ -180,10 +180,17 @@ bare = runs.get("BM_SpanBaseline")
 if off and bare:
     print(f"   span cost, tracing disabled: {off - bare:.1f} ns "
           f"(enabled: {on - bare:.1f} ns)" if on else "")
+req = runs.get("BM_SpanRequestMode")
+if req and bare:
+    print(f"   span cost, request mode + context: {req - bare:.1f} ns")
 poff, pon = runs.get("BM_PipelineTraceOff"), runs.get("BM_PipelineTraceOn")
 if poff and pon:
     print("   end-to-end pipeline tax with tracing ON: "
           f"{100.0 * (pon - poff) / poff:+.2f}%")
+preq = runs.get("BM_PipelineRequestTraceOn")
+if poff and preq:
+    print("   end-to-end pipeline tax with --trace-requests ON: "
+          f"{100.0 * (preq - poff) / poff:+.2f}%")
 EOF
   fi
 done
